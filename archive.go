@@ -1,0 +1,188 @@
+package viprof
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"viprof/internal/core"
+	"viprof/internal/hpc"
+	"viprof/internal/image"
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+)
+
+// Profile archives. Like oparchive for real OProfile data, a profiled
+// run can be dumped to a real directory — sample files, code maps,
+// RVM.map, plus the image symbol tables and a manifest — and
+// post-processed later by vipreport (or LoadArchivedReport) with no
+// simulation state.
+
+const (
+	manifestPath = "viprof-manifest.txt"
+	imageMapDir  = "images"
+)
+
+// DumpProfile archives the run's profile data under dir.
+func (o *Outcome) DumpProfile(dir string) error {
+	m := o.RawMachine()
+	if m == nil {
+		return fmt.Errorf("viprof: run kept no machine state")
+	}
+	disk := m.Kern.Disk()
+	for name, im := range o.Images() {
+		var buf bytes.Buffer
+		if err := image.WriteRVMMap(&buf, im); err != nil {
+			return err
+		}
+		disk.Append(imageMapDir+"/"+name+".map", buf.Bytes())
+	}
+	var man bytes.Buffer
+	for _, ev := range o.Events {
+		fmt.Fprintf(&man, "event %d\n", int(ev))
+	}
+	if p := o.RawProcess(); p != nil {
+		fmt.Fprintf(&man, "vm %d %s\n", p.PID, p.Name)
+	}
+	disk.Append(manifestPath, man.Bytes())
+	return disk.DumpTo(dir)
+}
+
+// LoadArchivedReport rebuilds the vertically integrated report from a
+// directory written by DumpProfile.
+func LoadArchivedReport(dir string) (*Report, error) {
+	disk, err := kernel.LoadDiskFrom(dir)
+	if err != nil {
+		return nil, err
+	}
+	manData, err := disk.Read(manifestPath)
+	if err != nil {
+		return nil, fmt.Errorf("viprof: archive has no manifest: %v", err)
+	}
+	var events []Event
+	vmPIDs := make(map[string]int)
+	sc := bufio.NewScanner(bytes.NewReader(manData))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		switch {
+		case len(fields) == 2 && fields[0] == "event":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("viprof: bad manifest event: %v", err)
+			}
+			events = append(events, hpc.Event(n))
+		case len(fields) >= 3 && fields[0] == "vm":
+			pid, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("viprof: bad manifest vm line: %v", err)
+			}
+			vmPIDs[strings.Join(fields[2:], " ")] = pid
+		}
+	}
+	images := make(map[string]*image.Image)
+	for _, p := range disk.List() {
+		if !strings.HasPrefix(p, imageMapDir+"/") || !strings.HasSuffix(p, ".map") {
+			continue
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(p, imageMapDir+"/"), ".map")
+		data, err := disk.Read(p)
+		if err != nil {
+			return nil, err
+		}
+		im, err := image.ReadRVMMap(strings.NewReader(string(data)), name)
+		if err != nil {
+			return nil, fmt.Errorf("viprof: image map %s: %v", name, err)
+		}
+		images[name] = im
+	}
+	rep, _, err := core.Vipreport(disk, images, vmPIDs, events)
+	return rep, err
+}
+
+// LoadArchivedPhases rebuilds the per-epoch phase timeline for the
+// archive's first VM process: sample share and hottest method per GC
+// execution epoch (the VIVA agenda's phase view, derived entirely from
+// VIProf's epoch tags).
+func LoadArchivedPhases(dir string) (string, error) {
+	disk, err := kernel.LoadDiskFrom(dir)
+	if err != nil {
+		return "", err
+	}
+	manData, err := disk.Read(manifestPath)
+	if err != nil {
+		return "", fmt.Errorf("viprof: archive has no manifest: %v", err)
+	}
+	var proc string
+	var events []Event
+	vmPIDs := make(map[string]int)
+	sc := bufio.NewScanner(bytes.NewReader(manData))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		switch {
+		case len(fields) == 2 && fields[0] == "event":
+			if n, err := strconv.Atoi(fields[1]); err == nil {
+				events = append(events, hpc.Event(n))
+			}
+		case len(fields) >= 3 && fields[0] == "vm":
+			pid, err := strconv.Atoi(fields[1])
+			if err != nil {
+				continue
+			}
+			name := strings.Join(fields[2:], " ")
+			vmPIDs[name] = pid
+			if proc == "" {
+				proc = name
+			}
+		}
+	}
+	if proc == "" {
+		return "", fmt.Errorf("viprof: archive manifest names no VM process")
+	}
+	data, err := disk.Read("var/lib/oprofile/samples.log")
+	if err != nil {
+		return "", err
+	}
+	counts, err := oprofile.ReadCounts(strings.NewReader(string(data)))
+	if err != nil {
+		return "", err
+	}
+	res, err := core.NewResolver(disk, nil, vmPIDs)
+	if err != nil {
+		return "", err
+	}
+	primary := EventCycles
+	if len(events) > 0 {
+		primary = events[0]
+	}
+	rows := core.PhaseBreakdown(counts, res, proc, primary)
+	var buf bytes.Buffer
+	if err := core.FormatPhases(&buf, rows, primary); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// DiffArchives joins two archived reports on (image, symbol) and
+// renders the biggest movers of the primary event's share.
+func DiffArchives(beforeDir, afterDir string, maxRows int) (string, error) {
+	before, err := LoadArchivedReport(beforeDir)
+	if err != nil {
+		return "", fmt.Errorf("viprof: before archive: %v", err)
+	}
+	after, err := LoadArchivedReport(afterDir)
+	if err != nil {
+		return "", fmt.Errorf("viprof: after archive: %v", err)
+	}
+	primary := EventCycles
+	if len(before.Events) > 0 {
+		primary = before.Events[0]
+	}
+	rows := core.DiffReports(before, after, primary)
+	var buf bytes.Buffer
+	if err := core.FormatDiff(&buf, rows, maxRows); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}

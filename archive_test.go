@@ -1,0 +1,65 @@
+package viprof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	out, err := ProfileBenchmark("fop", Options{Scale: 0.2, MissPeriod: 12_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := out.DumpProfile(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The archive must contain the pieces a standalone post-processor
+	// needs.
+	for _, want := range []string{
+		"var/lib/oprofile/samples.log",
+		"RVM.map",
+		"viprof-manifest.txt",
+		filepath.Join("images", "vmlinux.map"),
+	} {
+		if _, err := os.Stat(filepath.Join(dir, filepath.FromSlash(want))); err != nil {
+			t.Errorf("archive missing %s: %v", want, err)
+		}
+	}
+
+	rep, err := LoadArchivedReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded report must agree with the in-process one row for
+	// row.
+	if len(rep.Rows) != len(out.Report.Rows) {
+		t.Fatalf("reloaded %d rows, original %d", len(rep.Rows), len(out.Report.Rows))
+	}
+	orig := map[string]uint64{}
+	for _, r := range out.Report.Rows {
+		orig[r.Image+"|"+r.Symbol] = r.Counts[EventCycles]
+	}
+	for _, r := range rep.Rows {
+		if orig[r.Image+"|"+r.Symbol] != r.Counts[EventCycles] {
+			t.Errorf("row %s/%s: reloaded %d, original %d",
+				r.Image, r.Symbol, r.Counts[EventCycles], orig[r.Image+"|"+r.Symbol])
+		}
+	}
+}
+
+func TestLoadArchivedReportErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadArchivedReport(dir); err == nil {
+		t.Error("empty archive accepted")
+	}
+	// A manifest alone is not enough: the sample file must exist.
+	if err := os.WriteFile(filepath.Join(dir, "viprof-manifest.txt"),
+		[]byte("event 0\nvm 3 jikesrvm\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArchivedReport(dir); err == nil {
+		t.Error("archive without sample data accepted")
+	}
+}

@@ -1,0 +1,255 @@
+package viprof
+
+// The benchmark harness: one testing.B benchmark per table/figure of
+// the paper's evaluation, plus ablation benches for the design choices
+// DESIGN.md calls out. These default to reduced workload scales so
+// `go test -bench=.` completes in minutes; paper-scale numbers are
+// regenerated with `go run ./cmd/vipbench` (see EXPERIMENTS.md).
+//
+// Custom metrics (b.ReportMetric) carry the quantities the paper
+// reports: slowdown factors for Figure 2, simulated seconds for
+// Figure 3, map bytes for the partial-map ablation, and so on.
+
+import (
+	"strings"
+	"testing"
+
+	"viprof/internal/harness"
+	"viprof/internal/workload"
+)
+
+const benchScale = 0.15 // workload scale for `go test -bench`
+
+// BenchmarkFigure1 regenerates the case-study report pair (DaCapo ps
+// under VIProf and under plain OProfile, both events armed) and reports
+// how many distinct Java methods the VIProf half resolves that the
+// OProfile half cannot.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure1(benchScale, int64(i)+1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resolved := 0
+		for _, row := range fig.VIProf.Rows {
+			if row.Image == "JIT.App" && row.Symbol != "(no symbols)" {
+				resolved++
+			}
+		}
+		if resolved == 0 {
+			b.Fatal("VIProf resolved no JIT methods")
+		}
+		for _, row := range fig.OProfile.Rows {
+			if strings.Contains(row.Symbol, "parseLine") {
+				b.Fatal("baseline resolved a Java method")
+			}
+		}
+		b.ReportMetric(float64(resolved), "jit-methods")
+	}
+}
+
+// BenchmarkFigure2 regenerates the overhead experiment on a
+// representative benchmark subset and reports the average slowdown of
+// each configuration. The paper's claims (§4.3): ~5% average for both
+// profilers at the 90K period; higher frequency costs more; VIProf 450K
+// is cheapest.
+func BenchmarkFigure2(b *testing.B) {
+	names := []string{"fop", "antlr", "ps"}
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure2Subset(names, benchScale, 3, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.AverageSlowdown("Oprof 90K"), "oprof90K-slowdown")
+		b.ReportMetric(fig.AverageSlowdown("VIProf 45K"), "viprof45K-slowdown")
+		b.ReportMetric(fig.AverageSlowdown("VIProf 90K"), "viprof90K-slowdown")
+		b.ReportMetric(fig.AverageSlowdown("VIProf 450K"), "viprof450K-slowdown")
+	}
+}
+
+// BenchmarkFigure3 regenerates the base-execution-time table and
+// reports the suite-average simulated seconds (scaled).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure3(benchScale, 1, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := fig.Rows[len(fig.Rows)-1]
+		if avg.Bench != "Average" {
+			b.Fatal("no average row")
+		}
+		b.ReportMetric(avg.Seconds, "sim-seconds")
+		b.ReportMetric(avg.Seconds/avg.PaperSecs, "vs-paper")
+	}
+}
+
+// benchOne runs one (benchmark, config) cell and returns simulated
+// seconds plus the full result.
+func benchOne(b *testing.B, bench string, rc harness.RunConfig, seed int64) *harness.Result {
+	b.Helper()
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := harness.RunOnce(spec, rc, harness.Options{Scale: benchScale, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkAblationFullMaps compares the paper's partial code maps
+// against writing a full map at every epoch: bytes written and
+// slowdown. Partial maps exist to bound agent overhead (§3.1).
+func BenchmarkAblationFullMaps(b *testing.B) {
+	rcPartial := harness.RunConfig{Kind: harness.ProfVIProf, Period: 90_000}
+	rcFull := rcPartial
+	rcFull.FullMaps = true
+	for i := 0; i < b.N; i++ {
+		p := benchOne(b, "antlr", rcPartial, int64(i)+1)
+		f := benchOne(b, "antlr", rcFull, int64(i)+1)
+		if f.AgentStats.MapBytes <= p.AgentStats.MapBytes {
+			b.Fatalf("full maps wrote %d bytes <= partial %d",
+				f.AgentStats.MapBytes, p.AgentStats.MapBytes)
+		}
+		b.ReportMetric(float64(p.AgentStats.MapBytes), "partial-bytes")
+		b.ReportMetric(float64(f.AgentStats.MapBytes), "full-bytes")
+		b.ReportMetric(f.Seconds/p.Seconds, "full-vs-partial-time")
+	}
+}
+
+// BenchmarkAblationLogInGC compares the paper's "flag, don't log"
+// move hook against eager logging from inside the collector — the
+// design §3 rejects because GC code is highly tuned.
+func BenchmarkAblationLogInGC(b *testing.B) {
+	rcFlag := harness.RunConfig{Kind: harness.ProfVIProf, Period: 90_000}
+	rcEager := rcFlag
+	rcEager.EagerMoveLog = true
+	for i := 0; i < b.N; i++ {
+		flag := benchOne(b, "bloat", rcFlag, int64(i)+1)
+		eager := benchOne(b, "bloat", rcEager, int64(i)+1)
+		b.ReportMetric(eager.Seconds/flag.Seconds, "eager-vs-flag-time")
+		b.ReportMetric(float64(flag.AgentStats.Moves), "moves")
+	}
+}
+
+// BenchmarkAblationAnonPath quantifies the anonymous-bookkeeping work
+// VIProf's JIT-region check replaces — the paper's explanation for the
+// occasional VIProf-faster-than-OProfile bars in Figure 2 (§4.3).
+func BenchmarkAblationAnonPath(b *testing.B) {
+	rcOprof := harness.RunConfig{Kind: harness.ProfOprofile, Period: 90_000}
+	rcVip := harness.RunConfig{Kind: harness.ProfVIProf, Period: 90_000}
+	for i := 0; i < b.N; i++ {
+		op := benchOne(b, "xalan", rcOprof, int64(i)+1)
+		vp := benchOne(b, "xalan", rcVip, int64(i)+1)
+		if op.DriverStats.AnonSamples == 0 {
+			b.Fatal("baseline logged no anonymous samples")
+		}
+		if vp.DriverStats.JITSamples == 0 {
+			b.Fatal("viprof claimed no JIT samples")
+		}
+		b.ReportMetric(float64(op.DriverStats.AnonSamples), "anon-samples")
+		b.ReportMetric(float64(vp.DriverStats.JITSamples), "jit-samples")
+		b.ReportMetric(vp.Seconds/op.Seconds, "viprof-vs-oprof-time")
+	}
+}
+
+// BenchmarkEpochSearch measures the backward epoch search: how many
+// maps the post-processor examines per JIT sample. With the mature
+// space tenuring hot code, nearly all samples resolve in the first map
+// examined.
+func BenchmarkEpochSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := ProfileBenchmark("antlr", Options{Scale: benchScale, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := out.RawSession()
+		proc := out.RawProcess()
+		_, res, err := s.Report(s.Images(out.RawVM()), map[string]int{proc.Name: proc.PID})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total, weighted uint64
+		maxDepth := 0
+		for depth, n := range res.SearchDepths {
+			total += n
+			weighted += uint64(depth) * n
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		}
+		if total == 0 {
+			b.Fatal("no JIT samples resolved")
+		}
+		b.ReportMetric(float64(weighted)/float64(total), "avg-depth")
+		b.ReportMetric(float64(maxDepth), "max-depth")
+		b.ReportMetric(float64(res.Unresolved()), "unresolved")
+	}
+}
+
+// BenchmarkProfileBenchmark is the end-to-end throughput bench for the
+// public API (how long one fully profiled fop run takes in real time).
+func BenchmarkProfileBenchmark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := ProfileBenchmark("fop", Options{Scale: benchScale, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Report == nil {
+			b.Fatal("no report")
+		}
+	}
+}
+
+// BenchmarkXenOverhead measures the simulated hypervisor's cost (the
+// paper's §5 future-work layer): the same benchmark native and
+// virtualized, plus the share of samples attributed to xen-syms.
+func BenchmarkXenOverhead(b *testing.B) {
+	rcNative := harness.RunConfig{Kind: harness.ProfVIProf, Period: 45_000}
+	rcXen := rcNative
+	rcXen.Xen = true
+	for i := 0; i < b.N; i++ {
+		native := benchOne(b, "JVM98", rcNative, int64(i)+1)
+		virt := benchOne(b, "JVM98", rcXen, int64(i)+1)
+		if virt.Seconds <= native.Seconds {
+			b.Fatalf("virtualization cost nothing: %.3f vs %.3f", virt.Seconds, native.Seconds)
+		}
+		b.ReportMetric(virt.Seconds/native.Seconds, "xen-slowdown")
+	}
+}
+
+// BenchmarkAblationOSR compares on-stack replacement (the default,
+// matching Jikes RVM) against promotion-at-next-invocation only.
+// Workloads whose hot loops live in long single invocations benefit
+// most.
+func BenchmarkAblationOSR(b *testing.B) {
+	specOn, err := workload.ByName("pseudojbb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		prog, err := workload.Build(specOn, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(disableOSR bool) float64 {
+			m := NewMachine(int64(i) + 1)
+			vm, _, err := StartVMForBench(m, prog, disableOSR)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Kern.Run(0); err != nil {
+				b.Fatal(err)
+			}
+			if !vm.Finished() {
+				b.Fatalf("vm error: %v", vm.Err())
+			}
+			return float64(m.Core.Cycles()) / ClockHz
+		}
+		withOSR := run(false)
+		withoutOSR := run(true)
+		b.ReportMetric(withoutOSR/withOSR, "noosr-vs-osr-time")
+	}
+}

@@ -1,0 +1,51 @@
+// vipbench regenerates the paper's evaluation — Figure 1 (the case
+// study report pair), Figure 2 (profiling overhead) and Figure 3 (base
+// execution times) — end to end on the simulated machine.
+//
+//	vipbench -fig all                 # everything at paper scale, 10 runs
+//	vipbench -fig 2 -scale 0.2 -runs 3  # a quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"viprof"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "which figure: 1, 2, 3, activity or all")
+		scale = flag.Float64("scale", 1.0, "workload scale (1.0 = paper length)")
+		runs  = flag.Int("runs", 10, "repetitions per cell (paper uses 10)")
+		seed  = flag.Int64("seed", 1, "noise seed")
+		rows  = flag.Int("rows", 14, "Figure 1 report rows")
+	)
+	flag.Parse()
+
+	do := func(name string, f func() (string, error)) {
+		start := time.Now()
+		text, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		fmt.Printf("[%s regenerated in %.0fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	if *fig == "1" || *fig == "all" {
+		do("Figure 1", func() (string, error) { return viprof.RunFigure1(*scale, *seed, *rows) })
+	}
+	if *fig == "3" || *fig == "all" {
+		do("Figure 3", func() (string, error) { return viprof.RunFigure3(*scale, *runs, *seed) })
+	}
+	if *fig == "2" || *fig == "all" {
+		do("Figure 2", func() (string, error) { return viprof.RunFigure2(*scale, *runs, *seed) })
+	}
+	if *fig == "activity" || *fig == "all" {
+		do("Activity table", func() (string, error) { return viprof.RunActivityTable(*scale, *seed) })
+	}
+}

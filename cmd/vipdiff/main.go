@@ -1,0 +1,33 @@
+// vipdiff compares two profile archives (from viprof-run -out) and
+// prints the symbols whose share of the primary event moved the most —
+// across every layer at once: application methods, VM services, native
+// libraries and the kernel. This is the comparison step of the VIVA
+// agenda the paper introduces: profile, adapt, re-profile.
+//
+//	vipdiff -before /tmp/run1 -after /tmp/run2 [-rows 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viprof"
+)
+
+func main() {
+	before := flag.String("before", "", "baseline profile archive")
+	after := flag.String("after", "", "comparison profile archive")
+	rows := flag.Int("rows", 20, "max rows (0 = all)")
+	flag.Parse()
+	if *before == "" || *after == "" {
+		fmt.Fprintln(os.Stderr, "usage: vipdiff -before <archive> -after <archive>")
+		os.Exit(2)
+	}
+	out, err := viprof.DiffArchives(*before, *after, *rows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

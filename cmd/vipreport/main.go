@@ -1,0 +1,51 @@
+// vipreport rebuilds the vertically integrated report from a profile
+// archive written by viprof-run -out (sample files + epoch code maps +
+// RVM.map + image symbol tables), with no simulation state — the
+// offline post-processing stage of the paper's §3.2.
+//
+//	vipreport -dir /tmp/ps-profile [-rows 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viprof"
+	"viprof/internal/oprofile"
+)
+
+func main() {
+	dir := flag.String("dir", "", "profile archive directory (from viprof-run -out)")
+	rows := flag.Int("rows", 30, "max report rows (0 = all)")
+	summary := flag.Bool("summary", false, "per-image summary instead of per-symbol rows")
+	phases := flag.Bool("phases", false, "per-epoch phase timeline for the VM process")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: vipreport -dir <archive> [-summary] [-rows N]")
+		os.Exit(2)
+	}
+	if *phases {
+		out, err := viprof.LoadArchivedPhases(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	rep, err := viprof.LoadArchivedReport(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *summary {
+		if err := oprofile.FormatImageSummary(os.Stdout, rep, *rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	outcome := &viprof.Outcome{Report: rep, Events: rep.Events}
+	fmt.Print(outcome.RenderReport(*rows))
+}

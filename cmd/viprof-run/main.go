@@ -1,0 +1,111 @@
+// viprof-run executes one of the paper's benchmarks on the simulated
+// machine under a chosen profiler and prints the resulting report, run
+// statistics, or both. With -out it archives the profile data for
+// standalone post-processing by vipreport.
+//
+// Examples:
+//
+//	viprof-run -bench ps                          # VIProf at 90K, full length
+//	viprof-run -bench antlr -period 45000 -scale 0.5
+//	viprof-run -bench hsqldb -profiler oprofile   # the baseline's view
+//	viprof-run -bench ps -out /tmp/ps-profile     # archive for vipreport
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viprof"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "ps", "benchmark name (see -list)")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		profiler = flag.String("profiler", "viprof", "profiler: viprof, oprofile, none")
+		period   = flag.Uint64("period", 90_000, "cycles-event sampling period")
+		missP    = flag.Uint64("miss-period", 12_000, "L2-miss sampling period (0 disables)")
+		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = paper-length run)")
+		seed     = flag.Int64("seed", 1, "noise seed")
+		rows     = flag.Int("rows", 20, "max report rows (0 = all)")
+		callg    = flag.Int("callgraph", 0, "call-graph depth (0 disables)")
+		out      = flag.String("out", "", "archive profile data to this directory")
+		annotate = flag.String("annotate", "", "per-bytecode annotation of a method (fully qualified signature)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range viprof.Benchmarks() {
+			spec, _ := viprof.BenchmarkSpec(n)
+			fmt.Printf("%-12s %-8s base %.1fs\n", n, spec.Suite, spec.BaseSeconds)
+		}
+		return
+	}
+
+	var kind viprof.Profiler
+	switch *profiler {
+	case "viprof":
+		kind = viprof.ProfilerVIProf
+	case "oprofile":
+		kind = viprof.ProfilerOProfile
+	case "none":
+		kind = viprof.ProfilerNone
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profiler %q\n", *profiler)
+		os.Exit(2)
+	}
+
+	outcome, err := viprof.ProfileBenchmark(*bench, viprof.Options{
+		Profiler:       kind,
+		Period:         *period,
+		MissPeriod:     *missP,
+		Scale:          *scale,
+		Seed:           *seed,
+		CallGraphDepth: *callg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	st := outcome.VMStats
+	fmt.Printf("%s: %.2f simulated seconds (scale %.2f, %s)\n",
+		*bench, outcome.Seconds, *scale, *profiler)
+	fmt.Printf("VM: %d bytecodes, %d classes, %d baseline + %d opt compiles, %d collections\n\n",
+		st.BytecodesRun, st.ClassesLoaded, st.BaselineCompiles, st.OptCompiles, st.Collections)
+
+	if outcome.Report != nil {
+		fmt.Println(outcome.RenderReport(*rows))
+	}
+
+	if *callg > 0 && kind == viprof.ProfilerVIProf {
+		graph, err := outcome.CallGraph()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cross-layer call graph (%d stack samples):\n", graph.Samples)
+		for _, arc := range graph.Top(10) {
+			fmt.Printf("  %6d  %s -> %s\n", graph.Arcs[arc], arc.Caller, arc.Callee)
+		}
+		fmt.Println()
+	}
+
+	if *annotate != "" {
+		text, err := outcome.Annotate(*annotate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+	}
+
+	if *out != "" {
+		if err := outcome.DumpProfile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile archived to %s (post-process with vipreport -dir %s)\n", *out, *out)
+	}
+}

@@ -1,0 +1,111 @@
+// Quickstart: profile a small hand-written program with VIProf.
+//
+// It builds a toy "Java" program with the bytecode assembler — a main
+// method driving a hot worker loop that allocates as it goes — runs it
+// on a fresh simulated machine under a VIProf session, and prints the
+// vertically integrated report: application methods (JIT code), VM
+// internals (RVM.map), native libraries and the kernel, side by side,
+// exactly the view the paper's Figure 1 demonstrates.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"viprof"
+)
+
+func buildProgram() *viprof.Program {
+	prog := viprof.NewProgram("quickstart", 2)
+
+	// worker(n): walk an array, allocate every 8th iteration.
+	w := viprof.NewAsm()
+	w.Const(512).Emit(viprof.OpNewArray, 8, 0).Store(2) // arr
+	w.Const(0).Store(1)                                 // i
+	w.Label("loop")
+	w.Load(2).Load(1).Const(512).Emit(viprof.OpMod).Emit(viprof.OpALoad)
+	w.Load(1).Emit(viprof.OpAdd).Store(3)
+	w.Load(2).Load(1).Const(512).Emit(viprof.OpMod).Load(3).Emit(viprof.OpAStore)
+	w.Load(1).Const(8).Emit(viprof.OpMod)
+	w.Branch(viprof.OpJmpNZ, "noalloc")
+	w.Emit(viprof.OpNew, 1, 3)
+	w.Emit(viprof.OpPutStatic, 0)
+	w.Label("noalloc")
+	w.Load(1).Const(1).Emit(viprof.OpAdd).Store(1)
+	w.Load(1).Load(0).Emit(viprof.OpCmpLT)
+	w.Branch(viprof.OpJmpNZ, "loop")
+	w.Const(1024).Emit(viprof.OpIntrinsic, viprof.IntrMemset, 1) // native call
+	w.Emit(viprof.OpRetVoid)
+	worker := prog.Add(&viprof.Method{
+		Class: "demo.Worker", Name: "crunch", NArgs: 1, MaxLocals: 4,
+		Code: w.MustFinish(),
+	})
+
+	// main: call worker 400 times.
+	m := viprof.NewAsm()
+	m.Const(0).Store(0)
+	m.Label("outer")
+	m.Const(2000).Call(int32(worker.Index))
+	m.Load(0).Const(1).Emit(viprof.OpAdd).Store(0)
+	m.Load(0).Const(400).Emit(viprof.OpCmpLT)
+	m.Branch(viprof.OpJmpNZ, "outer")
+	m.Emit(viprof.OpRetVoid)
+	main := prog.Add(&viprof.Method{
+		Class: "demo.Main", Name: "main", MaxLocals: 1, Code: m.MustFinish(),
+	})
+	prog.SetMain(main)
+	return prog
+}
+
+func main() {
+	machine := viprof.NewMachine(1)
+	session, err := viprof.StartSession(machine, viprof.SessionConfig{
+		Events: []viprof.EventConfig{
+			{Event: viprof.EventCycles, Period: 45_000},
+			{Event: viprof.EventL2Miss, Period: 12_000},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prog := buildProgram()
+	vm, proc, err := session.LaunchJVM(prog, viprof.VMConfig{HeapBytes: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := machine.Kern.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	if !vm.Finished() {
+		log.Fatalf("program failed: %v", vm.Err())
+	}
+	session.Shutdown()
+
+	st := vm.Stats()
+	fmt.Printf("ran %d bytecodes in %.2f simulated seconds\n",
+		st.BytecodesRun, float64(machine.Core.Cycles())/viprof.ClockHz)
+	fmt.Printf("compiles: %d baseline, %d opt; collections: %d\n\n",
+		st.BaselineCompiles, st.OptCompiles, st.Collections)
+
+	report, _, err := session.Report(session.Images(vm), map[string]int{proc.Name: proc.PID})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("VIProf vertically integrated report (top 18 rows):")
+	fmt.Println(renderTop(report, 18))
+}
+
+func renderTop(r *viprof.Report, n int) string {
+	var out string
+	for i, row := range r.Rows {
+		if i >= n {
+			break
+		}
+		out += fmt.Sprintf("%7.3f%%  %-24s %s\n",
+			r.Percent(row, viprof.EventCycles), row.Image, row.Symbol)
+	}
+	return out
+}

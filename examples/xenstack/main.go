@@ -1,0 +1,56 @@
+// xenstack: profiling through the hypervisor layer — the paper's §5
+// future work ("we plan to integrate Xen virtualization extensions into
+// VIProf to integrate profiling of the Xen layer (via XenoProf)"),
+// realized on the simulated stack.
+//
+// The same benchmark runs twice: natively, and as a guest above the
+// simulated Xen hypervisor. In the virtualized run the report gains
+// xen-syms rows (credit scheduler, VM-exit handling, timer
+// virtualization) alongside the guest's application, VM, native and
+// kernel rows — four software layers in one profile.
+//
+//	go run ./examples/xenstack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"viprof"
+)
+
+func run(xen bool) *viprof.Outcome {
+	out, err := viprof.ProfileBenchmark("JVM98", viprof.Options{
+		Profiler: viprof.ProfilerVIProf,
+		Period:   45_000,
+		Scale:    0.6,
+		Xen:      xen,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func main() {
+	native := run(false)
+	virt := run(true)
+
+	fmt.Printf("native run:      %.2f simulated seconds\n", native.Seconds)
+	fmt.Printf("virtualized run: %.2f simulated seconds (%.1f%% hypervisor overhead)\n\n",
+		virt.Seconds, 100*(virt.Seconds/native.Seconds-1))
+
+	fmt.Println("virtualized profile (top 16 rows):")
+	fmt.Println(virt.RenderReport(16))
+
+	var xenPct float64
+	for _, row := range virt.Report.Rows {
+		if row.Image == "xen-syms" {
+			xenPct += virt.Report.Percent(row, viprof.EventCycles)
+		}
+	}
+	fmt.Printf("hypervisor (xen-syms) share of cycles: %.2f%%\n", xenPct)
+	if xenPct == 0 {
+		log.Fatal("no hypervisor samples — XenoProf layer broken")
+	}
+}

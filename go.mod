@@ -1,0 +1,3 @@
+module viprof
+
+go 1.22

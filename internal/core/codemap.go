@@ -1,0 +1,186 @@
+// Package core implements VIProf, the paper's contribution: the
+// runtime-profiler extension that claims JIT-region samples, the VM
+// agent that tracks compilations and GC code motion through epoch code
+// maps, and the post-processing that resolves epoch-tagged samples to
+// Java methods across the whole stack.
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"viprof/internal/addr"
+	"viprof/internal/kernel"
+)
+
+// MapEntry is one record of a JIT code map: where a compiled method
+// body lived when the map was written.
+type MapEntry struct {
+	Start addr.Address
+	Size  uint32
+	Level string // compiler tier ("base"/"opt")
+	Sig   string // fully qualified method signature
+}
+
+// End returns the exclusive end of the body.
+func (e MapEntry) End() addr.Address { return e.Start + addr.Address(e.Size) }
+
+// MapDir is the disk directory the VM agent writes code maps under.
+const MapDir = "var/lib/viprof/jit-maps"
+
+// MapPath names the map file for one (pid, epoch).
+func MapPath(pid, epoch int) string {
+	return fmt.Sprintf("%s/%d/map.%d", MapDir, pid, epoch)
+}
+
+// WriteMapFile serializes map entries, one per line:
+//
+//	<hex start> <size> <level> <signature>
+//
+// and finishes with a trailer recording the entry count, so a write
+// torn mid-file (the VM crashing during the epoch write) is detectable
+// rather than silently yielding a truncated-but-parseable map.
+func WriteMapFile(w io.Writer, entries []MapEntry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(bw, "%08x %d %s %s\n",
+			uint64(e.Start), e.Size, e.Level, e.Sig); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "#end %d\n", len(entries)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadMapFile parses map entries and verifies the trailer.
+func ReadMapFile(r io.Reader) ([]MapEntry, error) {
+	var out []MapEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	trailer := -1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#end ") {
+			n, err := fmt.Sscanf(text, "#end %d", &trailer)
+			if n != 1 || err != nil {
+				return nil, fmt.Errorf("code map line %d: bad trailer %q", line, text)
+			}
+			continue
+		}
+		if trailer >= 0 {
+			return nil, fmt.Errorf("code map line %d: data after trailer", line)
+		}
+		var start uint64
+		var size uint32
+		var level, sig string
+		if _, err := fmt.Sscanf(text, "%x %d %s %s", &start, &size, &level, &sig); err != nil {
+			return nil, fmt.Errorf("code map line %d: %v", line, err)
+		}
+		out = append(out, MapEntry{Start: addr.Address(start), Size: size, Level: level, Sig: sig})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if trailer < 0 {
+		return nil, fmt.Errorf("code map truncated: missing trailer (torn write?)")
+	}
+	if trailer != len(out) {
+		return nil, fmt.Errorf("code map truncated: trailer says %d entries, read %d", trailer, len(out))
+	}
+	return out, nil
+}
+
+// MapChain is one process's sequence of epoch code maps, supporting the
+// paper's backward search: "the tools will initially search for a
+// sample in the map file corresponding to the epoch during which the
+// sample was recorded. If the sample is not found in the epoch's map,
+// the tool will search the immediately preceding map and so on" (§3.2).
+type MapChain struct {
+	// maps[e] holds epoch e's entries sorted by Start; nil when the
+	// epoch wrote no map.
+	maps [][]MapEntry
+}
+
+// NewMapChain builds a chain from per-epoch entry lists (index =
+// epoch).
+func NewMapChain(perEpoch [][]MapEntry) *MapChain {
+	c := &MapChain{maps: make([][]MapEntry, len(perEpoch))}
+	for e, entries := range perEpoch {
+		sorted := append([]MapEntry(nil), entries...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+		c.maps[e] = sorted
+	}
+	return c
+}
+
+// ReadMapChain loads every map file for a pid from the simulated disk.
+// Missing epochs (no file) are tolerated.
+func ReadMapChain(disk *kernel.Disk, pid int) (*MapChain, error) {
+	var perEpoch [][]MapEntry
+	for epoch := 0; ; epoch++ {
+		data, err := disk.Read(MapPath(pid, epoch))
+		if err != nil {
+			// The chain ends at the first missing epoch unless a later
+			// one exists (an epoch may legitimately write nothing).
+			if disk.Exists(MapPath(pid, epoch+1)) {
+				perEpoch = append(perEpoch, nil)
+				continue
+			}
+			break
+		}
+		entries, err := ReadMapFile(strings.NewReader(string(data)))
+		if err != nil {
+			return nil, fmt.Errorf("map chain pid %d epoch %d: %v", pid, epoch, err)
+		}
+		perEpoch = append(perEpoch, entries)
+	}
+	return NewMapChain(perEpoch), nil
+}
+
+// Epochs returns the number of epochs present in the chain.
+func (c *MapChain) Epochs() int { return len(c.maps) }
+
+// Entries returns epoch e's entries (nil if none).
+func (c *MapChain) Entries(e int) []MapEntry {
+	if e < 0 || e >= len(c.maps) {
+		return nil
+	}
+	return c.maps[e]
+}
+
+// Resolve finds the method occupying pc as of the given epoch: it
+// searches the epoch's map, then earlier maps in descending order,
+// returning the most recent body to occupy that address. searched
+// reports how many maps were examined (the ablation benchmarks measure
+// its distribution).
+func (c *MapChain) Resolve(epoch int, pc addr.Address) (entry MapEntry, searched int, ok bool) {
+	if epoch >= len(c.maps) {
+		epoch = len(c.maps) - 1
+	}
+	for e := epoch; e >= 0; e-- {
+		searched++
+		if entry, found := lookupEntry(c.maps[e], pc); found {
+			return entry, searched, true
+		}
+	}
+	return MapEntry{}, searched, false
+}
+
+// lookupEntry binary-searches one epoch's sorted entries.
+func lookupEntry(entries []MapEntry, pc addr.Address) (MapEntry, bool) {
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].End() > pc })
+	if i < len(entries) && pc >= entries[i].Start {
+		return entries[i], true
+	}
+	return MapEntry{}, false
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"viprof/internal/hpc"
+	"viprof/internal/oprofile"
+)
+
+// Report diffing. The VIVA agenda profiles the same application
+// repeatedly to drive re-optimization (§1); comparing two vertically
+// integrated reports — before/after a change, or run-to-run — shows
+// which symbols gained or lost share across *all* layers at once.
+
+// DiffRow is one symbol's share in two reports.
+type DiffRow struct {
+	Image  string
+	Symbol string
+	// Before and After are the symbol's percentage of the primary
+	// event in each report.
+	Before, After float64
+	// Delta = After - Before, in percentage points.
+	Delta float64
+}
+
+// DiffReports joins two reports on (image, symbol) and returns rows
+// sorted by |Delta| descending. Symbols absent from one side count as
+// 0 % there.
+func DiffReports(before, after *oprofile.Report, primary hpc.Event) []DiffRow {
+	type key struct{ img, sym string }
+	rows := make(map[key]*DiffRow)
+	add := func(r *oprofile.Report, set func(d *DiffRow, pct float64)) {
+		for _, row := range r.Rows {
+			k := key{row.Image, row.Symbol}
+			d, ok := rows[k]
+			if !ok {
+				d = &DiffRow{Image: row.Image, Symbol: row.Symbol}
+				rows[k] = d
+			}
+			set(d, r.Percent(row, primary))
+		}
+	}
+	add(before, func(d *DiffRow, pct float64) { d.Before = pct })
+	add(after, func(d *DiffRow, pct float64) { d.After = pct })
+	out := make([]DiffRow, 0, len(rows))
+	for _, d := range rows {
+		d.Delta = d.After - d.Before
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs(out[i].Delta), abs(out[j].Delta)
+		if ai != aj {
+			return ai > aj
+		}
+		if out[i].Image != out[j].Image {
+			return out[i].Image < out[j].Image
+		}
+		return out[i].Symbol < out[j].Symbol
+	})
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FormatDiff renders the top movers.
+func FormatDiff(w io.Writer, rows []DiffRow, maxRows int) error {
+	if _, err := fmt.Fprintf(w, "%-9s %-9s %-9s %-20s %s\n",
+		"before%", "after%", "delta", "Image name", "Symbol name"); err != nil {
+		return err
+	}
+	if maxRows > 0 && maxRows < len(rows) {
+		rows = rows[:maxRows]
+	}
+	for _, d := range rows {
+		if _, err := fmt.Fprintf(w, "%-9.4f %-9.4f %+-9.4f %-20s %s\n",
+			d.Before, d.After, d.Delta, d.Image, d.Symbol); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package core
+
+// Failure injection (DESIGN.md §7): the pipeline must degrade, not
+// lie, when parts of it are damaged — torn code-map writes, missing
+// maps, sample-buffer overflow, samples in reclaimed code.
+
+import (
+	"strings"
+	"testing"
+
+	"viprof/internal/hpc"
+	"viprof/internal/jvm"
+	"viprof/internal/jvm/jit"
+	"viprof/internal/oprofile"
+)
+
+// TestTornMapFile: a map file truncated mid-line (a crash during the
+// epoch write) must fail parsing loudly rather than silently
+// misattribute.
+func TestTornMapFile(t *testing.T) {
+	s, vm, proc, m := runSession(t, stdConfig(), 128<<10)
+	_ = s
+	disk := m.Kern.Disk()
+	// Tear the epoch-0 map: keep the first half of its bytes.
+	path := MapPath(proc.PID, 0)
+	data, err := disk.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 20 {
+		t.Skip("map too small to tear meaningfully")
+	}
+	disk.Remove(path)
+	disk.Append(path, data[:len(data)/2+3]) // mid-line cut
+	_, _, err = Vipreport(disk, s.Images(vm), map[string]int{proc.Name: proc.PID}, s.Events())
+	if err == nil {
+		t.Fatal("torn map file accepted silently")
+	}
+	if !strings.Contains(err.Error(), "map") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+// TestMissingMapsDegradeToUnresolved: deleting all code maps must not
+// break report generation; JIT samples degrade to "(no symbols)".
+func TestMissingMapsDegradeToUnresolved(t *testing.T) {
+	s, vm, proc, m := runSession(t, stdConfig(), 128<<10)
+	disk := m.Kern.Disk()
+	for _, p := range disk.List() {
+		if strings.HasPrefix(p, MapDir) {
+			disk.Remove(p)
+		}
+	}
+	rep, res, err := s.Report(s.Images(vm), map[string]int{proc.Name: proc.PID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jitRow, ok := rep.FindImage(oprofile.JITImageName)
+	if !ok || jitRow.Counts[hpc.GlobalPowerEvents] == 0 {
+		t.Fatal("JIT samples vanished with the maps")
+	}
+	for _, row := range rep.Rows {
+		if row.Image == oprofile.JITImageName && row.Symbol != oprofile.NoSymbols {
+			t.Errorf("JIT symbol %q resolved with no maps on disk", row.Symbol)
+		}
+	}
+	if res.Unresolved() == 0 {
+		t.Error("resolver reported no unresolved samples")
+	}
+}
+
+// TestBufferOverflowConservation: with a tiny driver buffer the
+// daemon must still produce a consistent report — dropped samples are
+// counted, logged samples are conserved end to end.
+func TestBufferOverflowConservation(t *testing.T) {
+	m := newTestMachine()
+	s, err := Start(m, Config{
+		Events:    []oprofile.EventConfig{{Event: hpc.GlobalPowerEvents, Period: 9_000}},
+		BufferCap: 16,
+		// A slow daemon guarantees overflow between drains.
+		Daemon: oprofile.DaemonConfig{WakeCycles: 3_000_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, proc, err := s.LaunchJVM(buildWorkload(300, 300), jvm.Config{HeapBytes: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(20_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("VM failed: %v", vm.Err())
+	}
+	s.Shutdown()
+
+	st := s.Prof.Driver.Stats()
+	if st.Dropped == 0 {
+		t.Fatalf("tiny buffer never overflowed: %+v", st)
+	}
+	if st.Logged+st.Dropped != st.NMIs {
+		t.Errorf("sample accounting broken: logged %d + dropped %d != NMIs %d",
+			st.Logged, st.Dropped, st.NMIs)
+	}
+	// Everything logged must appear in the report totals.
+	rep, _, err := s.Report(s.Images(vm), map[string]int{proc.Name: proc.PID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, ev := range s.Events() {
+		total += rep.Totals[ev]
+	}
+	if total != st.Logged {
+		t.Errorf("report totals %d != logged %d", total, st.Logged)
+	}
+}
+
+// TestSamplesInReclaimedCode: a sample taken in a body that is later
+// freed and whose address range is reused still resolves to the method
+// that owned the range *at sampling time* (the backward search's whole
+// point).
+func TestSamplesInReclaimedCode(t *testing.T) {
+	h := newProtoHarness(t)
+	// Compile A, sample it in epoch 0, recompile A (old body dies),
+	// collect twice so the from-space is reused, then compile B —
+	// possibly over A's old range.
+	a0 := h.compile(0, 30, jit.Baseline)
+	samplePC := a0.Start() + 12
+	sampleEpoch := h.heap.Epoch()
+	wantSig := a0.Method.Signature()
+
+	h.compile(0, 25, jit.Opt) // old baseline body of method 0 dies
+	h.heap.Collect()
+	h.heap.Collect()
+	h.compile(1, 40, jit.Baseline)
+	h.heap.Collect()
+	h.agent.OnExit(h.heap.Epoch())
+
+	chain, err := ReadMapChain(h.m.Kern.Disk(), h.proc.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _, ok := chain.Resolve(sampleEpoch, samplePC)
+	if !ok {
+		t.Fatal("stale sample unresolvable")
+	}
+	if entry.Sig != wantSig {
+		t.Errorf("stale sample resolved to %q, want %q", entry.Sig, wantSig)
+	}
+}
+
+// TestAgentSurvivesWriteToFullBuffer: the VM agent writing a map while
+// the profiler's sample buffer is overflowing must not deadlock or
+// corrupt either stream.
+func TestAgentSurvivesOverflowingDriver(t *testing.T) {
+	m := newTestMachine()
+	s, err := Start(m, Config{
+		Events:    []oprofile.EventConfig{{Event: hpc.GlobalPowerEvents, Period: 9_000}},
+		BufferCap: 8,
+		Daemon:    oprofile.DaemonConfig{WakeCycles: 5_000_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, proc, err := s.LaunchJVM(buildWorkload(200, 300), jvm.Config{
+		HeapBytes: 96 << 10, AOSThreshold: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(20_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("VM failed: %v", vm.Err())
+	}
+	s.Shutdown()
+	agent := s.Agents[proc.PID]
+	if agent.Stats().MapsWritten == 0 {
+		t.Fatal("agent wrote nothing under pressure")
+	}
+	chain, err := ReadMapChain(m.Kern.Disk(), proc.PID)
+	if err != nil {
+		t.Fatalf("maps corrupted: %v", err)
+	}
+	if chain.Epochs() == 0 {
+		t.Error("no epochs readable")
+	}
+}
+
+// TestUnregisteredProcJITKeys: JIT keys whose process has no chain
+// (e.g. an archive missing the manifest entry) degrade to NoSymbols.
+func TestUnregisteredProcJITKeys(t *testing.T) {
+	res := &Resolver{
+		ELF:       &oprofile.ELFResolver{Images: nil},
+		BootMaps:  map[string]BootMap{},
+		Chains:    map[int]*MapChain{},
+		PIDByProc: map[string]int{},
+	}
+	img, sym := res.Resolve(oprofile.Key{JIT: true, Proc: "ghost", Epoch: 3, Off: 0x6000_0000})
+	if img != oprofile.JITImageName || sym != oprofile.NoSymbols {
+		t.Errorf("ghost JIT key resolved to %s/%s", img, sym)
+	}
+	// Known proc, empty chain.
+	res.PIDByProc["vm"] = 9
+	res.Chains[9] = NewMapChain(nil)
+	img, sym = res.Resolve(oprofile.Key{JIT: true, Proc: "vm", Epoch: 0, Off: 0x6000_0000})
+	if sym != oprofile.NoSymbols {
+		t.Errorf("empty chain resolved to %s/%s", img, sym)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+// The paper claims its implementation is "simple and general enough to
+// support a wide range of virtual execution environments (multiple Java
+// virtual machines as well as Microsoft .Net common language
+// runtimes)" (§2). These tests run the same VIProf pipeline against the
+// CLR personality and against a mixed Jikes+CLR machine.
+
+import (
+	"strings"
+	"testing"
+
+	"viprof/internal/jvm"
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/classes"
+)
+
+// buildCLRWorkload is a .NET-flavoured program.
+func buildCLRWorkload(outer, inner int32) *classes.Program {
+	p := classes.NewProgram("paycalc", 8)
+	w := bytecode.NewAsm()
+	w.Const(128).Emit(bytecode.NewArray, 8, 0).Store(2)
+	w.Const(0).Store(1)
+	w.Label("loop")
+	w.Load(2).Load(1).Const(128).Emit(bytecode.Mod).Emit(bytecode.ALoad)
+	w.Load(1).Emit(bytecode.Add).Store(3)
+	w.Load(2).Load(1).Const(128).Emit(bytecode.Mod).Load(3).Emit(bytecode.AStore)
+	w.Load(1).Const(6).Emit(bytecode.Mod)
+	w.Branch(bytecode.JmpNZ, "noalloc")
+	w.Emit(bytecode.New, 1, 3)
+	w.Emit(bytecode.PutStatic, 0)
+	w.Label("noalloc")
+	w.Load(1).Const(1).Emit(bytecode.Add).Store(1)
+	w.Load(1).Load(0).Emit(bytecode.CmpLT)
+	w.Branch(bytecode.JmpNZ, "loop")
+	w.Emit(bytecode.RetVoid)
+	worker := p.Add(&classes.Method{
+		Class: "PayCalc.Engine", Name: "ComputeRow", NArgs: 1, MaxLocals: 4,
+		Code: w.MustFinish(),
+	})
+	mn := bytecode.NewAsm()
+	mn.Const(0).Store(0)
+	mn.Label("outer")
+	mn.Const(inner).Call(int32(worker.Index))
+	mn.Load(0).Const(1).Emit(bytecode.Add).Store(0)
+	mn.Load(0).Const(outer).Emit(bytecode.CmpLT)
+	mn.Branch(bytecode.JmpNZ, "outer")
+	mn.Emit(bytecode.RetVoid)
+	main := p.Add(&classes.Method{
+		Class: "PayCalc.Program", Name: "Main", MaxLocals: 1, Code: mn.MustFinish(),
+	})
+	p.SetMain(main)
+	return p
+}
+
+func TestCLRPersonalityProfiled(t *testing.T) {
+	m := newTestMachine()
+	s, err := Start(m, stdConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, proc, err := s.LaunchJVM(buildCLRWorkload(300, 300), jvm.Config{
+		HeapBytes: 128 << 10, AOSThreshold: 100, Personality: jvm.CLR(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Name != "clrhost" {
+		t.Errorf("process name %q", proc.Name)
+	}
+	if err := m.Kern.Run(20_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("CLR VM failed: %v", vm.Err())
+	}
+	s.Shutdown()
+
+	rep, _, err := s.Report(s.Images(vm), map[string]int{proc.Name: proc.PID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Application methods resolve under JIT.App.
+	if _, ok := rep.Find("PayCalc.Engine.ComputeRow"); !ok {
+		t.Error("CLR application method not in report")
+	}
+	// Runtime services resolve under CLR.map with mscorwks symbols.
+	clrRows, ok := rep.FindImage("CLR.map")
+	if !ok || clrRows.Counts[0] == 0 {
+		t.Fatal("no CLR.map rows")
+	}
+	sawJIT := false
+	for _, row := range rep.Rows {
+		if row.Image == "CLR.map" && strings.Contains(row.Symbol, "CILJit::compileMethod") {
+			sawJIT = true
+		}
+		if row.Image == "RVM.map" {
+			t.Errorf("Jikes row in a CLR-only run: %+v", row)
+		}
+	}
+	if !sawJIT {
+		t.Error("CLR JIT compiler invisible in profile")
+	}
+	// The boot image itself must not leak through unsymbolized.
+	if raw, ok := rep.FindImage("mscorwks.image"); ok && raw.Counts[0] > 0 {
+		t.Error("mscorwks.image rows not symbolized via CLR.map")
+	}
+}
+
+func TestMixedPersonalitiesOneMachine(t *testing.T) {
+	m := newTestMachine()
+	s, err := Start(m, stdConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jvmVM, jvmProc, err := s.LaunchJVM(buildWorkload(150, 300), jvm.Config{
+		HeapBytes: 128 << 10, AOSThreshold: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clrVM, clrProc, err := s.LaunchJVM(buildCLRWorkload(150, 300), jvm.Config{
+		HeapBytes: 128 << 10, AOSThreshold: 100, Personality: jvm.CLR(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(40_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !jvmVM.Finished() || !clrVM.Finished() {
+		t.Fatalf("VMs failed: %v / %v", jvmVM.Err(), clrVM.Err())
+	}
+	s.Shutdown()
+
+	// One report spans both stacks: process names differ, so both pid
+	// mappings can coexist.
+	rep, _, err := s.Report(s.Images(jvmVM, clrVM), map[string]int{
+		jvmProc.Name: jvmProc.PID,
+		clrProc.Name: clrProc.PID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Find("edu.unm.cs.oal.dacapo.javapostscript.red.scanner.Scanner.parseLine"); !ok {
+		t.Error("Jikes app method missing")
+	}
+	if _, ok := rep.Find("PayCalc.Engine.ComputeRow"); !ok {
+		t.Error("CLR app method missing")
+	}
+	if _, ok := rep.FindImage("RVM.map"); !ok {
+		t.Error("RVM.map rows missing")
+	}
+	if _, ok := rep.FindImage("CLR.map"); !ok {
+		t.Error("CLR.map rows missing")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"viprof/internal/hpc"
+	"viprof/internal/oprofile"
+)
+
+// Phase analysis. The paper's motivating project (VIVA) wants profiles
+// that expose "the dynamically changing characteristics of program
+// behavior" (§1) — phases. VIProf's epoch tags give a free time axis:
+// each JIT sample carries the GC epoch it was taken in, so grouping
+// samples by epoch yields a phase timeline without any extra runtime
+// machinery.
+
+// PhaseRow is one epoch's sample distribution for one process.
+type PhaseRow struct {
+	Epoch  int
+	Counts [hpc.NumEvents]uint64
+	// TopSig is the hottest resolved method of the epoch (by the
+	// primary event), with its count.
+	TopSig   string
+	TopCount uint64
+}
+
+// PhaseBreakdown groups a process's JIT samples by execution epoch and
+// resolves each epoch's hottest method. proc is the VM process name as
+// it appears in sample keys.
+func PhaseBreakdown(counts map[oprofile.Key]uint64, res *Resolver, proc string,
+	primary hpc.Event) []PhaseRow {
+	type sigCount map[string]uint64
+	perEpoch := make(map[int]*PhaseRow)
+	sigs := make(map[int]sigCount)
+	maxEpoch := 0
+	for k, c := range counts {
+		if !k.JIT || k.Proc != proc {
+			continue
+		}
+		row, ok := perEpoch[k.Epoch]
+		if !ok {
+			row = &PhaseRow{Epoch: k.Epoch}
+			perEpoch[k.Epoch] = row
+			sigs[k.Epoch] = make(sigCount)
+		}
+		row.Counts[k.Event] += c
+		if k.Event == primary {
+			_, sym := res.Resolve(k)
+			sigs[k.Epoch][sym] += c
+		}
+		if k.Epoch > maxEpoch {
+			maxEpoch = k.Epoch
+		}
+	}
+	out := make([]PhaseRow, 0, len(perEpoch))
+	for e := 0; e <= maxEpoch; e++ {
+		row, ok := perEpoch[e]
+		if !ok {
+			row = &PhaseRow{Epoch: e}
+		}
+		for sym, c := range sigs[e] {
+			if c > row.TopCount || (c == row.TopCount && sym < row.TopSig) {
+				row.TopSig, row.TopCount = sym, c
+			}
+		}
+		out = append(out, *row)
+	}
+	return out
+}
+
+// FormatPhases renders the phase timeline.
+func FormatPhases(w io.Writer, rows []PhaseRow, primary hpc.Event) error {
+	if _, err := fmt.Fprintf(w, "%-7s %-9s %s\n", "epoch", "samples", "hottest method"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		top := r.TopSig
+		if top == "" {
+			top = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%-7d %-9d %s\n", r.Epoch, r.Counts[primary], top); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"viprof/internal/hpc"
+	"viprof/internal/image"
+	"viprof/internal/jvm"
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+)
+
+// Post-processing. "A key to our low overhead implementation ... is
+// that we delay most of the work to the offline profile analysis
+// stage" (§3.2). The VIProf post-processor extends opreport's reader
+// with two resolvers the baseline lacks:
+//
+//   - JIT.App samples resolve through the epoch code-map chain
+//     (backward search across epochs);
+//   - boot-image samples resolve through RVM.map, displayed under the
+//     "RVM.map" image name exactly as the paper's Figure 1 shows.
+
+// RVMMapImageName is the display image for boot-image samples
+// symbolized via RVM.map (Figure 1's "RVM.map" rows). Other runtime
+// personalities display under their own map name (e.g. "CLR.map").
+const RVMMapImageName = "RVM.map"
+
+// BootMap is one runtime personality's parsed boot-image symbol map.
+type BootMap struct {
+	// Display is the image column shown for symbolized rows.
+	Display string
+	// Map is the parsed symbol table.
+	Map *image.Image
+}
+
+// Resolver is VIProf's sample resolver: ELF symbol tables + runtime
+// boot maps (RVM.map, CLR.map, ...) + epoch code maps.
+type Resolver struct {
+	ELF *oprofile.ELFResolver
+	// BootMaps keys boot image names (e.g. "RVM.code.image") to their
+	// parsed maps; missing entries degrade to baseline behaviour.
+	BootMaps map[string]BootMap
+	// Chains maps pid -> that VM's epoch code maps.
+	Chains map[int]*MapChain
+	// PIDByProc lets JIT keys (which carry process names) find their
+	// chain.
+	PIDByProc map[string]int
+
+	// SearchDepths histograms how many maps the backward search
+	// examined per resolved JIT sample (ablation metric).
+	SearchDepths map[int]uint64
+	unresolved   uint64
+}
+
+// Resolve implements oprofile.Resolver.
+func (r *Resolver) Resolve(k oprofile.Key) (string, string) {
+	if k.JIT {
+		pid, ok := r.PIDByProc[k.Proc]
+		if !ok {
+			return oprofile.JITImageName, oprofile.NoSymbols
+		}
+		chain, ok := r.Chains[pid]
+		if !ok {
+			return oprofile.JITImageName, oprofile.NoSymbols
+		}
+		entry, depth, found := chain.Resolve(k.Epoch, k.Off)
+		if r.SearchDepths != nil && found {
+			r.SearchDepths[depth]++
+		}
+		if !found {
+			r.unresolved++
+			return oprofile.JITImageName, oprofile.NoSymbols
+		}
+		return oprofile.JITImageName, entry.Sig
+	}
+	if bm, ok := r.BootMaps[k.Image]; ok && bm.Map != nil {
+		if s, found := bm.Map.Resolve(k.Off); found {
+			return bm.Display, s.Name
+		}
+		return bm.Display, oprofile.NoSymbols
+	}
+	return r.ELF.Resolve(k)
+}
+
+// Unresolved returns how many JIT samples no code map could explain.
+func (r *Resolver) Unresolved() uint64 { return r.unresolved }
+
+// NewResolver assembles a VIProf resolver from the simulated disk: it
+// parses RVM.map and every registered VM's code-map chain.
+func NewResolver(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[string]int) (*Resolver, error) {
+	r := &Resolver{
+		ELF:          &oprofile.ELFResolver{Images: images},
+		BootMaps:     make(map[string]BootMap),
+		Chains:       make(map[int]*MapChain),
+		PIDByProc:    vmPIDs,
+		SearchDepths: make(map[int]uint64),
+	}
+	for _, pers := range jvm.Personalities() {
+		data, err := disk.Read(pers.MapFileName)
+		if err != nil {
+			continue // personality not present in this run
+		}
+		im, err := image.ReadRVMMap(strings.NewReader(string(data)), pers.BootImageName)
+		if err != nil {
+			return nil, fmt.Errorf("viprof: parsing %s: %v", pers.MapFileName, err)
+		}
+		r.BootMaps[pers.BootImageName] = BootMap{Display: pers.MapDisplay, Map: im}
+	}
+	for _, pid := range vmPIDs {
+		chain, err := ReadMapChain(disk, pid)
+		if err != nil {
+			return nil, err
+		}
+		r.Chains[pid] = chain
+	}
+	return r, nil
+}
+
+// StandardImages assembles the symbol-table set a report run needs:
+// the kernel, every loaded module, and each VM's native images (libc,
+// bootstrap loader, agent library). The boot image is deliberately
+// absent — its symbols come from RVM.map, not an ELF table.
+func StandardImages(m *kernel.Machine, vms ...*jvm.VM) map[string]*image.Image {
+	images := map[string]*image.Image{
+		"vmlinux": m.Kern.Vmlinux(),
+	}
+	for _, mod := range m.Kern.Modules() {
+		images[mod.Image.Name] = mod.Image
+	}
+	for _, vm := range vms {
+		for _, im := range vm.NativeImages() {
+			images[im.Name] = im
+		}
+	}
+	return images
+}
+
+// Vipreport builds the vertically integrated report — the upper half of
+// the paper's Figure 1 — from the sample file, the code maps, and
+// RVM.map on the simulated disk. vmPIDs maps VM process names (as they
+// appear in samples) to pids.
+func Vipreport(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[string]int,
+	events []hpc.Event) (*oprofile.Report, *Resolver, error) {
+	data, err := disk.Read(oprofile.SampleFile)
+	if err != nil {
+		return nil, nil, fmt.Errorf("vipreport: %v", err)
+	}
+	counts, err := oprofile.ReadCounts(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := NewResolver(disk, images, vmPIDs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return oprofile.BuildReport(counts, res, events), res, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"viprof/internal/addr"
+)
+
+// Runtime is VIProf's runtime-profiler state: the registration table
+// through which "a VM [registers] the fact that it is executing
+// dynamically generated code [and] the boundaries of its memory heap"
+// (§3). It implements both the VM-facing registration interface
+// (jvm.Registry) and the sampling-path query interface
+// (oprofile.Registry).
+type Runtime struct {
+	regions map[int]*jitRegion
+	// stats
+	checks, hits uint64
+}
+
+type jitRegion struct {
+	lo, hi addr.Address
+	epoch  func() int
+	stack  func(max int) []addr.Address
+}
+
+// NewRuntime returns an empty registration table.
+func NewRuntime() *Runtime {
+	return &Runtime{regions: make(map[int]*jitRegion)}
+}
+
+// RegisterJIT implements jvm.Registry.
+func (r *Runtime) RegisterJIT(pid int, start, end addr.Address, epoch func() int) {
+	r.regions[pid] = &jitRegion{lo: start, hi: end, epoch: epoch}
+}
+
+// UnregisterJIT implements jvm.Registry.
+func (r *Runtime) UnregisterJIT(pid int) { delete(r.regions, pid) }
+
+// AttachStackWalker lets a registered VM expose its call stack for the
+// cross-layer call-graph extension.
+func (r *Runtime) AttachStackWalker(pid int, walk func(max int) []addr.Address) {
+	if reg, ok := r.regions[pid]; ok {
+		reg.stack = walk
+	}
+}
+
+// Check implements oprofile.Registry: "the logging code will consult
+// this information before deciding to log a sample as being anonymous"
+// (§3).
+func (r *Runtime) Check(pid int, pc addr.Address) (bool, int) {
+	r.checks++
+	reg, ok := r.regions[pid]
+	if !ok || pc < reg.lo || pc >= reg.hi {
+		return false, 0
+	}
+	r.hits++
+	return true, reg.epoch()
+}
+
+// Stack implements oprofile.Registry.
+func (r *Runtime) Stack(pid int, max int) []addr.Address {
+	reg, ok := r.regions[pid]
+	if !ok || reg.stack == nil {
+		return nil
+	}
+	return reg.stack(max)
+}
+
+// Epoch implements oprofile.Registry: the process's current execution
+// epoch, for tagging stack samples whose leaf is outside JIT code.
+func (r *Runtime) Epoch(pid int) int {
+	reg, ok := r.regions[pid]
+	if !ok {
+		return 0
+	}
+	return reg.epoch()
+}
+
+// Registered reports whether a pid currently has a JIT region.
+func (r *Runtime) Registered(pid int) bool {
+	_, ok := r.regions[pid]
+	return ok
+}
+
+// Stats returns (checks, hits) for the region lookup fast path.
+func (r *Runtime) Stats() (checks, hits uint64) { return r.checks, r.hits }

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+
+	"strings"
+	"testing"
+	"viprof/internal/addr"
+
+	"viprof/internal/hpc"
+	"viprof/internal/jvm"
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/classes"
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+)
+
+// buildWorkload is a small DaCapo-ish program: a hot scanner method
+// over an array, steady allocation with survivors, libc and kernel
+// activity.
+func buildWorkload(outer, inner int32) *classes.Program {
+	p := classes.NewProgram("dacapo.ps", 8)
+
+	w := bytecode.NewAsm()
+	// locals: 0=iters 1=i 2=arr 3=tmp
+	w.Const(256).Emit(bytecode.NewArray, 8, 0).Store(2)
+	w.Const(0).Store(1)
+	w.Label("loop")
+	w.Load(2).Load(1).Const(256).Emit(bytecode.Mod).Emit(bytecode.ALoad)
+	w.Load(1).Emit(bytecode.Add).Store(3)
+	w.Load(2).Load(1).Const(256).Emit(bytecode.Mod).Load(3).Emit(bytecode.AStore)
+	w.Load(1).Const(8).Emit(bytecode.Mod)
+	w.Branch(bytecode.JmpNZ, "noalloc")
+	w.Emit(bytecode.New, 1, 3)
+	w.Emit(bytecode.PutStatic, 0)
+	w.Label("noalloc")
+	w.Load(1).Const(1).Emit(bytecode.Add).Store(1)
+	w.Load(1).Load(0).Emit(bytecode.CmpLT)
+	w.Branch(bytecode.JmpNZ, "loop")
+	w.Const(1024).Emit(bytecode.Intrinsic, int32(bytecode.IntrMemset), 1)
+	w.Const(32).Emit(bytecode.Intrinsic, int32(bytecode.IntrWrite), 1)
+	w.Emit(bytecode.RetVoid)
+	scanner := p.Add(&classes.Method{
+		Class: "edu.unm.cs.oal.dacapo.javapostscript.red.scanner.Scanner",
+		Name:  "parseLine", NArgs: 1, MaxLocals: 4, Code: w.MustFinish(),
+	})
+
+	mn := bytecode.NewAsm()
+	mn.Const(0).Store(0)
+	mn.Label("loop")
+	mn.Const(inner).Call(int32(scanner.Index))
+	mn.Load(0).Const(1).Emit(bytecode.Add).Store(0)
+	mn.Load(0).Const(outer).Emit(bytecode.CmpLT)
+	mn.Branch(bytecode.JmpNZ, "loop")
+	mn.Emit(bytecode.RetVoid)
+	main := p.Add(&classes.Method{
+		Class: "dacapo.ps.Main", Name: "main", MaxLocals: 1, Code: mn.MustFinish(),
+	})
+	p.SetMain(main)
+	return p
+}
+
+// runSession executes the workload under a full VIProf session and
+// returns everything needed for assertions.
+func runSession(t *testing.T, cfg Config, heapBytes uint64) (*Session, *jvm.VM, *kernel.Process, *kernel.Machine) {
+	t.Helper()
+	m := newTestMachine()
+	s, err := Start(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := buildWorkload(400, 300)
+	vm, proc, err := s.LaunchJVM(prog, jvm.Config{HeapBytes: heapBytes, AOSThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(20_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("VM failed: %v", vm.Err())
+	}
+	s.Shutdown()
+	return s, vm, proc, m
+}
+
+func stdConfig() Config {
+	return Config{
+		Events: []oprofile.EventConfig{
+			{Event: hpc.GlobalPowerEvents, Period: 45_000},
+			{Event: hpc.BSQCacheReference, Period: 10_000},
+		},
+	}
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	s, vm, proc, _ := runSession(t, stdConfig(), 128<<10)
+
+	if vm.Stats().Collections == 0 {
+		t.Fatal("workload produced no GCs; epoch machinery untested")
+	}
+	agent := s.Agents[proc.PID]
+	if agent.Stats().MapsWritten < vm.Stats().Collections {
+		t.Errorf("maps written %d < collections %d", agent.Stats().MapsWritten, vm.Stats().Collections)
+	}
+
+	rep, res, err := s.Report(s.Images(vm), map[string]int{proc.Name: proc.PID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("empty report")
+	}
+
+	// The hot application method must appear, fully qualified, under
+	// JIT.App (Figure 1 upper half).
+	row, ok := rep.Find("edu.unm.cs.oal.dacapo.javapostscript.red.scanner.Scanner.parseLine")
+	if !ok {
+		for _, r := range rep.Rows[:min(len(rep.Rows), 15)] {
+			t.Logf("row: %-14s %-50s %d", r.Image, r.Symbol, r.Counts[hpc.GlobalPowerEvents])
+		}
+		t.Fatal("hot JIT method not in VIProf report")
+	}
+	if row.Image != oprofile.JITImageName {
+		t.Errorf("hot method under image %q, want %q", row.Image, oprofile.JITImageName)
+	}
+	if pct := rep.Percent(row, hpc.GlobalPowerEvents); pct < 20 {
+		t.Errorf("hot method only %.1f%% of time", pct)
+	}
+
+	// VM-internal work must resolve through RVM.map.
+	if _, ok := rep.FindImage(RVMMapImageName); !ok {
+		t.Error("no RVM.map rows: VM services invisible")
+	}
+	// Kernel rows.
+	if _, ok := rep.FindImage("vmlinux"); !ok {
+		t.Error("no kernel rows")
+	}
+
+	// Nearly all JIT samples must resolve (the paper's whole point).
+	if res.Unresolved() > 0 {
+		totalJIT := uint64(0)
+		for d, n := range res.SearchDepths {
+			_ = d
+			totalJIT += n
+		}
+		if res.Unresolved()*10 > totalJIT {
+			t.Errorf("%d of %d JIT samples unresolved", res.Unresolved(), totalJIT)
+		}
+	}
+
+	// No anonymous rows for the VM's heap: VIProf claimed them.
+	for _, r := range rep.Rows {
+		if strings.HasPrefix(r.Image, "anon (") && strings.Contains(r.Image, "jikesrvm") {
+			lo, hi := vm.Heap().Bounds()
+			if strings.Contains(r.Image, lo.String()) && strings.Contains(r.Image, hi.String()) {
+				t.Errorf("heap still reported anonymous: %s", r.Image)
+			}
+		}
+	}
+}
+
+func TestBaselineVsVIProfReports(t *testing.T) {
+	// Same sample data, two post-processors: the baseline (opreport)
+	// sees black boxes, VIProf sees methods — Figure 1's two halves.
+	s, vm, proc, m := runSession(t, stdConfig(), 128<<10)
+	images := s.Images(vm)
+
+	base, err := oprofile.Opreport(m.Kern.Disk(), images, s.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jitRow, ok := base.FindImage(oprofile.JITImageName)
+	if !ok {
+		t.Fatal("baseline report has no JIT.App aggregate")
+	}
+	baseRow, found := base.Find("edu.unm.cs.oal.dacapo.javapostscript.red.scanner.Scanner.parseLine")
+	if found && baseRow.Counts[hpc.GlobalPowerEvents] > 0 {
+		t.Error("baseline resolver should not see Java method names")
+	}
+	// Boot image is symbol-less for the baseline.
+	bootRow, ok := base.FindImage(jvm.BootImageName)
+	if !ok || bootRow.Counts[hpc.GlobalPowerEvents] == 0 {
+		t.Error("baseline should show RVM.code.image (no symbols) rows")
+	}
+
+	vip, _, err := s.Report(images, map[string]int{proc.Name: proc.PID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vipJIT, ok := vip.FindImage(oprofile.JITImageName)
+	if !ok {
+		t.Fatal("viprof report lost JIT samples")
+	}
+	if vipJIT.Counts[hpc.GlobalPowerEvents] != jitRow.Counts[hpc.GlobalPowerEvents] {
+		t.Errorf("sample conservation violated: baseline %d vs viprof %d JIT counts",
+			jitRow.Counts[hpc.GlobalPowerEvents], vipJIT.Counts[hpc.GlobalPowerEvents])
+	}
+
+	var buf bytes.Buffer
+	if err := oprofile.Format(&buf, vip, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Time %", "Dmiss %", "JIT.App"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCallGraphAcrossLayers(t *testing.T) {
+	cfg := stdConfig()
+	cfg.CallGraphDepth = 4
+	s, vm, proc, m := runSession(t, cfg, 256<<10)
+	stacks := s.Prof.Driver.DrainStacks()
+	if len(stacks) == 0 {
+		t.Fatal("no stack samples collected")
+	}
+	_, res, err := s.Report(s.Images(vm), map[string]int{proc.Name: proc.PID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(pid int, pc addr.Address) (string, addr.Address, bool) {
+		lo, hi := vm.Heap().Bounds()
+		if pc >= lo && pc < hi {
+			return "", pc, true
+		}
+		if p, ok := m.Kern.Process(pid); ok {
+			if v, found := p.Space.Lookup(pc); found {
+				return v.Image, v.ImageOffset(pc), false
+			}
+		}
+		return "", 0, false
+	}
+	g := BuildCallGraph(stacks, func(pid int, pc addr.Address, epoch int) string {
+		return res.ResolvePC(lookup, pid, pc, epoch)
+	})
+	if g.Samples != len(stacks) {
+		t.Errorf("folded %d of %d stacks", g.Samples, len(stacks))
+	}
+	// main -> parseLine must be the dominant arc.
+	want := Arc{
+		Caller: "dacapo.ps.Main.main",
+		Callee: "edu.unm.cs.oal.dacapo.javapostscript.red.scanner.Scanner.parseLine",
+	}
+	if g.Arcs[want] == 0 {
+		var buf bytes.Buffer
+		FormatCallGraph(&buf, g, 10)
+		t.Errorf("expected arc missing; top arcs:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"viprof/internal/hpc"
+	"viprof/internal/image"
+	"viprof/internal/jvm"
+	"viprof/internal/jvm/classes"
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+)
+
+// Session assembles a complete VIProf profiling session: the extended
+// OProfile pipeline (driver + daemon with the JIT registry plugged in)
+// plus one VM agent per profiled VM.
+type Session struct {
+	Prof    *oprofile.Profiler
+	Runtime *Runtime
+	// Agents, keyed by VM pid, are bound as VMs launch.
+	Agents map[int]*VMAgent
+
+	m            *kernel.Machine
+	events       []hpc.Event
+	fullMaps     bool
+	eagerMoveLog bool
+}
+
+// Config parameterizes a session.
+type Config struct {
+	Events         []oprofile.EventConfig
+	BufferCap      int
+	Daemon         oprofile.DaemonConfig
+	CallGraphDepth int
+	// FullMaps switches every agent to the full-map ablation mode.
+	FullMaps bool
+	// EagerMoveLog switches every agent to the log-inside-GC ablation
+	// mode.
+	EagerMoveLog bool
+}
+
+// Start arms the VIProf pipeline ("we start VIProf just prior to
+// benchmark launch", §4.1). Launch VMs afterwards with LaunchJVM so
+// they register their JIT regions and agents.
+func Start(m *kernel.Machine, cfg Config) (*Session, error) {
+	rt := NewRuntime()
+	prof, err := oprofile.Start(m, oprofile.Config{
+		Events:         cfg.Events,
+		BufferCap:      cfg.BufferCap,
+		Daemon:         cfg.Daemon,
+		Registry:       rt,
+		CallGraphDepth: cfg.CallGraphDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	events := make([]hpc.Event, len(cfg.Events))
+	for i, ec := range cfg.Events {
+		events[i] = ec.Event
+	}
+	return &Session{
+		Prof:         prof,
+		Runtime:      rt,
+		Agents:       make(map[int]*VMAgent),
+		m:            m,
+		events:       events,
+		fullMaps:     cfg.FullMaps,
+		eagerMoveLog: cfg.EagerMoveLog,
+	}, nil
+}
+
+// LaunchJVM launches a program under a fresh VM wired to this session:
+// agent hooks, JIT-region registration, and stack walking for the
+// cross-layer call graph.
+func (s *Session) LaunchJVM(prog *classes.Program, cfg jvm.Config) (*jvm.VM, *kernel.Process, error) {
+	agent := NewVMAgent(s.m)
+	agent.FullMaps = s.fullMaps
+	agent.EagerMoveLog = s.eagerMoveLog
+	cfg.Agent = agent
+	cfg.Registry = s.Runtime
+	vm, proc, err := jvm.Launch(s.m, prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := agent.Bind(proc); err != nil {
+		return nil, nil, err
+	}
+	s.Agents[proc.PID] = agent
+	s.Runtime.AttachStackWalker(proc.PID, vm.CallStackPCs)
+	return vm, proc, nil
+}
+
+// Shutdown stops sampling and flushes buffered samples; call after the
+// workload exits, before Report.
+func (s *Session) Shutdown() { s.Prof.Shutdown(s.m) }
+
+// Events returns the configured event column order.
+func (s *Session) Events() []hpc.Event { return s.events }
+
+// Report builds the vertically integrated report for this session.
+// images maps image names to symbol tables; vmPIDs maps VM process
+// names to pids.
+func (s *Session) Report(images map[string]*image.Image, vmPIDs map[string]int) (*oprofile.Report, *Resolver, error) {
+	return Vipreport(s.m.Kern.Disk(), images, vmPIDs, s.events)
+}
+
+// Images assembles the full symbol-table set for this session's
+// machine and VMs, including each agent's own library.
+func (s *Session) Images(vms ...*jvm.VM) map[string]*image.Image {
+	images := StandardImages(s.m, vms...)
+	for _, a := range s.Agents {
+		if lib := a.Lib(); lib != nil {
+			images[lib.Name] = lib
+		}
+	}
+	return images
+}

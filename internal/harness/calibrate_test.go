@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"viprof/internal/workload"
+)
+
+// TestCalibration reports each benchmark's simulated base time against
+// its Figure 3 target at a reduced scale. Run with -v to see the
+// numbers; the assertion is deliberately loose (2x band) because the
+// point is order-of-magnitude agreement, with exact calibration checked
+// at full scale in EXPERIMENTS.md.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	const scale = 0.1
+	for _, name := range []string{"fop", "JVM98", "antlr", "ps"} {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		r, err := RunOnce(spec, RunConfig{Kind: ProfNone}, Options{Scale: scale, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		target := spec.BaseSeconds * scale
+		t.Logf("%-10s sim=%6.2fs target=%6.2fs ratio=%4.2f real=%5.1fs vm=%+v",
+			name, r.Seconds, target, r.Seconds/target, time.Since(start).Seconds(), r.VMStats)
+		if r.Seconds < target/2.5 || r.Seconds > target*2.5 {
+			t.Errorf("%s: base time %.2fs far from scaled target %.2fs", name, r.Seconds, target)
+		}
+	}
+}

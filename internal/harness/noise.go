@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"math/rand"
+
+	"viprof/internal/addr"
+	"viprof/internal/cpu"
+	"viprof/internal/image"
+	"viprof/internal/kernel"
+)
+
+// Desktop background noise. The paper's Figure 1 shows X-server
+// samples (libxul.so.0d, libfb.so) interleaved with the benchmark, and
+// §4.3 attributes occasional apparent speedups to "system noise and
+// the uncertainty involved in full system measurements". StartNoise
+// adds a low-duty background process executing in those images.
+
+type noiseProc struct {
+	rng  *rand.Rand
+	syms []addr.VMA
+}
+
+// StartNoise spawns the background process with libxul/libfb mapped.
+func StartNoise(m *kernel.Machine, seed int64) error {
+	n := &noiseProc{rng: rand.New(rand.NewSource(seed))}
+	proc, err := m.Kern.NewProcess("Xorg", n)
+	if err != nil {
+		return err
+	}
+	proc.Daemon = true
+
+	xul := image.NewBuilder("libxul.so.0d")
+	xul.Add("nsDocLoader.OnProgress", 2000)
+	xul.Add("js_Interpret", 3000)
+	xulImg, err := xul.Image()
+	if err != nil {
+		return err
+	}
+	fb := image.NewBuilder("libfb.so")
+	fb.Add("fbCopyAreammx", 1200)
+	fb.Add("fbCompositeSolidMask_nx8x8888mmx", 1600)
+	fbImg, err := fb.Image()
+	if err != nil {
+		return err
+	}
+	for _, im := range []*image.Image{xulImg, fbImg} {
+		base, err := m.Kern.LoadImage(proc, im, true)
+		if err != nil {
+			return err
+		}
+		for _, s := range im.Symbols() {
+			n.syms = append(n.syms, addr.VMA{
+				Start: base + s.Off,
+				End:   base + s.Off + addr.Address(s.Size),
+				Image: im.Name,
+			})
+		}
+	}
+	return nil
+}
+
+// Step implements kernel.Executor: sleep most of the time, wake to
+// paint a little.
+func (n *noiseProc) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
+	burst := 200 + n.rng.Intn(2500)
+	sym := n.syms[n.rng.Intn(len(n.syms))]
+	pc := sym.Start
+	for i := 0; i < burst && !m.Core.Expired(); i++ {
+		var mem addr.Address
+		if i%5 == 0 {
+			mem = 0xA000_0000 + addr.Address(n.rng.Intn(1<<20))
+		}
+		m.Core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
+		pc += 4
+		if pc >= sym.End {
+			pc = sym.Start
+		}
+	}
+	// Sleep 20-120 ms simulated.
+	m.Kern.Sleep(p, uint64(68_000+n.rng.Intn(340_000)))
+	return kernel.StepBlocked
+}

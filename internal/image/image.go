@@ -1,0 +1,127 @@
+// Package image models object-file images (binaries, shared libraries,
+// boot images) and their symbol tables. A profiler resolves a sample's
+// (image, offset) pair to a function name through these tables, the same
+// way OProfile resolves offsets against ELF symbol tables and VIProf
+// resolves Jikes RVM boot-image offsets against RVM.map.
+package image
+
+import (
+	"fmt"
+	"sort"
+
+	"viprof/internal/addr"
+)
+
+// Symbol is a named code range inside an image, expressed as an offset
+// from the image start.
+type Symbol struct {
+	Name string
+	Off  addr.Address // offset of the first byte within the image
+	Size uint64       // extent in bytes
+}
+
+// End returns the exclusive end offset of the symbol.
+func (s Symbol) End() addr.Address { return s.Off + addr.Address(s.Size) }
+
+// Image is an object file with a symbol table. Symbols are kept sorted
+// by offset; gaps between symbols resolve to no symbol (reported as
+// "(no symbols)" by the report layer, as OProfile does for stripped
+// binaries).
+type Image struct {
+	Name    string
+	Size    uint64
+	symbols []Symbol // sorted by Off, non-overlapping
+}
+
+// New returns an empty image of the given size.
+func New(name string, size uint64) *Image {
+	return &Image{Name: name, Size: size}
+}
+
+// AddSymbol inserts a symbol. It fails if the symbol is empty, escapes
+// the image, or overlaps an existing symbol.
+func (im *Image) AddSymbol(s Symbol) error {
+	if s.Size == 0 {
+		return fmt.Errorf("image %s: empty symbol %q", im.Name, s.Name)
+	}
+	if uint64(s.Off)+s.Size > im.Size {
+		return fmt.Errorf("image %s: symbol %q [%s,%s) beyond image size %d",
+			im.Name, s.Name, s.Off, s.End(), im.Size)
+	}
+	i := sort.Search(len(im.symbols), func(i int) bool { return im.symbols[i].Off >= s.Off })
+	if i > 0 && im.symbols[i-1].End() > s.Off {
+		return fmt.Errorf("image %s: symbol %q overlaps %q", im.Name, s.Name, im.symbols[i-1].Name)
+	}
+	if i < len(im.symbols) && im.symbols[i].Off < s.End() {
+		return fmt.Errorf("image %s: symbol %q overlaps %q", im.Name, s.Name, im.symbols[i].Name)
+	}
+	im.symbols = append(im.symbols, Symbol{})
+	copy(im.symbols[i+1:], im.symbols[i:])
+	im.symbols[i] = s
+	return nil
+}
+
+// Resolve returns the symbol containing the given image offset.
+func (im *Image) Resolve(off addr.Address) (Symbol, bool) {
+	i := sort.Search(len(im.symbols), func(i int) bool { return im.symbols[i].End() > off })
+	if i < len(im.symbols) && off >= im.symbols[i].Off {
+		return im.symbols[i], true
+	}
+	return Symbol{}, false
+}
+
+// Lookup returns the symbol with the given name.
+func (im *Image) Lookup(name string) (Symbol, bool) {
+	for _, s := range im.symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// Symbols returns a copy of the symbol table in offset order.
+func (im *Image) Symbols() []Symbol {
+	out := make([]Symbol, len(im.symbols))
+	copy(out, im.symbols)
+	return out
+}
+
+// NumSymbols returns the number of symbols in the table.
+func (im *Image) NumSymbols() int { return len(im.symbols) }
+
+// Builder appends symbols back-to-back, growing the image as needed; it
+// is a convenience for constructing synthetic binaries and boot images.
+type Builder struct {
+	im   *Image
+	next addr.Address
+	err  error
+}
+
+// NewBuilder starts building an image with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{im: New(name, 0)}
+}
+
+// Add appends a symbol of the given size after the previous one, aligned
+// to 16 bytes, and returns its offset.
+func (b *Builder) Add(name string, size uint64) addr.Address {
+	off := addr.Address((uint64(b.next) + 15) &^ 15)
+	b.im.Size = uint64(off) + size
+	if err := b.im.AddSymbol(Symbol{Name: name, Off: off, Size: size}); err != nil && b.err == nil {
+		b.err = err
+	}
+	b.next = off + addr.Address(size)
+	return off
+}
+
+// Image finalizes and returns the built image.
+func (b *Builder) Image() (*Image, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.im.Size == 0 {
+		b.im.Size = 1
+	}
+	return b.im, nil
+}

@@ -1,0 +1,81 @@
+// Package aos is the VM's adaptive optimization system: it watches
+// method hotness (invocations and loop back-edges) and decides when a
+// baseline-compiled method should be recompiled by the optimizing
+// compiler. Recompilation is what makes code bodies appear at *new*
+// addresses mid-run — one of the two sources of code motion (with GC)
+// that VIProf's epoch code maps track.
+package aos
+
+import "viprof/internal/jvm/classes"
+
+// DefaultThreshold is the hotness at which a method is promoted
+// (invocations + back-edges/8).
+const DefaultThreshold = 600
+
+// AOS tracks hotness and recompilation decisions.
+type AOS struct {
+	Threshold int
+
+	hot       map[int]int  // method index -> hotness units
+	backEdges map[int]int  // sub-unit back-edge carry
+	promoted  map[int]bool // already at (or queued for) opt
+	decisions int
+}
+
+// New returns an AOS with the given promotion threshold (0 means
+// DefaultThreshold).
+func New(threshold int) *AOS {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &AOS{
+		Threshold: threshold,
+		hot:       make(map[int]int),
+		backEdges: make(map[int]int),
+		promoted:  make(map[int]bool),
+	}
+}
+
+// OnInvoke records a method entry and reports whether the method should
+// be recompiled at the optimizing level now. It returns true exactly
+// once per method.
+func (a *AOS) OnInvoke(m *classes.Method) bool { return a.bump(m, 1) }
+
+// OnBackEdge records n loop back-edges (weighted down: loops are
+// cheaper signals than calls) and reports whether to recompile. Back
+// edges accumulate with a carry so that fewer than 8 at a time still
+// eventually count.
+func (a *AOS) OnBackEdge(m *classes.Method, n int) bool {
+	if a.promoted[m.Index] {
+		return false
+	}
+	a.backEdges[m.Index] += n
+	units := a.backEdges[m.Index] / 8
+	a.backEdges[m.Index] %= 8
+	return a.bump(m, units)
+}
+
+func (a *AOS) bump(m *classes.Method, units int) bool {
+	if a.promoted[m.Index] {
+		return false
+	}
+	a.hot[m.Index] += units
+	if units == 0 {
+		return false
+	}
+	if a.hot[m.Index] >= a.Threshold {
+		a.promoted[m.Index] = true
+		a.decisions++
+		return true
+	}
+	return false
+}
+
+// Promoted reports whether the method has been promoted.
+func (a *AOS) Promoted(m *classes.Method) bool { return a.promoted[m.Index] }
+
+// Hotness returns the method's accumulated hotness units.
+func (a *AOS) Hotness(m *classes.Method) int { return a.hot[m.Index] }
+
+// Decisions returns how many promotion decisions have been made.
+func (a *AOS) Decisions() int { return a.decisions }

@@ -1,0 +1,141 @@
+package aos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"viprof/internal/jvm/classes"
+)
+
+func m(idx int) *classes.Method {
+	return &classes.Method{Class: "c", Name: "m", Index: idx}
+}
+
+func TestInvokePromotion(t *testing.T) {
+	a := New(10)
+	meth := m(0)
+	for i := 0; i < 9; i++ {
+		if a.OnInvoke(meth) {
+			t.Fatalf("promoted after %d invocations (threshold 10)", i+1)
+		}
+	}
+	if !a.OnInvoke(meth) {
+		t.Fatal("not promoted at threshold")
+	}
+	if !a.Promoted(meth) {
+		t.Error("Promoted() false after promotion")
+	}
+	// Exactly once.
+	for i := 0; i < 20; i++ {
+		if a.OnInvoke(meth) {
+			t.Fatal("promoted twice")
+		}
+	}
+	if a.Decisions() != 1 {
+		t.Errorf("Decisions = %d, want 1", a.Decisions())
+	}
+}
+
+func TestBackEdgeWeight(t *testing.T) {
+	a := New(10)
+	meth := m(1)
+	// 8 back-edges = 1 unit, so threshold 10 needs 80 back-edges.
+	promotions := 0
+	edges := 0
+	for i := 0; i < 200; i++ {
+		if a.OnBackEdge(meth, 1) {
+			promotions++
+			edges = i + 1
+		}
+	}
+	if promotions != 1 {
+		t.Fatalf("promotions = %d", promotions)
+	}
+	if edges != 80 {
+		t.Errorf("promoted after %d back-edges, want 80", edges)
+	}
+}
+
+func TestBackEdgeCarry(t *testing.T) {
+	a := New(1)
+	meth := m(2)
+	// 7 edges: no unit yet.
+	for i := 0; i < 7; i++ {
+		if a.OnBackEdge(meth, 1) {
+			t.Fatal("promoted below one unit")
+		}
+	}
+	// 8th edge completes the unit and crosses threshold 1.
+	if !a.OnBackEdge(meth, 1) {
+		t.Error("carry lost: 8th back-edge did not promote")
+	}
+}
+
+func TestMixedSignals(t *testing.T) {
+	a := New(5)
+	meth := m(3)
+	a.OnInvoke(meth)       // 1
+	a.OnBackEdge(meth, 16) // +2 = 3
+	a.OnInvoke(meth)       // 4
+	if a.Hotness(meth) != 4 {
+		t.Errorf("hotness = %d, want 4", a.Hotness(meth))
+	}
+	if !a.OnInvoke(meth) { // 5
+		t.Error("mixed signals did not promote at threshold")
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	a := New(0)
+	if a.Threshold != DefaultThreshold {
+		t.Errorf("Threshold = %d", a.Threshold)
+	}
+}
+
+func TestIndependentMethods(t *testing.T) {
+	a := New(3)
+	x, y := m(10), m(11)
+	a.OnInvoke(x)
+	a.OnInvoke(x)
+	if a.Promoted(y) || a.Hotness(y) != 0 {
+		t.Error("methods share hotness state")
+	}
+}
+
+// Property: a method is promoted exactly once, and only after
+// invocations + floor(backedges/8) >= threshold.
+func TestPromotionExactlyOnceQuick(t *testing.T) {
+	f := func(events []bool, thresh uint8) bool {
+		th := int(thresh%50) + 1
+		a := New(th)
+		meth := m(0)
+		promotions := 0
+		inv, be := 0, 0
+		for _, isInvoke := range events {
+			var p bool
+			if isInvoke {
+				p = a.OnInvoke(meth)
+				inv++
+			} else {
+				p = a.OnBackEdge(meth, 1)
+				be++
+			}
+			if p {
+				promotions++
+				if inv+be/8 < th {
+					return false // promoted too early
+				}
+			}
+		}
+		if promotions > 1 {
+			return false
+		}
+		if promotions == 0 && inv+be/8 >= th {
+			return false // should have promoted
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

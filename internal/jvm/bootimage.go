@@ -1,0 +1,144 @@
+package jvm
+
+import (
+	"viprof/internal/image"
+)
+
+// The boot image. Jikes RVM is written in Java; its build precompiles
+// the VM's own classes into a static code image (RVM.code.image, an
+// internal format with no ELF symbol table) plus a map file (RVM.map)
+// giving offset/size/signature for every method in the image (paper
+// §3.2). The simulated VM executes its runtime services — class
+// loading, baseline and optimizing compilation, garbage collection,
+// scheduling — at these symbols, so VM-internal time is attributable
+// exactly as in the paper's Figure 1.
+
+// BootImageName is the Jikes personality's boot image name (kept as a
+// package constant because it is the paper's default and tests/docs
+// reference it directly).
+const BootImageName = "RVM.code.image"
+
+// RVMMapName is the Jikes personality's symbol map, written to the
+// simulated disk at VM launch for the post-processing tools.
+const RVMMapName = "RVM.map"
+
+// ServiceID identifies a VM runtime service whose execution is charged
+// to a weighted group of boot-image symbols.
+type ServiceID int
+
+// VM services.
+const (
+	SvcClassload ServiceID = iota
+	SvcBaseCompile
+	SvcOptCompile
+	SvcGCTrace
+	SvcGCCopy
+	SvcScheduler
+	SvcRuntime
+	SvcStartup
+	numServices
+)
+
+type bootSym struct {
+	name string
+	size uint64
+}
+
+// jikesBootSymbols lists every method "compiled into" the boot image.
+// Names follow Jikes RVM 2.4.4's layout; several appear verbatim in the
+// paper's Figure 1.
+var jikesBootSymbols = []bootSym{
+	// Class loader.
+	{"com.ibm.jikesrvm.classloader.VM_ClassLoader.loadClass", 1800},
+	{"com.ibm.jikesrvm.classloader.VM_Class.resolve", 1400},
+	{"com.ibm.jikesrvm.classloader.VM_NormalMethod.getOsrPrologueLength", 700},
+	{"com.ibm.jikesrvm.classloader.VM_NormalMethod.hasArrayRead", 600},
+	{"com.ibm.jikesrvm.classloader.VM_NormalMethod.finalizeOsrSpecialization", 900},
+	// Baseline compiler.
+	{"com.ibm.jikesrvm.VM_Compiler.compile", 2600},
+	{"com.ibm.jikesrvm.VM_Compiler.emitPrologue", 800},
+	{"com.ibm.jikesrvm.VM_BaselineGCMapIterator.setupIterator", 700},
+	// Optimizing compiler.
+	{"com.ibm.jikesrvm.opt.OPT_Compiler.compile", 4200},
+	{"com.ibm.jikesrvm.opt.VM_OptCompiledMethod.createCodePatchMaps", 1100},
+	{"com.ibm.jikesrvm.opt.VM_OptMachineCodeMap.getMethodForMCOffset", 900},
+	{"com.ibm.jikesrvm.opt.OPT_SimpleEscape.simpleEscapeAnalysis", 1500},
+	// Garbage collector (JMTk).
+	{"com.ibm.jikesrvm.memorymanagers.JMTk.Plan.collect", 1600},
+	{"com.ibm.jikesrvm.memorymanagers.JMTk.CopySpace.traceObject", 1200},
+	{"com.ibm.jikesrvm.memorymanagers.JMTk.BumpPointer.alloc", 500},
+	{"com.ibm.jikesrvm.opt.VM_OptGenericGCMapIterator.checkForMissedSpills", 1000},
+	// Scheduler / threads / startup.
+	{"com.ibm.jikesrvm.MainThread.run", 900},
+	{"com.ibm.jikesrvm.VM_Scheduler.schedule", 1100},
+	{"com.ibm.jikesrvm.VM_Thread.yieldpoint", 500},
+	{"com.ibm.jikesrvm.VM.boot", 2200},
+	// Runtime services and library code living in the image.
+	{"com.ibm.jikesrvm.VM_Runtime.resolveMember", 800},
+	{"com.ibm.jikesrvm.VM_Runtime.newObject", 600},
+	{"java.util.Vector.trimToSize", 500},
+	{"java.lang.System.arraycopyPrologue", 400},
+}
+
+// jikesServiceSymbols maps each service to the boot-image symbols its
+// execution walks, with relative weights.
+var jikesServiceSymbols = map[ServiceID][]svcSym{
+	SvcClassload: {
+		{"com.ibm.jikesrvm.classloader.VM_ClassLoader.loadClass", 4},
+		{"com.ibm.jikesrvm.classloader.VM_Class.resolve", 3},
+		{"com.ibm.jikesrvm.classloader.VM_NormalMethod.hasArrayRead", 2},
+		{"com.ibm.jikesrvm.classloader.VM_NormalMethod.getOsrPrologueLength", 2},
+	},
+	SvcBaseCompile: {
+		{"com.ibm.jikesrvm.VM_Compiler.compile", 6},
+		{"com.ibm.jikesrvm.VM_Compiler.emitPrologue", 2},
+		{"com.ibm.jikesrvm.classloader.VM_NormalMethod.getOsrPrologueLength", 1},
+		{"com.ibm.jikesrvm.VM_BaselineGCMapIterator.setupIterator", 1},
+	},
+	SvcOptCompile: {
+		{"com.ibm.jikesrvm.opt.OPT_Compiler.compile", 7},
+		{"com.ibm.jikesrvm.opt.OPT_SimpleEscape.simpleEscapeAnalysis", 3},
+		{"com.ibm.jikesrvm.opt.VM_OptCompiledMethod.createCodePatchMaps", 3},
+		{"com.ibm.jikesrvm.opt.VM_OptMachineCodeMap.getMethodForMCOffset", 2},
+		{"com.ibm.jikesrvm.classloader.VM_NormalMethod.finalizeOsrSpecialization", 2},
+	},
+	SvcGCTrace: {
+		{"com.ibm.jikesrvm.memorymanagers.JMTk.Plan.collect", 3},
+		{"com.ibm.jikesrvm.memorymanagers.JMTk.CopySpace.traceObject", 5},
+		{"com.ibm.jikesrvm.opt.VM_OptGenericGCMapIterator.checkForMissedSpills", 2},
+	},
+	SvcGCCopy: {
+		{"com.ibm.jikesrvm.memorymanagers.JMTk.CopySpace.traceObject", 4},
+		{"com.ibm.jikesrvm.memorymanagers.JMTk.BumpPointer.alloc", 2},
+	},
+	SvcScheduler: {
+		{"com.ibm.jikesrvm.VM_Scheduler.schedule", 3},
+		{"com.ibm.jikesrvm.VM_Thread.yieldpoint", 2},
+	},
+	SvcRuntime: {
+		{"com.ibm.jikesrvm.VM_Runtime.resolveMember", 2},
+		{"com.ibm.jikesrvm.VM_Runtime.newObject", 3},
+		{"java.util.Vector.trimToSize", 1},
+	},
+	SvcStartup: {
+		{"com.ibm.jikesrvm.VM.boot", 5},
+		{"com.ibm.jikesrvm.MainThread.run", 3},
+		{"com.ibm.jikesrvm.VM_Scheduler.schedule", 1},
+	},
+}
+
+// buildLibc constructs the C library image the VM's native calls
+// execute in.
+func buildLibc() (*image.Image, error) {
+	b := image.NewBuilder("libc-2.3.2.so")
+	for _, s := range []bootSym{
+		{"memset", 600},
+		{"memcpy", 800},
+		{"write", 300},
+		{"gettimeofday", 200},
+		{"malloc", 900},
+	} {
+		b.Add(s.name, s.size)
+	}
+	return b.Image()
+}

@@ -1,0 +1,104 @@
+package bytecode
+
+import "fmt"
+
+// Asm builds a method body with symbolic labels, resolving forward
+// references at Finish time. Workload generators and tests use it to
+// write bytecode without tracking indexes by hand.
+type Asm struct {
+	code   []Instr
+	labels map[string]int32
+	fixups []fixup
+	err    error
+}
+
+type fixup struct {
+	at    int // instruction index whose A needs patching
+	label string
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int32)}
+}
+
+// Label binds name to the next instruction index.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup && a.err == nil {
+		a.err = fmt.Errorf("asm: duplicate label %q", name)
+	}
+	a.labels[name] = int32(len(a.code))
+	return a
+}
+
+// Emit appends a raw instruction.
+func (a *Asm) Emit(op Opcode, operands ...int32) *Asm {
+	in := Instr{Op: op}
+	switch len(operands) {
+	case 0:
+	case 1:
+		in.A = operands[0]
+	case 2:
+		in.A, in.B = operands[0], operands[1]
+	default:
+		if a.err == nil {
+			a.err = fmt.Errorf("asm: %s with %d operands", op, len(operands))
+		}
+	}
+	a.code = append(a.code, in)
+	return a
+}
+
+// Branch emits a control transfer to a label (which may be defined
+// later).
+func (a *Asm) Branch(op Opcode, label string) *Asm {
+	switch op {
+	case Jmp, JmpZ, JmpNZ:
+	default:
+		if a.err == nil {
+			a.err = fmt.Errorf("asm: Branch with non-branch opcode %s", op)
+		}
+	}
+	a.fixups = append(a.fixups, fixup{at: len(a.code), label: label})
+	a.code = append(a.code, Instr{Op: op, A: -1})
+	return a
+}
+
+// Convenience emitters for common shapes.
+
+// Const pushes a constant.
+func (a *Asm) Const(v int32) *Asm { return a.Emit(Const, v) }
+
+// Load pushes a local.
+func (a *Asm) Load(slot int32) *Asm { return a.Emit(Load, slot) }
+
+// Store pops into a local.
+func (a *Asm) Store(slot int32) *Asm { return a.Emit(Store, slot) }
+
+// Call invokes a method by program-wide index.
+func (a *Asm) Call(method int32) *Asm { return a.Emit(Call, method) }
+
+// Finish resolves labels and returns the code.
+func (a *Asm) Finish() ([]Instr, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		a.code[f.at].A = target
+	}
+	return a.code, nil
+}
+
+// MustFinish is Finish for statically known-good code; it panics on
+// assembly errors.
+func (a *Asm) MustFinish() []Instr {
+	code, err := a.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}

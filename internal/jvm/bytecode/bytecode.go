@@ -1,0 +1,182 @@
+// Package bytecode defines the architecture-independent instruction set
+// executed by the simulated virtual machine. Like Java bytecode it is a
+// compact stack-machine format that the VM converts to machine code at
+// runtime ("JIT code" throughout the paper) — programs are *never*
+// executed from this portable form directly; the VM baseline-compiles a
+// method on first invocation, exactly as Jikes RVM does.
+package bytecode
+
+import "fmt"
+
+// Opcode is a bytecode operation.
+type Opcode uint8
+
+// The instruction set. A and B are the instruction's immediate
+// operands; stack effects are noted in comments.
+const (
+	Nop Opcode = iota
+
+	// Stack and locals.
+	Const // push A
+	Load  // push locals[A]
+	Store // locals[A] = pop
+	Dup   // push top
+	Pop   // drop top
+
+	// Arithmetic and logic (pop two, push one, except Neg/Not).
+	Add
+	Sub
+	Mul
+	Div // pops divisor then dividend; division by zero traps
+	Mod
+	Neg // pop one, push -v
+	And
+	Or
+	Xor
+	Shl
+	Shr
+
+	// Comparisons (pop b, pop a, push a OP b as 0/1).
+	CmpLT
+	CmpLE
+	CmpEQ
+	CmpNE
+	CmpGT
+	CmpGE
+
+	// Control flow. A is the target bytecode index.
+	Jmp
+	JmpZ  // pop; jump if zero
+	JmpNZ // pop; jump if nonzero
+
+	// Calls. A is the program-wide method index; the callee's NArgs
+	// values are popped (last argument on top) and become locals 0..n-1.
+	Call
+	Ret     // pop return value, pop frame, push into caller
+	RetVoid // pop frame
+	// Spawn starts a new VM thread running method A (arguments popped
+	// like Call, no return value). The VM exits when every thread has
+	// finished; there is no explicit join.
+	Spawn
+
+	// Objects and arrays. Memory-touching opcodes drive the simulated
+	// cache hierarchy; allocation drives the garbage collector.
+	New      // allocate object: A = ref slots, B = scalar slots; push ref
+	NewArray // pop length; allocate array: A = elem size (8 for ref/long); B!=0 means ref elems; push ref
+	ALoad    // pop index, pop ref; push element (memory read)
+	AStore   // pop value, pop index, pop ref (memory write)
+	ArrayLen // pop ref; push length
+	GetField // pop ref; push scalar field A (memory read)
+	PutField // pop value, pop ref; scalar field A = value (memory write)
+	GetRef   // pop ref; push ref field A (memory read)
+	PutRef   // pop ref value, pop ref; ref field A = value (memory write)
+
+	// Statics: program-wide root slots (GC roots).
+	GetStatic // push statics[A]
+	PutStatic // statics[A] = pop
+
+	// Intrinsic invokes native runtime service A with B stack operands
+	// (popped). These execute in native libraries (libc) rather than
+	// JIT code, giving profiles their native rows (Figure 1's memset).
+	Intrinsic
+
+	numOpcodes
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+var opNames = [...]string{
+	Nop: "nop", Const: "const", Load: "load", Store: "store", Dup: "dup", Pop: "pop",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Mod: "mod", Neg: "neg",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	CmpLT: "cmplt", CmpLE: "cmple", CmpEQ: "cmpeq", CmpNE: "cmpne", CmpGT: "cmpgt", CmpGE: "cmpge",
+	Jmp: "jmp", JmpZ: "jmpz", JmpNZ: "jmpnz",
+	Call: "call", Ret: "ret", RetVoid: "retvoid", Spawn: "spawn",
+	New: "new", NewArray: "newarray", ALoad: "aload", AStore: "astore", ArrayLen: "arraylen",
+	GetField: "getfield", PutField: "putfield", GetRef: "getref", PutRef: "putref",
+	GetStatic: "getstatic", PutStatic: "putstatic",
+	Intrinsic: "intrinsic",
+}
+
+// String returns the mnemonic.
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
+
+// IntrinsicID identifies a native runtime service callable via the
+// Intrinsic opcode.
+type IntrinsicID int32
+
+// Intrinsics.
+const (
+	// IntrMemset models libc memset: pops a length operand and touches
+	// that many bytes of a scratch buffer.
+	IntrMemset IntrinsicID = iota
+	// IntrArrayCopy models System.arraycopy: pops length, dst, src.
+	IntrArrayCopy
+	// IntrWrite models a small I/O write syscall: pops a length.
+	IntrWrite
+	// IntrCurrentTime pushes the current cycle count (cheap native call).
+	IntrCurrentTime
+	NumIntrinsics
+)
+
+// Instr is one instruction.
+type Instr struct {
+	Op   Opcode
+	A, B int32
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case Const, Load, Store, Jmp, JmpZ, JmpNZ, Call, Spawn, GetField, PutField,
+		GetRef, PutRef, GetStatic, PutStatic:
+		return fmt.Sprintf("%s %d", i.Op, i.A)
+	case New, NewArray, Intrinsic:
+		return fmt.Sprintf("%s %d,%d", i.Op, i.A, i.B)
+	default:
+		return i.Op.String()
+	}
+}
+
+// StackDelta returns the net stack effect of the instruction (calls
+// excluded: Call's effect depends on the callee and is handled by the
+// verifier separately).
+func StackDelta(i Instr) int {
+	switch i.Op {
+	case Const, Load, Dup, GetStatic:
+		return 1
+	case Store, Pop, JmpZ, JmpNZ, PutStatic, RetVoid:
+		return -1
+	case Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr,
+		CmpLT, CmpLE, CmpEQ, CmpNE, CmpGT, CmpGE:
+		return -1
+	case Neg, Nop, Jmp, ArrayLen:
+		return 0
+	case New:
+		return 1
+	case NewArray:
+		return 0 // pops length, pushes ref
+	case ALoad:
+		return -1 // pops ref+index, pushes value
+	case AStore:
+		return -3
+	case GetField, GetRef:
+		return 0
+	case PutField, PutRef:
+		return -2
+	case Ret:
+		return -1
+	case Intrinsic:
+		if IntrinsicID(i.A) == IntrCurrentTime {
+			return 1 - int(i.B) // pops operands, pushes the time
+		}
+		return -int(i.B) // pops B operands
+	default:
+		return 0
+	}
+}

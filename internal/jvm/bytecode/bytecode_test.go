@@ -1,0 +1,131 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeStrings(t *testing.T) {
+	if Add.String() != "add" || Call.String() != "call" || NewArray.String() != "newarray" {
+		t.Error("mnemonics wrong")
+	}
+	if !strings.HasPrefix(Opcode(200).String(), "op") {
+		t.Error("unknown opcode should format as opN")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Const, A: 42}, "const 42"},
+		{Instr{Op: Add}, "add"},
+		{Instr{Op: New, A: 2, B: 3}, "new 2,3"},
+		{Instr{Op: Jmp, A: 7}, "jmp 7"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStackDelta(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want int
+	}{
+		{Instr{Op: Const, A: 1}, 1},
+		{Instr{Op: Add}, -1},
+		{Instr{Op: AStore}, -3},
+		{Instr{Op: ALoad}, -1},
+		{Instr{Op: Dup}, 1},
+		{Instr{Op: NewArray, A: 8}, 0},
+		{Instr{Op: Intrinsic, A: int32(IntrMemset), B: 1}, -1},
+		{Instr{Op: Intrinsic, A: int32(IntrCurrentTime), B: 0}, 1},
+		{Instr{Op: PutField, A: 0}, -2},
+	}
+	for _, tt := range tests {
+		if got := StackDelta(tt.in); got != tt.want {
+			t.Errorf("StackDelta(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAsmLabels(t *testing.T) {
+	a := NewAsm()
+	a.Const(10).Store(0)
+	a.Label("loop")
+	a.Load(0).Const(1).Emit(Sub).Store(0)
+	a.Load(0)
+	a.Branch(JmpNZ, "loop")
+	a.Emit(RetVoid)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The branch must target the instruction after "loop" was placed.
+	var branch Instr
+	for _, in := range code {
+		if in.Op == JmpNZ {
+			branch = in
+		}
+	}
+	if branch.A != 2 {
+		t.Errorf("branch target = %d, want 2", branch.A)
+	}
+}
+
+func TestAsmForwardReference(t *testing.T) {
+	a := NewAsm()
+	a.Const(0)
+	a.Branch(JmpZ, "end")
+	a.Const(1).Emit(Pop)
+	a.Label("end")
+	a.Emit(RetVoid)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[1].A != 4 {
+		t.Errorf("forward branch target = %d, want 4", code[1].A)
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	a := NewAsm()
+	a.Branch(JmpZ, "nowhere").Emit(RetVoid)
+	if _, err := a.Finish(); err == nil {
+		t.Error("undefined label accepted")
+	}
+
+	b := NewAsm()
+	b.Label("x").Label("x")
+	if _, err := b.Finish(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+
+	c := NewAsm()
+	c.Branch(Add, "x")
+	if _, err := c.Finish(); err == nil {
+		t.Error("non-branch Branch accepted")
+	}
+
+	d := NewAsm()
+	d.Emit(Const, 1, 2, 3)
+	if _, err := d.Finish(); err == nil {
+		t.Error("three operands accepted")
+	}
+}
+
+func TestMustFinishPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFinish did not panic on bad code")
+		}
+	}()
+	a := NewAsm()
+	a.Branch(Jmp, "missing")
+	a.MustFinish()
+}

@@ -1,0 +1,138 @@
+// Package classes models the class/method structure the VM loads and
+// compiles: methods with bytecode bodies grouped into classes, plus a
+// whole-program container with static (root) slots. A light verifier
+// checks structural well-formedness before the VM accepts a program,
+// mirroring the bytecode verification a real JVM performs at load time.
+package classes
+
+import (
+	"fmt"
+
+	"viprof/internal/jvm/bytecode"
+)
+
+// Method is one method: a named bytecode body.
+type Method struct {
+	Class string // fully qualified class name, e.g. "spec.jbb.Warehouse"
+	Name  string
+	NArgs int // incoming arguments, placed in locals 0..NArgs-1
+	// MaxLocals is the number of local variable slots (>= NArgs).
+	MaxLocals int
+	Code      []bytecode.Instr
+
+	// Index is the method's program-wide index, set by Program.Add.
+	Index int
+}
+
+// Signature returns the fully qualified name used in profiles, e.g.
+// "spec.jbb.Warehouse.processTransaction".
+func (m *Method) Signature() string { return m.Class + "." + m.Name }
+
+// Program is a closed set of methods plus static storage.
+type Program struct {
+	Name    string
+	Methods []*Method
+	// StaticSlots is the number of program-wide static slots (GC roots).
+	StaticSlots int
+	// Main is the entry method's index.
+	Main int
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string, staticSlots int) *Program {
+	return &Program{Name: name, StaticSlots: staticSlots, Main: -1}
+}
+
+// Add appends a method, assigns its index, and returns it.
+func (p *Program) Add(m *Method) *Method {
+	m.Index = len(p.Methods)
+	p.Methods = append(p.Methods, m)
+	return m
+}
+
+// SetMain designates the entry point.
+func (p *Program) SetMain(m *Method) { p.Main = m.Index }
+
+// Method returns the method at index i.
+func (p *Program) Method(i int) *Method { return p.Methods[i] }
+
+// Verify checks structural well-formedness of every method: operand
+// ranges, jump targets, call indexes, argument/local consistency, and
+// that every path ends in a return. It returns the first problem found.
+func (p *Program) Verify() error {
+	if p.Main < 0 || p.Main >= len(p.Methods) {
+		return fmt.Errorf("program %s: no main method", p.Name)
+	}
+	if p.Methods[p.Main].NArgs != 0 {
+		return fmt.Errorf("program %s: main takes %d args, want 0", p.Name, p.Methods[p.Main].NArgs)
+	}
+	for _, m := range p.Methods {
+		if err := p.verifyMethod(m); err != nil {
+			return fmt.Errorf("%s: %v", m.Signature(), err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) verifyMethod(m *Method) error {
+	if m.NArgs > m.MaxLocals {
+		return fmt.Errorf("NArgs %d > MaxLocals %d", m.NArgs, m.MaxLocals)
+	}
+	if len(m.Code) == 0 {
+		return fmt.Errorf("empty body")
+	}
+	n := int32(len(m.Code))
+	for pc, in := range m.Code {
+		switch in.Op {
+		case bytecode.Load, bytecode.Store:
+			if in.A < 0 || int(in.A) >= m.MaxLocals {
+				return fmt.Errorf("pc %d: %s: local %d out of range [0,%d)", pc, in, in.A, m.MaxLocals)
+			}
+		case bytecode.Jmp, bytecode.JmpZ, bytecode.JmpNZ:
+			if in.A < 0 || in.A >= n {
+				return fmt.Errorf("pc %d: %s: target out of range [0,%d)", pc, in, n)
+			}
+		case bytecode.Call, bytecode.Spawn:
+			if in.A < 0 || int(in.A) >= len(p.Methods) {
+				return fmt.Errorf("pc %d: %s: method index out of range", pc, in)
+			}
+		case bytecode.GetStatic, bytecode.PutStatic:
+			if in.A < 0 || int(in.A) >= p.StaticSlots {
+				return fmt.Errorf("pc %d: %s: static slot out of range [0,%d)", pc, in, p.StaticSlots)
+			}
+		case bytecode.New:
+			if in.A < 0 || in.B < 0 || in.A+in.B == 0 {
+				return fmt.Errorf("pc %d: %s: object needs at least one slot", pc, in)
+			}
+		case bytecode.NewArray:
+			if in.A != 1 && in.A != 2 && in.A != 4 && in.A != 8 {
+				return fmt.Errorf("pc %d: %s: element size must be 1/2/4/8", pc, in)
+			}
+		case bytecode.Intrinsic:
+			if in.A < 0 || in.A >= int32(bytecode.NumIntrinsics) {
+				return fmt.Errorf("pc %d: %s: unknown intrinsic", pc, in)
+			}
+		}
+		if in.Op >= bytecode.Opcode(bytecode.NumOpcodes) {
+			return fmt.Errorf("pc %d: invalid opcode %d", pc, in.Op)
+		}
+	}
+	// Last instruction must be an unconditional exit (return or jump):
+	// falling off the end is invalid.
+	last := m.Code[n-1]
+	switch last.Op {
+	case bytecode.Ret, bytecode.RetVoid, bytecode.Jmp:
+	default:
+		return fmt.Errorf("falls off the end (last op %s)", last)
+	}
+	return nil
+}
+
+// BytecodeCount returns the total bytecode length of all methods.
+func (p *Program) BytecodeCount() int {
+	total := 0
+	for _, m := range p.Methods {
+		total += len(m.Code)
+	}
+	return total
+}

@@ -1,0 +1,103 @@
+package classes
+
+import (
+	"strings"
+	"testing"
+
+	"viprof/internal/jvm/bytecode"
+)
+
+func retVoid() []bytecode.Instr {
+	return []bytecode.Instr{{Op: bytecode.RetVoid}}
+}
+
+func validProgram() *Program {
+	p := NewProgram("test", 4)
+	main := p.Add(&Method{Class: "app.Main", Name: "main", MaxLocals: 2, Code: retVoid()})
+	p.Add(&Method{Class: "app.Main", Name: "helper", NArgs: 1, MaxLocals: 1, Code: []bytecode.Instr{
+		{Op: bytecode.Load, A: 0},
+		{Op: bytecode.Ret},
+	}})
+	p.SetMain(main)
+	return p
+}
+
+func TestSignature(t *testing.T) {
+	m := &Method{Class: "spec.jbb.Warehouse", Name: "process"}
+	if m.Signature() != "spec.jbb.Warehouse.process" {
+		t.Error(m.Signature())
+	}
+}
+
+func TestAddAssignsIndexes(t *testing.T) {
+	p := validProgram()
+	for i, m := range p.Methods {
+		if m.Index != i {
+			t.Errorf("method %d has index %d", i, m.Index)
+		}
+		if p.Method(i) != m {
+			t.Errorf("Method(%d) mismatch", i)
+		}
+	}
+	if p.BytecodeCount() != 3 {
+		t.Errorf("BytecodeCount = %d, want 3", p.BytecodeCount())
+	}
+}
+
+func TestVerifyValid(t *testing.T) {
+	if err := validProgram().Verify(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestVerifyCatches(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(p *Program)
+		want   string
+	}{
+		{"no main", func(p *Program) { p.Main = -1 }, "no main"},
+		{"main with args", func(p *Program) { p.Methods[p.Main].NArgs = 2; p.Methods[p.Main].MaxLocals = 2 }, "args"},
+		{"bad local", func(p *Program) {
+			p.Methods[1].Code = []bytecode.Instr{{Op: bytecode.Load, A: 9}, {Op: bytecode.Ret}}
+		}, "local"},
+		{"bad jump", func(p *Program) {
+			p.Methods[1].Code = []bytecode.Instr{{Op: bytecode.Jmp, A: 99}}
+		}, "target"},
+		{"negative jump", func(p *Program) {
+			p.Methods[1].Code = []bytecode.Instr{{Op: bytecode.Jmp, A: -2}}
+		}, "target"},
+		{"bad call", func(p *Program) {
+			p.Methods[1].Code = []bytecode.Instr{{Op: bytecode.Call, A: 42}, {Op: bytecode.Ret}}
+		}, "method index"},
+		{"bad static", func(p *Program) {
+			p.Methods[1].Code = []bytecode.Instr{{Op: bytecode.GetStatic, A: 100}, {Op: bytecode.Ret}}
+		}, "static"},
+		{"empty body", func(p *Program) { p.Methods[1].Code = nil }, "empty"},
+		{"falls off end", func(p *Program) {
+			p.Methods[1].Code = []bytecode.Instr{{Op: bytecode.Nop}}
+		}, "falls off"},
+		{"nargs > locals", func(p *Program) { p.Methods[1].NArgs = 5 }, "MaxLocals"},
+		{"zero-slot object", func(p *Program) {
+			p.Methods[1].Code = []bytecode.Instr{{Op: bytecode.New, A: 0, B: 0}, {Op: bytecode.RetVoid}}
+		}, "slot"},
+		{"bad elem size", func(p *Program) {
+			p.Methods[1].Code = []bytecode.Instr{{Op: bytecode.NewArray, A: 3}, {Op: bytecode.RetVoid}}
+		}, "element size"},
+		{"bad intrinsic", func(p *Program) {
+			p.Methods[1].Code = []bytecode.Instr{{Op: bytecode.Intrinsic, A: 99}, {Op: bytecode.RetVoid}}
+		}, "intrinsic"},
+	}
+	for _, tc := range cases {
+		p := validProgram()
+		tc.mutate(p)
+		err := p.Verify()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package jvm
+
+import (
+	"strings"
+	"testing"
+
+	"viprof/internal/addr"
+	"viprof/internal/cpu"
+	"viprof/internal/hpc"
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/classes"
+	"viprof/internal/kernel"
+)
+
+// runExpr builds a program whose main evaluates a bytecode sequence and
+// stores the top of stack into statics[0], runs it to completion, and
+// returns the stored value. It is the workhorse for opcode-semantics
+// tests: every instruction executes through the full pipeline
+// (compile, machine ops, cache, counters).
+func runExpr(t *testing.T, build func(a *bytecode.Asm)) int64 {
+	t.Helper()
+	p := classes.NewProgram("expr", 4)
+	a := bytecode.NewAsm()
+	build(a)
+	a.Emit(bytecode.PutStatic, 0)
+	a.Emit(bytecode.RetVoid)
+	main := p.Add(&classes.Method{Class: "t.Main", Name: "main", MaxLocals: 4, Code: a.MustFinish()})
+	p.SetMain(main)
+
+	m := newMachine(1)
+	vm, _, err := Launch(m, p, Config{HeapBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(1_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("program failed: %v", vm.Err())
+	}
+	return vm.statics[0].I
+}
+
+// runExprErr is runExpr for programs expected to die with a runtime
+// error; it returns the error message.
+func runExprErr(t *testing.T, build func(a *bytecode.Asm)) string {
+	t.Helper()
+	p := classes.NewProgram("expr", 4)
+	a := bytecode.NewAsm()
+	build(a)
+	a.Emit(bytecode.RetVoid)
+	main := p.Add(&classes.Method{Class: "t.Main", Name: "main", MaxLocals: 4, Code: a.MustFinish()})
+	p.SetMain(main)
+
+	m := newMachine(1)
+	vm, _, err := Launch(m, p, Config{HeapBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(1_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Err() == nil {
+		t.Fatal("expected a runtime error")
+	}
+	return vm.Err().Error()
+}
+
+func TestArithmeticOpcodes(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b int32
+		op   bytecode.Opcode
+		want int64
+	}{
+		{"add", 7, 5, bytecode.Add, 12},
+		{"sub", 7, 5, bytecode.Sub, 2},
+		{"mul", 7, 5, bytecode.Mul, 35},
+		{"div", 17, 5, bytecode.Div, 3},
+		{"div-negative", -17, 5, bytecode.Div, -3},
+		{"mod", 17, 5, bytecode.Mod, 2},
+		{"and", 0b1100, 0b1010, bytecode.And, 0b1000},
+		{"or", 0b1100, 0b1010, bytecode.Or, 0b1110},
+		{"xor", 0b1100, 0b1010, bytecode.Xor, 0b0110},
+		{"shl", 3, 4, bytecode.Shl, 48},
+		{"shr", 48, 4, bytecode.Shr, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := runExpr(t, func(a *bytecode.Asm) {
+				a.Const(tt.a).Const(tt.b).Emit(tt.op)
+			})
+			if got != tt.want {
+				t.Errorf("%d %s %d = %d, want %d", tt.a, tt.name, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNegDupPop(t *testing.T) {
+	if got := runExpr(t, func(a *bytecode.Asm) {
+		a.Const(42).Emit(bytecode.Neg)
+	}); got != -42 {
+		t.Errorf("neg = %d", got)
+	}
+	if got := runExpr(t, func(a *bytecode.Asm) {
+		a.Const(5).Emit(bytecode.Dup).Emit(bytecode.Add) // 5+5
+	}); got != 10 {
+		t.Errorf("dup/add = %d", got)
+	}
+	if got := runExpr(t, func(a *bytecode.Asm) {
+		a.Const(1).Const(99).Emit(bytecode.Pop) // 99 dropped
+	}); got != 1 {
+		t.Errorf("pop = %d", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tests := []struct {
+		op   bytecode.Opcode
+		a, b int32
+		want int64
+	}{
+		{bytecode.CmpLT, 1, 2, 1}, {bytecode.CmpLT, 2, 2, 0},
+		{bytecode.CmpLE, 2, 2, 1}, {bytecode.CmpLE, 3, 2, 0},
+		{bytecode.CmpEQ, 5, 5, 1}, {bytecode.CmpEQ, 5, 6, 0},
+		{bytecode.CmpNE, 5, 6, 1}, {bytecode.CmpNE, 5, 5, 0},
+		{bytecode.CmpGT, 3, 2, 1}, {bytecode.CmpGT, 2, 3, 0},
+		{bytecode.CmpGE, 2, 2, 1}, {bytecode.CmpGE, 1, 2, 0},
+	}
+	for _, tt := range tests {
+		got := runExpr(t, func(a *bytecode.Asm) {
+			a.Const(tt.a).Const(tt.b).Emit(tt.op)
+		})
+		if got != tt.want {
+			t.Errorf("%d %s %d = %d, want %d", tt.a, tt.op, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLocalsAndStatics(t *testing.T) {
+	got := runExpr(t, func(a *bytecode.Asm) {
+		a.Const(11).Store(1)
+		a.Const(22).Store(2)
+		a.Load(1).Load(2).Emit(bytecode.Add) // 33
+		a.Emit(bytecode.PutStatic, 2)
+		a.Emit(bytecode.GetStatic, 2)
+	})
+	if got != 33 {
+		t.Errorf("locals/statics = %d", got)
+	}
+}
+
+func TestControlFlowLoop(t *testing.T) {
+	// sum 1..10 = 55
+	got := runExpr(t, func(a *bytecode.Asm) {
+		a.Const(0).Store(1) // sum
+		a.Const(1).Store(2) // i
+		a.Label("loop")
+		a.Load(1).Load(2).Emit(bytecode.Add).Store(1)
+		a.Load(2).Const(1).Emit(bytecode.Add).Store(2)
+		a.Load(2).Const(10).Emit(bytecode.CmpLE)
+		a.Branch(bytecode.JmpNZ, "loop")
+		a.Load(1)
+	})
+	if got != 55 {
+		t.Errorf("sum 1..10 = %d", got)
+	}
+}
+
+func TestObjectsFieldsAndArrays(t *testing.T) {
+	// obj with 1 ref + 2 scalars; scalar field read/write.
+	got := runExpr(t, func(a *bytecode.Asm) {
+		a.Emit(bytecode.New, 1, 2).Store(1)
+		a.Load(1).Const(77).Emit(bytecode.PutField, 1)
+		a.Load(1).Emit(bytecode.GetField, 1)
+	})
+	if got != 77 {
+		t.Errorf("field = %d", got)
+	}
+	// ref fields link objects.
+	got = runExpr(t, func(a *bytecode.Asm) {
+		a.Emit(bytecode.New, 1, 1).Store(1) // outer
+		a.Emit(bytecode.New, 0, 1).Store(2) // inner
+		a.Load(2).Const(88).Emit(bytecode.PutField, 0)
+		a.Load(1).Load(2).Emit(bytecode.PutRef, 0)
+		a.Load(1).Emit(bytecode.GetRef, 0).Emit(bytecode.GetField, 0)
+	})
+	if got != 88 {
+		t.Errorf("ref chain = %d", got)
+	}
+	// arrays: store/load/len.
+	got = runExpr(t, func(a *bytecode.Asm) {
+		a.Const(16).Emit(bytecode.NewArray, 8, 0).Store(1)
+		a.Load(1).Const(3).Const(123).Emit(bytecode.AStore)
+		a.Load(1).Const(3).Emit(bytecode.ALoad)
+		a.Load(1).Emit(bytecode.ArrayLen).Emit(bytecode.Add) // 123+16
+	})
+	if got != 139 {
+		t.Errorf("array = %d", got)
+	}
+}
+
+func TestCallSemantics(t *testing.T) {
+	// callee(a, b) = a*10 + b — checks argument order.
+	p := classes.NewProgram("call", 1)
+	cal := bytecode.NewAsm()
+	cal.Load(0).Const(10).Emit(bytecode.Mul).Load(1).Emit(bytecode.Add)
+	cal.Emit(bytecode.Ret)
+	callee := p.Add(&classes.Method{Class: "t.C", Name: "f", NArgs: 2, MaxLocals: 2, Code: cal.MustFinish()})
+	mn := bytecode.NewAsm()
+	mn.Const(3).Const(4).Call(int32(callee.Index)) // f(3,4) = 34
+	mn.Emit(bytecode.PutStatic, 0)
+	mn.Emit(bytecode.RetVoid)
+	main := p.Add(&classes.Method{Class: "t.Main", Name: "main", MaxLocals: 1, Code: mn.MustFinish()})
+	p.SetMain(main)
+
+	m := newMachine(1)
+	vm, _, err := Launch(m, p, Config{HeapBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(1_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("failed: %v", vm.Err())
+	}
+	if vm.statics[0].I != 34 {
+		t.Errorf("f(3,4) = %d, want 34 (argument order broken)", vm.statics[0].I)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(a *bytecode.Asm)
+		want  string
+	}{
+		{"div by zero", func(a *bytecode.Asm) {
+			a.Const(1).Const(0).Emit(bytecode.Div).Emit(bytecode.Pop)
+		}, "zero"},
+		{"mod by zero", func(a *bytecode.Asm) {
+			a.Const(1).Const(0).Emit(bytecode.Mod).Emit(bytecode.Pop)
+		}, "zero"},
+		{"null aload", func(a *bytecode.Asm) {
+			a.Emit(bytecode.GetStatic, 1) // never assigned: null
+			a.Const(0).Emit(bytecode.ALoad).Emit(bytecode.Pop)
+		}, "NullPointer"},
+		{"null field", func(a *bytecode.Asm) {
+			a.Emit(bytecode.GetStatic, 1)
+			a.Emit(bytecode.GetField, 0).Emit(bytecode.Pop)
+		}, "NullPointer"},
+		{"array oob", func(a *bytecode.Asm) {
+			a.Const(4).Emit(bytecode.NewArray, 8, 0)
+			a.Const(9).Emit(bytecode.ALoad).Emit(bytecode.Pop)
+		}, "IndexOutOfBounds"},
+		{"array oob negative", func(a *bytecode.Asm) {
+			a.Const(4).Emit(bytecode.NewArray, 8, 0)
+			a.Const(-1).Emit(bytecode.ALoad).Emit(bytecode.Pop)
+		}, "IndexOutOfBounds"},
+		{"negative array size", func(a *bytecode.Asm) {
+			a.Const(-5).Emit(bytecode.NewArray, 8, 0).Emit(bytecode.Pop)
+		}, "NegativeArraySize"},
+		{"stack underflow", func(a *bytecode.Asm) {
+			a.Emit(bytecode.Add)
+		}, "underflow"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := runExprErr(t, tc.build)
+			if !strings.Contains(msg, tc.want) {
+				t.Errorf("error %q does not mention %q", msg, tc.want)
+			}
+		})
+	}
+}
+
+// Compiled-code PCs must stay inside the method's current body for
+// every executed instruction, across recompilations and GC moves.
+func TestPCsStayInsideBodies(t *testing.T) {
+	m := newMachine(1)
+	prog := buildLoopProgram(150, 300)
+	vm, _, err := Launch(m, prog, Config{HeapBytes: 64 << 10, AOSThreshold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check by sampling frequently and validating each JIT PC
+	// against the live bodies at that instant.
+	m.Core.Bank.Program(hpc.GlobalPowerEvents, 10_000)
+	lo, hi := vm.Heap().Bounds()
+	bad := 0
+	m.Kern.SetNMIHandler(func(mm *kernel.Machine, s cpu.Snapshot, ev hpc.Event) {
+		if s.PC < lo || s.PC >= hi {
+			return
+		}
+		ok := false
+		for _, b := range vm.bodies {
+			if b != nil && s.PC >= b.Start() && s.PC < b.Start()+addr.Address(b.Size) {
+				ok = true
+				break
+			}
+		}
+		// PCs may also be inside *old* bodies still running on stack.
+		for _, th := range vm.threads {
+			for fi := range th.frames {
+				b := th.frames[fi].body
+				if s.PC >= b.Start() && s.PC < b.Start()+addr.Address(b.Size) {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			bad++
+		}
+	})
+	if err := m.Kern.Run(5_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("failed: %v", vm.Err())
+	}
+	if bad != 0 {
+		t.Errorf("%d JIT samples outside any live body", bad)
+	}
+}

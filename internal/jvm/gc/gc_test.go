@@ -1,0 +1,305 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viprof/internal/addr"
+)
+
+const testBase addr.Address = 0x6000_0000
+
+func newTestHeap(t *testing.T, size uint64, roots func() []*Object, hooks Hooks) *Heap {
+	t.Helper()
+	h, err := NewHeap(testBase, size, roots, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHeapErrors(t *testing.T) {
+	if _, err := NewHeap(testBase, 100, nil, Hooks{}); err == nil {
+		t.Error("tiny heap accepted")
+	}
+	if _, err := NewHeap(testBase, 8193, nil, Hooks{}); err == nil {
+		t.Error("odd heap size accepted")
+	}
+}
+
+func TestAllocAssignsDisjointAddresses(t *testing.T) {
+	h := newTestHeap(t, 1<<20, nil, Hooks{})
+	var prevEnd addr.Address = testBase
+	for i := 0; i < 100; i++ {
+		o, err := h.Alloc(KindData, 40, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Addr < prevEnd {
+			t.Fatalf("object %d at %s overlaps previous end %s", i, o.Addr, prevEnd)
+		}
+		if len(o.Refs) != 2 || len(o.Scalars) != 3 {
+			t.Fatalf("slot counts wrong: %d refs, %d scalars", len(o.Refs), len(o.Scalars))
+		}
+		prevEnd = o.Addr + addr.Address(o.Size)
+	}
+	if h.AllocatedBytes() == 0 || h.Used() == 0 {
+		t.Error("accounting not updated")
+	}
+}
+
+func TestFieldAddr(t *testing.T) {
+	h := newTestHeap(t, 1<<20, nil, Hooks{})
+	o, _ := h.Alloc(KindData, 64, 0, 8)
+	if got := o.FieldAddr(0); got != o.Addr+HeaderBytes {
+		t.Errorf("FieldAddr(0) = %s", got)
+	}
+	if got := o.FieldAddr(3); got != o.Addr+HeaderBytes+24 {
+		t.Errorf("FieldAddr(3) = %s", got)
+	}
+}
+
+func TestCollectReclaimsGarbage(t *testing.T) {
+	var roots []*Object
+	h := newTestHeap(t, 1<<16, func() []*Object { return roots }, Hooks{})
+	live, _ := h.Alloc(KindData, 32, 1, 0)
+	roots = []*Object{live}
+	for i := 0; i < 50; i++ {
+		h.Alloc(KindData, 32, 0, 0) // garbage
+	}
+	stats := h.Collect()
+	if stats.Live != 1 {
+		t.Errorf("live = %d, want 1", stats.Live)
+	}
+	if stats.Freed != 50 {
+		t.Errorf("freed = %d, want 50", stats.Freed)
+	}
+	if h.Epoch() != 1 || h.Collections() != 1 {
+		t.Errorf("epoch/collections = %d/%d", h.Epoch(), h.Collections())
+	}
+}
+
+func TestCollectTracesTransitively(t *testing.T) {
+	var roots []*Object
+	h := newTestHeap(t, 1<<16, func() []*Object { return roots }, Hooks{})
+	a, _ := h.Alloc(KindData, 32, 1, 0)
+	b, _ := h.Alloc(KindData, 32, 1, 0)
+	c, _ := h.Alloc(KindData, 32, 0, 0)
+	a.Refs[0] = b
+	b.Refs[0] = c
+	roots = []*Object{a}
+	stats := h.Collect()
+	if stats.Live != 3 {
+		t.Errorf("live = %d, want 3 (chain a->b->c)", stats.Live)
+	}
+	// Cycles must not hang the tracer.
+	c.Refs = []*Object{a}
+	stats = h.Collect()
+	if stats.Live != 3 {
+		t.Errorf("cyclic live = %d, want 3", stats.Live)
+	}
+}
+
+func TestCollectMovesObjectsToOtherSemispace(t *testing.T) {
+	var roots []*Object
+	h := newTestHeap(t, 1<<16, func() []*Object { return roots }, Hooks{})
+	o, _ := h.Alloc(KindData, 32, 0, 0)
+	roots = []*Object{o}
+	first := o.Addr
+	h.Collect()
+	if o.Addr == first {
+		t.Error("object did not move on first collection")
+	}
+	lo, hi := h.Bounds()
+	if o.Addr < lo || o.Addr >= hi {
+		t.Errorf("object at %s escaped heap [%s,%s)", o.Addr, lo, hi)
+	}
+}
+
+func TestMovedHookFiresForCodeOnly(t *testing.T) {
+	var roots []*Object
+	var moved []*Object
+	hooks := Hooks{Moved: func(o *Object, old addr.Address) {
+		moved = append(moved, o)
+		if o.Addr == old {
+			t.Error("Moved hook with identical addresses")
+		}
+	}}
+	h := newTestHeap(t, 1<<16, func() []*Object { return roots }, hooks)
+	code, _ := h.Alloc(KindCode, 256, 0, 0)
+	data, _ := h.Alloc(KindData, 32, 0, 0)
+	roots = []*Object{code, data}
+	h.Collect()
+	if len(moved) != 1 || moved[0] != code {
+		t.Errorf("moved hook fired for %d objects, want just the code object", len(moved))
+	}
+}
+
+func TestPreGCRunsBeforeMove(t *testing.T) {
+	var roots []*Object
+	var addrAtPreGC addr.Address
+	var epochAtPreGC = -1
+	var h *Heap
+	hooks := Hooks{PreGC: func(epoch int) {
+		epochAtPreGC = epoch
+		addrAtPreGC = roots[0].Addr
+	}}
+	h = newTestHeap(t, 1<<16, func() []*Object { return roots }, hooks)
+	o, _ := h.Alloc(KindCode, 64, 0, 0)
+	roots = []*Object{o}
+	before := o.Addr
+	h.Collect()
+	if epochAtPreGC != 0 {
+		t.Errorf("PreGC saw epoch %d, want 0", epochAtPreGC)
+	}
+	if addrAtPreGC != before {
+		t.Error("PreGC ran after objects moved")
+	}
+}
+
+func TestPostGCAndWorkHooks(t *testing.T) {
+	var phases []string
+	var postStats CollectStats
+	postEpoch := -1
+	hooks := Hooks{
+		Work:   func(phase string, units int) { phases = append(phases, phase) },
+		PostGC: func(epoch int, s CollectStats) { postEpoch, postStats = epoch, s },
+	}
+	var roots []*Object
+	h := newTestHeap(t, 1<<16, func() []*Object { return roots }, hooks)
+	o, _ := h.Alloc(KindData, 32, 0, 0)
+	roots = []*Object{o}
+	h.Alloc(KindData, 32, 0, 0)
+	h.Collect()
+	if postEpoch != 1 || postStats.Live != 1 || postStats.Freed != 1 {
+		t.Errorf("PostGC: epoch %d stats %+v", postEpoch, postStats)
+	}
+	seen := map[string]bool{}
+	for _, p := range phases {
+		seen[p] = true
+	}
+	for _, want := range []string{"alloc", "trace", "copy"} {
+		if !seen[want] {
+			t.Errorf("Work hook never saw phase %q (got %v)", want, phases)
+		}
+	}
+}
+
+func TestAllocTriggersCollection(t *testing.T) {
+	var roots []*Object
+	h := newTestHeap(t, 8*1024, func() []*Object { return roots }, Hooks{})
+	// Fill the 4 KiB semispace with garbage; allocation must collect
+	// rather than fail.
+	for i := 0; i < 500; i++ {
+		if _, err := h.Alloc(KindData, 48, 0, 0); err != nil {
+			t.Fatalf("alloc %d failed: %v", i, err)
+		}
+	}
+	if h.Collections() == 0 {
+		t.Error("no collection despite exceeding semispace")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	var roots []*Object
+	h := newTestHeap(t, 8*1024, func() []*Object { return roots }, Hooks{})
+	// Keep everything live: eventually OOM.
+	for i := 0; i < 500; i++ {
+		o, err := h.Alloc(KindData, 48, 0, 0)
+		if err != nil {
+			return // expected
+		}
+		roots = append(roots, o)
+	}
+	t.Error("no OOM with all objects live in a tiny heap")
+}
+
+// Property: after any interleaving of allocations (some rooted, some
+// garbage) and collections, (1) no live object is lost, (2) live
+// objects occupy disjoint ranges inside the current semispace, and
+// (3) freed+live bytes match allocation accounting per collection.
+func TestCollectorInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var roots []*Object
+		h, err := NewHeap(testBase, 1<<16, func() []*Object { return roots }, Hooks{})
+		if err != nil {
+			return false
+		}
+		type rooted struct{ o *Object }
+		var keep []rooted
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(10) {
+			case 0:
+				h.Collect()
+			default:
+				size := uint32(rng.Intn(100) + 1)
+				o, err := h.Alloc(KindData, size, rng.Intn(3), rng.Intn(3))
+				if err != nil {
+					return false // heap sized to avoid OOM with bounded roots
+				}
+				if rng.Intn(4) == 0 && len(keep) < 40 {
+					keep = append(keep, rooted{o})
+					roots = append(roots, o)
+				}
+			}
+		}
+		h.Collect()
+		// (1) all rooted objects survive with valid addresses.
+		lo, hi := h.Bounds()
+		for _, r := range keep {
+			if r.o.Addr < lo || r.o.Addr >= hi {
+				return false
+			}
+		}
+		// (2) disjoint ranges: sort by address and check.
+		objs := append([]*Object(nil), roots...)
+		for i := 0; i < len(objs); i++ {
+			for j := i + 1; j < len(objs); j++ {
+				a, b := objs[i], objs[j]
+				if a == b {
+					continue
+				}
+				if a.Addr < b.Addr+addr.Address(b.Size) && b.Addr < a.Addr+addr.Address(a.Size) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: epochs advance by exactly one per collection and PreGC
+// always observes the pre-collection epoch.
+func TestEpochMonotonicQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%20) + 1
+		var pre []int
+		var roots []*Object
+		h, err := NewHeap(testBase, 1<<15, func() []*Object { return roots }, Hooks{
+			PreGC: func(e int) { pre = append(pre, e) },
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			h.Collect()
+		}
+		if h.Epoch() != count {
+			return false
+		}
+		for i, e := range pre {
+			if e != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package jit models the VM's dynamic compilers. The VM is compile-only
+// (like Jikes RVM): a method is baseline-compiled on first invocation
+// and recompiled at the optimizing level when the adaptive system finds
+// it hot. A compiled body is a KindCode object in the garbage-collected
+// heap, so its location "can change dynamically" (paper §3) — the
+// problem VIProf's code maps solve.
+//
+// The compilers are modelled, not real: compilation produces a code
+// *layout* (per-bytecode machine-code offsets used to attribute sampled
+// PCs) and a cost (simulated cycles the VM charges at its compiler
+// symbols). Executing a compiled method is functional interpretation of
+// the bytecode with PCs walking this layout.
+package jit
+
+import (
+	"fmt"
+
+	"viprof/internal/addr"
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/classes"
+	"viprof/internal/jvm/gc"
+)
+
+// Level is a compiler tier.
+type Level uint8
+
+// Compiler tiers.
+const (
+	Baseline Level = iota
+	Opt
+)
+
+// String names the tier as Jikes RVM's logs do.
+func (l Level) String() string {
+	if l == Opt {
+		return "opt"
+	}
+	return "base"
+}
+
+// CodeBody is one compiled version of a method: a code object in the
+// heap plus the layout needed to map a PC back to a bytecode index.
+type CodeBody struct {
+	Method *classes.Method
+	Level  Level
+	Obj    *gc.Object
+	// BCOff[i] is the byte offset of bytecode i's machine code within
+	// the body; offsets are strictly increasing.
+	BCOff []uint32
+	Size  uint32
+}
+
+// PC returns the simulated machine PC for a bytecode index, at the
+// body's *current* address (which GC may have changed since the last
+// call — callers must not cache the result across allocations).
+func (b *CodeBody) PC(bci int) addr.Address {
+	return b.Obj.Addr + addr.Address(b.BCOff[bci])
+}
+
+// Start returns the body's current start address.
+func (b *CodeBody) Start() addr.Address { return b.Obj.Addr }
+
+// opBytes returns the machine-code expansion of one bytecode at a tier.
+// Baseline code is bulky (naive stack-machine expansion); opt code is
+// less than half the size (registers, combined addressing).
+func opBytes(op bytecode.Opcode, level Level) uint32 {
+	var base uint32
+	switch op {
+	case bytecode.Nop:
+		base = 2
+	case bytecode.Const, bytecode.Load, bytecode.Store, bytecode.Dup, bytecode.Pop:
+		base = 6
+	case bytecode.Add, bytecode.Sub, bytecode.And, bytecode.Or, bytecode.Xor,
+		bytecode.Shl, bytecode.Shr, bytecode.Neg:
+		base = 7
+	case bytecode.Mul:
+		base = 9
+	case bytecode.Div, bytecode.Mod:
+		base = 14
+	case bytecode.CmpLT, bytecode.CmpLE, bytecode.CmpEQ, bytecode.CmpNE,
+		bytecode.CmpGT, bytecode.CmpGE:
+		base = 10
+	case bytecode.Jmp:
+		base = 5
+	case bytecode.JmpZ, bytecode.JmpNZ:
+		base = 8
+	case bytecode.Call:
+		base = 18
+	case bytecode.Spawn:
+		base = 30
+	case bytecode.Ret, bytecode.RetVoid:
+		base = 10
+	case bytecode.New, bytecode.NewArray:
+		base = 24
+	case bytecode.ALoad, bytecode.AStore:
+		base = 14
+	case bytecode.ArrayLen:
+		base = 6
+	case bytecode.GetField, bytecode.PutField, bytecode.GetRef, bytecode.PutRef:
+		base = 11
+	case bytecode.GetStatic, bytecode.PutStatic:
+		base = 9
+	case bytecode.Intrinsic:
+		base = 20
+	default:
+		base = 8
+	}
+	if level == Opt {
+		return base*2/5 + 2
+	}
+	return base
+}
+
+// OpCost returns the simulated execution cycles of one bytecode at a
+// tier, excluding memory-system penalties (the cache model adds those).
+// Opt code runs roughly 2.5x faster than baseline, matching the
+// speedups Jikes RVM reports between its tiers.
+func OpCost(op bytecode.Opcode, level Level) uint32 {
+	var base uint32
+	switch op {
+	case bytecode.Nop:
+		base = 1
+	case bytecode.Const, bytecode.Load, bytecode.Store, bytecode.Dup, bytecode.Pop:
+		base = 2
+	case bytecode.Add, bytecode.Sub, bytecode.And, bytecode.Or, bytecode.Xor,
+		bytecode.Shl, bytecode.Shr, bytecode.Neg:
+		base = 2
+	case bytecode.Mul:
+		base = 4
+	case bytecode.Div, bytecode.Mod:
+		base = 18
+	case bytecode.CmpLT, bytecode.CmpLE, bytecode.CmpEQ, bytecode.CmpNE,
+		bytecode.CmpGT, bytecode.CmpGE:
+		base = 3
+	case bytecode.Jmp:
+		base = 1
+	case bytecode.JmpZ, bytecode.JmpNZ:
+		base = 3
+	case bytecode.Call:
+		base = 12
+	case bytecode.Spawn:
+		base = 40
+	case bytecode.Ret, bytecode.RetVoid:
+		base = 6
+	case bytecode.New, bytecode.NewArray:
+		base = 20
+	case bytecode.ALoad, bytecode.AStore:
+		base = 3
+	case bytecode.ArrayLen:
+		base = 2
+	case bytecode.GetField, bytecode.PutField, bytecode.GetRef, bytecode.PutRef:
+		base = 3
+	case bytecode.GetStatic, bytecode.PutStatic:
+		base = 3
+	case bytecode.Intrinsic:
+		base = 10
+	default:
+		base = 2
+	}
+	if level == Opt {
+		c := base * 2 / 5
+		if c == 0 {
+			c = 1
+		}
+		return c
+	}
+	return base
+}
+
+// prologueBytes is the fixed per-method entry/exit sequence size.
+func prologueBytes(level Level) uint32 {
+	if level == Opt {
+		return 16
+	}
+	return 32
+}
+
+// CompileCostOps returns how many simulated micro-ops the compiler
+// spends producing the body: the optimizing compiler is ~12x slower per
+// bytecode than the baseline compiler (Jikes RVM's tiers differ by an
+// order of magnitude).
+func CompileCostOps(m *classes.Method, level Level) int {
+	per := 45
+	if level == Opt {
+		per = 540
+	}
+	return 200 + per*len(m.Code)
+}
+
+// Compile lays out machine code for the method at the given tier and
+// allocates its body in the heap. The caller (the VM) charges the
+// compiler's own execution separately using CompileCostOps.
+func Compile(h *gc.Heap, m *classes.Method, level Level) (*CodeBody, error) {
+	off := prologueBytes(level)
+	bcOff := make([]uint32, len(m.Code))
+	for i, in := range m.Code {
+		bcOff[i] = off
+		off += opBytes(in.Op, level)
+	}
+	size := off + 8 // epilogue pad
+	obj, err := h.Alloc(gc.KindCode, size, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("jit: compiling %s (%s): %v", m.Signature(), level, err)
+	}
+	body := &CodeBody{
+		Method: m,
+		Level:  level,
+		Obj:    obj,
+		BCOff:  bcOff,
+		Size:   size,
+	}
+	obj.Meta = body
+	return body, nil
+}

@@ -1,0 +1,141 @@
+package jit
+
+import (
+	"testing"
+
+	"viprof/internal/addr"
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/classes"
+	"viprof/internal/jvm/gc"
+)
+
+func testMethod(n int) *classes.Method {
+	code := make([]bytecode.Instr, 0, n)
+	for i := 0; i < n-1; i++ {
+		code = append(code, bytecode.Instr{Op: bytecode.Opcode(1 + i%20)})
+	}
+	code = append(code, bytecode.Instr{Op: bytecode.RetVoid})
+	return &classes.Method{Class: "app.C", Name: "m", MaxLocals: 4, Code: code}
+}
+
+func testHeap(t *testing.T) *gc.Heap {
+	t.Helper()
+	h, err := gc.NewHeap(0x6000_0000, 1<<20, nil, gc.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCompileLayout(t *testing.T) {
+	h := testHeap(t)
+	m := testMethod(50)
+	body, err := Compile(h, m, Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body.Method != m || body.Level != Baseline {
+		t.Error("body metadata wrong")
+	}
+	if len(body.BCOff) != len(m.Code) {
+		t.Fatalf("BCOff has %d entries for %d bytecodes", len(body.BCOff), len(m.Code))
+	}
+	for i := 1; i < len(body.BCOff); i++ {
+		if body.BCOff[i] <= body.BCOff[i-1] {
+			t.Fatalf("offsets not strictly increasing at %d", i)
+		}
+	}
+	if uint32(body.BCOff[len(body.BCOff)-1]) >= body.Size {
+		t.Error("last bytecode beyond body size")
+	}
+	if body.Obj.Kind != gc.KindCode {
+		t.Error("code body not a KindCode object")
+	}
+	if body.Obj.Meta != body {
+		t.Error("object Meta backref not set")
+	}
+}
+
+func TestOptSmallerAndFaster(t *testing.T) {
+	h := testHeap(t)
+	m := testMethod(100)
+	base, _ := Compile(h, m, Baseline)
+	opt, _ := Compile(h, m, Opt)
+	if opt.Size >= base.Size {
+		t.Errorf("opt body (%d B) not smaller than baseline (%d B)", opt.Size, base.Size)
+	}
+	var baseCost, optCost uint32
+	for _, in := range m.Code {
+		baseCost += OpCost(in.Op, Baseline)
+		optCost += OpCost(in.Op, Opt)
+	}
+	if float64(optCost) > 0.6*float64(baseCost) {
+		t.Errorf("opt cost %d vs baseline %d: expected >=2x speedup", optCost, baseCost)
+	}
+	if OpCost(bytecode.Jmp, Opt) == 0 {
+		t.Error("zero op cost would stall the simulated clock")
+	}
+}
+
+func TestCompileCostOps(t *testing.T) {
+	m := testMethod(100)
+	b := CompileCostOps(m, Baseline)
+	o := CompileCostOps(m, Opt)
+	if o < 8*b {
+		t.Errorf("opt compile (%d ops) should be ~12x baseline (%d ops)", o, b)
+	}
+	small := CompileCostOps(testMethod(2), Baseline)
+	if small <= 0 {
+		t.Error("compile cost must be positive")
+	}
+}
+
+func TestPCTracksObjectAddress(t *testing.T) {
+	h := testHeap(t)
+	m := testMethod(10)
+	body, _ := Compile(h, m, Baseline)
+	pc0 := body.PC(0)
+	if pc0 != body.Obj.Addr+addr.Address(body.BCOff[0]) {
+		t.Error("PC(0) inconsistent")
+	}
+	// Simulate a GC move by reassigning the object address.
+	body.Obj.Addr += 0x1000
+	if body.PC(0) != pc0+0x1000 {
+		t.Error("PC did not follow the moved code object")
+	}
+	if body.Start() != body.Obj.Addr {
+		t.Error("Start() stale after move")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Baseline.String() != "base" || Opt.String() != "opt" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestCompileOOM(t *testing.T) {
+	h, err := gc.NewHeap(0x6000_0000, 8*1024, nil, gc.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2000-bytecode method compiles to a body larger than the 4 KiB
+	// semispace: compilation must fail cleanly, not panic.
+	if _, err := Compile(h, testMethod(2000), Baseline); err == nil {
+		t.Error("no OOM compiling an oversized body into a tiny heap")
+	}
+}
+
+// Every opcode must have nonzero size and cost at both levels.
+func TestAllOpcodesCovered(t *testing.T) {
+	for op := bytecode.Opcode(0); int(op) < bytecode.NumOpcodes; op++ {
+		for _, lvl := range []Level{Baseline, Opt} {
+			if opBytes(op, lvl) == 0 {
+				t.Errorf("opBytes(%s, %s) = 0", op, lvl)
+			}
+			if OpCost(op, lvl) == 0 {
+				t.Errorf("OpCost(%s, %s) = 0", op, lvl)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package jvm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/classes"
+)
+
+// The interpreter-vs-oracle property: generate random straight-line
+// arithmetic programs, evaluate them with a direct Go stack evaluator,
+// and require the VM (through compilation, scheduling, sampling-free
+// execution) to produce the identical result.
+
+// genProgram emits a random sequence of stack-safe arithmetic ops and
+// returns both the bytecode and the oracle's expected result.
+func genProgram(rng *rand.Rand) ([]bytecode.Instr, int64) {
+	var code []bytecode.Instr
+	var stack []int64
+	push := func(v int64, in bytecode.Instr) {
+		stack = append(stack, v)
+		code = append(code, in)
+	}
+	// Seed with two constants.
+	for i := 0; i < 2; i++ {
+		c := int32(rng.Intn(2000) - 1000)
+		push(int64(c), bytecode.Instr{Op: bytecode.Const, A: c})
+	}
+	steps := rng.Intn(40) + 5
+	for i := 0; i < steps; i++ {
+		switch r := rng.Intn(10); {
+		case r < 3 || len(stack) < 2: // push a constant
+			c := int32(rng.Intn(200) - 100)
+			push(int64(c), bytecode.Instr{Op: bytecode.Const, A: c})
+		case r < 9: // binary op
+			b := stack[len(stack)-1]
+			a := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			ops := []bytecode.Opcode{
+				bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.And,
+				bytecode.Or, bytecode.Xor, bytecode.CmpLT, bytecode.CmpGE,
+			}
+			// Division only with a safe divisor.
+			if b != 0 && rng.Intn(4) == 0 {
+				ops = append(ops, bytecode.Div, bytecode.Mod)
+			}
+			op := ops[rng.Intn(len(ops))]
+			var v int64
+			switch op {
+			case bytecode.Add:
+				v = a + b
+			case bytecode.Sub:
+				v = a - b
+			case bytecode.Mul:
+				v = a * b
+			case bytecode.And:
+				v = a & b
+			case bytecode.Or:
+				v = a | b
+			case bytecode.Xor:
+				v = a ^ b
+			case bytecode.Div:
+				v = a / b
+			case bytecode.Mod:
+				v = a % b
+			case bytecode.CmpLT:
+				if a < b {
+					v = 1
+				}
+			case bytecode.CmpGE:
+				if a >= b {
+					v = 1
+				}
+			}
+			stack = append(stack, v)
+			code = append(code, bytecode.Instr{Op: op})
+		default: // unary neg
+			stack[len(stack)-1] = -stack[len(stack)-1]
+			code = append(code, bytecode.Instr{Op: bytecode.Neg})
+		}
+	}
+	// Collapse the stack to one value with adds.
+	for len(stack) > 1 {
+		b := stack[len(stack)-1]
+		a := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		stack = append(stack, a+b)
+		code = append(code, bytecode.Instr{Op: bytecode.Add})
+	}
+	code = append(code,
+		bytecode.Instr{Op: bytecode.PutStatic, A: 0},
+		bytecode.Instr{Op: bytecode.RetVoid})
+	return code, stack[0]
+}
+
+func TestInterpreterMatchesOracleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		code, want := genProgram(rng)
+		p := classes.NewProgram("oracle", 1)
+		main := p.Add(&classes.Method{Class: "o.Main", Name: "main", MaxLocals: 1, Code: code})
+		p.SetMain(main)
+		if err := p.Verify(); err != nil {
+			t.Logf("seed %d: generated invalid program: %v", seed, err)
+			return false
+		}
+		m := newMachine(seed)
+		vm, _, err := Launch(m, p, Config{HeapBytes: 128 << 10})
+		if err != nil {
+			t.Logf("seed %d: launch: %v", seed, err)
+			return false
+		}
+		if err := m.Kern.Run(1_000_000_000); err != nil {
+			t.Logf("seed %d: run: %v", seed, err)
+			return false
+		}
+		if !vm.Finished() {
+			t.Logf("seed %d: vm error: %v", seed, vm.Err())
+			return false
+		}
+		if got := vm.statics[0].I; got != want {
+			t.Logf("seed %d: VM computed %d, oracle says %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

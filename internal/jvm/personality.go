@@ -1,0 +1,162 @@
+package jvm
+
+import "viprof/internal/image"
+
+// Personality parameterizes the simulated virtual machine as a concrete
+// product. The paper claims VIProf's "implementation is simple and
+// general enough to support a wide range of virtual execution
+// environments (multiple Java virtual machines as well as Microsoft
+// .Net common language runtimes)" (§2); personalities make that claim
+// testable: the same VM engine runs as Jikes RVM or as a CLR-style
+// runtime, with its own process name, boot image, symbol map and
+// service symbols — and the unchanged VIProf pipeline profiles both.
+type Personality struct {
+	// Name identifies the personality ("JikesRVM", "CLR").
+	Name string
+	// ProcName is the OS process name VM instances run under.
+	ProcName string
+	// BootImageName is the mapped runtime image (symbol-less to ELF
+	// tools).
+	BootImageName string
+	// MapFileName is the build-produced symbol map on disk.
+	MapFileName string
+	// MapDisplay is the image column shown for symbolized boot-image
+	// rows (the paper's Figure 1 uses "RVM.map").
+	MapDisplay string
+	// BootstrapName is the native loader binary.
+	BootstrapName string
+
+	bootSyms []bootSym
+	services map[ServiceID][]svcSym
+}
+
+type svcSym struct {
+	name   string
+	weight int
+}
+
+// Jikes returns the default personality: Jikes RVM 2.4.4, the paper's
+// prototype target.
+func Jikes() *Personality {
+	return &Personality{
+		Name:          "JikesRVM",
+		ProcName:      "jikesrvm",
+		BootImageName: "RVM.code.image",
+		MapFileName:   "RVM.map",
+		MapDisplay:    "RVM.map",
+		BootstrapName: "JikesRVM",
+		bootSyms:      jikesBootSymbols,
+		services:      jikesServiceSymbols,
+	}
+}
+
+// CLR returns a Microsoft-.NET-style personality: same engine, CLR
+// runtime symbols. Its map file plays the role RVM.map plays for Jikes.
+func CLR() *Personality {
+	return &Personality{
+		Name:          "CLR",
+		ProcName:      "clrhost",
+		BootImageName: "mscorwks.image",
+		MapFileName:   "CLR.map",
+		MapDisplay:    "CLR.map",
+		BootstrapName: "clrboot",
+		bootSyms:      clrBootSymbols,
+		services:      clrServiceSymbols,
+	}
+}
+
+// Personalities lists every personality whose map files post-processing
+// should look for.
+func Personalities() []*Personality {
+	return []*Personality{Jikes(), CLR()}
+}
+
+// buildBootImage constructs the personality's runtime image.
+func (p *Personality) buildBootImage() (*image.Image, error) {
+	b := image.NewBuilder(p.BootImageName)
+	for _, s := range p.bootSyms {
+		b.Add(s.name, s.size)
+	}
+	return b.Image()
+}
+
+// buildBootstrap constructs the native loader.
+func (p *Personality) buildBootstrap() (*image.Image, error) {
+	b := image.NewBuilder(p.BootstrapName)
+	for _, s := range []bootSym{
+		{"main", 400},
+		{"loadBootImage", 900},
+		{"sysCall", 300},
+	} {
+		b.Add(s.name, s.size)
+	}
+	return b.Image()
+}
+
+// clrBootSymbols models the CLR runtime's method table (mscorwks-style
+// names).
+var clrBootSymbols = []bootSym{
+	// Loader / type system.
+	{"System.Reflection.Assembly.Load", 1800},
+	{"MethodTable::DoFullyLoad", 1400},
+	{"MethodDesc::DoPrestub", 900},
+	{"ClassLoader::LoadTypeHandle", 1100},
+	// JIT (one tier in CLR 2.0; re-JIT modelled through the same path).
+	{"CILJit::compileMethod", 4000},
+	{"Compiler::compCompile", 2200},
+	{"Compiler::optOptimizeLayout", 1200},
+	{"CEEJitInfo::allocMem", 600},
+	// GC.
+	{"WKS::gc_heap::garbage_collect", 1600},
+	{"WKS::gc_heap::mark_object_simple", 1200},
+	{"WKS::gc_heap::relocate_phase", 1100},
+	{"WKS::gc_heap::allocate", 500},
+	// Threads / startup / runtime services.
+	{"Thread::intermediateThreadProc", 900},
+	{"ThreadpoolMgr::WorkerThreadStart", 1000},
+	{"SystemDomain::Init", 2200},
+	{"JIT_New", 600},
+	{"JIT_MonEnterWorker", 500},
+	{"System.String.Concat", 500},
+	{"System.Collections.ArrayList.Add", 500},
+}
+
+var clrServiceSymbols = map[ServiceID][]svcSym{
+	SvcClassload: {
+		{"System.Reflection.Assembly.Load", 4},
+		{"MethodTable::DoFullyLoad", 3},
+		{"ClassLoader::LoadTypeHandle", 3},
+	},
+	SvcBaseCompile: {
+		{"MethodDesc::DoPrestub", 3},
+		{"CILJit::compileMethod", 6},
+		{"CEEJitInfo::allocMem", 1},
+	},
+	SvcOptCompile: {
+		{"CILJit::compileMethod", 6},
+		{"Compiler::compCompile", 5},
+		{"Compiler::optOptimizeLayout", 4},
+	},
+	SvcGCTrace: {
+		{"WKS::gc_heap::garbage_collect", 3},
+		{"WKS::gc_heap::mark_object_simple", 5},
+	},
+	SvcGCCopy: {
+		{"WKS::gc_heap::relocate_phase", 4},
+		{"WKS::gc_heap::allocate", 2},
+	},
+	SvcScheduler: {
+		{"Thread::intermediateThreadProc", 3},
+		{"ThreadpoolMgr::WorkerThreadStart", 2},
+	},
+	SvcRuntime: {
+		{"JIT_New", 3},
+		{"JIT_MonEnterWorker", 1},
+		{"System.String.Concat", 1},
+		{"System.Collections.ArrayList.Add", 1},
+	},
+	SvcStartup: {
+		{"SystemDomain::Init", 5},
+		{"Thread::intermediateThreadProc", 2},
+	},
+}

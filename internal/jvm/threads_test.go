@@ -1,0 +1,213 @@
+package jvm
+
+import (
+	"testing"
+
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/classes"
+	"viprof/internal/jvm/jit"
+)
+
+// buildThreadedProgram: main spawns `workers` threads, each summing its
+// argument range into a distinct static slot, then main does a little
+// work of its own.
+func buildThreadedProgram(workers int, iters int32) *classes.Program {
+	p := classes.NewProgram("threads", workers+2)
+
+	w := bytecode.NewAsm()
+	// locals: 0=slot 1=iters 2=i 3=sum
+	w.Const(0).Store(3)
+	w.Const(0).Store(2)
+	w.Label("loop")
+	w.Load(3).Load(2).Emit(bytecode.Add).Store(3)
+	w.Load(2).Const(1).Emit(bytecode.Add).Store(2)
+	w.Load(2).Load(1).Emit(bytecode.CmpLT)
+	w.Branch(bytecode.JmpNZ, "loop")
+	// statics[slot] = sum: no indexed PutStatic, so store through a ref
+	// array in statics[workers+1].
+	w.Emit(bytecode.GetStatic, int32(workers+1))
+	w.Load(0)
+	w.Load(3)
+	w.Emit(bytecode.AStore)
+	w.Emit(bytecode.RetVoid)
+	worker := p.Add(&classes.Method{
+		Class: "threads.Worker", Name: "run", NArgs: 2, MaxLocals: 4,
+		Code: w.MustFinish(),
+	})
+
+	mn := bytecode.NewAsm()
+	mn.Const(int32(workers)).Emit(bytecode.NewArray, 8, 0).Emit(bytecode.PutStatic, int32(workers+1))
+	for i := 0; i < workers; i++ {
+		mn.Const(int32(i)).Const(iters).Emit(bytecode.Spawn, int32(worker.Index))
+	}
+	mn.Emit(bytecode.RetVoid)
+	main := p.Add(&classes.Method{
+		Class: "threads.Main", Name: "main", MaxLocals: 1, Code: mn.MustFinish(),
+	})
+	p.SetMain(main)
+	return p
+}
+
+func TestSpawnRunsAllThreadsToCompletion(t *testing.T) {
+	const workers = 4
+	const iters = 5_000
+	m := newMachine(1)
+	prog := buildThreadedProgram(workers, iters)
+	vm, proc, err := Launch(m, prog, Config{HeapBytes: 512 << 10, YieldQuantum: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(5_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !proc.Done() || !vm.Finished() {
+		t.Fatalf("threaded program failed: %v", vm.Err())
+	}
+	if vm.Stats().ThreadsSpawned != workers {
+		t.Errorf("spawned %d threads, want %d", vm.Stats().ThreadsSpawned, workers)
+	}
+	// Every worker computed its sum: 0+1+...+(iters-1).
+	want := int64(iters) * int64(iters-1) / 2
+	ring := vm.statics[workers+1].R
+	if ring == nil {
+		t.Fatal("result array missing")
+	}
+	for i := 0; i < workers; i++ {
+		if ring.Scalars[i] != want {
+			t.Errorf("worker %d sum = %d, want %d (threads corrupt each other?)",
+				i, ring.Scalars[i], want)
+		}
+	}
+}
+
+// Threads must interleave — the VM scheduler rotates at yieldpoints
+// rather than running each thread to completion.
+func TestThreadsInterleave(t *testing.T) {
+	m := newMachine(1)
+	prog := buildThreadedProgram(2, 50_000)
+	vm, _, err := Launch(m, prog, Config{HeapBytes: 512 << 10, YieldQuantum: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample thread identities over time via the scheduler state.
+	var switches, checks int
+	last := -1
+	m.Kern.AddTicker(20_000, func() {
+		if len(vm.threads) < 3 { // main + 2 workers not all started yet
+			return
+		}
+		checks++
+		if last >= 0 && vm.cur != last {
+			switches++
+		}
+		last = vm.cur
+	})
+	if err := m.Kern.Run(5_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("failed: %v", vm.Err())
+	}
+	if checks > 4 && switches == 0 {
+		t.Errorf("threads never interleaved across %d checks", checks)
+	}
+}
+
+func TestOSRReplacesRunningFrames(t *testing.T) {
+	// One long-running loop inside a single invocation: without OSR the
+	// method would stay at baseline forever (no second invocation).
+	p := classes.NewProgram("osr", 1)
+	a := bytecode.NewAsm()
+	a.Const(0).Store(0)
+	a.Label("loop")
+	a.Load(0).Const(1).Emit(bytecode.Add).Store(0)
+	a.Load(0).Const(400_000).Emit(bytecode.CmpLT)
+	a.Branch(bytecode.JmpNZ, "loop")
+	a.Emit(bytecode.RetVoid)
+	main := p.Add(&classes.Method{Class: "osr.Main", Name: "main", MaxLocals: 1, Code: a.MustFinish()})
+	p.SetMain(main)
+
+	m := newMachine(1)
+	vm, _, err := Launch(m, p, Config{HeapBytes: 256 << 10, AOSThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(5_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("failed: %v", vm.Err())
+	}
+	if vm.Stats().OSRs == 0 {
+		t.Error("hot loop never on-stack-replaced")
+	}
+	body, ok := vm.Body(main)
+	if !ok || body.Level != jit.Opt {
+		t.Error("main not at opt level after OSR")
+	}
+
+	// With OSR disabled the same program must finish at baseline.
+	m2 := newMachine(1)
+	vm2, _, err := Launch(m2, p, Config{HeapBytes: 256 << 10, AOSThreshold: 100, DisableOSR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Kern.Run(5_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if vm2.Stats().OSRs != 0 {
+		t.Error("OSR happened despite DisableOSR")
+	}
+	// OSR makes the run faster: the loop body executes at opt cost.
+	if m.Core.Cycles() >= m2.Core.Cycles() {
+		t.Errorf("OSR run (%d cycles) not faster than baseline-locked run (%d)",
+			m.Core.Cycles(), m2.Core.Cycles())
+	}
+}
+
+func TestThreadsAreGCRoots(t *testing.T) {
+	// Worker threads hold live arrays in locals; aggressive GC must not
+	// reclaim them.
+	const workers = 3
+	p := classes.NewProgram("tgc", workers+2)
+	w := bytecode.NewAsm()
+	// locals: 0=slot 1=iters 2=i 3=arr
+	w.Const(64).Emit(bytecode.NewArray, 8, 0).Store(3)
+	w.Const(0).Store(2)
+	w.Label("loop")
+	// arr[i%64] = i (keeps arr live across the loop)
+	w.Load(3).Load(2).Const(64).Emit(bytecode.Mod).Load(2).Emit(bytecode.AStore)
+	// churn: garbage allocation to force GCs
+	w.Emit(bytecode.New, 0, 4).Emit(bytecode.Pop)
+	w.Load(2).Const(1).Emit(bytecode.Add).Store(2)
+	w.Load(2).Load(1).Emit(bytecode.CmpLT)
+	w.Branch(bytecode.JmpNZ, "loop")
+	// read back a slot to prove the array survived
+	w.Load(3).Const(5).Emit(bytecode.ALoad).Emit(bytecode.Pop)
+	w.Emit(bytecode.RetVoid)
+	worker := p.Add(&classes.Method{
+		Class: "tgc.Worker", Name: "run", NArgs: 2, MaxLocals: 4, Code: w.MustFinish(),
+	})
+	mn := bytecode.NewAsm()
+	for i := 0; i < workers; i++ {
+		mn.Const(int32(i)).Const(3_000).Emit(bytecode.Spawn, int32(worker.Index))
+	}
+	mn.Emit(bytecode.RetVoid)
+	main := p.Add(&classes.Method{Class: "tgc.Main", Name: "main", MaxLocals: 1, Code: mn.MustFinish()})
+	p.SetMain(main)
+
+	m := newMachine(1)
+	vm, _, err := Launch(m, p, Config{HeapBytes: 32 << 10, YieldQuantum: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(5_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("GC broke a thread: %v", vm.Err())
+	}
+	if vm.Stats().Collections == 0 {
+		t.Error("no collections; root coverage untested")
+	}
+}

@@ -1,0 +1,298 @@
+package kernel
+
+import (
+	"fmt"
+
+	"viprof/internal/addr"
+	"viprof/internal/cpu"
+	"viprof/internal/image"
+)
+
+// NewProcess creates a process with a fresh address space (kernel
+// mappings included) and registers it with the scheduler as runnable.
+func (k *Kernel) NewProcess(name string, exec Executor) (*Process, error) {
+	sp := addr.NewSpace()
+	for _, v := range k.kernSpace.All() {
+		if err := sp.Map(v); err != nil {
+			return nil, fmt.Errorf("kernel: mapping kernel into %s: %v", name, err)
+		}
+	}
+	p := &Process{
+		PID:       k.nextPID,
+		Name:      name,
+		Space:     sp,
+		exec:      exec,
+		state:     stateRunnable,
+		heapAlloc: addr.NewAllocator(HeapBase, StackTop-0x100_0000),
+		libAlloc:  addr.NewAllocator(LibBase, HeapBase),
+		userAlloc: addr.NewAllocator(UserBase, LibBase),
+	}
+	k.nextPID++
+	k.procs = append(k.procs, p)
+	return p, nil
+}
+
+// LoadImage maps an object file into the process at the next free slot
+// of the appropriate region (user text for executables, library region
+// for .so names) and returns its base address.
+func (k *Kernel) LoadImage(p *Process, im *image.Image, lib bool) (addr.Address, error) {
+	al := p.userAlloc
+	if lib {
+		al = p.libAlloc
+	}
+	base, err := al.Alloc(im.Size, 0x1000)
+	if err != nil {
+		return 0, fmt.Errorf("kernel: loading %s into %s: %v", im.Name, p.Name, err)
+	}
+	err = p.Space.Map(addr.VMA{
+		Start: base,
+		End:   base + addr.Address(im.Size),
+		Image: im.Name,
+		Prot:  addr.ProtRead | addr.ProtExec,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return base, nil
+}
+
+// MapAnon maps size bytes of anonymous memory (heap) into the process
+// and returns the base. Executable anonymous mappings are where JIT
+// compilers put generated code — the regions OProfile cannot attribute.
+func (k *Kernel) MapAnon(p *Process, size uint64, exec bool) (addr.Address, error) {
+	base, err := p.heapAlloc.Alloc(size, 0x1000)
+	if err != nil {
+		return 0, fmt.Errorf("kernel: anon map %d bytes in %s: %v", size, p.Name, err)
+	}
+	prot := addr.ProtRead | addr.ProtWrite
+	if exec {
+		prot |= addr.ProtExec
+	}
+	err = p.Space.Map(addr.VMA{Start: base, End: base + addr.Address(size), Prot: prot})
+	if err != nil {
+		return 0, err
+	}
+	return base, nil
+}
+
+// Process returns the process with the given PID.
+func (k *Kernel) Process(pid int) (*Process, bool) {
+	for _, p := range k.procs {
+		if p.PID == pid {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Current returns the currently scheduled process (nil between slices).
+func (k *Kernel) Current() *Process { return k.current }
+
+// Processes returns all processes.
+func (k *Kernel) Processes() []*Process { return k.procs }
+
+// ExecKernel executes n micro-ops of the named kernel symbol in kernel
+// mode at the given per-op cost, walking PCs through the symbol's
+// range. It is how all simulated kernel work is accounted.
+func (k *Kernel) ExecKernel(symbol string, n int, cost uint32) {
+	v, ok := k.kernSyms[symbol]
+	if !ok {
+		panic("kernel: ExecKernel of unknown symbol " + symbol)
+	}
+	prev := k.core.Context()
+	k.core.SetContext(cpu.Context{PID: prev.PID, Kernel: true})
+	pc := v.Start
+	for i := 0; i < n; i++ {
+		k.core.Exec(cpu.Op{PC: pc, Cost: cost})
+		pc += 4
+		if pc >= v.End {
+			pc = v.Start
+		}
+	}
+	k.core.SetContext(prev)
+}
+
+// KernelLookup resolves a kernel-space address to the VMA of the kernel
+// image or module containing it (profilers attribute kernel samples
+// through this).
+func (k *Kernel) KernelLookup(a addr.Address) (addr.VMA, bool) {
+	return k.kernSpace.Lookup(a)
+}
+
+// KernelSymbol returns the absolute address range of a kernel or module
+// symbol.
+func (k *Kernel) KernelSymbol(name string) (addr.VMA, bool) {
+	v, ok := k.kernSyms[name]
+	return v, ok
+}
+
+// PageFault charges a minor-fault service (no disk: anonymous zero
+// page) to the current context. The VM calls it the first time an
+// allocation touches a fresh heap page, which is how do_page_fault and
+// handle_mm_fault rows get into profiles.
+func (k *Kernel) PageFault(p *Process) {
+	k.ExecKernel("do_page_fault", 40, 1)
+	k.ExecKernel("handle_mm_fault", 110, 1)
+	k.faults++
+}
+
+// PageFaults returns the number of faults serviced.
+func (k *Kernel) PageFaults() uint64 { return k.faults }
+
+// Sleep blocks the process until the given number of cycles has passed.
+// The executor must return StepBlocked after calling this.
+func (k *Kernel) Sleep(p *Process, cycles uint64) {
+	p.state = stateBlocked
+	p.wakeAt = k.core.Cycles() + cycles
+}
+
+// Block parks the process until someone calls Wake. The executor must
+// return StepBlocked after calling this.
+func (k *Kernel) Block(p *Process) {
+	p.state = stateBlocked
+	p.wakeAt = ^uint64(0)
+}
+
+// Wake makes a blocked process runnable again.
+func (k *Kernel) Wake(p *Process) {
+	if p.state == stateBlocked {
+		p.state = stateRunnable
+		p.wakeAt = 0
+	}
+}
+
+// Exit marks the process terminated.
+func (k *Kernel) Exit(p *Process) { p.state = stateDone }
+
+// AddTicker registers fn to run (in whatever context the scheduler is
+// in) every `period` cycles, checked at scheduling boundaries. The
+// hypervisor layer uses this for VCPU slice exits; tests use it for
+// periodic assertions.
+func (k *Kernel) AddTicker(period uint64, fn func()) {
+	if period == 0 {
+		return
+	}
+	k.tickers = append(k.tickers, &ticker{period: period, next: k.core.Cycles() + period, fn: fn})
+}
+
+func (k *Kernel) runTickers() {
+	now := k.core.Cycles()
+	for _, t := range k.tickers {
+		for t.next <= now {
+			t.next += t.period
+			t.fn()
+		}
+	}
+}
+
+// Run drives the scheduler until every non-daemon process has exited or
+// the cycle limit is hit (0 means no limit). It returns an error on
+// limit overrun so runaway workloads fail loudly instead of hanging.
+func (k *Kernel) Run(maxCycles uint64) error {
+	for {
+		if !k.anyNonDaemonAlive() {
+			return nil
+		}
+		if maxCycles > 0 && k.core.Cycles() > maxCycles {
+			return fmt.Errorf("kernel: cycle limit %d exceeded at %d", maxCycles, k.core.Cycles())
+		}
+		k.runTickers()
+		p := k.pickNext()
+		if p == nil {
+			// Everyone is blocked: idle until the earliest wakeup.
+			next := k.earliestWake()
+			if next == ^uint64(0) {
+				return fmt.Errorf("kernel: deadlock — all processes blocked with no pending wakeup")
+			}
+			if next > k.core.Cycles() {
+				k.core.AdvanceIdle(next - k.core.Cycles())
+			}
+			k.wakeExpired()
+			continue
+		}
+		k.switchTo(p)
+		// Small jitter models timer-tick phase and other system noise
+		// (paper §4.3 attributes sub-1% run variance to such noise).
+		slice := k.Timeslice + uint64(k.rng.Intn(int(k.Timeslice/16)+1))
+		k.core.StartSlice(slice)
+		before := k.core.Cycles()
+		res := p.exec.Step(k.m, p)
+		p.cpuTime += k.core.Cycles() - before
+		switch res {
+		case StepExit:
+			p.state = stateDone
+		case StepBlocked:
+			if p.state == stateRunnable {
+				// Executor said blocked but never arranged a wakeup;
+				// treat as a yield to avoid losing the process.
+				break
+			}
+		case StepYield:
+			// stays runnable
+		}
+		k.wakeExpired()
+	}
+}
+
+// switchTo performs a context switch to p, charging its cost and
+// disturbing the L1 cache (a newly scheduled process sees a cold L1).
+func (k *Kernel) switchTo(p *Process) {
+	if k.current != p {
+		k.ctxSwitches++
+		k.core.SetContext(cpu.Context{PID: 0, Kernel: true})
+		k.ExecKernel("schedule", int(k.SwitchCost/2), 1)
+		k.ExecKernel("__switch_to", int(k.SwitchCost/2), 1)
+		if k.core.Mem != nil && k.current != nil {
+			k.core.Mem.L1.Flush()
+		}
+		k.current = p
+	}
+	k.core.SetContext(cpu.Context{PID: p.PID, Kernel: false})
+}
+
+func (k *Kernel) anyNonDaemonAlive() bool {
+	for _, p := range k.procs {
+		if !p.Daemon && p.state != stateDone {
+			return true
+		}
+	}
+	return false
+}
+
+func (k *Kernel) pickNext() *Process {
+	// Round-robin starting after the current process.
+	start := 0
+	for i, p := range k.procs {
+		if p == k.current {
+			start = i + 1
+			break
+		}
+	}
+	n := len(k.procs)
+	for i := 0; i < n; i++ {
+		p := k.procs[(start+i)%n]
+		if p.state == stateRunnable {
+			return p
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) earliestWake() uint64 {
+	min := ^uint64(0)
+	for _, p := range k.procs {
+		if p.state == stateBlocked && p.wakeAt < min {
+			min = p.wakeAt
+		}
+	}
+	return min
+}
+
+func (k *Kernel) wakeExpired() {
+	now := k.core.Cycles()
+	for _, p := range k.procs {
+		if p.state == stateBlocked && p.wakeAt != ^uint64(0) && p.wakeAt <= now {
+			p.state = stateRunnable
+		}
+	}
+}

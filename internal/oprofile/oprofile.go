@@ -1,0 +1,45 @@
+package oprofile
+
+import "viprof/internal/kernel"
+
+// Config assembles a full profiling session (the opcontrol settings).
+type Config struct {
+	Events    []EventConfig
+	BufferCap int
+	Daemon    DaemonConfig
+	// Registry plugs in the VIProf runtime-profiler extension; nil
+	// runs plain OProfile.
+	Registry Registry
+	// CallGraphDepth enables call-graph sampling when > 0 (requires a
+	// Registry that can walk stacks).
+	CallGraphDepth int
+}
+
+// Profiler is a running profiling session: driver + daemon.
+type Profiler struct {
+	Driver *Driver
+	Daemon *Daemon
+}
+
+// Start loads the driver, arms the counters and spawns the daemon —
+// "we start VIProf just prior to benchmark launch" (§4.1).
+func Start(m *kernel.Machine, cfg Config) (*Profiler, error) {
+	drv, err := NewDriver(m, cfg.Events, cfg.BufferCap, cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	drv.CallGraphDepth = cfg.CallGraphDepth
+	d, err := StartDaemon(m, drv, cfg.Daemon)
+	if err != nil {
+		return nil, err
+	}
+	return &Profiler{Driver: drv, Daemon: d}, nil
+}
+
+// Shutdown stops sampling and flushes everything that is still
+// buffered to disk (opcontrol --shutdown). Call it after the workload
+// process has exited, before post-processing.
+func (p *Profiler) Shutdown(m *kernel.Machine) {
+	p.Driver.Disarm()
+	p.Daemon.FinalFlush(m)
+}

@@ -1,0 +1,153 @@
+// Package oprofile implements the baseline system-wide profiler the
+// paper extends (OProfile 0.9.1, §3): a kernel driver that programs the
+// hardware performance counters and services the resulting NMIs, a
+// user-level daemon that drains the driver's sample buffer to sample
+// files on disk, and opreport-style post-processing. Its known
+// limitation — samples in dynamically generated code are logged as
+// anonymous-memory black boxes — is exactly what VIProf (internal/core)
+// fixes by plugging a JIT registry and epoch tags into this package's
+// extension points.
+package oprofile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"viprof/internal/addr"
+	"viprof/internal/hpc"
+)
+
+// Sample is one attributed counter-overflow event, the unit the daemon
+// logs: "OProfile ... identifies the corresponding binary or library
+// [and] computes the offset into the corresponding object file" (§3).
+type Sample struct {
+	Event  hpc.Event
+	PID    int
+	Proc   string // process name at sampling time
+	Kernel bool   // privilege mode
+	PC     addr.Address
+
+	// Image/Offset identify file-backed code. For anonymous memory,
+	// Image is empty and AnonStart/AnonEnd give the region.
+	Image  string
+	Offset addr.Address
+
+	AnonStart, AnonEnd addr.Address
+
+	// JIT marks a sample inside a VM-registered JIT region; Epoch is
+	// the GC execution epoch it was taken in. Only the VIProf-extended
+	// pipeline sets these (plain OProfile has no JIT registry).
+	JIT   bool
+	Epoch int
+}
+
+// Anonymous reports whether the sample fell in anonymous memory that no
+// JIT registry claimed.
+func (s Sample) Anonymous() bool { return s.Image == "" && !s.JIT }
+
+// AnonName formats the anonymous-region pseudo-image name the way
+// OProfile's reports show it: "anon (range:0xA-0xB),proc".
+func (s Sample) AnonName() string {
+	return fmt.Sprintf("anon (range:%s-%s),%s", s.AnonStart, s.AnonEnd, s.Proc)
+}
+
+// JITImageName is the pseudo-image the VIProf pipeline logs JIT samples
+// under (Figure 1's "JIT.App" rows).
+const JITImageName = "JIT.App"
+
+// Key is the aggregation key the daemon accumulates sample counts
+// under; one key maps to one line in a sample file.
+type Key struct {
+	Event hpc.Event
+	Image string // image name, AnonName(), or JITImageName
+	Proc  string
+	JIT   bool
+	Epoch int
+	// Off is the image offset for file-backed samples and the absolute
+	// PC for anonymous/JIT samples (JIT code maps use absolute
+	// addresses).
+	Off addr.Address
+}
+
+// KeyOf reduces a sample to its aggregation key.
+func KeyOf(s Sample) Key {
+	switch {
+	case s.JIT:
+		return Key{Event: s.Event, Image: JITImageName, Proc: s.Proc, JIT: true,
+			Epoch: s.Epoch, Off: s.PC}
+	case s.Image != "":
+		return Key{Event: s.Event, Image: s.Image, Proc: s.Proc, Off: s.Offset}
+	default:
+		return Key{Event: s.Event, Image: s.AnonName(), Proc: s.Proc, Off: s.PC}
+	}
+}
+
+// SampleFile is the on-disk path prefix for sample data.
+const SampleFile = "var/lib/oprofile/samples.log"
+
+// WriteCounts serializes aggregated counts as sample-file lines:
+//
+//	event<TAB>jit<TAB>epoch<TAB>offset<TAB>count<TAB>proc<TAB>image
+//
+// Image goes last because it may contain spaces and commas.
+func WriteCounts(w io.Writer, counts map[Key]uint64, order []Key) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range order {
+		c := counts[k]
+		if c == 0 {
+			continue
+		}
+		jit := 0
+		if k.JIT {
+			jit = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			k.Event, jit, k.Epoch, uint64(k.Off), c, k.Proc, k.Image); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCounts parses sample-file lines, summing duplicate keys (the
+// daemon appends deltas across flushes).
+func ReadCounts(r io.Reader) (map[Key]uint64, error) {
+	counts := make(map[Key]uint64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 7)
+		if len(parts) != 7 {
+			return nil, fmt.Errorf("oprofile: sample line %d: %d fields", line, len(parts))
+		}
+		ev, err1 := strconv.Atoi(parts[0])
+		jit, err2 := strconv.Atoi(parts[1])
+		epoch, err3 := strconv.Atoi(parts[2])
+		off, err4 := strconv.ParseUint(parts[3], 10, 64)
+		cnt, err5 := strconv.ParseUint(parts[4], 10, 64)
+		for _, err := range []error{err1, err2, err3, err4, err5} {
+			if err != nil {
+				return nil, fmt.Errorf("oprofile: sample line %d: %v", line, err)
+			}
+		}
+		k := Key{
+			Event: hpc.Event(ev),
+			Image: parts[6],
+			Proc:  parts[5],
+			JIT:   jit != 0,
+			Epoch: epoch,
+			Off:   addr.Address(off),
+		}
+		counts[k] += cnt
+	}
+	return counts, sc.Err()
+}

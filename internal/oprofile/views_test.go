@@ -1,0 +1,81 @@
+package oprofile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"viprof/internal/hpc"
+	"viprof/internal/image"
+)
+
+func viewsTestReport() (*Report, map[Key]uint64, Resolver) {
+	b := image.NewBuilder("lib.so")
+	fOff := b.Add("f", 64)
+	gOff := b.Add("g", 64)
+	img, _ := b.Image()
+	res := &ELFResolver{Images: map[string]*image.Image{"lib.so": img}}
+	counts := map[Key]uint64{
+		{Event: hpc.GlobalPowerEvents, Image: "lib.so", Off: fOff}:     10,
+		{Event: hpc.GlobalPowerEvents, Image: "lib.so", Off: fOff + 4}: 5,
+		{Event: hpc.GlobalPowerEvents, Image: "lib.so", Off: gOff}:     3,
+		{Event: hpc.BSQCacheReference, Image: "lib.so", Off: fOff}:     2,
+		{Event: hpc.GlobalPowerEvents, Image: "vmlinux", Off: 0x100}:   7,
+	}
+	rep := BuildReport(counts, res, []hpc.Event{hpc.GlobalPowerEvents, hpc.BSQCacheReference})
+	return rep, counts, res
+}
+
+func TestImageSummary(t *testing.T) {
+	rep, _, _ := viewsTestReport()
+	rows := rep.ImageSummary()
+	if len(rows) != 2 {
+		t.Fatalf("%d images", len(rows))
+	}
+	if rows[0].Image != "lib.so" || rows[0].Counts[hpc.GlobalPowerEvents] != 18 {
+		t.Errorf("top image = %+v", rows[0])
+	}
+	if rows[1].Image != "vmlinux" || rows[1].Counts[hpc.GlobalPowerEvents] != 7 {
+		t.Errorf("second image = %+v", rows[1])
+	}
+	var buf bytes.Buffer
+	if err := FormatImageSummary(&buf, rep, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "lib.so") || !strings.Contains(out, "Image name") {
+		t.Errorf("summary output:\n%s", out)
+	}
+}
+
+func TestDetailsFor(t *testing.T) {
+	_, counts, res := viewsTestReport()
+	details := DetailsFor(counts, res, "lib.so")
+	if len(details) != 3 {
+		t.Fatalf("%d detail rows, want 3", len(details))
+	}
+	// Sorted by offset; first two belong to f.
+	if details[0].Symbol != "f" || details[0].Counts[hpc.GlobalPowerEvents] != 10 {
+		t.Errorf("first detail = %+v", details[0])
+	}
+	if details[0].Counts[hpc.BSQCacheReference] != 2 {
+		t.Errorf("miss count not merged per offset: %+v", details[0])
+	}
+	if details[1].Symbol != "f" || details[1].Counts[hpc.GlobalPowerEvents] != 5 {
+		t.Errorf("second detail = %+v", details[1])
+	}
+	if details[2].Symbol != "g" {
+		t.Errorf("third detail = %+v", details[2])
+	}
+	// Unknown image: empty.
+	if got := DetailsFor(counts, res, "nothing"); len(got) != 0 {
+		t.Errorf("phantom details: %v", got)
+	}
+	var buf bytes.Buffer
+	if err := FormatDetails(&buf, details, []hpc.Event{hpc.GlobalPowerEvents}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 { // header + 2 rows
+		t.Errorf("maxRows not applied:\n%s", buf.String())
+	}
+}

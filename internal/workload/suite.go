@@ -1,0 +1,172 @@
+package workload
+
+import "fmt"
+
+// The benchmark suite of §4.1: "three groups of benchmarks: Spec JVM98,
+// Dacapo, and Spec Pseudo JBB ... We use an input of 100 for JVM98
+// benchmarks and large for Dacapo benchmarks. We use 3 warehouses with
+// 100K transactions for pseudo JBB."
+//
+// OuterIters values are calibrated so that base (unprofiled) running
+// times at Scale 1.0 match the paper's Figure 3 on the simulated
+// 3.4 MHz clock. Character parameters (classes, locality, allocation)
+// are set from each benchmark's published behaviour: antlr
+// compiles many small classes in a short run, hsqldb is heap- and
+// miss-heavy, xalan is the long runner, pseudoJBB models 3 warehouses.
+//
+// Figure 3 of the paper is partly garbled in the archived text (the
+// xalan row and the 32.9 s "average" cannot be reconciled with the
+// listed values); we adopt xalan = 97.6 s and ps = 22.2 s and record
+// the discrepancy in EXPERIMENTS.md.
+
+// Suite returns the full benchmark list in the paper's Figure 2/3
+// order.
+func Suite() []Spec {
+	return []Spec{
+		PseudoJBB(), JVM98(),
+		Benchmark("antlr"), Benchmark("bloat"), Benchmark("fop"),
+		Benchmark("hsqldb"), Benchmark("pmd"), Benchmark("xalan"),
+		Benchmark("ps"),
+	}
+}
+
+// Names returns the suite's benchmark names in order.
+func Names() []string {
+	specs := Suite()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName returns the spec with the given name, searching the Figure 2/3
+// suite first and then the individual JVM98 members.
+func ByName(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	if s, ok := memberByName(name); ok {
+		return s, nil
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q (have %v and JVM98 members)", name, Names())
+}
+
+// PseudoJBB models SPEC pseudoJBB: 3 warehouses (one hot worker per
+// warehouse) servicing transactions, fixed transaction count.
+func PseudoJBB() Spec {
+	return Spec{
+		Name: "pseudojbb", Suite: "specjbb", MainClass: "spec.jbb.JBBmain",
+		BaseSeconds: 31.0,
+		Classes:     30, ColdPerHot: 5,
+		HotMethods: 3, OuterIters: 203, InnerIters: 1500,
+		ArrayLen: 2048, AllocEvery: 3, SurviveRing: 512,
+		MemsetBytes: 2048, WriteEvery: 4,
+		HeapBytes: 6 << 20, Seed: 42,
+		Threaded: true, // one VM thread per warehouse
+	}
+}
+
+// JVM98 is the SpecJVM98 suite, modelled as one composite program whose
+// base time matches the suite average the paper reports (5.74 s).
+func JVM98() Spec {
+	return Spec{
+		Name: "JVM98", Suite: "jvm98", MainClass: "spec.jvm98.Composite",
+		BaseSeconds: 5.74,
+		Classes:     25, ColdPerHot: 4,
+		HotMethods: 4, OuterIters: 30, InnerIters: 1200,
+		ArrayLen: 1024, AllocEvery: 3, SurviveRing: 256,
+		MemsetBytes: 1024, WriteEvery: 8,
+		HeapBytes: 2 << 20, Seed: 98,
+	}
+}
+
+// Benchmark returns a DaCapo benchmark spec by name.
+func Benchmark(name string) Spec {
+	base := Spec{
+		Suite: "dacapo", ColdPerHot: 5, AllocEvery: 8, SurviveRing: 384,
+		MemsetBytes: 1024, WriteEvery: 8, Seed: 7,
+	}
+	switch name {
+	case "antlr":
+		// Parser generator: many classes compiled in a short run — the
+		// paper's worst case for map-write amortization (>10% slowdown).
+		s := base
+		s.Name, s.MainClass = "antlr", "org.antlr.Tool"
+		s.BaseSeconds = 8.7
+		s.Classes, s.ColdPerHot = 90, 8
+		s.HotMethods, s.OuterIters, s.InnerIters = 4, 40, 900
+		s.ArrayLen, s.AllocEvery = 1024, 2
+		s.HeapBytes = 1 << 20 // small heap: frequent GCs, many epochs
+		return s
+	case "bloat":
+		// Bytecode optimizer: long, allocation-heavy analysis.
+		s := base
+		s.Name, s.MainClass = "bloat", "EDU.purdue.cs.bloat.Main"
+		s.BaseSeconds = 28.5
+		s.Classes = 45
+		s.HotMethods, s.OuterIters, s.InnerIters = 3, 149, 1500
+		s.ArrayLen, s.AllocEvery = 4096, 3
+		s.HeapBytes = 2 << 20
+		return s
+	case "fop":
+		// Print formatter: the shortest benchmark.
+		s := base
+		s.Name, s.MainClass = "fop", "org.apache.fop.apps.Fop"
+		s.BaseSeconds = 3.2
+		s.Classes = 35
+		s.HotMethods, s.OuterIters, s.InnerIters = 2, 49, 1000
+		s.ArrayLen = 1024
+		s.HeapBytes = 2 << 20
+		return s
+	case "hsqldb":
+		// In-memory database: the big, cache-hostile heap.
+		s := base
+		s.Name, s.MainClass = "hsqldb", "org.hsqldb.hsqldbDoTest"
+		s.BaseSeconds = 43.0
+		s.Classes = 30
+		s.HotMethods, s.OuterIters, s.InnerIters = 3, 150, 1600
+		s.ArrayLen, s.AllocEvery = 32768, 3 // 256 KiB working set per worker
+		s.SurviveRing = 1024
+		s.HeapBytes = 10 << 20
+		return s
+	case "pmd":
+		// Source analyzer: many classes, medium run.
+		s := base
+		s.Name, s.MainClass = "pmd", "net.sourceforge.pmd.PMD"
+		s.BaseSeconds = 16.3
+		s.Classes, s.ColdPerHot = 60, 6
+		s.HotMethods, s.OuterIters, s.InnerIters = 3, 133, 1300
+		s.ArrayLen = 2048
+		s.HeapBytes = 3 << 20
+		return s
+	case "xalan":
+		// XSLT processor: the long runner.
+		s := base
+		s.Name, s.MainClass = "xalan", "org.apache.xalan.xslt.Process"
+		s.BaseSeconds = 97.6
+		s.Classes = 40
+		s.HotMethods, s.OuterIters, s.InnerIters = 3, 763, 1500
+		s.ArrayLen = 2048
+		s.HeapBytes = 5 << 20
+		return s
+	case "ps":
+		// PostScript interpreter: Figure 1's case-study benchmark.
+		s := base
+		s.Name, s.MainClass = "ps", "edu.unm.cs.oal.dacapo.javapostscript"
+		s.HotClasses = []string{"edu.unm.cs.oal.dacapo.javapostscript.red.scanner.Scanner"}
+		s.HotName = "parseLine"
+		s.BaseSeconds = 22.2
+		s.Classes = 35
+		s.HotMethods, s.OuterIters, s.InnerIters = 3, 134, 1400
+		s.ArrayLen, s.AllocEvery = 3072, 3
+		s.HeapBytes = 4 << 20
+		return s
+	default:
+		s := base
+		s.Name = name
+		return s
+	}
+}

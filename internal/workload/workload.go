@@ -1,0 +1,240 @@
+// Package workload synthesizes the paper's benchmark programs: the
+// SpecJVM98 suite (as one representative composite), the DaCapo
+// benchmarks (antlr, bloat, fop, hsqldb, pmd, xalan, ps) and SPEC
+// pseudoJBB (§4.1). Real inputs are unavailable offline, so each
+// benchmark is a deterministic bytecode program whose *profiler-visible
+// characteristics* are calibrated to the original: base running time
+// (Figure 3), number of classes and methods (compilation load), heap
+// allocation rate and survivor ratio (GC/epoch frequency), array
+// working-set size (L2 miss rate), and native/kernel activity.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/classes"
+)
+
+// Spec describes one synthetic benchmark.
+type Spec struct {
+	Name      string
+	Suite     string // "dacapo", "jvm98", "specjbb"
+	MainClass string
+	// BaseSeconds is the paper-reported base running time (Figure 3)
+	// this spec is calibrated to reproduce at Scale 1.0.
+	BaseSeconds float64
+
+	// Program shape.
+	Classes     int // distinct classes (drives classloading)
+	ColdPerHot  int // cold methods per class, invoked once at startup
+	HotMethods  int // hot loop methods (one per "worker" class)
+	OuterIters  int32
+	InnerIters  int32
+	ArrayLen    int32 // hot-loop working set, elements of 8 bytes
+	AllocEvery  int32 // allocate an object every k inner iterations
+	SurviveRing int32 // static ring slots keeping allocations live
+	MemsetBytes int32 // libc activity per outer iteration
+	WriteEvery  int32 // kernel write every k outer iterations (0 = none)
+	HeapBytes   uint64
+	Seed        int64
+
+	// HotClasses optionally names the hot-method classes (defaults to
+	// "<MainClass>.WorkerN"); HotName names the hot methods (default
+	// "run"). The ps benchmark uses these so its hottest symbol matches
+	// the paper's Figure 1 verbatim.
+	HotClasses []string
+	HotName    string
+
+	// Threaded runs each hot method in its own VM thread (pseudoJBB's
+	// warehouses, mtrt's rays) instead of calling them from main's
+	// loop; main keeps the native/kernel activity.
+	Threaded bool
+}
+
+// Validate sanity-checks the spec.
+func (s Spec) Validate() error {
+	if s.Name == "" || s.HotMethods < 1 || s.OuterIters < 1 || s.InnerIters < 1 {
+		return fmt.Errorf("workload %q: incomplete spec", s.Name)
+	}
+	if s.ArrayLen < 1 || s.AllocEvery < 1 || s.SurviveRing < 1 {
+		return fmt.Errorf("workload %q: bad loop parameters", s.Name)
+	}
+	if s.HeapBytes < 64<<10 {
+		return fmt.Errorf("workload %q: heap too small", s.Name)
+	}
+	return nil
+}
+
+// Build generates the benchmark program. scale multiplies the outer
+// iteration count (clamped to at least 1) so experiments can run
+// reduced workloads; everything else is scale-invariant.
+func Build(s Spec, scale float64) (*classes.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	outer := int32(float64(s.OuterIters) * scale)
+	if outer < 1 {
+		outer = 1
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	// Statics: ring of survivor slots + slot for the ring array itself
+	// + one scratch slot.
+	prog := classes.NewProgram(s.Name, int(s.SurviveRing)+2)
+
+	// Hot worker methods, one per worker class.
+	hotIdx := make([]int32, 0, s.HotMethods)
+	for h := 0; h < s.HotMethods; h++ {
+		cls := fmt.Sprintf("%s.Worker%d", s.MainClass, h)
+		if h < len(s.HotClasses) {
+			cls = s.HotClasses[h]
+		}
+		name := s.HotName
+		if name == "" {
+			name = "run"
+		}
+		m := buildHotMethod(cls, name, s, rng, h)
+		prog.Add(m)
+		hotIdx = append(hotIdx, int32(m.Index))
+	}
+
+	// Cold methods: small leaf computations, one call each at startup.
+	coldIdx := make([]int32, 0, s.Classes*s.ColdPerHot)
+	for c := 0; c < s.Classes; c++ {
+		cls := fmt.Sprintf("%s.util.C%02d", s.MainClass, c)
+		for k := 0; k < s.ColdPerHot; k++ {
+			m := buildColdMethod(cls, k, rng)
+			prog.Add(m)
+			coldIdx = append(coldIdx, int32(m.Index))
+		}
+	}
+
+	// main: startup phase touches every cold method once (classloading
+	// and baseline-compilation load), then the measured loop drives the
+	// hot workers round-robin.
+	a := bytecode.NewAsm()
+	// Survivor ring: a ref array at statics[0] that hot methods store
+	// every k-th allocation into, giving the heap a live tail.
+	a.Const(s.SurviveRing).Emit(bytecode.NewArray, 8, 1).Emit(bytecode.PutStatic, 0)
+	for _, ci := range coldIdx {
+		a.Const(7).Call(ci).Emit(bytecode.Pop)
+	}
+	// Threaded mode: one VM thread per hot worker, each given the whole
+	// iteration budget; main's loop keeps only the native/kernel work.
+	if s.Threaded {
+		total := outer * s.InnerIters
+		for _, hi := range hotIdx {
+			a.Const(total).Emit(bytecode.Spawn, hi)
+		}
+	}
+	// local 0 = outer counter
+	a.Const(0).Store(0)
+	a.Label("outer")
+	if !s.Threaded {
+		for _, hi := range hotIdx {
+			a.Const(s.InnerIters).Call(hi)
+		}
+	}
+	if s.MemsetBytes > 0 {
+		a.Const(s.MemsetBytes).Emit(bytecode.Intrinsic, int32(bytecode.IntrMemset), 1)
+	}
+	if s.WriteEvery > 0 {
+		a.Load(0).Const(s.WriteEvery).Emit(bytecode.Mod)
+		a.Branch(bytecode.JmpNZ, "nowrite")
+		a.Const(128).Emit(bytecode.Intrinsic, int32(bytecode.IntrWrite), 1)
+		a.Label("nowrite")
+	}
+	a.Load(0).Const(1).Emit(bytecode.Add).Store(0)
+	a.Load(0).Const(outer).Emit(bytecode.CmpLT)
+	a.Branch(bytecode.JmpNZ, "outer")
+	a.Emit(bytecode.RetVoid)
+	main := prog.Add(&classes.Method{
+		Class: s.MainClass, Name: "main", MaxLocals: 2, Code: a.MustFinish(),
+	})
+	prog.SetMain(main)
+	if err := prog.Verify(); err != nil {
+		return nil, fmt.Errorf("workload %s: generated invalid program: %v", s.Name, err)
+	}
+	return prog, nil
+}
+
+// buildHotMethod emits the measured inner loop: array walk with
+// read-modify-write, periodic allocation with survivor rooting, and a
+// per-method twist in the arithmetic mix.
+func buildHotMethod(cls, name string, s Spec, rng *rand.Rand, ordinal int) *classes.Method {
+	a := bytecode.NewAsm()
+	// locals: 0=iters 1=i 2=arr 3=tmp 4=ringIdx
+	a.Const(s.ArrayLen).Emit(bytecode.NewArray, 8, 0).Store(2)
+	a.Const(0).Store(1)
+	a.Const(int32(rng.Intn(int(s.SurviveRing)))).Store(4)
+	a.Label("loop")
+	// stride pattern differs per method: some walk sequentially (good
+	// locality), some stride widely (bad locality).
+	stride := int32(1 + ordinal*7)
+	a.Load(2)
+	a.Load(1).Const(stride).Emit(bytecode.Mul).Load(0).Emit(bytecode.Add)
+	a.Const(s.ArrayLen).Emit(bytecode.Mod)
+	a.Emit(bytecode.ALoad)
+	// arithmetic twist
+	switch ordinal % 3 {
+	case 0:
+		a.Load(1).Emit(bytecode.Add).Const(3).Emit(bytecode.Mul)
+	case 1:
+		a.Load(1).Emit(bytecode.Xor).Const(1).Emit(bytecode.Shl)
+	default:
+		a.Load(1).Emit(bytecode.Sub).Const(2).Emit(bytecode.Or)
+	}
+	a.Store(3)
+	a.Load(2)
+	a.Load(1).Const(stride).Emit(bytecode.Mul).Load(0).Emit(bytecode.Add)
+	a.Const(s.ArrayLen).Emit(bytecode.Mod)
+	a.Load(3)
+	a.Emit(bytecode.AStore)
+	// Allocation with survivor ring.
+	a.Load(1).Const(s.AllocEvery).Emit(bytecode.Mod)
+	a.Branch(bytecode.JmpNZ, "noalloc")
+	a.Emit(bytecode.New, 2, 4)
+	// statics[1 + ringIdx] = obj; ringIdx = (ringIdx+1) % ring
+	a.Store(3)
+	a.Load(4).Const(int32(1)).Emit(bytecode.Add).Const(s.SurviveRing).Emit(bytecode.Mod).Store(4)
+	// PutStatic needs a constant slot; rotate over the ring by emitting
+	// a small dispatch: slot = 2 + (ringIdx % ring) handled by indexed
+	// stores into a ref array instead (simpler and equivalent).
+	a.Emit(bytecode.GetStatic, 0) // the survivor ring array
+	a.Load(4)
+	a.Load(3)
+	a.Emit(bytecode.AStore)
+	a.Label("noalloc")
+	a.Load(1).Const(1).Emit(bytecode.Add).Store(1)
+	a.Load(1).Load(0).Emit(bytecode.CmpLT)
+	a.Branch(bytecode.JmpNZ, "loop")
+	a.Emit(bytecode.RetVoid)
+	return &classes.Method{
+		Class: cls, Name: name, NArgs: 1, MaxLocals: 5, Code: a.MustFinish(),
+	}
+}
+
+// buildColdMethod emits a small arithmetic leaf.
+func buildColdMethod(cls string, k int, rng *rand.Rand) *classes.Method {
+	a := bytecode.NewAsm()
+	a.Load(0)
+	n := rng.Intn(12) + 4
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			a.Const(int32(rng.Intn(100) + 1)).Emit(bytecode.Add)
+		case 1:
+			a.Const(int32(rng.Intn(7) + 1)).Emit(bytecode.Mul)
+		case 2:
+			a.Const(int32(rng.Intn(15) + 1)).Emit(bytecode.Xor)
+		default:
+			a.Const(int32(rng.Intn(3) + 1)).Emit(bytecode.Shr)
+		}
+	}
+	a.Emit(bytecode.Ret)
+	return &classes.Method{
+		Class: cls, Name: fmt.Sprintf("init%d", k), NArgs: 1, MaxLocals: 1,
+		Code: a.MustFinish(),
+	}
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"viprof/internal/jvm/bytecode"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	specs := Suite()
+	if len(specs) != 9 {
+		t.Fatalf("suite has %d benchmarks, want 9", len(specs))
+	}
+	want := []string{"pseudojbb", "JVM98", "antlr", "bloat", "fop", "hsqldb", "pmd", "xalan", "ps"}
+	for i, w := range want {
+		if specs[i].Name != w {
+			t.Errorf("suite[%d] = %s, want %s", i, specs[i].Name, w)
+		}
+	}
+	names := Names()
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names()[%d] = %s", i, names[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("hsqldb")
+	if err != nil || s.Name != "hsqldb" {
+		t.Fatalf("ByName: %v %v", s.Name, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSpecsValidateAndBuild(t *testing.T) {
+	for _, s := range Suite() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		prog, err := Build(s, 0.01)
+		if err != nil {
+			t.Errorf("%s: Build: %v", s.Name, err)
+			continue
+		}
+		if err := prog.Verify(); err != nil {
+			t.Errorf("%s: generated program invalid: %v", s.Name, err)
+		}
+		if len(prog.Methods) < s.HotMethods+s.Classes*s.ColdPerHot {
+			t.Errorf("%s: only %d methods", s.Name, len(prog.Methods))
+		}
+	}
+}
+
+func TestBaseSecondsMatchFigure3(t *testing.T) {
+	// The calibration targets are the paper's Figure 3 values.
+	want := map[string]float64{
+		"pseudojbb": 31.0, "JVM98": 5.74, "antlr": 8.7, "bloat": 28.5,
+		"fop": 3.2, "hsqldb": 43.0, "pmd": 16.3, "xalan": 97.6, "ps": 22.2,
+	}
+	for _, s := range Suite() {
+		if s.BaseSeconds != want[s.Name] {
+			t.Errorf("%s: BaseSeconds %v, want %v", s.Name, s.BaseSeconds, want[s.Name])
+		}
+	}
+}
+
+func TestScaleAdjustsOuterLoop(t *testing.T) {
+	s := Benchmark("fop")
+	full, _ := Build(s, 1.0)
+	tiny, _ := Build(s, 0.0001) // clamps to >= 1 iteration
+	if tiny == nil || full == nil {
+		t.Fatal("builds failed")
+	}
+	// The main method embeds the outer bound as a constant; at minimum
+	// scale it must still verify and be runnable.
+	if err := tiny.Verify(); err != nil {
+		t.Errorf("tiny program invalid: %v", err)
+	}
+}
+
+func TestPSUsesPaperSymbolName(t *testing.T) {
+	prog, err := Build(Benchmark("ps"), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range prog.Methods {
+		if m.Signature() == "edu.unm.cs.oal.dacapo.javapostscript.red.scanner.Scanner.parseLine" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ps does not define Figure 1's Scanner.parseLine symbol")
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Name: "x", HotMethods: 1, OuterIters: 1, InnerIters: 1, ArrayLen: 0,
+			AllocEvery: 1, SurviveRing: 1, HeapBytes: 1 << 20},
+		{Name: "x", HotMethods: 1, OuterIters: 1, InnerIters: 1, ArrayLen: 8,
+			AllocEvery: 1, SurviveRing: 1, HeapBytes: 1024},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+// Property: generation is deterministic — same spec and scale produce
+// identical bytecode.
+func TestBuildDeterministicQuick(t *testing.T) {
+	f := func(pick uint8) bool {
+		names := Names()
+		s, err := ByName(names[int(pick)%len(names)])
+		if err != nil {
+			return false
+		}
+		a, err1 := Build(s, 0.02)
+		b, err2 := Build(s, 0.02)
+		if err1 != nil || err2 != nil || len(a.Methods) != len(b.Methods) {
+			return false
+		}
+		for i := range a.Methods {
+			if a.Methods[i].Signature() != b.Methods[i].Signature() {
+				return false
+			}
+			if len(a.Methods[i].Code) != len(b.Methods[i].Code) {
+				return false
+			}
+			for j := range a.Methods[i].Code {
+				if a.Methods[i].Code[j] != b.Methods[i].Code[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHotMethodsContainMemoryTraffic(t *testing.T) {
+	prog, _ := Build(Benchmark("hsqldb"), 0.01)
+	var hot *struct{ loads, stores, allocs int }
+	for _, m := range prog.Methods {
+		if !strings.HasSuffix(m.Name, "run") || m.NArgs != 1 {
+			continue
+		}
+		counts := struct{ loads, stores, allocs int }{}
+		for _, in := range m.Code {
+			switch in.Op {
+			case bytecode.ALoad:
+				counts.loads++
+			case bytecode.AStore:
+				counts.stores++
+			case bytecode.New, bytecode.NewArray:
+				counts.allocs++
+			}
+		}
+		hot = &counts
+		if counts.loads == 0 || counts.stores == 0 || counts.allocs == 0 {
+			t.Errorf("%s: loads=%d stores=%d allocs=%d", m.Signature(),
+				counts.loads, counts.stores, counts.allocs)
+		}
+	}
+	if hot == nil {
+		t.Fatal("no hot methods found")
+	}
+}
+
+func TestJVM98Members(t *testing.T) {
+	members := JVM98Members()
+	if len(members) != 7 {
+		t.Fatalf("%d members, want 7", len(members))
+	}
+	var sum float64
+	for _, s := range members {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		prog, err := Build(s, 0.05)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if err := prog.Verify(); err != nil {
+			t.Errorf("%s: invalid program: %v", s.Name, err)
+		}
+		sum += s.BaseSeconds
+	}
+	avg := sum / 7
+	if avg < 5.70 || avg > 5.78 {
+		t.Errorf("member average %.3f s, want ~5.74 (the paper's JVM98 figure)", avg)
+	}
+	// Members are reachable through ByName but not in the Figure 2/3
+	// suite.
+	if _, err := ByName("compress"); err != nil {
+		t.Errorf("ByName(compress): %v", err)
+	}
+	for _, n := range Names() {
+		if n == "compress" {
+			t.Error("member leaked into the figure suite")
+		}
+	}
+	// Character checks: compress allocates rarest, jess/mtrt most often.
+	c := JVM98Member("compress")
+	for _, hot := range []string{"jess", "mtrt"} {
+		h := JVM98Member(hot)
+		if h.AllocEvery >= c.AllocEvery {
+			t.Errorf("%s AllocEvery %d not more frequent than compress %d",
+				hot, h.AllocEvery, c.AllocEvery)
+		}
+	}
+}

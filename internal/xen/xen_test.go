@@ -1,0 +1,116 @@
+package xen
+
+import (
+	"testing"
+
+	"viprof/internal/addr"
+	"viprof/internal/cache"
+	"viprof/internal/cpu"
+	"viprof/internal/hpc"
+	"viprof/internal/kernel"
+)
+
+func newMachine() *kernel.Machine {
+	return kernel.NewMachine(cpu.New(hpc.NewBank(), cache.DefaultHierarchy()), 1)
+}
+
+func burn(total int) kernel.Executor {
+	done := 0
+	return kernel.ExecFunc(func(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
+		for done < total && !m.Core.Expired() {
+			m.Core.Exec(cpu.Op{PC: kernel.UserBase, Cost: 1})
+			done++
+		}
+		if done >= total {
+			return kernel.StepExit
+		}
+		return kernel.StepYield
+	})
+}
+
+func TestEnableMapsXenSyms(t *testing.T) {
+	m := newMachine()
+	h, err := Enable(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Module.Base != kernel.HypervisorBase {
+		t.Errorf("xen at %s, want %s", h.Module.Base, kernel.HypervisorBase)
+	}
+	if v, ok := m.Kern.KernelLookup(kernel.HypervisorBase + 0x10); !ok || v.Image != ImageName {
+		t.Errorf("hypervisor text not resolvable: %+v %v", v, ok)
+	}
+	if _, err := Enable(m, Config{}); err == nil {
+		t.Error("double Enable accepted")
+	}
+}
+
+func TestVCPUExitsHappenAndCost(t *testing.T) {
+	// Same workload with and without the hypervisor: exits must occur
+	// and add overhead.
+	run := func(enable bool) (uint64, uint64) {
+		m := newMachine()
+		var h *Hypervisor
+		if enable {
+			var err error
+			h, err = Enable(m, Config{SlicePeriod: 50_000, ExitOps: 2_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Kern.NewProcess("app", burn(2_000_000))
+		if err := m.Kern.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		var exits uint64
+		if h != nil {
+			exits = h.Exits()
+		}
+		return m.Core.Cycles(), exits
+	}
+	base, _ := run(false)
+	virt, exits := run(true)
+	if exits == 0 {
+		t.Fatal("no VM exits")
+	}
+	if virt <= base {
+		t.Errorf("virtualization cost nothing: %d vs %d cycles", virt, base)
+	}
+	// Overhead should be roughly exits * ExitOps.
+	want := exits * 2_000
+	got := virt - base
+	if got < want/2 || got > want*2 {
+		t.Errorf("overhead %d cycles, expected about %d", got, want)
+	}
+}
+
+// XenoProf-style attribution: samples taken during hypervisor work
+// resolve to xen-syms rows through the unchanged profiling pipeline.
+func TestHypervisorSamplesAttributed(t *testing.T) {
+	m := newMachine()
+	if _, err := Enable(m, Config{SlicePeriod: 20_000, ExitOps: 5_000}); err != nil {
+		t.Fatal(err)
+	}
+	m.Core.Bank.Program(hpc.GlobalPowerEvents, 9_000)
+	var xenSamples, total int
+	m.Kern.SetNMIHandler(func(mm *kernel.Machine, s cpu.Snapshot, ev hpc.Event) {
+		total++
+		if v, ok := mm.Kern.KernelLookup(s.PC); ok && v.Image == ImageName {
+			xenSamples++
+			if sym, found := v.ImageOffset(s.PC), true; !found || sym > addr.Address(1<<20) {
+				t.Errorf("bad xen offset %v", sym)
+			}
+		}
+	})
+	m.Kern.NewProcess("app", burn(3_000_000))
+	if err := m.Kern.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("no samples at all")
+	}
+	if xenSamples == 0 {
+		t.Error("no samples attributed to xen-syms")
+	}
+	t.Logf("%d of %d samples in the hypervisor", xenSamples, total)
+}

@@ -1,0 +1,96 @@
+package viprof
+
+import (
+	"math/rand"
+	"testing"
+
+	"viprof/internal/harness"
+	"viprof/internal/hpc"
+	"viprof/internal/workload"
+)
+
+// TestRandomizedPipeline is the whole-system fuzz: random workload
+// shapes, heap sizes, sampling periods and seeds, each run end to end
+// through the full VIProf pipeline, with the invariants that must hold
+// for every one of them:
+//
+//  1. the run completes;
+//  2. sample conservation: logged == aggregated == reported;
+//  3. nearly all JIT samples resolve to method signatures;
+//  4. profiling never changes the program's own computation
+//     (bytecodes executed match an unprofiled run).
+func TestRandomizedPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rng := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < 8; trial++ {
+		spec := workload.Spec{
+			Name:        "fuzz",
+			Suite:       "fuzz",
+			MainClass:   "fuzz.Main",
+			BaseSeconds: 1,
+			Classes:     rng.Intn(30) + 2,
+			ColdPerHot:  rng.Intn(4) + 1,
+			HotMethods:  rng.Intn(4) + 1,
+			OuterIters:  int32(rng.Intn(20) + 3),
+			InnerIters:  int32(rng.Intn(1500) + 200),
+			ArrayLen:    int32(rng.Intn(4096) + 16),
+			AllocEvery:  int32(rng.Intn(12) + 2),
+			SurviveRing: int32(rng.Intn(400) + 8),
+			MemsetBytes: int32(rng.Intn(2048)),
+			WriteEvery:  int32(rng.Intn(6)),
+			HeapBytes:   uint64(rng.Intn(900)+80) << 10,
+			Seed:        rng.Int63(),
+			Threaded:    rng.Intn(3) == 0,
+		}
+		period := uint64(rng.Intn(80_000) + 10_000)
+		seed := rng.Int63()
+
+		base, err := harness.RunOnce(spec, harness.RunConfig{Kind: harness.ProfNone},
+			harness.Options{Scale: 1, Seed: seed})
+		if err != nil {
+			t.Fatalf("trial %d base: %v (spec %+v)", trial, err, spec)
+		}
+		res, err := harness.RunOnce(spec, harness.RunConfig{
+			Kind: harness.ProfVIProf, Period: period, MissPeriod: 10_000,
+		}, harness.Options{Scale: 1, Seed: seed, KeepSession: true})
+		if err != nil {
+			t.Fatalf("trial %d viprof: %v (spec %+v)", trial, err, spec)
+		}
+
+		// (4) determinism under profiling.
+		if base.VMStats.BytecodesRun != res.VMStats.BytecodesRun {
+			t.Errorf("trial %d: profiling changed execution: %d vs %d bytecodes",
+				trial, base.VMStats.BytecodesRun, res.VMStats.BytecodesRun)
+		}
+
+		st := res.DriverStats
+		if st.Logged+st.Dropped != st.NMIs {
+			t.Errorf("trial %d: accounting: logged %d + dropped %d != NMIs %d",
+				trial, st.Logged, st.Dropped, st.NMIs)
+		}
+		s := res.Session
+		rep, resolver, err := s.Report(s.Images(res.VM),
+			map[string]int{res.Proc.Name: res.Proc.PID})
+		if err != nil {
+			t.Fatalf("trial %d report: %v", trial, err)
+		}
+		var total uint64
+		for _, ev := range s.Events() {
+			total += rep.Totals[hpc.Event(ev)]
+		}
+		if total != st.Logged {
+			t.Errorf("trial %d: report total %d != logged %d", trial, total, st.Logged)
+		}
+		// (3) resolution quality: <10% of JIT samples unresolved.
+		var jitResolved uint64
+		for _, n := range resolver.SearchDepths {
+			jitResolved += n
+		}
+		if un := resolver.Unresolved(); un > 0 && un*10 > jitResolved+un {
+			t.Errorf("trial %d: %d of %d JIT samples unresolved (period %d, spec %+v)",
+				trial, un, jitResolved+un, period, spec)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package viprof
+
+import (
+	"strings"
+	"testing"
+
+	"viprof/internal/jvm/bytecode"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 9 {
+		t.Fatalf("suite has %d benchmarks, want 9", len(names))
+	}
+	for _, want := range []string{"pseudojbb", "JVM98", "antlr", "ps"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("benchmark %q missing from suite", want)
+		}
+	}
+	if _, err := BenchmarkSpec("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestProfileBenchmarkVIProf(t *testing.T) {
+	out, err := ProfileBenchmark("fop", Options{Scale: 0.3, MissPeriod: 12_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seconds <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+	if out.Report == nil || len(out.Report.Rows) == 0 {
+		t.Fatal("no report")
+	}
+	if out.VMStats.BaselineCompiles == 0 {
+		t.Error("VM stats empty")
+	}
+	text := out.RenderReport(15)
+	if !strings.Contains(text, "Time %") {
+		t.Errorf("report rendering:\n%s", text)
+	}
+	// The facade must surface VIProf's defining capability: Java method
+	// names for JIT samples.
+	foundJIT := false
+	for _, r := range out.Report.Rows {
+		if r.Image == "JIT.App" && strings.Contains(r.Symbol, ".Worker") {
+			foundJIT = true
+		}
+	}
+	if !foundJIT {
+		t.Error("no resolved JIT.App method rows in report")
+	}
+	if out.RawSession() == nil || out.RawVM() == nil || out.RawMachine() == nil || out.RawProcess() == nil {
+		t.Error("raw accessors returned nil")
+	}
+	if len(out.Images()) == 0 {
+		t.Error("no images")
+	}
+}
+
+func TestProfileBenchmarkBaselineAndNone(t *testing.T) {
+	base, err := ProfileBenchmark("fop", Options{Profiler: ProfilerNone, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Report != nil {
+		t.Error("unprofiled run produced a report")
+	}
+	if !strings.Contains(base.RenderReport(5), "no profiler") {
+		t.Error("RenderReport for unprofiled run should say so")
+	}
+	op, err := ProfileBenchmark("fop", Options{Profiler: ProfilerOProfile, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Report == nil {
+		t.Fatal("baseline run produced no report")
+	}
+	for _, r := range op.Report.Rows {
+		if r.Image == "JIT.App" && r.Symbol != "(no symbols)" {
+			t.Errorf("baseline resolved a JIT symbol: %+v", r)
+		}
+	}
+}
+
+func TestCustomProgramUnderSession(t *testing.T) {
+	// Exercise the assembler-level public API end to end.
+	prog := NewProgram("demo", 2)
+	a := NewAsm()
+	a.Const(50_000).Store(0)
+	a.Label("loop")
+	a.Load(0).Const(1).Emit(bytecode.Sub).Store(0)
+	a.Load(0)
+	a.Branch(bytecode.JmpNZ, "loop")
+	a.Emit(bytecode.RetVoid)
+	main := prog.Add(&Method{Class: "demo.Main", Name: "main", MaxLocals: 1, Code: a.MustFinish()})
+	prog.SetMain(main)
+
+	m := NewMachine(7)
+	s, err := StartSession(m, SessionConfig{
+		Events: []EventConfig{{Event: EventCycles, Period: 45_000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, proc, err := s.LaunchJVM(prog, VMConfig{HeapBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("program failed: %v", vm.Err())
+	}
+	s.Shutdown()
+	rep, _, err := s.Report(s.Images(vm), map[string]int{proc.Name: proc.PID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Find("demo.Main.main"); !ok {
+		t.Error("custom program's main not in report")
+	}
+}
