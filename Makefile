@@ -1,0 +1,27 @@
+# Developer smoke gate. `make check` is what a PR must keep green:
+# static vetting, a full build, the race-enabled short test suite, and
+# one iteration of the engine microbenchmarks (which self-verify that
+# the batched and per-op paths agree, and that the flattened epoch
+# index matches the backward scan).
+
+GO ?= go
+
+.PHONY: check vet build test bench-smoke bench
+
+check: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race -short ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkEpochResolveIndexed' -benchtime 1x .
+
+# Full reduced-scale benchmark sweep (minutes).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 3x .

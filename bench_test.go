@@ -11,10 +11,16 @@ package viprof
 // Figure 3, map bytes for the partial-map ablation, and so on.
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
+	"viprof/internal/addr"
+	"viprof/internal/cache"
+	"viprof/internal/core"
+	"viprof/internal/cpu"
 	"viprof/internal/harness"
+	"viprof/internal/hpc"
 	"viprof/internal/workload"
 )
 
@@ -201,6 +207,138 @@ func BenchmarkProfileBenchmark(b *testing.B) {
 			b.Fatal("no report")
 		}
 	}
+}
+
+// BenchmarkExecBatch measures the event-horizon batched execution
+// engine against the precise per-op path on a full-scale workload run's
+// worth of instructions: the micro-op volume of a paper-scale fop run,
+// shaped like the JVM's dispatch stream (short straight-line basic
+// blocks discovered one op at a time, page jumps at calls) plus the
+// kernel's longer ExecRange runs, with GLOBAL_POWER_EVENTS sampled at
+// the paper's most aggressive 45K period and the NMI handler charging a
+// driver-sized cost. Both sides execute the identical stream through
+// the same entry points; the per-op side only has batching disabled, so
+// the measured delta is exactly the engine. The acceptance bar is the
+// batched side retiring the stream at least 2x faster.
+func BenchmarkExecBatch(b *testing.B) {
+	const streamOps = 11_000_000 // ~ one paper-scale fop run
+	stream := func(b *testing.B, batched bool) (cycles uint64) {
+		for i := 0; i < b.N; i++ {
+			bank := hpc.NewBank()
+			bank.Program(hpc.GlobalPowerEvents, 45_000)
+			c := cpu.New(bank, cache.DefaultHierarchy())
+			c.SetNMIHandler(func(core *cpu.Core, _ cpu.Snapshot, _ hpc.Event) {
+				core.ExecRange(addr.KernelBase+0x80, 120, 4, 1)
+			})
+			c.SetBatching(batched)
+			r := rand.New(rand.NewSource(1))
+			pc := addr.Address(0x6000_0000)
+			for done := 0; done < streamOps; {
+				if r.Intn(20) == 0 {
+					// Kernel/agent-style straight-line run.
+					n := 200 + r.Intn(1800)
+					c.ExecBatch(pc, n, 4, 1)
+					pc += addr.Address(4 * n)
+					done += n
+				} else {
+					// Bytecode-style basic block, then a "call" elsewhere.
+					n := 4 + r.Intn(12)
+					for j := 0; j < n; j++ {
+						c.BatchOp(pc, uint32(1+j%3))
+						pc += 4
+					}
+					done += n
+					pc = addr.Address(0x6000_0000 + r.Intn(1<<20)*4)
+				}
+			}
+			c.FlushBatch()
+			cycles = c.Cycles()
+		}
+		return cycles
+	}
+	var batchedCycles, peropCycles uint64
+	b.Run("batched", func(b *testing.B) { batchedCycles = stream(b, true) })
+	b.Run("perop", func(b *testing.B) { peropCycles = stream(b, false) })
+	if batchedCycles != peropCycles {
+		b.Fatalf("paths diverged: batched %d cycles vs per-op %d", batchedCycles, peropCycles)
+	}
+}
+
+// BenchmarkEpochResolveIndexed measures the flattened epoch index
+// against the paper's literal backward scan on a deep chain: a long run
+// whose agent wrote one big initial map and small partial maps for
+// hundreds of epochs after it, so most samples force the scan far back
+// through the chain. The query stream is page-local the way real sample
+// streams are. Both resolvers answer the identical queries; equality
+// (including the SearchDepths the ablation histogram records) is
+// asserted as part of the benchmark.
+func BenchmarkEpochResolveIndexed(b *testing.B) {
+	const (
+		epochs  = 200
+		queries = 30_000
+	)
+	r := rand.New(rand.NewSource(7))
+	perEpoch := make([][]core.MapEntry, epochs)
+	var starts []addr.Address
+	add := func(e int, start addr.Address, size uint32) {
+		perEpoch[e] = append(perEpoch[e], core.MapEntry{
+			Start: start, Size: size, Level: "base", Sig: "m",
+		})
+		starts = append(starts, start)
+	}
+	// Epoch 0: the startup burst of compilations.
+	for i := 0; i < 150; i++ {
+		add(0, addr.Address(0x6000_0000+i*0x400), uint32(128+r.Intn(512)))
+	}
+	// Later epochs: a few compiles/moves each (the paper's partial maps).
+	for e := 1; e < epochs; e++ {
+		for i := 0; i < 4; i++ {
+			add(e, addr.Address(0x6000_0000+r.Intn(1<<16)*0x40), uint32(128+r.Intn(512)))
+		}
+	}
+	chain := core.NewMapChain(perEpoch)
+	type query struct {
+		epoch int
+		pc    addr.Address
+	}
+	qs := make([]query, queries)
+	for i := range qs {
+		if i > 0 && r.Intn(4) != 0 {
+			// Page locality: most samples repeat the previous hot region.
+			qs[i] = qs[i-1]
+			qs[i].pc += addr.Address(r.Intn(64) * 4)
+		} else {
+			qs[i] = query{
+				epoch: epochs/2 + r.Intn(epochs/2),
+				pc:    starts[r.Intn(len(starts))] + addr.Address(r.Intn(256)),
+			}
+		}
+	}
+	// Equality including depth, and the histogram the resolver records.
+	var depthSum uint64
+	for _, q := range qs {
+		ge, gd, gok := chain.Resolve(q.epoch, q.pc)
+		we, wd, wok := chain.ResolveScan(q.epoch, q.pc)
+		if gok != wok || gd != wd || ge != we {
+			b.Fatalf("resolvers disagree at (%d, %s)", q.epoch, q.pc)
+		}
+		depthSum += uint64(gd)
+	}
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				chain.Resolve(q.epoch, q.pc)
+			}
+		}
+		b.ReportMetric(float64(depthSum)/float64(len(qs)), "avg-depth")
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				chain.ResolveScan(q.epoch, q.pc)
+			}
+		}
+	})
 }
 
 // BenchmarkXenOverhead measures the simulated hypervisor's cost (the

@@ -207,6 +207,46 @@ func (h *Hierarchy) AccessInstr(pc addr.Address) (extraCycles uint32, miss bool)
 	return h.TLBPenalty, true
 }
 
+// InstrFree reports whether an instruction fetch at pc is guaranteed to
+// bypass the memory model entirely — no ITLB probe, no extra cycles, no
+// sampling event. True when there is no ITLB or when pc is on the same
+// page as the previous fetch (the straight-line common case).
+func (h *Hierarchy) InstrFree(pc addr.Address) bool {
+	return h.ITLB == nil || uint64(pc)>>12 == h.lastIPage
+}
+
+// PageConstrained reports whether instruction fetches interact with the
+// memory model at page boundaries (an ITLB is present). When false,
+// bulk execution need not split runs at page crossings.
+func (h *Hierarchy) PageConstrained() bool { return h.ITLB != nil }
+
+// InstrRun is the bulk fetch-accounting call of the batched execution
+// engine: it returns how many sequential instruction fetches starting
+// at pc (advancing by stride bytes each) are guaranteed to be free —
+// identical to per-op AccessInstr calls that all hit the same-page fast
+// path and therefore touch no cache state and raise no events. It
+// returns 0 when the first fetch needs an ITLB probe (the caller must
+// take the precise per-op path, which performs the probe and records
+// the miss sequence exactly as before). The result is capped at max.
+func (h *Hierarchy) InstrRun(pc addr.Address, stride uint32, max uint64) uint64 {
+	if h.ITLB == nil {
+		return max
+	}
+	if uint64(pc)>>12 != h.lastIPage {
+		return 0
+	}
+	if stride == 0 {
+		return max
+	}
+	// Fetch i lands at pc + i*stride; it stays on the current page while
+	// i*stride <= pageEnd - pc.
+	n := (0xFFF-(uint64(pc)&0xFFF))/uint64(stride) + 1
+	if n > max {
+		n = max
+	}
+	return n
+}
+
 // Flush empties the caches and TLBs (used at context switch to model
 // the cold state a newly scheduled process sees).
 func (h *Hierarchy) Flush() {

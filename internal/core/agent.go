@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"viprof/internal/addr"
-	"viprof/internal/cpu"
 	"viprof/internal/image"
 	"viprof/internal/jvm/jit"
 	"viprof/internal/kernel"
@@ -110,9 +109,14 @@ func (a *VMAgent) exec(symbol string, n int) {
 	start := a.libBase + sym.Off
 	end := start + addr.Address(sym.Size)
 	pc := start
-	for i := 0; i < n; i++ {
-		a.m.Core.Exec(cpu.Op{PC: pc, Cost: 1})
-		pc += 4
+	for n > 0 {
+		seg := int((end - pc + 3) / 4) // ops before the walk wraps
+		if seg > n {
+			seg = n
+		}
+		a.m.Core.ExecBatch(pc, seg, 4, 1)
+		n -= seg
+		pc += 4 * addr.Address(seg)
 		if pc >= end {
 			pc = start
 		}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -109,6 +110,12 @@ type MapChain struct {
 	// maps[e] holds epoch e's entries sorted by Start; nil when the
 	// epoch wrote no map.
 	maps [][]MapEntry
+
+	// idx is the flattened epoch index (built lazily on first Resolve);
+	// see flatindex.go. It answers queries in one O(log segments)
+	// search instead of the O(epochs × log entries) backward scan,
+	// with identical results including the reported search depth.
+	idx *flatIndex
 }
 
 // NewMapChain builds a chain from per-epoch entry lists (index =
@@ -138,7 +145,9 @@ func ReadMapChain(disk *kernel.Disk, pid int) (*MapChain, error) {
 			}
 			break
 		}
-		entries, err := ReadMapFile(strings.NewReader(string(data)))
+		// Read through the disk buffer directly; a string(data) copy
+		// here would duplicate every map file during post-processing.
+		entries, err := ReadMapFile(bytes.NewReader(data))
 		if err != nil {
 			return nil, fmt.Errorf("map chain pid %d epoch %d: %v", pid, epoch, err)
 		}
@@ -158,12 +167,33 @@ func (c *MapChain) Entries(e int) []MapEntry {
 	return c.maps[e]
 }
 
-// Resolve finds the method occupying pc as of the given epoch: it
-// searches the epoch's map, then earlier maps in descending order,
-// returning the most recent body to occupy that address. searched
-// reports how many maps were examined (the ablation benchmarks measure
-// its distribution).
+// Resolve finds the method occupying pc as of the given epoch: the
+// most recent body at or before that epoch to occupy the address,
+// exactly as the paper's backward search defines it. searched reports
+// how many maps the backward search would have examined (the ablation
+// benchmarks measure its distribution). Resolution goes through the
+// flattened epoch index — O(log segments) once, fronted by a small
+// page-local cache — rather than the naive scan; ResolveScan retains
+// the scan and the two are proven equivalent by property test.
 func (c *MapChain) Resolve(epoch int, pc addr.Address) (entry MapEntry, searched int, ok bool) {
+	if epoch >= len(c.maps) {
+		epoch = len(c.maps) - 1
+	}
+	if epoch < 0 {
+		return MapEntry{}, 0, false
+	}
+	if c.idx == nil {
+		c.idx = buildFlatIndex(c.maps)
+	}
+	return c.idx.resolve(epoch, pc)
+}
+
+// ResolveScan is the paper's backward search, literally: probe the
+// sample's epoch map, then each earlier map in descending order (§3.2).
+// It is retained as the reference implementation — the ablation
+// benchmark measures the flattened index against it, and the property
+// tests assert Resolve matches it on arbitrary chains.
+func (c *MapChain) ResolveScan(epoch int, pc addr.Address) (entry MapEntry, searched int, ok bool) {
 	if epoch >= len(c.maps) {
 		epoch = len(c.maps) - 1
 	}

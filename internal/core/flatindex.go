@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sort"
+
+	"viprof/internal/addr"
+)
+
+// The flattened epoch index. The paper's backward search (§3.2) probes
+// epoch maps newest-first per sample: O(epochs × log entries) per
+// resolution, paid again for every one of the millions of samples a
+// full-length run produces. Post-processing is offline, so we can
+// afford one precomputation pass instead: flatten the whole chain into
+// a single merged interval index keyed by address, where each interval
+// segment lists the epochs that map it (most recent first). A
+// resolution is then one O(log segments) binary search plus a scan of
+// the (almost always length-1) per-segment epoch list — and the depth
+// the naive search *would* have reported is recoverable from the index
+// metadata (query epoch minus winning epoch), so the paper's
+// SearchDepths ablation histogram is unchanged.
+//
+// A small per-(epoch, pc-page) LRU sits in front of the index: profile
+// samples are heavily page-local (hot methods), so consecutive samples
+// usually resolve through the same segment; the cache remembers the
+// segment span and answers repeats without touching the index at all.
+
+// flatOcc records that one epoch's map covers a segment.
+type flatOcc struct {
+	epoch int
+	entry MapEntry
+}
+
+// flatIndex is the merged interval index over a whole MapChain.
+type flatIndex struct {
+	// bounds are the sorted distinct entry boundaries; segment i spans
+	// [bounds[i], bounds[i+1]) and is described by occ[i], the covering
+	// epochs in descending order. len(occ) == len(bounds)-1.
+	bounds []addr.Address
+	occ    [][]flatOcc
+
+	cache resolveCache
+}
+
+// buildFlatIndex flattens per-epoch sorted entry lists into the merged
+// index. Segment boundaries are every entry Start/End across every
+// epoch, so within one segment each epoch's lookup result is constant;
+// the per-segment occupant list is computed with the exact same
+// lookupEntry the backward search uses, which makes the index
+// equivalent by construction (including any within-epoch overlap
+// shadowing).
+func buildFlatIndex(maps [][]MapEntry) *flatIndex {
+	var points []addr.Address
+	for _, entries := range maps {
+		for _, e := range entries {
+			points = append(points, e.Start, e.End())
+		}
+	}
+	idx := &flatIndex{}
+	idx.cache.init(resolveCacheSize)
+	if len(points) == 0 {
+		return idx
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	idx.bounds = points[:1]
+	for _, p := range points[1:] {
+		if p != idx.bounds[len(idx.bounds)-1] {
+			idx.bounds = append(idx.bounds, p)
+		}
+	}
+	idx.occ = make([][]flatOcc, len(idx.bounds)-1)
+	for i := range idx.occ {
+		probe := idx.bounds[i] // any pc in the segment resolves alike
+		for e := len(maps) - 1; e >= 0; e-- {
+			if entry, found := lookupEntry(maps[e], probe); found {
+				idx.occ[i] = append(idx.occ[i], flatOcc{epoch: e, entry: entry})
+			}
+		}
+	}
+	return idx
+}
+
+// segment returns the index i with bounds[i] <= pc < bounds[i+1], or -1
+// when pc falls outside every mapped interval boundary.
+func (x *flatIndex) segment(pc addr.Address) int {
+	i := sort.Search(len(x.bounds), func(i int) bool { return x.bounds[i] > pc }) - 1
+	if i < 0 || i >= len(x.occ) {
+		return -1
+	}
+	return i
+}
+
+// resolve answers one query against the index. epoch must already be
+// clamped into [0, epochs). The returned depth matches the naive
+// backward search exactly: maps examined from `epoch` down to the
+// winning epoch inclusive, or epoch+1 (every map) when unresolved.
+func (x *flatIndex) resolve(epoch int, pc addr.Address) (MapEntry, int, bool) {
+	if hit, e, depth, ok := x.cache.get(epoch, pc); hit {
+		return e, depth, ok
+	}
+	entry, depth, ok, lo, hi := x.resolveSeg(epoch, pc)
+	x.cache.put(epoch, pc, lo, hi, entry, depth, ok)
+	return entry, depth, ok
+}
+
+// resolveSeg is resolve without the cache; it also reports the address
+// span [lo, hi) over which the answer is constant for this epoch, which
+// is what the cache stores.
+func (x *flatIndex) resolveSeg(epoch int, pc addr.Address) (entry MapEntry, depth int, ok bool, lo, hi addr.Address) {
+	i := x.segment(pc)
+	if i < 0 {
+		// Outside all boundaries: constant over the gap.
+		lo, hi = x.gap(pc)
+		return MapEntry{}, epoch + 1, false, lo, hi
+	}
+	lo, hi = x.bounds[i], x.bounds[i+1]
+	for _, o := range x.occ[i] {
+		if o.epoch <= epoch {
+			return o.entry, epoch - o.epoch + 1, true, lo, hi
+		}
+	}
+	return MapEntry{}, epoch + 1, false, lo, hi
+}
+
+// gap returns the unmapped span containing pc (clamped to the address
+// extremes when pc lies before the first or after the last boundary).
+func (x *flatIndex) gap(pc addr.Address) (lo, hi addr.Address) {
+	if len(x.bounds) == 0 || pc < x.bounds[0] {
+		hi = ^addr.Address(0)
+		if len(x.bounds) > 0 {
+			hi = x.bounds[0]
+		}
+		return 0, hi
+	}
+	return x.bounds[len(x.bounds)-1], ^addr.Address(0)
+}
+
+// resolveCacheSize bounds the per-(epoch, page) front cache. Reports
+// touch a handful of hot code pages per epoch; 128 slots covers them
+// with room to spare while keeping eviction scans trivial.
+const resolveCacheSize = 128
+
+type cacheKey struct {
+	epoch int
+	page  uint64
+}
+
+type cacheVal struct {
+	lo, hi addr.Address // span over which the answer holds
+	entry  MapEntry
+	depth  int
+	ok     bool
+}
+
+// resolveCache is a fixed-capacity map with FIFO replacement (a ring of
+// keys tracks insertion order — deterministic, unlike map iteration).
+type resolveCache struct {
+	vals map[cacheKey]cacheVal
+	ring []cacheKey
+	next int
+
+	hits, misses uint64
+}
+
+func (c *resolveCache) init(capacity int) {
+	c.vals = make(map[cacheKey]cacheVal, capacity)
+	c.ring = make([]cacheKey, 0, capacity)
+}
+
+func (c *resolveCache) get(epoch int, pc addr.Address) (hit bool, e MapEntry, depth int, ok bool) {
+	v, found := c.vals[cacheKey{epoch: epoch, page: uint64(pc) >> 12}]
+	if !found || pc < v.lo || pc >= v.hi {
+		c.misses++
+		return false, MapEntry{}, 0, false
+	}
+	c.hits++
+	return true, v.entry, v.depth, v.ok
+}
+
+func (c *resolveCache) put(epoch int, pc addr.Address, lo, hi addr.Address, e MapEntry, depth int, ok bool) {
+	k := cacheKey{epoch: epoch, page: uint64(pc) >> 12}
+	if _, exists := c.vals[k]; !exists {
+		if len(c.ring) < cap(c.ring) {
+			c.ring = append(c.ring, k)
+		} else {
+			delete(c.vals, c.ring[c.next])
+			c.ring[c.next] = k
+			c.next = (c.next + 1) % len(c.ring)
+		}
+	}
+	c.vals[k] = cacheVal{lo: lo, hi: hi, entry: e, depth: depth, ok: ok}
+}

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
-	"strings"
 
 	"viprof/internal/hpc"
 	"viprof/internal/image"
@@ -101,7 +101,7 @@ func NewResolver(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[s
 		if err != nil {
 			continue // personality not present in this run
 		}
-		im, err := image.ReadRVMMap(strings.NewReader(string(data)), pers.BootImageName)
+		im, err := image.ReadRVMMap(bytes.NewReader(data), pers.BootImageName)
 		if err != nil {
 			return nil, fmt.Errorf("viprof: parsing %s: %v", pers.MapFileName, err)
 		}
@@ -146,7 +146,7 @@ func Vipreport(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[str
 	if err != nil {
 		return nil, nil, fmt.Errorf("vipreport: %v", err)
 	}
-	counts, err := oprofile.ReadCounts(strings.NewReader(string(data)))
+	counts, err := oprofile.ReadCounts(bytes.NewReader(data))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -73,6 +73,27 @@ type Core struct {
 	lost    uint64 // NMIs dropped because the latch was full
 
 	slice uint64 // remaining cycle budget for the current scheduling slice
+
+	noBatch bool     // disables the event-horizon fast path (ablation/verification)
+	bat     batchAcc // open micro-op accumulator (see BatchOp)
+}
+
+// batchAcc is the streaming half of the batched execution engine: a run
+// of straight-line, no-memory micro-ops whose counter ticks are
+// provably overflow-free and therefore deferred to one bulk Tick at
+// flush time. Cycle clock, instruction count, PC and slice budget are
+// updated eagerly per op, so every externally observable scalar
+// (Cycles, Instructions, PC, Expired) stays exact while the batch is
+// open; only the counter bank lags, bounded by the event horizon that
+// guarantees no counter can cross its period before the flush.
+type batchAcc struct {
+	active   bool
+	pageOK   bool   // run must stay on `page` (an ITLB is modelled)
+	page     uint64 // instruction page all batched ops fetch from
+	count    uint64 // deferred INSTR_RETIRED ticks
+	cost     uint64 // deferred GLOBAL_POWER_EVENTS ticks
+	opsLeft  uint64 // remaining op headroom before any armed counter could overflow
+	costLeft uint64 // remaining cycle headroom likewise
 }
 
 // maxLatched bounds how many overflow NMIs can be latched while one is
@@ -121,6 +142,9 @@ func (c *Core) PC() addr.Address { return c.pc }
 // Exec runs one micro-op. It advances time, ticks counters, and may
 // deliver NMIs before returning.
 func (c *Core) Exec(op Op) {
+	if c.bat.active {
+		c.FlushBatch()
+	}
 	c.pc = op.PC
 	c.instrs++
 	cost := uint64(op.Cost)
@@ -152,21 +176,217 @@ func (c *Core) Exec(op Op) {
 	c.drainPending()
 }
 
-// ExecRange is a convenience that executes n sequential micro-ops
-// walking PCs through [start, start+n*stride) at the given per-op cost,
-// with no memory operands. It models straight-line native code cheaply.
+// SetBatching toggles the event-horizon fast path. Batching is on by
+// default; turning it off forces every micro-op through the precise
+// per-op path. It exists for the determinism tests and ablation
+// benchmarks that prove batched and per-op execution are bit-for-bit
+// identical.
+func (c *Core) SetBatching(enabled bool) {
+	c.FlushBatch()
+	c.noBatch = !enabled
+}
+
+// Batching reports whether the event-horizon fast path is enabled.
+func (c *Core) Batching() bool { return !c.noBatch }
+
+// ExecRange executes n sequential micro-ops walking PCs through
+// [start, start+n*stride) at the given per-op cost, with no memory
+// operands. It models straight-line native code cheaply and retires the
+// run through the batched engine (see ExecBatch).
 func (c *Core) ExecRange(start addr.Address, n int, stride uint32, cost uint32) {
+	c.ExecBatch(start, n, stride, cost)
+}
+
+// ExecBatch is the event-horizon fast path for a uniform straight-line
+// run: n micro-ops at PCs start, start+stride, ... each costing `cost`
+// cycles with no memory operand. It computes the distance (in ops) to
+// the nearest pending event — counter overflow across the armed bank,
+// scheduling-slice expiry, or the cache model's next instruction-side
+// interaction (an ITLB probe at a page crossing) — and retires
+// everything short of that horizon with O(1) bookkeeping: one bulk
+// cycle/instruction advance and one bulk counter tick. Ops at or past a
+// horizon fall back to the precise per-op path, so NMI program
+// counters, latching, skid and miss sequences are bit-for-bit identical
+// to per-op execution.
+func (c *Core) ExecBatch(start addr.Address, n int, stride uint32, cost uint32) {
 	pc := start
-	for i := 0; i < n; i++ {
-		c.Exec(Op{PC: pc, Cost: cost})
-		pc += addr.Address(stride)
+	if c.noBatch || cost == 0 {
+		for i := 0; i < n; i++ {
+			c.Exec(Op{PC: pc, Cost: cost})
+			pc += addr.Address(stride)
+		}
+		return
 	}
+	if c.bat.active {
+		c.FlushBatch()
+	}
+	for n > 0 {
+		k := c.bulkLen(pc, n, stride, cost)
+		if k == 0 {
+			// At an event horizon: one precise op (which may probe the
+			// ITLB, overflow a counter, clamp the slice, deliver NMIs).
+			c.Exec(Op{PC: pc, Cost: cost})
+			pc += addr.Address(stride)
+			n--
+			continue
+		}
+		// O(1) retirement of k ops: no counter can overflow, the run
+		// stays on the current instruction page, and the slice cannot
+		// cross zero — so bulk state updates are exactly the sum of the
+		// per-op updates.
+		total := uint64(k) * uint64(cost)
+		c.pc = pc + addr.Address(stride)*addr.Address(k-1)
+		c.instrs += uint64(k)
+		c.cycles += total
+		if c.slice >= total {
+			c.slice -= total
+		} else {
+			c.slice = 0
+		}
+		c.Bank.Tick(hpc.InstrRetired, uint64(k))
+		c.Bank.Tick(hpc.GlobalPowerEvents, total)
+		pc += addr.Address(stride) * addr.Address(k)
+		n -= k
+	}
+}
+
+// bulkLen returns how many ops of the uniform run starting at pc can
+// retire in one O(1) bulk step — the event-horizon distance, capped at
+// n. A zero return means the next op must take the precise path.
+func (c *Core) bulkLen(pc addr.Address, n int, stride uint32, cost uint32) int {
+	// A latched-but-undelivered NMI must drain at the next instruction
+	// boundary, exactly where the per-op path would deliver it.
+	if !c.inNMI && len(c.pending) > 0 {
+		return 0
+	}
+	k := uint64(n)
+	if c.Mem != nil {
+		free := c.Mem.InstrRun(pc, stride, k)
+		if free == 0 {
+			return 0 // the next fetch needs an ITLB probe
+		}
+		if free < k {
+			k = free
+		}
+	}
+	if h := c.Bank.NextOverflowIn(hpc.InstrRetired); h < k {
+		k = h
+	}
+	if h := c.Bank.NextOverflowIn(hpc.GlobalPowerEvents); h != hpc.NoLimit {
+		if byCost := h / uint64(cost); byCost < k {
+			k = byCost
+		}
+	}
+	// Slice: while the budget is positive the per-op path subtracts
+	// exactly `cost`; the clamp-to-zero op must run precisely. An
+	// already-expired slice imposes no horizon (it stays 0).
+	if c.slice > 0 {
+		if bySlice := c.slice / uint64(cost); bySlice < k {
+			k = bySlice
+		}
+	}
+	return int(k)
+}
+
+// BatchOp is the streaming form of ExecBatch for executors that
+// discover ops one at a time (the JVM's bytecode engine): it retires a
+// single no-memory micro-op, accumulating its counter ticks into an
+// open batch while the op provably cannot overflow any armed counter
+// and stays on the current instruction page. The cycle clock,
+// instruction count, PC and slice budget advance eagerly, so callers
+// may consult Cycles()/Expired() between ops; only the bank ticks are
+// deferred, flushed at the next Exec/ExecBatch/AdvanceIdle/FlushBatch.
+// Ops at an event horizon are routed through the precise Exec path.
+func (c *Core) BatchOp(pc addr.Address, cost uint32) {
+	if c.noBatch {
+		c.Exec(Op{PC: pc, Cost: cost})
+		return
+	}
+	b := &c.bat
+	cost64 := uint64(cost)
+	if b.active {
+		if (b.pageOK && uint64(pc)>>12 != b.page) || b.opsLeft == 0 || b.costLeft < cost64 {
+			c.FlushBatch()
+			c.Exec(Op{PC: pc, Cost: cost})
+			return
+		}
+	} else if !c.openBatch(pc, cost64) {
+		c.Exec(Op{PC: pc, Cost: cost})
+		return
+	}
+	b.count++
+	b.cost += cost64
+	b.opsLeft--
+	b.costLeft -= cost64
+	c.pc = pc
+	c.instrs++
+	c.cycles += cost64
+	if c.slice >= cost64 {
+		c.slice -= cost64
+	} else {
+		c.slice = 0
+	}
+}
+
+// openBatch starts an accumulation run at pc, capturing the event
+// horizon from the counter bank. It refuses (returning false) when the
+// op cannot be proven event-free: a pending NMI must drain, the fetch
+// needs an ITLB probe, or an armed counter is within one op of
+// overflow.
+func (c *Core) openBatch(pc addr.Address, cost64 uint64) bool {
+	if !c.inNMI && len(c.pending) > 0 {
+		return false
+	}
+	b := &c.bat
+	b.pageOK = false
+	if c.Mem != nil {
+		if !c.Mem.InstrFree(pc) {
+			return false
+		}
+		if c.Mem.PageConstrained() {
+			b.pageOK = true
+			b.page = uint64(pc) >> 12
+		}
+	}
+	b.opsLeft = c.Bank.NextOverflowIn(hpc.InstrRetired)
+	b.costLeft = c.Bank.NextOverflowIn(hpc.GlobalPowerEvents)
+	if b.opsLeft == 0 || b.costLeft < cost64 {
+		return false
+	}
+	b.active = true
+	b.count = 0
+	b.cost = 0
+	return true
+}
+
+// FlushBatch closes the open accumulation run, applying its deferred
+// counter ticks in one bulk update. The event horizon captured at open
+// time guarantees the bulk Tick cannot overflow, so counter state after
+// the flush is identical to per-op ticking. The kernel flushes at every
+// scheduler boundary; Exec, ExecBatch and AdvanceIdle flush implicitly.
+func (c *Core) FlushBatch() {
+	b := &c.bat
+	if !b.active {
+		return
+	}
+	b.active = false
+	if b.count > 0 {
+		c.Bank.Tick(hpc.InstrRetired, b.count)
+		c.Bank.Tick(hpc.GlobalPowerEvents, b.cost)
+	}
+	b.count = 0
+	b.cost = 0
 }
 
 // AdvanceIdle moves the clock forward without executing instructions
 // (a halted core). GLOBAL_POWER_EVENTS counts non-halted cycles only,
 // so no counters tick.
-func (c *Core) AdvanceIdle(cycles uint64) { c.cycles += cycles }
+func (c *Core) AdvanceIdle(cycles uint64) {
+	if c.bat.active {
+		c.FlushBatch()
+	}
+	c.cycles += cycles
+}
 
 // onOverflow is the Bank's overflow callback: it latches an NMI for the
 // interrupted instruction. Delivery happens at the end of the current

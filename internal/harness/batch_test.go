@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"testing"
+
+	"viprof/internal/oprofile"
+	"viprof/internal/workload"
+)
+
+// Batched execution must be indistinguishable from per-op execution
+// through the entire stack: a profiled DaCapo run must retire the same
+// cycle count, log the identical sample stream, and produce the same
+// report rows whether or not the event-horizon engine is enabled.
+func TestBatchedRunBitForBit(t *testing.T) {
+	spec, err := workload.ByName("fop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{Kind: ProfVIProf, Period: 45_000, MissPeriod: 90_000}
+	run := func(noBatch bool) (*Result, *oprofile.Report, []byte) {
+		r, err := RunOnce(spec, rc, Options{
+			Scale: testScale, Seed: 11, KeepSession: true, NoBatch: noBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, _, err := r.Session.Report(
+			r.Session.Images(r.VM), map[string]int{r.Proc.Name: r.Proc.PID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := r.Machine.Kern.Disk().Read(oprofile.SampleFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, rep, raw
+	}
+	batched, repB, rawB := run(false)
+	perop, repP, rawP := run(true)
+
+	if batched.Cycles != perop.Cycles {
+		t.Errorf("cycles: batched %d vs per-op %d", batched.Cycles, perop.Cycles)
+	}
+	if batched.DriverStats != perop.DriverStats {
+		t.Errorf("driver stats: %+v vs %+v", batched.DriverStats, perop.DriverStats)
+	}
+	if batched.VMStats != perop.VMStats {
+		t.Errorf("vm stats: %+v vs %+v", batched.VMStats, perop.VMStats)
+	}
+	if batched.AgentStats != perop.AgentStats {
+		t.Errorf("agent stats: %+v vs %+v", batched.AgentStats, perop.AgentStats)
+	}
+	// The raw sample file is the strongest check: every logged sample —
+	// PC, context, epoch tag — byte for byte.
+	if string(rawB) != string(rawP) {
+		t.Errorf("sample files differ: %d vs %d bytes", len(rawB), len(rawP))
+	}
+	if repB.Totals != repP.Totals {
+		t.Errorf("report totals: %v vs %v", repB.Totals, repP.Totals)
+	}
+	if len(repB.Rows) != len(repP.Rows) {
+		t.Fatalf("report rows: %d vs %d", len(repB.Rows), len(repP.Rows))
+	}
+	for i := range repB.Rows {
+		if repB.Rows[i] != repP.Rows[i] {
+			t.Errorf("row %d: %+v vs %+v", i, repB.Rows[i], repP.Rows[i])
+		}
+	}
+	// Sanity: the run actually sampled and actually batched.
+	if batched.DriverStats.NMIs == 0 {
+		t.Error("determinism test ran without samples")
+	}
+	if !batched.Machine.Core.Batching() || perop.Machine.Core.Batching() {
+		t.Error("NoBatch option not plumbed through")
+	}
+}

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -105,6 +106,11 @@ type Options struct {
 	// KeepSession retains the machine/session in the Result for
 	// post-processing (Figure 1 report generation).
 	KeepSession bool
+	// NoBatch disables the core's event-horizon batched execution and
+	// forces the precise per-op path. It exists for the determinism
+	// tests and benchmarks proving the two paths are bit-for-bit
+	// identical; production runs leave it false.
+	NoBatch bool
 }
 
 // RunOnce executes one benchmark under one configuration on a fresh
@@ -118,6 +124,9 @@ func RunOnce(spec workload.Spec, rc RunConfig, opt Options) (*Result, error) {
 		return nil, err
 	}
 	machine := kernel.NewMachine(cpu.New(hpc.NewBank(), cache.DefaultHierarchy()), opt.Seed)
+	if opt.NoBatch {
+		machine.Core.SetBatching(false)
+	}
 	if rc.Xen {
 		if _, err := xen.Enable(machine, xen.Config{}); err != nil {
 			return nil, err
@@ -256,10 +265,10 @@ func Repeat(spec workload.Spec, rc RunConfig, runs int, opt Options) (*Series, e
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// Join every failure, not just the first: a multi-run breakage
+	// should report each failing seed.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return &Series{
 		Bench:   spec.Name,

@@ -66,11 +66,14 @@ func (n *noiseProc) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult
 	sym := n.syms[n.rng.Intn(len(n.syms))]
 	pc := sym.Start
 	for i := 0; i < burst && !m.Core.Expired(); i++ {
-		var mem addr.Address
 		if i%5 == 0 {
-			mem = 0xA000_0000 + addr.Address(n.rng.Intn(1<<20))
+			mem := 0xA000_0000 + addr.Address(n.rng.Intn(1<<20))
+			m.Core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
+		} else {
+			// The slice budget stays exact under batching, so the
+			// Expired check above behaves identically.
+			m.Core.BatchOp(pc, 1)
 		}
-		m.Core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
 		pc += 4
 		if pc >= sym.End {
 			pc = sym.Start

@@ -97,6 +97,11 @@ func (c *Counter) Add(n uint64) int {
 // Reset rearms the counter at a full period.
 func (c *Counter) Reset() { c.remaining = c.Period }
 
+// Remaining returns how many further events will cause the next
+// overflow: adding Remaining() events overflows, adding fewer does not.
+// It is always >= 1 for an armed counter.
+func (c *Counter) Remaining() uint64 { return c.remaining }
+
 // Total returns the lifetime event count.
 func (c *Counter) Total() uint64 { return c.total }
 
@@ -155,6 +160,24 @@ func (b *Bank) rebuild() {
 			b.armed = append(b.armed, c)
 		}
 	}
+}
+
+// NoLimit is returned by NextOverflowIn when no overflow can occur.
+const NoLimit = ^uint64(0)
+
+// NextOverflowIn returns the event-horizon headroom for ev: the largest
+// n such that recording n occurrences of ev is guaranteed NOT to
+// overflow the counter programmed for it. It returns NoLimit when no
+// enabled counter watches the event. The batched execution engine uses
+// this to size bulk runs that provably deliver no NMI, so per-event
+// ticking can be replaced by one bulk Tick with identical counter
+// state.
+func (b *Bank) NextOverflowIn(ev Event) uint64 {
+	c := b.counters[ev]
+	if c == nil || !c.Enabled || c.Period == 0 {
+		return NoLimit
+	}
+	return c.remaining - 1
 }
 
 // Tick records n occurrences of ev and fires OnOverflow for each

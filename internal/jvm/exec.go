@@ -279,7 +279,7 @@ func (vm *VM) stepInstr() error {
 			}
 			rv = v
 		}
-		vm.m.Core.Exec(cpu.Op{PC: f.body.PC(f.pc), Cost: cost})
+		vm.m.Core.BatchOp(f.body.PC(f.pc), cost)
 		th.frames = th.frames[:len(th.frames)-1]
 		if len(th.frames) > 0 && in.Op == bytecode.Ret {
 			caller := &th.frames[len(th.frames)-1]
@@ -461,7 +461,14 @@ func (vm *VM) stepInstr() error {
 		return vm.runtimeError(f, "unimplemented opcode %s", in.Op)
 	}
 
-	vm.m.Core.Exec(cpu.Op{PC: f.body.PC(f.pc), Cost: cost, Mem: mem})
+	// Straight-line bytecodes with no memory operand stream through the
+	// batched engine; memory ops take the precise path (cache probes and
+	// miss events must happen in exact sequence).
+	if mem == 0 {
+		vm.m.Core.BatchOp(f.body.PC(f.pc), cost)
+	} else {
+		vm.m.Core.Exec(cpu.Op{PC: f.body.PC(f.pc), Cost: cost, Mem: mem})
+	}
 	f.pc = nextPC
 	return nil
 }
@@ -493,7 +500,7 @@ func (vm *VM) doCall(th *vmThread, f *frame, in bytecode.Instr, cost uint32) err
 
 	// The call instruction executes in the caller, then control enters
 	// the callee prologue.
-	vm.m.Core.Exec(cpu.Op{PC: f.body.PC(f.pc), Cost: cost})
+	vm.m.Core.BatchOp(f.body.PC(f.pc), cost)
 	f.pc++ // return continues after the call
 
 	th.frames = append(th.frames, frame{
@@ -526,7 +533,7 @@ func (vm *VM) doSpawn(th *vmThread, f *frame, in bytecode.Instr, cost uint32) er
 	copy(locals, f.stack[base:])
 	f.stack = f.stack[:base]
 
-	vm.m.Core.Exec(cpu.Op{PC: f.body.PC(f.pc), Cost: cost})
+	vm.m.Core.BatchOp(f.body.PC(f.pc), cost)
 	f.pc++
 	// Thread creation is a VM service (stack setup, scheduler insert).
 	vm.work(SvcScheduler, 300)

@@ -30,12 +30,13 @@ func (vm *VM) execNative(symbol string, n int, memBase addr.Address, stride uint
 	core := vm.m.Core
 	var memOff uint64
 	for i := 0; i < n; i++ {
-		var mem addr.Address
 		if memEvery > 0 && i%memEvery == 0 && memBase != 0 {
-			mem = memBase + addr.Address(memOff)
+			mem := memBase + addr.Address(memOff)
 			memOff += stride
+			core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
+		} else {
+			core.BatchOp(pc, 1)
 		}
-		core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
 		pc += 4
 		if pc >= end {
 			pc = start

@@ -115,7 +115,26 @@ func opBytes(op bytecode.Opcode, level Level) uint32 {
 // tier, excluding memory-system penalties (the cache model adds those).
 // Opt code runs roughly 2.5x faster than baseline, matching the
 // speedups Jikes RVM reports between its tiers.
+//
+// The dispatch loop pays this lookup once per executed bytecode, so the
+// cost switch is flattened into a table at init.
 func OpCost(op bytecode.Opcode, level Level) uint32 {
+	if int(op) < bytecode.NumOpcodes {
+		return opCostTab[level][op]
+	}
+	return opCostSwitch(op, level)
+}
+
+var opCostTab [2][bytecode.NumOpcodes]uint32
+
+func init() {
+	for op := 0; op < bytecode.NumOpcodes; op++ {
+		opCostTab[Baseline][op] = opCostSwitch(bytecode.Opcode(op), Baseline)
+		opCostTab[Opt][op] = opCostSwitch(bytecode.Opcode(op), Opt)
+	}
+}
+
+func opCostSwitch(op bytecode.Opcode, level Level) uint32 {
 	var base uint32
 	switch op {
 	case bytecode.Nop:

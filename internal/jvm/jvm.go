@@ -407,12 +407,14 @@ func (vm *VM) workMem(svc ServiceID, ops int, memBase addr.Address, memLen uint6
 		}
 		pc := r.start
 		for i := 0; i < chunk; i++ {
-			var mem addr.Address
 			vm.memTick++
 			if vm.memTick%6 == 0 && memLen > 0 {
-				mem = memBase + addr.Address((vm.memTick*88)%memLen)
+				mem := memBase + addr.Address((vm.memTick*88)%memLen)
+				core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
+			} else {
+				// No memory operand: stream through the batched engine.
+				core.BatchOp(pc, 1)
 			}
-			core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
 			pc += 4
 			if pc >= r.end {
 				pc = r.start

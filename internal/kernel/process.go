@@ -93,7 +93,10 @@ func (k *Kernel) Processes() []*Process { return k.procs }
 
 // ExecKernel executes n micro-ops of the named kernel symbol in kernel
 // mode at the given per-op cost, walking PCs through the symbol's
-// range. It is how all simulated kernel work is accounted.
+// range. It is how all simulated kernel work is accounted. The walk is
+// retired through the core's batched engine one wrap-around segment at
+// a time — the PC sequence, and hence every sample and cache event, is
+// identical to the per-op loop it replaces.
 func (k *Kernel) ExecKernel(symbol string, n int, cost uint32) {
 	v, ok := k.kernSyms[symbol]
 	if !ok {
@@ -102,9 +105,14 @@ func (k *Kernel) ExecKernel(symbol string, n int, cost uint32) {
 	prev := k.core.Context()
 	k.core.SetContext(cpu.Context{PID: prev.PID, Kernel: true})
 	pc := v.Start
-	for i := 0; i < n; i++ {
-		k.core.Exec(cpu.Op{PC: pc, Cost: cost})
-		pc += 4
+	for n > 0 {
+		seg := int((v.End - pc + 3) / 4) // ops before the walk wraps
+		if seg > n {
+			seg = n
+		}
+		k.core.ExecBatch(pc, seg, 4, cost)
+		n -= seg
+		pc += 4 * addr.Address(seg)
 		if pc >= v.End {
 			pc = v.Start
 		}
@@ -217,6 +225,9 @@ func (k *Kernel) Run(maxCycles uint64) error {
 		k.core.StartSlice(slice)
 		before := k.core.Cycles()
 		res := p.exec.Step(k.m, p)
+		// Close any batch the executor left open, so counter state is
+		// current at every scheduler boundary (tickers, sleeps, stats).
+		k.core.FlushBatch()
 		p.cpuTime += k.core.Cycles() - before
 		switch res {
 		case StepExit:
