@@ -1,14 +1,16 @@
 # Developer smoke gate. `make check` is what a PR must keep green:
-# static vetting, a full build, the race-enabled short test suite, and
-# one iteration of the engine microbenchmarks (which self-verify that
-# the batched and per-op paths agree, and that the flattened epoch
-# index matches the backward scan).
+# static vetting, a full build, the race-enabled short test suite, a
+# bounded chaos sweep (seeded fault schedules against the persistence
+# layer, conservation invariants checked end to end), and one iteration
+# of the engine microbenchmarks (which self-verify that the batched and
+# per-op paths agree, and that the flattened epoch index matches the
+# backward scan).
 
 GO ?= go
 
-.PHONY: check vet build test bench-smoke bench
+.PHONY: check vet build test chaos-smoke bench-smoke bench
 
-check: vet build test bench-smoke
+check: vet build test chaos-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +20,11 @@ build:
 
 test:
 	$(GO) test -race -short ./...
+
+# Bounded seed sweep of the chaos harness: 25 seeds cycling all five
+# fault scenarios, plus the scripted crash/latency schedules.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaos' -count=1 ./internal/core/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkEpochResolveIndexed' -benchtime 1x .

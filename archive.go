@@ -144,7 +144,7 @@ func LoadArchivedPhases(dir string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	counts, err := oprofile.ReadCounts(strings.NewReader(string(data)))
+	counts, sal, err := oprofile.ReadCountsSalvage(data)
 	if err != nil {
 		return "", err
 	}
@@ -158,6 +158,10 @@ func LoadArchivedPhases(dir string) (string, error) {
 	}
 	rows := core.PhaseBreakdown(counts, res, proc, primary)
 	var buf bytes.Buffer
+	if sal.Lossy() {
+		fmt.Fprintf(&buf, "WARNING: sample file damaged — %d records dropped (%d bytes); timeline built from the %d that survived\n",
+			sal.DroppedRecords, sal.DroppedBytes, sal.Records)
+	}
 	if err := core.FormatPhases(&buf, rows, primary); err != nil {
 		return "", err
 	}

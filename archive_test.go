@@ -54,12 +54,24 @@ func TestLoadArchivedReportErrors(t *testing.T) {
 	if _, err := LoadArchivedReport(dir); err == nil {
 		t.Error("empty archive accepted")
 	}
-	// A manifest alone is not enough: the sample file must exist.
+	// A manifest without sample data loads — a daemon that crashed
+	// before its first flush leaves exactly this shape — but the loss is
+	// surfaced, never papered over.
 	if err := os.WriteFile(filepath.Join(dir, "viprof-manifest.txt"),
 		[]byte("event 0\nvm 3 jikesrvm\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadArchivedReport(dir); err == nil {
-		t.Error("archive without sample data accepted")
+	rep, err := LoadArchivedReport(dir)
+	if err != nil {
+		t.Fatalf("archive without sample data: %v", err)
+	}
+	if rep.Integrity == nil || !rep.Integrity.SampleFileMissing {
+		t.Error("missing sample file not flagged in Integrity")
+	}
+	if !rep.Integrity.Degraded() {
+		t.Error("missing sample file did not degrade the report")
+	}
+	if len(rep.Rows) != 0 {
+		t.Errorf("%d rows conjured from no sample data", len(rep.Rows))
 	}
 }

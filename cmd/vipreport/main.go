@@ -48,4 +48,10 @@ func main() {
 	}
 	outcome := &viprof.Outcome{Report: rep, Events: rep.Events}
 	fmt.Print(outcome.RenderReport(*rows))
+	if rep.Integrity != nil {
+		if err := oprofile.FormatIntegrity(os.Stdout, rep.Integrity); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -1,12 +1,16 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"viprof/internal/addr"
 	"viprof/internal/image"
 	"viprof/internal/jvm/jit"
 	"viprof/internal/kernel"
+	"viprof/internal/record"
 )
 
 // VMAgent is the paper's VM agent: "a library with several hooks in the
@@ -42,6 +46,20 @@ type VMAgent struct {
 	EagerMoveLog bool
 	known        []*jit.CodeBody // all live bodies (FullMaps mode)
 
+	// deferred holds a failed epoch's entries: instead of vanishing,
+	// they are prepended to the next map write. Their per-entry Epoch
+	// tags mean the chain reader re-slots them into their true epoch,
+	// so a mid-run write failure costs nothing once a later write
+	// lands.
+	deferred []MapEntry
+	// oracle records, per epoch, exactly what the agent intended to
+	// persist — captured before each write attempt, so it is the
+	// fault-free persistence reference for this very execution (a
+	// separate fault-free run diverges in timing, because profiling
+	// overhead is endogenous). The chaos harness checks resolution
+	// against it.
+	oracle [][]MapEntry
+
 	stats AgentStats
 }
 
@@ -52,6 +70,10 @@ type AgentStats struct {
 	MapsWritten int
 	Entries     int
 	MapBytes    uint64
+	// MapWriteErrors counts failed epoch-map writes; DeferredEntries is
+	// how many entries those failures carried into later maps.
+	MapWriteErrors  int
+	DeferredEntries int
 }
 
 // AgentLibName is the agent library's image name.
@@ -159,8 +181,13 @@ func (a *VMAgent) OnMove(body *jit.CodeBody, old addr.Address) {
 func (a *VMAgent) PreGC(epoch int) { a.writeMap(epoch) }
 
 // OnExit implements jvm.Agent: the final map write at VM shutdown, so
-// samples from the last epoch resolve too.
-func (a *VMAgent) OnExit(epoch int) { a.writeMap(epoch) }
+// samples from the last epoch resolve too, plus the agent's persisted
+// self-counters. A killed VM never reaches this — the missing stats
+// file is the durable evidence.
+func (a *VMAgent) OnExit(epoch int) {
+	a.writeMap(epoch)
+	a.writeStats()
+}
 
 // writeMap emits the code map for the closing epoch. In the paper's
 // partial scheme it contains only methods compiled (or recompiled)
@@ -186,32 +213,136 @@ func (a *VMAgent) writeMap(epoch int) {
 		entries = append(entries, MapEntry{
 			Start: b.Start(),
 			Size:  b.Size,
+			Epoch: epoch,
 			Level: b.Level.String(),
 			Sig:   b.Method.Signature(),
 		})
 	}
+	// The oracle captures this epoch's intended entries before the
+	// write can fail: it is the fault-free persistence reference the
+	// chaos harness checks resolution against.
+	a.recordOracle(epoch, entries)
+	// A previous epoch's failed write rides along, keeping its own
+	// epoch tags.
+	if len(a.deferred) > 0 {
+		entries = append(append([]MapEntry{}, a.deferred...), entries...)
+	}
 	// Serialization + write cost, charged to the VM process at the
 	// agent's symbols plus the write syscall path.
 	a.exec("viprof_write_map", 30+12*len(entries))
-	var buf mapBuf
+	var buf bytes.Buffer
 	if err := WriteMapFile(&buf, entries); err != nil {
 		return
 	}
-	a.m.Kern.SysWriteSync(a.proc, MapPath(a.proc.PID, epoch), buf.b)
+	// Temp + rename: the final map path either holds a complete write
+	// or does not exist. A torn write tears the .tmp, which the chain
+	// reader counts as an orphan instead of misparsing.
+	path := MapPath(a.proc.PID, epoch)
+	tmp := path + ".tmp"
+	err := a.m.Kern.SysWriteSync(a.proc, tmp, buf.Bytes())
+	if err == nil {
+		err = a.m.Kern.SysRename(a.proc, tmp, path)
+	}
+	if err != nil {
+		// The epoch's entries defer to the next write instead of
+		// vanishing; count the failure so it is visible even if a later
+		// write recovers everything.
+		a.stats.MapWriteErrors++
+		a.stats.DeferredEntries += len(entries)
+		a.deferred = entries
+		a.pending = a.pending[:0]
+		a.moved = make(map[*jit.CodeBody]addr.Address)
+		return
+	}
 	// "We then notify the OProfile daemon and request that the written
 	// map be associated with the logged JIT.App samples" (§3).
 	a.exec("viprof_notify_daemon", 40)
 
+	a.deferred = nil
 	a.pending = a.pending[:0]
 	a.moved = make(map[*jit.CodeBody]addr.Address)
 	a.stats.MapsWritten++
 	a.stats.Entries += len(entries)
-	a.stats.MapBytes += uint64(len(buf.b))
+	a.stats.MapBytes += uint64(buf.Len())
 }
 
-type mapBuf struct{ b []byte }
+// recordOracle appends epoch's intended entries to the in-memory
+// fault-free reference.
+func (a *VMAgent) recordOracle(epoch int, entries []MapEntry) {
+	for len(a.oracle) <= epoch {
+		a.oracle = append(a.oracle, nil)
+	}
+	a.oracle[epoch] = append(a.oracle[epoch], entries...)
+}
 
-func (w *mapBuf) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
+// OracleChain builds a MapChain from the in-memory record of every
+// entry the agent intended to persist, regardless of write failures.
+// It is what the persisted chain must never contradict.
+func (a *VMAgent) OracleChain() *MapChain { return NewMapChain(a.oracle) }
+
+// AgentStatsPath names the agent's persisted self-counters file.
+func AgentStatsPath(pid int) string {
+	return fmt.Sprintf("%s/%d/agent.stats", MapDir, pid)
+}
+
+// writeStats persists the agent's self-counters as one framed record at
+// clean VM exit. Best-effort: a missing or torn stats file reads as
+// "the VM did not shut down cleanly", which is exactly right.
+func (a *VMAgent) writeStats() {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "compiles=%d\nmoves=%d\nmaps_written=%d\nentries=%d\nmap_bytes=%d\n",
+		a.stats.Compiles, a.stats.Moves, a.stats.MapsWritten, a.stats.Entries, a.stats.MapBytes)
+	fmt.Fprintf(&buf, "map_write_errors=%d\ndeferred=%d\nclean=1\n",
+		a.stats.MapWriteErrors, a.stats.DeferredEntries)
+	_ = a.m.Kern.SysWrite(a.proc, AgentStatsPath(a.proc.PID), record.Frame(buf.Bytes()))
+}
+
+// AgentPersisted is the agent's self-reported view parsed back from
+// agent.stats; nil means the file is missing or damaged (the VM died).
+type AgentPersisted struct {
+	Compiles, Moves, MapsWritten, Entries int
+	MapBytes                              uint64
+	MapWriteErrors, Deferred              int
+	Clean                                 bool
+}
+
+// ReadAgentStats parses the framed agent.stats record; nil if torn.
+func ReadAgentStats(data []byte) *AgentPersisted {
+	recs, sal := record.Scan(data)
+	if sal.Lossy() || len(recs) != 1 {
+		return nil
+	}
+	ap := &AgentPersisted{}
+	for _, line := range strings.Split(string(recs[0]), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil
+		}
+		switch k {
+		case "compiles":
+			ap.Compiles = n
+		case "moves":
+			ap.Moves = n
+		case "maps_written":
+			ap.MapsWritten = n
+		case "entries":
+			ap.Entries = n
+		case "map_bytes":
+			ap.MapBytes = uint64(n)
+		case "map_write_errors":
+			ap.MapWriteErrors = n
+		case "deferred":
+			ap.Deferred = n
+		case "clean":
+			ap.Clean = n != 0
+		}
+	}
+	return ap
 }

@@ -1,0 +1,224 @@
+package core_test
+
+// Chaos tests: full profiled sessions under seeded fault schedules
+// (internal/harness/chaos.go), checked against the pipeline's
+// degradation contract. The invariants, end to end:
+//
+//  1. Conservation at the driver: every NMI is logged or dropped.
+//  2. Conservation at the daemon: every logged sample is aggregated or
+//     still buffered.
+//  3. Conservation on disk: persisted + spilled + unflushed equals
+//     aggregated — a failed flush retries its whole delta, a torn
+//     record fails its checksum, so nothing double-counts and nothing
+//     vanishes unaccounted.
+//  4. No silent misattribution: any JIT sample the durable resolver
+//     does attribute agrees with the agent's in-memory oracle (what a
+//     fault-free persistence of the same execution would have said).
+//  5. Visibility: destructive faults imply a degraded Integrity
+//     section; no destructive faults imply a clean one.
+//
+// The file lives in package core_test because the harness imports core.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"viprof/internal/harness"
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+)
+
+// chaosSeeds is the bounded seed sweep: 25 consecutive seeds cycle all
+// five scenarios five times each (daemon crash, ENOSPC, torn map, torn
+// samples, VM kill).
+const chaosSeeds = 25
+
+func TestChaosSweep(t *testing.T) {
+	for seed := int64(0); seed < chaosSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d/%s", seed, harness.ScenarioOf(seed)), func(t *testing.T) {
+			t.Parallel()
+			r, err := harness.RunChaos(seed, 0.25)
+			if err != nil {
+				t.Fatalf("chaos run: %v", err)
+			}
+			checkChaosInvariants(t, r)
+		})
+	}
+}
+
+func checkChaosInvariants(t *testing.T, r *harness.ChaosResult) {
+	t.Helper()
+	t.Logf("scenario=%s faults=%+v vmKilled=%v daemonCrashed=%v",
+		r.Scenario, r.Faults, r.VMKilled, r.Daemon.Crashed())
+
+	// (1) Driver conservation: NMIs = logged + dropped.
+	ds := r.Driver
+	if ds.Logged+ds.Dropped != ds.NMIs {
+		t.Errorf("driver conservation: logged %d + dropped %d != NMIs %d",
+			ds.Logged, ds.Dropped, ds.NMIs)
+	}
+
+	// (2) Daemon conservation: logged = aggregated + still buffered.
+	buffered := uint64(r.Session.Prof.Driver.BufferLen())
+	if r.Daemon.SamplesLogged()+buffered != ds.Logged {
+		t.Errorf("daemon conservation: aggregated %d + buffered %d != logged %d",
+			r.Daemon.SamplesLogged(), buffered, ds.Logged)
+	}
+
+	// (3) Disk conservation: what the salvage reader recovers plus the
+	// daemon's accounted losses equals what the daemon aggregated.
+	disk := r.Machine.Kern.Disk()
+	var persisted uint64
+	if data, err := disk.Read(oprofile.SampleFile); err == nil {
+		counts, _, err := oprofile.ReadCountsSalvage(data)
+		if err != nil {
+			t.Fatalf("salvage re-read: %v", err)
+		}
+		for _, c := range counts {
+			persisted += c
+		}
+	}
+	accounted := persisted + r.Daemon.Spilled() + r.Daemon.Unflushed()
+	if accounted != r.Daemon.SamplesLogged() {
+		t.Errorf("disk conservation: persisted %d + spilled %d + unflushed %d = %d != aggregated %d",
+			persisted, r.Daemon.Spilled(), r.Daemon.Unflushed(), accounted, r.Daemon.SamplesLogged())
+	}
+
+	// Report totals can never exceed what the driver logged.
+	for _, ev := range r.Report.Events {
+		if r.Report.Totals[ev] > ds.Logged {
+			t.Errorf("report total %d for event %v exceeds logged %d",
+				r.Report.Totals[ev], ev, ds.Logged)
+		}
+	}
+
+	// (4) No silent misattribution: every JIT sample the durable
+	// resolver attributes must agree with the agent's in-memory oracle.
+	checkNoMisattribution(t, r)
+
+	// (5) Visibility: destructive faults are never invisible, and a
+	// fault-free (or latency-only) run is never falsely degraded.
+	integ := r.Report.Integrity
+	if integ == nil {
+		t.Fatal("report has no Integrity section")
+	}
+	if r.Faults.Destructive() > 0 && !integ.Degraded() {
+		var buf bytes.Buffer
+		_ = oprofile.FormatIntegrity(&buf, integ)
+		t.Errorf("%d destructive faults injected but Integrity reads clean:\n%s",
+			r.Faults.Destructive(), buf.String())
+	}
+	if r.Faults.Destructive() == 0 && integ.Degraded() {
+		var buf bytes.Buffer
+		_ = oprofile.FormatIntegrity(&buf, integ)
+		t.Errorf("no destructive faults but Integrity reads degraded:\n%s", buf.String())
+	}
+}
+
+// checkNoMisattribution re-reads the sample file from disk and checks
+// every JIT key the durable resolver can attribute against the agent's
+// oracle chain — the fault-free persistence reference for this very
+// execution.
+func checkNoMisattribution(t *testing.T, r *harness.ChaosResult) {
+	t.Helper()
+	disk := r.Machine.Kern.Disk()
+	data, err := disk.Read(oprofile.SampleFile)
+	if err != nil {
+		return // nothing persisted, nothing to misattribute
+	}
+	counts, _, err := oprofile.ReadCountsSalvage(data)
+	if err != nil {
+		t.Fatalf("salvage re-read: %v", err)
+	}
+	chain, ok := r.Resolver.Chains[r.Proc.PID]
+	if !ok {
+		t.Fatal("resolver has no chain for the VM pid")
+	}
+	oracle := r.Agent.OracleChain()
+	var attributed, unresolved int
+	for k := range counts {
+		if !k.JIT || k.Proc != r.Proc.Name {
+			continue
+		}
+		entry, _, found := chain.ResolveDurable(k.Epoch, k.Off)
+		if !found {
+			unresolved++
+			continue
+		}
+		attributed++
+		oEntry, _, oFound := oracle.Resolve(k.Epoch, k.Off)
+		if !oFound {
+			t.Errorf("misattribution: epoch %d pc %v resolved to %q on disk but the oracle has no entry",
+				k.Epoch, k.Off, entry.Sig)
+			continue
+		}
+		if oEntry.Sig != entry.Sig {
+			t.Errorf("misattribution: epoch %d pc %v resolved to %q on disk, oracle says %q",
+				k.Epoch, k.Off, entry.Sig, oEntry.Sig)
+		}
+	}
+	t.Logf("JIT keys: %d attributed, %d unresolved (degraded, not lied about)",
+		attributed, unresolved)
+}
+
+// A scripted daemon crash: the second sample-file write kills the
+// daemon. The stats file must be absent, the report degraded, and
+// conservation must still hold.
+func TestChaosScriptedDaemonCrash(t *testing.T) {
+	r := runScriptedChaos(t, kernel.FaultPlan{
+		Seed:       99,
+		PathPrefix: oprofile.SampleFile,
+		Script:     []kernel.FaultPoint{{Write: 1, Kind: kernel.FaultCrash}},
+	})
+	if !r.Daemon.Crashed() {
+		t.Fatal("daemon survived a scripted crash point")
+	}
+	if r.Machine.Kern.Disk().Exists(oprofile.DaemonStatsFile) {
+		t.Error("crashed daemon left a stats file")
+	}
+	if !r.Report.Integrity.Degraded() {
+		t.Error("daemon crash not surfaced as degradation")
+	}
+	if r.Report.Integrity.Stats != nil {
+		t.Error("integrity reports daemon stats despite the crash")
+	}
+	checkChaosInvariants(t, r)
+}
+
+// A latency-only schedule must not degrade anything: the writes all
+// complete, just slowly.
+func TestChaosLatencyOnlyIsClean(t *testing.T) {
+	r := runScriptedChaos(t, kernel.FaultPlan{
+		Seed:       7,
+		PathPrefix: "var/",
+		Script: []kernel.FaultPoint{
+			{Write: 0, Kind: kernel.FaultLatency},
+			{Write: 2, Kind: kernel.FaultLatency},
+		},
+	})
+	if r.Faults.Latency == 0 {
+		t.Fatal("latency schedule injected nothing")
+	}
+	if r.Faults.Destructive() != 0 {
+		t.Fatalf("latency-only plan injected destructive faults: %+v", r.Faults)
+	}
+	if r.Report.Integrity.Degraded() {
+		var buf bytes.Buffer
+		_ = oprofile.FormatIntegrity(&buf, r.Report.Integrity)
+		t.Errorf("latency-only run reads degraded:\n%s", buf.String())
+	}
+	checkChaosInvariants(t, r)
+}
+
+// runScriptedChaos is RunChaos with a caller-supplied plan instead of a
+// seed-derived one (the plan's seed also drives workload noise).
+func runScriptedChaos(t *testing.T, plan kernel.FaultPlan) *harness.ChaosResult {
+	t.Helper()
+	r, err := harness.RunChaosPlan(plan.Seed, 0.25, plan)
+	if err != nil {
+		t.Fatalf("scripted chaos run: %v", err)
+	}
+	return r
+}

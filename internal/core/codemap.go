@@ -6,15 +6,15 @@
 package core
 
 import (
-	"bufio"
-	"bytes"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"viprof/internal/addr"
 	"viprof/internal/kernel"
+	"viprof/internal/record"
 )
 
 // MapEntry is one record of a JIT code map: where a compiled method
@@ -22,6 +22,11 @@ import (
 type MapEntry struct {
 	Start addr.Address
 	Size  uint32
+	// Epoch is the epoch this entry belongs to. Map files carry it per
+	// entry because a failed epoch write is deferred into the next
+	// file: the tag lets recovery re-slot each entry into its true
+	// epoch, so deferral is lossless for resolution.
+	Epoch int
 	Level string // compiler tier ("base"/"opt")
 	Sig   string // fully qualified method signature
 }
@@ -37,68 +42,98 @@ func MapPath(pid, epoch int) string {
 	return fmt.Sprintf("%s/%d/map.%d", MapDir, pid, epoch)
 }
 
-// WriteMapFile serializes map entries, one per line:
+// WriteMapFile serializes map entries, one framed + checksummed record
+// per entry (see internal/record):
 //
-//	<hex start> <size> <level> <signature>
+//	<hex start> <size> <epoch> <level> <signature>
 //
-// and finishes with a trailer recording the entry count, so a write
-// torn mid-file (the VM crashing during the epoch write) is detectable
-// rather than silently yielding a truncated-but-parseable map.
+// and finishes with a framed trailer recording the entry count. A write
+// torn mid-file loses only the records past the tear — the salvage
+// reader recovers every intact entry and the missing trailer marks the
+// file as incomplete.
 func WriteMapFile(w io.Writer, entries []MapEntry) error {
-	bw := bufio.NewWriter(w)
 	for _, e := range entries {
-		if _, err := fmt.Fprintf(bw, "%08x %d %s %s\n",
-			uint64(e.Start), e.Size, e.Level, e.Sig); err != nil {
+		line := fmt.Sprintf("%08x %d %d %s %s\n",
+			uint64(e.Start), e.Size, e.Epoch, e.Level, e.Sig)
+		if _, err := w.Write(record.Frame([]byte(line))); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(bw, "#end %d\n", len(entries)); err != nil {
-		return err
-	}
-	return bw.Flush()
+	trailer := fmt.Sprintf("#end %d\n", len(entries))
+	_, err := w.Write(record.Frame([]byte(trailer)))
+	return err
 }
 
-// ReadMapFile parses map entries and verifies the trailer.
+// ReadMapFile parses map entries and verifies the trailer; any damage
+// is a hard error here. Use salvageMapData to recover what survives a
+// torn file.
 func ReadMapFile(r io.Reader) ([]MapEntry, error) {
-	var out []MapEntry
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	line := 0
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	entries, sal, trailerOK, err := salvageMapData(data)
+	if err != nil {
+		return nil, err
+	}
+	if sal.Lossy() {
+		return nil, fmt.Errorf("code map corrupt: %d records dropped (%d bytes)",
+			sal.DroppedRecords, sal.DroppedBytes)
+	}
+	if !trailerOK {
+		return nil, fmt.Errorf("code map truncated: trailer missing or entry count mismatch (torn write?)")
+	}
+	return entries, nil
+}
+
+// salvageMapData recovers every intact entry of a possibly-damaged map
+// file. trailerOK reports whether the end-trailer was found and its
+// count matches the recovered entries (i.e. the file is provably
+// complete). A checksum-valid record that fails to parse is a writer
+// bug, not disk damage, and errors hard.
+func salvageMapData(data []byte) (entries []MapEntry, sal record.Salvage, trailerOK bool, err error) {
+	recs, sal := record.Scan(data)
 	trailer := -1
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+	for _, payload := range recs {
+		text := strings.TrimSpace(string(payload))
 		if text == "" {
 			continue
 		}
 		if strings.HasPrefix(text, "#end ") {
-			n, err := fmt.Sscanf(text, "#end %d", &trailer)
-			if n != 1 || err != nil {
-				return nil, fmt.Errorf("code map line %d: bad trailer %q", line, text)
+			var n int
+			if c, serr := fmt.Sscanf(text, "#end %d", &n); c != 1 || serr != nil {
+				return nil, sal, false, fmt.Errorf("code map: bad trailer %q", text)
 			}
+			trailer = n
 			continue
-		}
-		if trailer >= 0 {
-			return nil, fmt.Errorf("code map line %d: data after trailer", line)
 		}
 		var start uint64
 		var size uint32
+		var epoch int
 		var level, sig string
-		if _, err := fmt.Sscanf(text, "%x %d %s %s", &start, &size, &level, &sig); err != nil {
-			return nil, fmt.Errorf("code map line %d: %v", line, err)
+		if _, serr := fmt.Sscanf(text, "%x %d %d %s %s", &start, &size, &epoch, &level, &sig); serr != nil {
+			return nil, sal, false, fmt.Errorf("code map entry %q: %v", text, serr)
 		}
-		out = append(out, MapEntry{Start: addr.Address(start), Size: size, Level: level, Sig: sig})
+		entries = append(entries, MapEntry{
+			Start: addr.Address(start), Size: size, Epoch: epoch, Level: level, Sig: sig,
+		})
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if trailer < 0 {
-		return nil, fmt.Errorf("code map truncated: missing trailer (torn write?)")
-	}
-	if trailer != len(out) {
-		return nil, fmt.Errorf("code map truncated: trailer says %d entries, read %d", trailer, len(out))
-	}
-	return out, nil
+	trailerOK = trailer == len(entries)
+	return entries, sal, trailerOK, nil
+}
+
+// ChainIntegrity sums the damage found while loading one process's map
+// chain from disk.
+type ChainIntegrity struct {
+	// Files is map files read; OrphanTmp counts .tmp files left by a
+	// crash between the data write and the atomic rename.
+	Files, OrphanTmp int
+	// Entries is intact entries recovered.
+	Entries int
+	// Salvage accounting summed over files.
+	DroppedRecords, DroppedBytes int
+	// TornFiles is files with dropped records or a bad trailer.
+	TornFiles int
 }
 
 // MapChain is one process's sequence of epoch code maps, supporting the
@@ -116,12 +151,18 @@ type MapChain struct {
 	// search instead of the O(epochs × log entries) backward scan,
 	// with identical results including the reported search depth.
 	idx *flatIndex
+
+	// integ is what loading from disk found; poisonCeil is the highest
+	// epoch whose file was damaged (-1 = none). ResolveDurable refuses
+	// to attribute through damaged epochs rather than guess.
+	integ      ChainIntegrity
+	poisonCeil int
 }
 
 // NewMapChain builds a chain from per-epoch entry lists (index =
 // epoch).
 func NewMapChain(perEpoch [][]MapEntry) *MapChain {
-	c := &MapChain{maps: make([][]MapEntry, len(perEpoch))}
+	c := &MapChain{maps: make([][]MapEntry, len(perEpoch)), poisonCeil: -1}
 	for e, entries := range perEpoch {
 		sorted := append([]MapEntry(nil), entries...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
@@ -130,31 +171,85 @@ func NewMapChain(perEpoch [][]MapEntry) *MapChain {
 	return c
 }
 
-// ReadMapChain loads every map file for a pid from the simulated disk.
-// Missing epochs (no file) are tolerated.
+// ReadMapChain loads every map file for a pid from the simulated disk,
+// salvaging what damage allows and accounting for the rest (see
+// Integrity). Missing epochs (no file) are tolerated; entries land in
+// the epoch their tag names, which is how deferred-then-merged entries
+// find their way home.
 func ReadMapChain(disk *kernel.Disk, pid int) (*MapChain, error) {
-	var perEpoch [][]MapEntry
-	for epoch := 0; ; epoch++ {
-		data, err := disk.Read(MapPath(pid, epoch))
-		if err != nil {
-			// The chain ends at the first missing epoch unless a later
-			// one exists (an epoch may legitimately write nothing).
-			if disk.Exists(MapPath(pid, epoch+1)) {
-				perEpoch = append(perEpoch, nil)
-				continue
-			}
-			break
-		}
-		// Read through the disk buffer directly; a string(data) copy
-		// here would duplicate every map file during post-processing.
-		entries, err := ReadMapFile(bytes.NewReader(data))
-		if err != nil {
-			return nil, fmt.Errorf("map chain pid %d epoch %d: %v", pid, epoch, err)
-		}
-		perEpoch = append(perEpoch, entries)
+	prefix := fmt.Sprintf("%s/%d/", MapDir, pid)
+	var integ ChainIntegrity
+	poison := -1
+	maxEpoch := -1
+	type loaded struct {
+		fileEpoch int
+		entries   []MapEntry
 	}
-	return NewMapChain(perEpoch), nil
+	var files []loaded
+	for _, name := range disk.List() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		base := name[len(prefix):]
+		if strings.HasSuffix(base, ".tmp") {
+			// A crash struck between the map data write and the atomic
+			// rename: the final file never appeared, and this orphan is
+			// the durable evidence.
+			integ.OrphanTmp++
+			continue
+		}
+		numStr, found := strings.CutPrefix(base, "map.")
+		if !found {
+			continue // agent.stats and other non-map files
+		}
+		fileEpoch, err := strconv.Atoi(numStr)
+		if err != nil || fileEpoch < 0 {
+			continue // move logs ("map.-1.moves") etc.
+		}
+		data, err := disk.Read(name)
+		if err != nil {
+			continue
+		}
+		entries, sal, trailerOK, err := salvageMapData(data)
+		if err != nil {
+			return nil, fmt.Errorf("map chain pid %d epoch %d: %v", pid, fileEpoch, err)
+		}
+		integ.Files++
+		integ.Entries += len(entries)
+		integ.DroppedRecords += sal.DroppedRecords
+		integ.DroppedBytes += sal.DroppedBytes
+		if sal.Lossy() || !trailerOK {
+			integ.TornFiles++
+			if fileEpoch > poison {
+				poison = fileEpoch
+			}
+		}
+		if fileEpoch > maxEpoch {
+			maxEpoch = fileEpoch
+		}
+		files = append(files, loaded{fileEpoch, entries})
+	}
+	perEpoch := make([][]MapEntry, maxEpoch+1)
+	for _, f := range files {
+		for _, e := range f.entries {
+			ep := e.Epoch
+			// Clamp stray tags: an entry cannot belong to a later epoch
+			// than the file that carries it (legacy epoch-0 tags from
+			// zero values also land safely in their file's epoch).
+			if ep < 0 || ep > f.fileEpoch {
+				ep = f.fileEpoch
+			}
+			perEpoch[ep] = append(perEpoch[ep], e)
+		}
+	}
+	c := NewMapChain(perEpoch)
+	c.integ = integ
+	c.poisonCeil = poison
+	return c, nil
 }
+
+// Integrity returns what loading this chain from disk found.
+func (c *MapChain) Integrity() ChainIntegrity { return c.integ }
 
 // Epochs returns the number of epochs present in the chain.
 func (c *MapChain) Epochs() int { return len(c.maps) }
@@ -186,6 +281,40 @@ func (c *MapChain) Resolve(epoch int, pc addr.Address) (entry MapEntry, searched
 		c.idx = buildFlatIndex(c.maps)
 	}
 	return c.idx.resolve(epoch, pc)
+}
+
+// ResolveDurable is Resolve hardened against a damaged chain: it
+// refuses to attribute a sample when lost map entries could change the
+// answer, returning not-found instead (degrade, don't lie).
+//
+// Two rules derive from how entries get lost:
+//
+//   - A sample epoch past the end of the chain is unresolved, never
+//     clamped: the entries that would have covered it were lost with
+//     the tail of the run (a killed VM's unwritten final map).
+//   - Below a damaged ("poisoned") epoch file, a backward-search hit in
+//     epoch e is trusted only when e >= the highest damaged epoch: an
+//     entry lost from a damaged file has epoch <= that ceiling, and a
+//     hit at or above it is newer than anything lost, so the loss
+//     cannot shadow it. A hit strictly below the ceiling could have
+//     been shadowed by a lost entry — unresolved.
+func (c *MapChain) ResolveDurable(epoch int, pc addr.Address) (entry MapEntry, searched int, ok bool) {
+	if epoch < 0 || epoch >= len(c.maps) {
+		return MapEntry{}, 0, false
+	}
+	if c.poisonCeil < 0 {
+		return c.Resolve(epoch, pc)
+	}
+	for e := epoch; e >= 0; e-- {
+		searched++
+		if entry, found := lookupEntry(c.maps[e], pc); found {
+			if e >= c.poisonCeil {
+				return entry, searched, true
+			}
+			return MapEntry{}, searched, false
+		}
+	}
+	return MapEntry{}, searched, false
 }
 
 // ResolveScan is the paper's backward search, literally: probe the

@@ -10,6 +10,7 @@ import (
 	"viprof/internal/cpu"
 	"viprof/internal/hpc"
 	"viprof/internal/kernel"
+	"viprof/internal/record"
 )
 
 func TestMapFileRoundTrip(t *testing.T) {
@@ -36,18 +37,38 @@ func TestMapFileRoundTrip(t *testing.T) {
 }
 
 func TestReadMapFileErrors(t *testing.T) {
+	// Unframed garbage: nothing salvages, no trailer — rejected.
 	if _, err := ReadMapFile(strings.NewReader("not a map\n")); err == nil {
 		t.Error("garbage accepted")
 	}
-	got, err := ReadMapFile(strings.NewReader("\n\n#end 0\n"))
-	if err != nil || len(got) != 0 {
-		t.Errorf("blank lines: %v, %d entries", err, len(got))
+	// An empty entry set with a valid trailer is a legitimate empty map.
+	var empty bytes.Buffer
+	if err := WriteMapFile(&empty, nil); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := ReadMapFile(strings.NewReader("\n")); err == nil {
+	got, err := ReadMapFile(&empty)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty map: %v, %d entries", err, len(got))
+	}
+	// A map missing its trailer record reads as torn.
+	var noTrailer bytes.Buffer
+	noTrailer.Write(record.Frame([]byte("00000010 5 0 base a.b\n")))
+	if _, err := ReadMapFile(&noTrailer); err == nil {
 		t.Error("map without trailer accepted (torn writes undetectable)")
 	}
-	if _, err := ReadMapFile(strings.NewReader("00000010 5 base a.b\n#end 2\n")); err == nil {
+	// A trailer whose count disagrees with the entries reads as torn.
+	var mismatch bytes.Buffer
+	mismatch.Write(record.Frame([]byte("00000010 5 0 base a.b\n")))
+	mismatch.Write(record.Frame([]byte("#end 2\n")))
+	if _, err := ReadMapFile(&mismatch); err == nil {
 		t.Error("trailer count mismatch accepted")
+	}
+	// A checksum-valid record with an unparseable payload is a writer
+	// bug and errors hard even through the salvage path.
+	var badPayload bytes.Buffer
+	badPayload.Write(record.Frame([]byte("zz not numbers\n")))
+	if _, _, _, err := salvageMapData(badPayload.Bytes()); err == nil {
+		t.Error("unparseable checksum-valid record accepted")
 	}
 }
 

@@ -5,21 +5,24 @@ package core
 // maps, sample-buffer overflow, samples in reclaimed code.
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"viprof/internal/hpc"
 	"viprof/internal/jvm"
 	"viprof/internal/jvm/jit"
+	"viprof/internal/kernel"
 	"viprof/internal/oprofile"
 )
 
-// TestTornMapFile: a map file truncated mid-line (a crash during the
-// epoch write) must fail parsing loudly rather than silently
-// misattribute.
+// TestTornMapFile: a map file torn on disk (a crash after the rename,
+// media damage) no longer fails the whole report — the salvage reader
+// recovers the intact records, the loss is accounted in the Integrity
+// section, and the durable resolver refuses to attribute anything the
+// damage could have shadowed.
 func TestTornMapFile(t *testing.T) {
 	s, vm, proc, m := runSession(t, stdConfig(), 128<<10)
-	_ = s
 	disk := m.Kern.Disk()
 	// Tear the epoch-0 map: keep the first half of its bytes.
 	path := MapPath(proc.PID, 0)
@@ -31,13 +34,155 @@ func TestTornMapFile(t *testing.T) {
 		t.Skip("map too small to tear meaningfully")
 	}
 	disk.Remove(path)
-	disk.Append(path, data[:len(data)/2+3]) // mid-line cut
-	_, _, err = Vipreport(disk, s.Images(vm), map[string]int{proc.Name: proc.PID}, s.Events())
-	if err == nil {
-		t.Fatal("torn map file accepted silently")
+	disk.Append(path, data[:len(data)/2+3]) // mid-record cut
+	rep, _, err := Vipreport(disk, s.Images(vm), map[string]int{proc.Name: proc.PID}, s.Events())
+	if err != nil {
+		t.Fatalf("torn map file should salvage, not fail: %v", err)
 	}
-	if !strings.Contains(err.Error(), "map") {
-		t.Errorf("unhelpful error: %v", err)
+	if rep.Integrity == nil {
+		t.Fatal("no Integrity section")
+	}
+	if !rep.Integrity.Degraded() {
+		t.Fatal("torn map file not surfaced as degradation")
+	}
+	var mi *oprofile.MapIntegrity
+	for i := range rep.Integrity.Maps {
+		if rep.Integrity.Maps[i].PID == proc.PID {
+			mi = &rep.Integrity.Maps[i]
+		}
+	}
+	if mi == nil {
+		t.Fatal("no map integrity entry for the VM")
+	}
+	if mi.TornFiles == 0 {
+		t.Errorf("torn file not counted: %+v", *mi)
+	}
+	if mi.DroppedRecords == 0 && mi.DroppedBytes == 0 {
+		t.Errorf("loss not accounted: %+v", *mi)
+	}
+	// No misattribution: whatever the durable resolver still attributes
+	// must match the undamaged chain.
+	undamaged := NewMapChain(nil)
+	{
+		full, err := readChainFromBytes(t, disk, proc.PID, path, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		undamaged = full
+	}
+	torn, err := ReadMapChain(disk, proc.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < undamaged.Epochs(); e++ {
+		for _, want := range undamaged.Entries(e) {
+			got, _, found := torn.ResolveDurable(e, want.Start)
+			if found && got.Sig != want.Sig {
+				t.Errorf("epoch %d pc %v: torn chain says %q, truth is %q",
+					e, want.Start, got.Sig, want.Sig)
+			}
+		}
+	}
+}
+
+// readChainFromBytes restores the original file contents, reads the
+// chain, then re-tears the file (helper for comparing a torn chain
+// against the undamaged truth).
+func readChainFromBytes(t *testing.T, disk *kernel.Disk, pid int, path string, original []byte) (*MapChain, error) {
+	t.Helper()
+	torn, err := disk.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	tornCopy := append([]byte(nil), torn...)
+	disk.Remove(path)
+	disk.Append(path, original)
+	chain, err := ReadMapChain(disk, pid)
+	disk.Remove(path)
+	disk.Append(path, tornCopy)
+	return chain, err
+}
+
+// TestTornWriteSweep: truncate a framed epoch map at every byte offset;
+// the salvage reader must recover an exact entry prefix with the loss
+// accounted — never a corrupted or fabricated entry.
+func TestTornWriteSweep(t *testing.T) {
+	entries := []MapEntry{
+		{Start: 0x6000_0000, Size: 64, Epoch: 0, Level: "base", Sig: "LA;m0()V"},
+		{Start: 0x6000_0100, Size: 128, Epoch: 0, Level: "opt", Sig: "LA;m1(I)I"},
+		{Start: 0x6000_0400, Size: 96, Epoch: 1, Level: "base", Sig: "LB;m2()V"},
+		{Start: 0x6000_0800, Size: 32, Epoch: 1, Level: "base", Sig: "LB;m3(J)J"},
+		{Start: 0x6000_0a00, Size: 256, Epoch: 2, Level: "opt", Sig: "LC;m4()V"},
+		{Start: 0x6000_1000, Size: 48, Epoch: 2, Level: "base", Sig: "LC;m5()V"},
+	}
+	var buf bytes.Buffer
+	if err := WriteMapFile(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut <= len(full); cut++ {
+		got, sal, trailerOK, err := salvageMapData(full[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: structural error from salvage: %v", cut, err)
+		}
+		// Recovered entries must be an exact prefix of the original.
+		if len(got) > len(entries) {
+			t.Fatalf("cut %d: fabricated entries: %d > %d", cut, len(got), len(entries))
+		}
+		for i := range got {
+			if got[i] != entries[i] {
+				t.Fatalf("cut %d: entry %d corrupted: %+v want %+v", cut, i, got[i], entries[i])
+			}
+		}
+		// Loss must always be visible: either everything survived
+		// (trailer intact) or the salvage accounting shows the damage.
+		complete := cut == len(full)
+		if complete {
+			if !trailerOK || sal.Lossy() || len(got) != len(entries) {
+				t.Fatalf("cut %d: complete file misread: %d entries, trailerOK=%v, %+v",
+					cut, len(got), trailerOK, sal)
+			}
+		} else if trailerOK && !sal.Lossy() && cut > 0 {
+			t.Fatalf("cut %d: truncated file reads as complete and clean", cut)
+		}
+	}
+}
+
+// TestTornWriteByteFlips: flipping any single byte must never fabricate
+// an entry that was not written.
+func TestTornWriteByteFlips(t *testing.T) {
+	entries := []MapEntry{
+		{Start: 0x6000_0000, Size: 64, Epoch: 0, Level: "base", Sig: "LA;m0()V"},
+		{Start: 0x6000_0100, Size: 128, Epoch: 1, Level: "opt", Sig: "LA;m1(I)I"},
+	}
+	valid := map[MapEntry]bool{}
+	for _, e := range entries {
+		valid[e] = true
+	}
+	var buf bytes.Buffer
+	if err := WriteMapFile(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for pos := 0; pos < len(full); pos++ {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0x41
+		got, sal, trailerOK, err := salvageMapData(mut)
+		if err != nil {
+			// The flip produced a checksum-valid but unparseable record:
+			// impossible for a single-byte flip against CRC-32 unless it
+			// hit the payload and the checksum simultaneously. Any error
+			// is loud, which satisfies the contract.
+			continue
+		}
+		for _, e := range got {
+			if !valid[e] {
+				t.Fatalf("flip at %d fabricated entry %+v", pos, e)
+			}
+		}
+		if len(got) < len(entries) && !sal.Lossy() && trailerOK {
+			t.Fatalf("flip at %d lost an entry silently", pos)
+		}
 	}
 }
 

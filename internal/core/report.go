@@ -3,12 +3,14 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"viprof/internal/hpc"
 	"viprof/internal/image"
 	"viprof/internal/jvm"
 	"viprof/internal/kernel"
 	"viprof/internal/oprofile"
+	"viprof/internal/record"
 )
 
 // Post-processing. "A key to our low overhead implementation ... is
@@ -64,7 +66,10 @@ func (r *Resolver) Resolve(k oprofile.Key) (string, string) {
 		if !ok {
 			return oprofile.JITImageName, oprofile.NoSymbols
 		}
-		entry, depth, found := chain.Resolve(k.Epoch, k.Off)
+		// ResolveDurable, not Resolve: on a chain that lost entries to
+		// torn files or a killed VM, samples that damage could
+		// misattribute come back unresolved instead of guessed.
+		entry, depth, found := chain.ResolveDurable(k.Epoch, k.Off)
 		if r.SearchDepths != nil && found {
 			r.SearchDepths[depth]++
 		}
@@ -140,19 +145,63 @@ func StandardImages(m *kernel.Machine, vms ...*jvm.VM) map[string]*image.Image {
 // the paper's Figure 1 — from the sample file, the code maps, and
 // RVM.map on the simulated disk. vmPIDs maps VM process names (as they
 // appear in samples) to pids.
+//
+// It is tolerant of damage: a missing sample file, torn records, or
+// damaged code maps produce a report of whatever survived, with every
+// loss accounted in the attached Integrity section. Only structural
+// corruption (a checksum-valid record that cannot parse — a writer bug)
+// still errors.
 func Vipreport(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[string]int,
 	events []hpc.Event) (*oprofile.Report, *Resolver, error) {
+	integ := &oprofile.Integrity{}
+	var counts map[oprofile.Key]uint64
 	data, err := disk.Read(oprofile.SampleFile)
 	if err != nil {
-		return nil, nil, fmt.Errorf("vipreport: %v", err)
+		integ.SampleFileMissing = true
+		counts = make(map[oprofile.Key]uint64)
+	} else {
+		var sal record.Salvage
+		counts, sal, err = oprofile.ReadCountsSalvage(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		integ.SampleRecords = sal.Records
+		integ.SampleDroppedRecords = sal.DroppedRecords
+		integ.SampleDroppedBytes = sal.DroppedBytes
 	}
-	counts, err := oprofile.ReadCounts(bytes.NewReader(data))
-	if err != nil {
-		return nil, nil, err
+	if stats, err := disk.Read(oprofile.DaemonStatsFile); err == nil {
+		integ.Stats = oprofile.ReadDaemonStats(stats)
 	}
 	res, err := NewResolver(disk, images, vmPIDs)
 	if err != nil {
 		return nil, nil, err
 	}
-	return oprofile.BuildReport(counts, res, events), res, nil
+	rep := oprofile.BuildReport(counts, res, events)
+	integ.UnresolvedJIT = res.Unresolved()
+
+	procs := make([]string, 0, len(vmPIDs))
+	for proc := range vmPIDs {
+		procs = append(procs, proc)
+	}
+	sort.Strings(procs)
+	for _, proc := range procs {
+		pid := vmPIDs[proc]
+		mi := oprofile.MapIntegrity{PID: pid, Proc: proc}
+		if chain, ok := res.Chains[pid]; ok {
+			ci := chain.Integrity()
+			mi.Files, mi.OrphanTmp, mi.Entries = ci.Files, ci.OrphanTmp, ci.Entries
+			mi.DroppedRecords, mi.DroppedBytes, mi.TornFiles = ci.DroppedRecords, ci.DroppedBytes, ci.TornFiles
+		}
+		if data, err := disk.Read(AgentStatsPath(pid)); err == nil {
+			if ap := ReadAgentStats(data); ap != nil {
+				mi.AgentStatsPresent = true
+				mi.AgentClean = ap.Clean
+				mi.MapWriteErrors = ap.MapWriteErrors
+				mi.DeferredEntries = ap.Deferred
+			}
+		}
+		integ.Maps = append(integ.Maps, mi)
+	}
+	rep.Integrity = integ
+	return rep, res, nil
 }

@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viprof/internal/cache"
+	"viprof/internal/core"
+	"viprof/internal/cpu"
+	"viprof/internal/hpc"
+	"viprof/internal/jvm"
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+	"viprof/internal/workload"
+)
+
+// The chaos harness: run a complete profiled session while the kernel's
+// fault injector attacks the persistence layer with a seeded schedule,
+// then hand everything — driver, daemon, agent, fault stats, the report
+// built from whatever survived on disk — to the invariant checks in
+// internal/core/chaos_test.go. Each seed deterministically selects a
+// scenario (which writer gets attacked, and how) and a fault schedule
+// within it.
+
+// ChaosScenario names the attack profile a seed selects.
+type ChaosScenario int
+
+// Scenarios, cycled by seed so any contiguous seed range covers all of
+// them.
+const (
+	// ScenarioDaemonCrash kills the oprofiled daemon mid-flush.
+	ScenarioDaemonCrash ChaosScenario = iota
+	// ScenarioENOSPC starves every writer under var/ of disk space.
+	ScenarioENOSPC
+	// ScenarioTornMap tears the VM agent's epoch-map writes.
+	ScenarioTornMap
+	// ScenarioTornSamples tears (and slows) the daemon's sample flushes.
+	ScenarioTornSamples
+	// ScenarioVMKill crashes the VM process during a map write.
+	ScenarioVMKill
+	numScenarios
+)
+
+// String names the scenario.
+func (s ChaosScenario) String() string {
+	switch s {
+	case ScenarioDaemonCrash:
+		return "daemon-crash"
+	case ScenarioENOSPC:
+		return "enospc"
+	case ScenarioTornMap:
+		return "torn-map"
+	case ScenarioTornSamples:
+		return "torn-samples"
+	case ScenarioVMKill:
+		return "vm-kill"
+	default:
+		return fmt.Sprintf("scenario-%d", int(s))
+	}
+}
+
+// ScenarioOf maps a seed to its scenario.
+func ScenarioOf(seed int64) ChaosScenario {
+	s := seed % int64(numScenarios)
+	if s < 0 {
+		s += int64(numScenarios)
+	}
+	return ChaosScenario(s)
+}
+
+// ChaosPlan derives the deterministic fault schedule for a seed: the
+// scenario picks the target path prefix and failure mix, the seed's
+// private RNG picks the intensities.
+func ChaosPlan(seed int64) kernel.FaultPlan {
+	rng := rand.New(rand.NewSource(seed*0x9E3779B9 + 1))
+	plan := kernel.FaultPlan{Seed: seed}
+	switch ScenarioOf(seed) {
+	case ScenarioDaemonCrash:
+		plan.PathPrefix = "var/lib/oprofile/"
+		plan.PCrash = 0.05 + 0.3*rng.Float64()
+		plan.MaxFaults = 1
+	case ScenarioENOSPC:
+		plan.PathPrefix = "var/"
+		plan.PENOSPC = 0.1 + 0.4*rng.Float64()
+		plan.PEIO = 0.1 * rng.Float64()
+		plan.MaxFaults = 2 + rng.Intn(6)
+	case ScenarioTornMap:
+		plan.PathPrefix = core.MapDir
+		plan.PTorn = 0.2 + 0.5*rng.Float64()
+		plan.MaxFaults = 1 + rng.Intn(5)
+	case ScenarioTornSamples:
+		plan.PathPrefix = "var/lib/oprofile/"
+		plan.PTorn = 0.2 + 0.5*rng.Float64()
+		plan.PLatency = 0.2 * rng.Float64()
+		plan.MaxFaults = 2 + rng.Intn(6)
+	case ScenarioVMKill:
+		plan.PathPrefix = core.MapDir
+		plan.PCrash = 0.1 + 0.4*rng.Float64()
+		plan.MaxFaults = 1
+	}
+	return plan
+}
+
+// ChaosResult is everything one chaos run produced, for the invariant
+// checks.
+type ChaosResult struct {
+	Seed     int64
+	Scenario ChaosScenario
+	Plan     kernel.FaultPlan
+	Faults   kernel.FaultStats
+
+	Machine *kernel.Machine
+	Session *core.Session
+	VM      *jvm.VM
+	Proc    *kernel.Process
+	// VMKilled reports the VM process was crashed by fault injection
+	// (so the workload legitimately did not finish).
+	VMKilled bool
+
+	Driver oprofile.DriverStats
+	Daemon *oprofile.Daemon
+	Agent  *core.VMAgent
+
+	Report   *oprofile.Report
+	Resolver *core.Resolver
+}
+
+// RunChaos executes one full profiled session under the seed's fault
+// schedule and builds the offline report from whatever survived on
+// disk. scale multiplies the workload size (1.0 ≈ one simulated
+// second).
+func RunChaos(seed int64, scale float64) (*ChaosResult, error) {
+	return RunChaosPlan(seed, scale, ChaosPlan(seed))
+}
+
+// RunChaosPlan is RunChaos with a caller-supplied fault plan (scripted
+// crash points, custom probabilities) instead of the seed-derived one.
+func RunChaosPlan(seed int64, scale float64, plan kernel.FaultPlan) (*ChaosResult, error) {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	spec := workload.Spec{
+		Name:        "chaos",
+		MainClass:   "chaos.Main",
+		BaseSeconds: 1,
+		Classes:     4,
+		ColdPerHot:  2,
+		HotMethods:  2,
+		OuterIters:  150,
+		InnerIters:  300,
+		ArrayLen:    256,
+		AllocEvery:  4,
+		SurviveRing: 64,
+		MemsetBytes: 512,
+		WriteEvery:  8,
+		HeapBytes:   128 << 10,
+		Seed:        seed,
+	}
+	prog, err := workload.Build(spec, scale)
+	if err != nil {
+		return nil, err
+	}
+	machine := kernel.NewMachine(cpu.New(hpc.NewBank(), cache.DefaultHierarchy()), seed)
+	session, err := core.Start(machine, core.Config{
+		Events: []oprofile.EventConfig{{Event: hpc.GlobalPowerEvents, Period: 45_000}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	vm, proc, err := session.LaunchJVM(prog, jvm.Config{HeapBytes: spec.HeapBytes})
+	if err != nil {
+		return nil, err
+	}
+	// Arm the injector only after launch, so session setup writes (none
+	// today, but cheap insurance) cannot consume schedule randomness.
+	machine.Kern.SetFaultInjector(plan)
+
+	limit := uint64(spec.BaseSeconds*scale*100+60) * cpu.ClockHz
+	if err := machine.Kern.Run(limit); err != nil {
+		return nil, fmt.Errorf("chaos seed %d: %v", seed, err)
+	}
+	killed := proc.Killed()
+	if !vm.Finished() && !killed {
+		return nil, fmt.Errorf("chaos seed %d: VM neither finished nor killed: %v", seed, vm.Err())
+	}
+	session.Shutdown()
+
+	rep, res, err := session.Report(session.Images(vm), map[string]int{proc.Name: proc.PID})
+	if err != nil {
+		return nil, fmt.Errorf("chaos seed %d: report: %v", seed, err)
+	}
+	return &ChaosResult{
+		Seed:     seed,
+		Scenario: ScenarioOf(seed),
+		Plan:     plan,
+		Faults:   machine.Kern.FaultStats(),
+		Machine:  machine,
+		Session:  session,
+		VM:       vm,
+		Proc:     proc,
+		VMKilled: killed,
+		Driver:   session.Prof.Driver.Stats(),
+		Daemon:   session.Prof.Daemon,
+		Agent:    session.Agents[proc.PID],
+		Report:   rep,
+		Resolver: res,
+	}, nil
+}

@@ -56,6 +56,19 @@ func (d *Disk) Exists(path string) bool {
 // Remove deletes a file if present.
 func (d *Disk) Remove(path string) { delete(d.files, path) }
 
+// Rename atomically moves a file. It is the commit step of the
+// temp-then-rename protocol the VM agent uses for epoch code maps: a
+// final map path either holds a complete write or does not exist.
+func (d *Disk) Rename(oldPath, newPath string) error {
+	f, ok := d.files[oldPath]
+	if !ok {
+		return fmt.Errorf("disk: rename: no such file %q", oldPath)
+	}
+	d.files[newPath] = f
+	delete(d.files, oldPath)
+	return nil
+}
+
 // List returns all file paths in sorted order.
 func (d *Disk) List() []string {
 	out := make([]string, 0, len(d.files))
@@ -128,12 +141,49 @@ const (
 // out a JIT code map to disk" and the OProfile daemon pays writing
 // sample files — the cost Figure 2's long-benchmark amortization claim
 // is about.
-func (k *Kernel) SysWrite(p *Process, path string, data []byte) {
+//
+// The write can fail: an installed fault injector may deliver EIO,
+// ENOSPC, a torn (prefix-only) write, a latency spike, or a crash that
+// kills the writing process. A killed process's writes always fail
+// with ErrCrashed and never touch the disk.
+func (k *Kernel) SysWrite(p *Process, path string, data []byte) error {
+	if p != nil && p.killed {
+		return ErrCrashed
+	}
 	k.ExecKernel("sys_write", writeBaseOps/3, 1)
 	k.ExecKernel("copy_from_user", writeBaseOps/3+len(data)/16*writeOpsPerWord, 1)
 	k.ExecKernel("vfs_write", writeBaseOps/3, 1)
 	k.ExecKernel("generic_file_write", writeBaseOps/2, 1)
+	kind := FaultNone
+	if k.injector != nil {
+		kind = k.injector.decide(path)
+	}
+	switch kind {
+	case FaultEIO:
+		return ErrIO
+	case FaultENOSPC:
+		if n := k.injector.cutShort(len(data)); n > 0 {
+			k.disk.Append(path, data[:n])
+		}
+		return ErrNoSpace
+	case FaultTorn:
+		if n := k.injector.cutTorn(len(data)); n > 0 {
+			k.disk.Append(path, data[:n])
+		}
+		return ErrIO
+	case FaultLatency:
+		k.disk.Append(path, data)
+		k.core.AdvanceIdle(k.injector.plan.LatencyCycles)
+		return nil
+	case FaultCrash:
+		if n := k.injector.cutShort(len(data)); n > 0 {
+			k.disk.Append(path, data[:n])
+		}
+		k.Kill(p)
+		return ErrCrashed
+	}
 	k.disk.Append(path, data)
+	return nil
 }
 
 // SyncLatencyCycles is the simulated rotational-disk commit latency a
@@ -147,7 +197,22 @@ const SyncLatencyCycles = 58_000
 // pays this at every epoch-boundary code-map write, which is why "longer
 // running benchmarks generally experienced the smaller slowdowns, due to
 // the amortization of the cost of writing out the code maps" (§4.3).
-func (k *Kernel) SysWriteSync(p *Process, path string, data []byte) {
-	k.SysWrite(p, path, data)
-	k.core.AdvanceIdle(SyncLatencyCycles)
+func (k *Kernel) SysWriteSync(p *Process, path string, data []byte) error {
+	err := k.SysWrite(p, path, data)
+	if p == nil || !p.killed {
+		k.core.AdvanceIdle(SyncLatencyCycles)
+	}
+	return err
+}
+
+// SysRename renames a file on behalf of p. It is the atomic commit of
+// the temp-then-rename protocol; the rename itself is metadata-only and
+// either fully happens or not at all (crashes strike the data write
+// before it, leaving an orphan temp file as the durable evidence).
+func (k *Kernel) SysRename(p *Process, oldPath, newPath string) error {
+	if p != nil && p.killed {
+		return ErrCrashed
+	}
+	k.ExecKernel("sys_rename", writeBaseOps/2, 1)
+	return k.disk.Rename(oldPath, newPath)
 }

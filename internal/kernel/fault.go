@@ -1,0 +1,212 @@
+package kernel
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+)
+
+// Fault injection: a deterministic, seeded model of the ways a real
+// disk write path fails under a hostile system — I/O errors, a full
+// filesystem, torn (short) writes, latency spikes, and crashes that
+// kill the writing process mid-write. The profiling pipeline's claim
+// is that it degrades, not lies, under exactly these failures; the
+// injector makes that claim testable end to end (see
+// internal/harness/chaos.go).
+//
+// Determinism: the injector's RNG is consumed only for writes whose
+// path matches the plan's prefix, so a fixed (machine seed, plan)
+// reproduces the identical fault schedule run after run.
+
+// Injected error sentinels. They model -EIO, -ENOSPC, and the writer
+// dying mid-syscall; writers branch on them with errors.Is.
+var (
+	ErrIO      = errors.New("kernel: I/O error (injected)")
+	ErrNoSpace = errors.New("kernel: no space left on device (injected)")
+	ErrCrashed = errors.New("kernel: process killed mid-write")
+)
+
+// FaultKind selects a failure mode for one write.
+type FaultKind int
+
+// Failure modes.
+const (
+	// FaultNone lets the write through untouched.
+	FaultNone FaultKind = iota
+	// FaultEIO fails the write with nothing reaching the disk.
+	FaultEIO
+	// FaultENOSPC writes a strict prefix, then fails (device full).
+	FaultENOSPC
+	// FaultTorn writes a strict prefix and reports an I/O error — the
+	// classic torn write a crash-consistent format must survive.
+	FaultTorn
+	// FaultLatency completes the write but stalls the machine for the
+	// plan's LatencyCycles (a degraded disk, not a lossy one).
+	FaultLatency
+	// FaultCrash writes a prefix and kills the writing process; every
+	// later write by that process fails with ErrCrashed.
+	FaultCrash
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultEIO:
+		return "EIO"
+	case FaultENOSPC:
+		return "ENOSPC"
+	case FaultTorn:
+		return "torn"
+	case FaultLatency:
+		return "latency"
+	case FaultCrash:
+		return "crash"
+	default:
+		return "none"
+	}
+}
+
+// FaultPoint scripts an exact fault: the Nth prefix-matched write (0
+// based) fails with Kind, regardless of the probabilistic schedule.
+type FaultPoint struct {
+	Write int
+	Kind  FaultKind
+}
+
+// FaultPlan is a deterministic fault schedule.
+type FaultPlan struct {
+	// Seed drives the injector's private RNG.
+	Seed int64
+	// PathPrefix restricts injection to writes under this path ("" =
+	// every write).
+	PathPrefix string
+
+	// Per-write probabilities, evaluated in this order; their sum
+	// should stay <= 1.
+	PEIO, PENOSPC, PTorn, PLatency, PCrash float64
+
+	// LatencyCycles is the stall per FaultLatency (default: 4x the
+	// synchronous-commit latency).
+	LatencyCycles uint64
+	// MaxFaults caps probabilistic injections (0 = unlimited); scripted
+	// points always fire.
+	MaxFaults int
+	// Script forces exact faults at exact matched-write indices.
+	Script []FaultPoint
+}
+
+// FaultStats counts injector activity.
+type FaultStats struct {
+	// Writes is every write seen; Matched is those under PathPrefix.
+	Writes, Matched uint64
+	// Per-kind injection counts.
+	EIO, ENoSpace, Torn, Latency, Crashes uint64
+	// Injected is the total number of faults delivered.
+	Injected uint64
+}
+
+// Destructive reports how many injected faults can lose or damage
+// persisted data (everything except latency spikes).
+func (s FaultStats) Destructive() uint64 {
+	return s.EIO + s.ENoSpace + s.Torn + s.Crashes
+}
+
+type faultInjector struct {
+	plan  FaultPlan
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// SetFaultInjector installs (or, with a zero-probability empty plan,
+// effectively clears) the write-path fault schedule.
+func (k *Kernel) SetFaultInjector(plan FaultPlan) {
+	if plan.LatencyCycles == 0 {
+		plan.LatencyCycles = 4 * SyncLatencyCycles
+	}
+	k.injector = &faultInjector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// FaultStats returns the injector's counters (zero value if no
+// injector is installed).
+func (k *Kernel) FaultStats() FaultStats {
+	if k.injector == nil {
+		return FaultStats{}
+	}
+	return k.injector.stats
+}
+
+// decide picks the fault for one write. The RNG is touched only for
+// prefix-matched writes, keeping schedules deterministic per plan.
+func (fi *faultInjector) decide(path string) FaultKind {
+	fi.stats.Writes++
+	if !strings.HasPrefix(path, fi.plan.PathPrefix) {
+		return FaultNone
+	}
+	idx := int(fi.stats.Matched)
+	fi.stats.Matched++
+	for _, pt := range fi.plan.Script {
+		if pt.Write == idx {
+			fi.note(pt.Kind)
+			return pt.Kind
+		}
+	}
+	if fi.plan.MaxFaults > 0 && fi.stats.Injected >= uint64(fi.plan.MaxFaults) {
+		return FaultNone
+	}
+	r := fi.rng.Float64()
+	for _, c := range []struct {
+		p float64
+		k FaultKind
+	}{
+		{fi.plan.PEIO, FaultEIO},
+		{fi.plan.PENOSPC, FaultENOSPC},
+		{fi.plan.PTorn, FaultTorn},
+		{fi.plan.PLatency, FaultLatency},
+		{fi.plan.PCrash, FaultCrash},
+	} {
+		if r < c.p {
+			fi.note(c.k)
+			return c.k
+		}
+		r -= c.p
+	}
+	return FaultNone
+}
+
+func (fi *faultInjector) note(kind FaultKind) {
+	switch kind {
+	case FaultEIO:
+		fi.stats.EIO++
+	case FaultENOSPC:
+		fi.stats.ENoSpace++
+	case FaultTorn:
+		fi.stats.Torn++
+	case FaultLatency:
+		fi.stats.Latency++
+	case FaultCrash:
+		fi.stats.Crashes++
+	default:
+		return
+	}
+	fi.stats.Injected++
+}
+
+// cutShort picks how many bytes of an n-byte payload land on disk for
+// a failing write: always a strict prefix, so a "failed" write can
+// never silently equal a successful one (that would let a retry
+// double-count).
+func (fi *faultInjector) cutShort(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return fi.rng.Intn(n) // [0, n-1]
+}
+
+// cutTorn is cutShort but guarantees at least one byte lands when
+// possible, producing a genuinely torn (not merely absent) record.
+func (fi *faultInjector) cutTorn(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return 1 + fi.rng.Intn(n-1) // [1, n-1]
+}

@@ -1,0 +1,209 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"viprof/internal/cache"
+	"viprof/internal/cpu"
+	"viprof/internal/hpc"
+)
+
+func faultTestMachine(seed int64) *Machine {
+	core := cpu.New(hpc.NewBank(), cache.DefaultHierarchy())
+	return NewMachine(core, seed)
+}
+
+// The same (machine seed, plan) must reproduce the identical fault
+// schedule: which writes fail, how, and how many bytes land.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	run := func() ([]error, []byte, FaultStats) {
+		m := faultTestMachine(7)
+		m.Kern.SetFaultInjector(FaultPlan{
+			Seed:       42,
+			PathPrefix: "var/",
+			PEIO:       0.2, PENOSPC: 0.1, PTorn: 0.2, PLatency: 0.1,
+		})
+		var errs []error
+		payload := []byte("0123456789abcdef0123456789abcdef")
+		for i := 0; i < 40; i++ {
+			errs = append(errs, m.Kern.SysWrite(nil, "var/data", payload))
+			// Unmatched writes must not consume injector randomness.
+			_ = m.Kern.SysWrite(nil, "tmp/other", payload)
+		}
+		data, _ := m.Kern.Disk().Read("var/data")
+		return errs, append([]byte(nil), data...), m.Kern.FaultStats()
+	}
+	errs1, data1, st1 := run()
+	errs2, data2, st2 := run()
+	for i := range errs1 {
+		if !errors.Is(errs1[i], errs2[i]) && errs1[i] != errs2[i] {
+			t.Fatalf("write %d: error %v vs %v", i, errs1[i], errs2[i])
+		}
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("on-disk bytes differ between identical runs")
+	}
+	if st1 != st2 {
+		t.Fatalf("fault stats differ: %+v vs %+v", st1, st2)
+	}
+	if st1.Injected == 0 {
+		t.Fatal("schedule injected nothing; probabilities too low for the test to mean anything")
+	}
+}
+
+// A failing write must land a strict prefix of the payload — never the
+// whole thing — so a retry after an error can never double-persist.
+func TestFailedWritesLandStrictPrefix(t *testing.T) {
+	payload := []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+	for _, kind := range []FaultKind{FaultEIO, FaultENOSPC, FaultTorn} {
+		m := faultTestMachine(3)
+		m.Kern.SetFaultInjector(FaultPlan{
+			Seed:   9,
+			Script: []FaultPoint{{Write: 0, Kind: kind}},
+		})
+		err := m.Kern.SysWrite(nil, "f", payload)
+		if err == nil {
+			t.Fatalf("%v: write succeeded", kind)
+		}
+		data, rdErr := m.Kern.Disk().Read("f")
+		if rdErr != nil {
+			data = nil
+		}
+		if len(data) >= len(payload) {
+			t.Fatalf("%v: %d of %d bytes persisted — not a strict prefix", kind, len(data), len(payload))
+		}
+		if !bytes.Equal(data, payload[:len(data)]) {
+			t.Fatalf("%v: persisted bytes are not a prefix of the payload", kind)
+		}
+		if kind == FaultTorn && len(data) == 0 {
+			t.Fatalf("torn write landed zero bytes; want a genuinely torn record")
+		}
+	}
+}
+
+// Scripted crash points kill the writing process: the faulting write
+// lands a prefix, and every later write by that process fails with
+// ErrCrashed touching nothing.
+func TestCrashKillsWriter(t *testing.T) {
+	m := faultTestMachine(5)
+	m.Kern.SetFaultInjector(FaultPlan{
+		Seed:   1,
+		Script: []FaultPoint{{Write: 1, Kind: FaultCrash}},
+	})
+	p, err := m.Kern.NewProcess("writer", ExecFunc(func(m *Machine, p *Process) StepResult {
+		return StepYield
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.SysWrite(p, "f", []byte("first")); err != nil {
+		t.Fatalf("write 0: %v", err)
+	}
+	err = m.Kern.SysWrite(p, "f", []byte("second"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write: %v, want ErrCrashed", err)
+	}
+	if !p.Killed() {
+		t.Fatal("process not marked killed after crash fault")
+	}
+	before, _ := m.Kern.Disk().Read("f")
+	beforeLen := len(before)
+	if err := m.Kern.SysWrite(p, "f", []byte("third")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v, want ErrCrashed", err)
+	}
+	if err := m.Kern.SysWriteSync(p, "f", []byte("fourth")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync write: %v, want ErrCrashed", err)
+	}
+	if err := m.Kern.SysRename(p, "f", "g"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v, want ErrCrashed", err)
+	}
+	after, _ := m.Kern.Disk().Read("f")
+	if len(after) != beforeLen {
+		t.Fatalf("killed process mutated the disk: %d -> %d bytes", beforeLen, len(after))
+	}
+	// Wake must not resurrect it, and the scheduler must reap it.
+	m.Kern.Wake(p)
+	if err := m.Kern.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !p.Done() {
+		t.Fatal("killed process never reaped by the scheduler")
+	}
+	if st := m.Kern.FaultStats(); st.Crashes != 1 || st.Destructive() != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// SysRename moves content atomically; renaming a missing file errors.
+func TestSysRename(t *testing.T) {
+	m := faultTestMachine(2)
+	if err := m.Kern.SysWrite(nil, "a.tmp", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.SysRename(nil, "a.tmp", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Kern.Disk().Exists("a.tmp") {
+		t.Fatal("old path still exists after rename")
+	}
+	data, err := m.Kern.Disk().Read("a")
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("renamed content: %q, %v", data, err)
+	}
+	if err := m.Kern.SysRename(nil, "missing", "x"); err == nil {
+		t.Fatal("rename of missing file succeeded")
+	}
+}
+
+// A latency fault completes the write but stalls the clock.
+func TestLatencyFaultStallsNotLoses(t *testing.T) {
+	m := faultTestMachine(11)
+	stall := uint64(500_000)
+	m.Kern.SetFaultInjector(FaultPlan{
+		Seed:          1,
+		LatencyCycles: stall,
+		Script:        []FaultPoint{{Write: 0, Kind: FaultLatency}},
+	})
+	before := m.Core.Cycles()
+	if err := m.Kern.SysWrite(nil, "f", []byte("slow but safe")); err != nil {
+		t.Fatalf("latency write errored: %v", err)
+	}
+	if got := m.Core.Cycles() - before; got < stall {
+		t.Fatalf("write advanced %d cycles, want >= %d", got, stall)
+	}
+	data, _ := m.Kern.Disk().Read("f")
+	if string(data) != "slow but safe" {
+		t.Fatalf("latency write lost data: %q", data)
+	}
+	st := m.Kern.FaultStats()
+	if st.Latency != 1 || st.Destructive() != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// MaxFaults bounds probabilistic injection but not scripted points.
+func TestMaxFaultsCap(t *testing.T) {
+	m := faultTestMachine(13)
+	m.Kern.SetFaultInjector(FaultPlan{
+		Seed: 4, PEIO: 1.0, MaxFaults: 2,
+		Script: []FaultPoint{{Write: 5, Kind: FaultTorn}},
+	})
+	failed := 0
+	for i := 0; i < 8; i++ {
+		if err := m.Kern.SysWrite(nil, "f", []byte("xxxxxxxxxxxxxxxx")); err != nil {
+			failed++
+		}
+	}
+	st := m.Kern.FaultStats()
+	if st.EIO != 2 {
+		t.Fatalf("EIO count %d, want capped at 2", st.EIO)
+	}
+	if st.Torn != 1 {
+		t.Fatalf("scripted torn point did not fire past the cap: %+v", st)
+	}
+	if failed != 3 {
+		t.Fatalf("%d failed writes, want 3 (2 capped EIO + 1 scripted)", failed)
+	}
+}

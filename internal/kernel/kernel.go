@@ -91,6 +91,7 @@ type Process struct {
 
 	exec    Executor
 	state   procState
+	killed  bool   // crashed by fault injection; reaped at slice end
 	wakeAt  uint64 // cycle at which a sleeping process becomes runnable
 	cpuTime uint64 // cycles consumed (user+kernel on its behalf)
 
@@ -104,6 +105,10 @@ func (p *Process) CPUTime() uint64 { return p.cpuTime }
 
 // Done reports whether the process has exited.
 func (p *Process) Done() bool { return p.state == stateDone }
+
+// Killed reports whether the process was crashed by fault injection
+// (as opposed to exiting cleanly).
+func (p *Process) Killed() bool { return p.killed }
 
 // Machine is the full simulated system: one core plus the kernel.
 type Machine struct {
@@ -127,10 +132,11 @@ type Kernel struct {
 	nmiHandler func(m *Machine, s cpu.Snapshot, ev hpc.Event)
 	m          *Machine
 
-	disk    *Disk
-	rng     *rand.Rand
-	tickers []*ticker
-	faults  uint64
+	disk     *Disk
+	rng      *rand.Rand
+	tickers  []*ticker
+	faults   uint64
+	injector *faultInjector
 
 	Timeslice uint64
 	// SwitchCost is the context-switch overhead in cycles.
@@ -195,6 +201,7 @@ func (k *Kernel) loadVmlinux() {
 		{"do_nmi", 512},
 		{"do_IRQ", 768},
 		{"sys_write", 512},
+		{"sys_rename", 512},
 		{"vfs_write", 1024},
 		{"generic_file_write", 2048},
 		{"sys_read", 512},

@@ -161,9 +161,10 @@ func (k *Kernel) Block(p *Process) {
 	p.wakeAt = ^uint64(0)
 }
 
-// Wake makes a blocked process runnable again.
+// Wake makes a blocked process runnable again. Killed processes stay
+// dead: there is no resurrecting a crashed writer.
 func (k *Kernel) Wake(p *Process) {
-	if p.state == stateBlocked {
+	if p.state == stateBlocked && !p.killed {
 		p.state = stateRunnable
 		p.wakeAt = 0
 	}
@@ -171,6 +172,19 @@ func (k *Kernel) Wake(p *Process) {
 
 // Exit marks the process terminated.
 func (k *Kernel) Exit(p *Process) { p.state = stateDone }
+
+// Kill marks the process crashed: its pending and future writes fail
+// with ErrCrashed, it cannot be woken, and the scheduler reaps it at
+// the end of its current slice (the executor may still be on the stack
+// when Kill fires from inside one of its own syscalls, so the state
+// flip is deferred to the scheduler rather than done here — otherwise
+// a post-kill Sleep from the dying executor would overwrite it).
+func (k *Kernel) Kill(p *Process) {
+	if p == nil || p.state == stateDone {
+		return
+	}
+	p.killed = true
+}
 
 // AddTicker registers fn to run (in whatever context the scheduler is
 // in) every `period` cycles, checked at scheduling boundaries. The
@@ -229,17 +243,23 @@ func (k *Kernel) Run(maxCycles uint64) error {
 		// current at every scheduler boundary (tickers, sleeps, stats).
 		k.core.FlushBatch()
 		p.cpuTime += k.core.Cycles() - before
-		switch res {
-		case StepExit:
+		if p.killed {
+			// Crashed mid-slice (an injected FaultCrash): reap it no
+			// matter what the executor reported.
 			p.state = stateDone
-		case StepBlocked:
-			if p.state == stateRunnable {
-				// Executor said blocked but never arranged a wakeup;
-				// treat as a yield to avoid losing the process.
-				break
+		} else {
+			switch res {
+			case StepExit:
+				p.state = stateDone
+			case StepBlocked:
+				if p.state == stateRunnable {
+					// Executor said blocked but never arranged a wakeup;
+					// treat as a yield to avoid losing the process.
+					break
+				}
+			case StepYield:
+				// stays runnable
 			}
-		case StepYield:
-			// stays runnable
 		}
 		k.wakeExpired()
 	}
@@ -302,6 +322,12 @@ func (k *Kernel) earliestWake() uint64 {
 func (k *Kernel) wakeExpired() {
 	now := k.core.Cycles()
 	for _, p := range k.procs {
+		if p.killed {
+			if p.state != stateDone {
+				p.state = stateDone
+			}
+			continue
+		}
 		if p.state == stateBlocked && p.wakeAt != ^uint64(0) && p.wakeAt <= now {
 			p.state = stateRunnable
 		}

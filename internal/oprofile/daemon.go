@@ -1,15 +1,28 @@
 package oprofile
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
 	"sort"
 
 	"viprof/internal/kernel"
+	"viprof/internal/record"
 )
 
 // The user-level daemon. "Periodically, this daemon processes the
 // sample buffer and writes the samples to disk" (§3). It is "the main
 // source of profiling overhead, [so] extra care must be taken to ensure
 // minimal work is done by this daemon".
+//
+// Durability: each flush is one framed, checksummed record (see
+// internal/record) holding the whole dirty delta map. A write that
+// fails mid-record leaves a torn record the salvage reader drops, and
+// the daemon retries the full delta later — so a failed flush can never
+// double-count and never silently vanishes. Failures are counted in
+// FlushErrors; when the backlog exceeds SpillMax keys, the tail of the
+// key space is dropped with its sample count accumulated in Spilled —
+// bounded memory, accountable loss.
 
 // DaemonConfig tunes the daemon.
 type DaemonConfig struct {
@@ -18,7 +31,18 @@ type DaemonConfig struct {
 	WakeCycles uint64
 	// BatchMax bounds samples processed per wake (0 = all).
 	BatchMax int
+	// SpillMax bounds the dirty map across failed flushes: beyond this
+	// many keys the sorted tail is dropped and counted in Spilled
+	// (default 8192; the real daemon's event buffer is similarly
+	// bounded).
+	SpillMax int
 }
+
+// DaemonStatsFile is where the daemon persists its own counters at
+// clean shutdown, so the offline integrity check can compare the disk
+// contents against what the daemon believed it wrote. A crashed daemon
+// never writes it — its absence is itself the degradation signal.
+const DaemonStatsFile = "var/lib/oprofile/oprofiled.stats"
 
 // Daemon drains the driver buffer, aggregates counts, and appends
 // deltas to the sample file on the simulated disk.
@@ -29,13 +53,17 @@ type Daemon struct {
 	proc *kernel.Process
 
 	counts map[Key]uint64 // lifetime aggregate (also what gets flushed)
-	dirty  map[Key]uint64 // deltas since last disk flush
+	dirty  map[Key]uint64 // deltas since last successful disk flush
 
 	// perSampleOps is the daemon-side logging cost per sample.
 	perSampleOps int
 
 	samplesLogged uint64
 	flushes       uint64
+	flushErrors   uint64
+	spilled       uint64
+	backoff       uint // consecutive failed flushes (shifts the sleep)
+	crashed       bool // killed mid-write by fault injection
 	stopped       bool
 }
 
@@ -45,6 +73,9 @@ type Daemon struct {
 func StartDaemon(m *kernel.Machine, drv *Driver, cfg DaemonConfig) (*Daemon, error) {
 	if cfg.WakeCycles == 0 {
 		cfg.WakeCycles = 340_000 // 100 ms at the simulated 3.4 MHz clock
+	}
+	if cfg.SpillMax == 0 {
+		cfg.SpillMax = 8192
 	}
 	d := &Daemon{
 		drv:          drv,
@@ -64,13 +95,17 @@ func StartDaemon(m *kernel.Machine, drv *Driver, cfg DaemonConfig) (*Daemon, err
 }
 
 // Step implements kernel.Executor: wake, drain, aggregate, flush,
-// sleep.
+// sleep. After a failed flush the sleep backs off exponentially so a
+// sick disk is not hammered at full wake rate.
 func (d *Daemon) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
-	if d.stopped {
+	if d.stopped || d.crashed {
 		return kernel.StepExit
 	}
 	d.processBatch(m, d.cfg.BatchMax)
-	m.Kern.Sleep(p, d.cfg.WakeCycles)
+	if d.crashed {
+		return kernel.StepExit
+	}
+	m.Kern.Sleep(p, d.cfg.WakeCycles<<d.backoff)
 	return kernel.StepBlocked
 }
 
@@ -96,28 +131,94 @@ func (d *Daemon) processBatch(m *kernel.Machine, max int) {
 	}
 }
 
-// flush appends dirty aggregates to the sample file.
+// flush writes the dirty delta map as one framed record. On success the
+// dirty map resets; on failure it is kept whole for retry (the framed
+// torn prefix on disk fails its checksum, so the retry cannot
+// double-count) and bounded by spillExcess.
 func (d *Daemon) flush(m *kernel.Machine) {
 	order := make([]Key, 0, len(d.dirty))
 	for k := range d.dirty {
 		order = append(order, k)
 	}
 	sort.Slice(order, func(i, j int) bool { return keyLess(order[i], order[j]) })
-	var buf writerBuf
+	var buf bytes.Buffer
 	if err := WriteCounts(&buf, d.dirty, order); err != nil {
-		return // simulated disk never errors; keep the daemon alive anyway
+		// Serialization into memory cannot fail; treat it as a flush
+		// error anyway so a future bug is loud rather than silent.
+		d.flushErrors++
+		return
 	}
-	m.Kern.SysWrite(d.proc, SampleFile, buf.b)
-	d.dirty = make(map[Key]uint64)
-	d.flushes++
+	err := m.Kern.SysWrite(d.proc, SampleFile, record.Frame(buf.Bytes()))
+	switch {
+	case err == nil:
+		d.dirty = make(map[Key]uint64)
+		d.flushes++
+		d.backoff = 0
+	case errors.Is(err, kernel.ErrCrashed):
+		// Killed mid-write. The torn record on disk fails its checksum;
+		// whatever was still dirty is lost with the process. The missing
+		// stats file is the durable evidence.
+		d.crashed = true
+		d.stopped = true
+	default:
+		d.flushErrors++
+		if d.backoff < 6 {
+			d.backoff++
+		}
+		d.spillExcess(order)
+	}
+}
+
+// spillExcess bounds the dirty map after failed flushes by dropping the
+// sorted tail of the key space, accumulating the dropped sample count
+// in Spilled. Deterministic (sorted order) and loud (counted), never
+// silent.
+func (d *Daemon) spillExcess(order []Key) {
+	if d.cfg.SpillMax <= 0 || len(d.dirty) <= d.cfg.SpillMax {
+		return
+	}
+	for _, k := range order[d.cfg.SpillMax:] {
+		d.spilled += d.dirty[k]
+		delete(d.dirty, k)
+	}
 }
 
 // FinalFlush drains everything left and writes it out; call after the
-// workload exits (opcontrol --shutdown).
+// workload exits (opcontrol --shutdown). A crashed daemon stays dead —
+// restarting it here would fake durability the run did not have.
 func (d *Daemon) FinalFlush(m *kernel.Machine) {
+	if d.crashed {
+		return
+	}
 	d.processBatch(m, 0)
+	// The shutdown path gets a couple of immediate retries: this is the
+	// last chance to persist, and the run is over so backoff sleeps no
+	// longer apply.
+	for retry := 0; retry < 2 && len(d.dirty) > 0 && !d.crashed; retry++ {
+		d.flush(m)
+	}
 	d.stopped = true
+	if !d.crashed {
+		d.writeStats(m)
+	}
 	m.Kern.Wake(d.proc)
+}
+
+// writeStats persists the daemon's view of the run as a framed
+// key=value record. Best-effort: if this very write faults there is no
+// meta-meta-file to record that in — the reader treats a missing or
+// torn stats file as degradation.
+func (d *Daemon) writeStats(m *kernel.Machine) {
+	var unflushed uint64
+	for _, c := range d.dirty {
+		unflushed += c
+	}
+	ds := d.drv.Stats()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "nmis=%d\nlogged=%d\ndropped=%d\n", ds.NMIs, ds.Logged, ds.Dropped)
+	fmt.Fprintf(&buf, "samples_logged=%d\nflushes=%d\nflush_errors=%d\nspilled=%d\nunflushed=%d\nclean=1\n",
+		d.samplesLogged, d.flushes, d.flushErrors, d.spilled, unflushed)
+	_ = m.Kern.SysWrite(d.proc, DaemonStatsFile, record.Frame(buf.Bytes()))
 }
 
 // Counts returns the daemon's lifetime aggregate (tests and in-memory
@@ -133,8 +234,28 @@ func (d *Daemon) Counts() map[Key]uint64 {
 // SamplesLogged returns the number of samples aggregated.
 func (d *Daemon) SamplesLogged() uint64 { return d.samplesLogged }
 
-// Flushes returns the number of disk flushes performed.
+// Flushes returns the number of successful disk flushes.
 func (d *Daemon) Flushes() uint64 { return d.flushes }
+
+// FlushErrors returns the number of failed disk flushes.
+func (d *Daemon) FlushErrors() uint64 { return d.flushErrors }
+
+// Spilled returns the number of samples dropped (with accounting) when
+// the failed-flush backlog exceeded SpillMax keys.
+func (d *Daemon) Spilled() uint64 { return d.spilled }
+
+// Crashed reports whether fault injection killed the daemon mid-write.
+func (d *Daemon) Crashed() bool { return d.crashed }
+
+// Unflushed returns the samples still in the dirty map (aggregated but
+// never successfully persisted).
+func (d *Daemon) Unflushed() uint64 {
+	var n uint64
+	for _, c := range d.dirty {
+		n += c
+	}
+	return n
+}
 
 func keyLess(a, b Key) bool {
 	if a.Event != b.Event {
@@ -147,11 +268,4 @@ func keyLess(a, b Key) bool {
 		return a.Epoch < b.Epoch
 	}
 	return a.Off < b.Off
-}
-
-type writerBuf struct{ b []byte }
-
-func (w *writerBuf) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
 }

@@ -59,9 +59,10 @@ type Driver struct {
 	module *kernel.LoadedModule
 	reg    Registry
 
-	buf      []Sample
-	capacity int
-	stats    DriverStats
+	buf       []Sample
+	capacity  int
+	wmLatched bool // watermark fired; reset when Drain brings buf below half
+	stats     DriverStats
 
 	// CallGraphDepth, when > 0, records up to that many caller PCs per
 	// sample (VIProf's cross-layer call-graph extension).
@@ -225,7 +226,12 @@ func (d *Driver) handleNMI(m *kernel.Machine, s cpu.Snapshot, ev hpc.Event) {
 	}
 	d.buf = append(d.buf, sample)
 	d.stats.Logged++
-	if d.OnWatermark != nil && len(d.buf) == d.capacity/2 {
+	// Level-triggered with a latch: `== capacity/2` would never fire for
+	// capacity < 2 and is skipped whenever a partial drain leaves the
+	// buffer above half. The latch keeps one crossing from waking the
+	// daemon on every subsequent sample; Drain re-arms it.
+	if d.OnWatermark != nil && !d.wmLatched && len(d.buf) >= (d.capacity+1)/2 {
+		d.wmLatched = true
 		d.OnWatermark()
 	}
 
@@ -255,6 +261,9 @@ func (d *Driver) Drain(max int) []Sample {
 	copy(out, d.buf[:max])
 	n := copy(d.buf, d.buf[max:])
 	d.buf = d.buf[:n]
+	if len(d.buf) < (d.capacity+1)/2 {
+		d.wmLatched = false
+	}
 	return out
 }
 

@@ -1,0 +1,194 @@
+package oprofile
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"viprof/internal/record"
+)
+
+// Integrity is the report section that answers "can I trust these
+// numbers?". It is assembled entirely from on-disk artifacts — salvage
+// accounting from the sample file, the daemon's persisted self-counters,
+// per-VM code-map damage — so it reflects what actually survived, not
+// what the in-memory pipeline believed. The profiler's contract under
+// partial failure is degrade-don't-lie: every lost sample, torn record,
+// failed flush, and crashed writer must be visible here.
+
+// PersistedStats is the daemon's self-reported view of the run, parsed
+// back from DaemonStatsFile. A nil PersistedStats (file missing or
+// torn) means the daemon did not shut down cleanly.
+type PersistedStats struct {
+	NMIs, Logged, Dropped                        uint64
+	SamplesLogged, Flushes, FlushErrors, Spilled uint64
+	Unflushed                                    uint64
+	Clean                                        bool
+}
+
+// ReadDaemonStats parses the framed stats record; nil if the file is
+// torn, lossy, or structurally wrong (all equivalent: not trustworthy).
+func ReadDaemonStats(data []byte) *PersistedStats {
+	recs, sal := record.Scan(data)
+	if sal.Lossy() || len(recs) != 1 {
+		return nil
+	}
+	ps := &PersistedStats{}
+	for _, line := range strings.Split(string(recs[0]), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil
+		}
+		switch k {
+		case "nmis":
+			ps.NMIs = n
+		case "logged":
+			ps.Logged = n
+		case "dropped":
+			ps.Dropped = n
+		case "samples_logged":
+			ps.SamplesLogged = n
+		case "flushes":
+			ps.Flushes = n
+		case "flush_errors":
+			ps.FlushErrors = n
+		case "spilled":
+			ps.Spilled = n
+		case "unflushed":
+			ps.Unflushed = n
+		case "clean":
+			ps.Clean = n != 0
+		}
+	}
+	return ps
+}
+
+// MapIntegrity is the per-VM code-map damage report.
+type MapIntegrity struct {
+	PID  int
+	Proc string
+
+	// Files is map files read; OrphanTmp counts leftover .tmp files (a
+	// crash struck between the data write and the atomic rename).
+	Files, OrphanTmp int
+	// Entries is intact map entries recovered across the chain.
+	Entries int
+	// Salvage accounting summed over the chain's files.
+	DroppedRecords, DroppedBytes int
+	// TornFiles is files with damage or a missing end-trailer.
+	TornFiles int
+
+	// AgentStatsPresent/AgentClean mirror the agent's persisted
+	// self-counters; absent means the VM died before OnExit.
+	AgentStatsPresent, AgentClean bool
+	// MapWriteErrors/DeferredEntries are the agent's self-reported write
+	// failures and the entries it carried forward into later maps.
+	MapWriteErrors, DeferredEntries int
+}
+
+// Degraded reports whether this VM's persisted code maps lost anything.
+func (mi MapIntegrity) Degraded() bool {
+	return mi.OrphanTmp > 0 || mi.DroppedRecords > 0 || mi.DroppedBytes > 0 ||
+		mi.TornFiles > 0 || !mi.AgentStatsPresent || !mi.AgentClean ||
+		mi.MapWriteErrors > 0
+}
+
+// Integrity is the whole-run degradation summary attached to a Report.
+type Integrity struct {
+	// SampleFileMissing: no sample data survived at all.
+	SampleFileMissing bool
+	// Salvage accounting for the sample file.
+	SampleRecords, SampleDroppedRecords, SampleDroppedBytes int
+	// Stats is the daemon's persisted self-view; nil = unclean shutdown.
+	Stats *PersistedStats
+	// UnresolvedJIT counts JIT samples the durable resolver refused to
+	// attribute (informational: clean runs also have a small number from
+	// compilation races, so this alone does not mark the run degraded).
+	UnresolvedJIT uint64
+	// Maps is the per-VM code-map report.
+	Maps []MapIntegrity
+}
+
+// Degraded reports whether any persisted data was lost, damaged, or
+// unaccounted for anywhere in the pipeline.
+func (in *Integrity) Degraded() bool {
+	if in == nil {
+		return false
+	}
+	if in.SampleFileMissing || in.SampleDroppedRecords > 0 || in.SampleDroppedBytes > 0 {
+		return true
+	}
+	if in.Stats == nil || !in.Stats.Clean || in.Stats.FlushErrors > 0 ||
+		in.Stats.Spilled > 0 || in.Stats.Unflushed > 0 || in.Stats.Dropped > 0 {
+		return true
+	}
+	for _, mi := range in.Maps {
+		if mi.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatIntegrity renders the section the way vipreport prints it.
+func FormatIntegrity(w io.Writer, in *Integrity) error {
+	if in == nil {
+		return nil
+	}
+	status := "OK — no data loss detected"
+	if in.Degraded() {
+		status = "DEGRADED — losses accounted below"
+	}
+	if _, err := fmt.Fprintf(w, "\nIntegrity: %s\n", status); err != nil {
+		return err
+	}
+	switch {
+	case in.SampleFileMissing:
+		fmt.Fprintf(w, "  sample file: MISSING\n")
+	case in.SampleDroppedRecords > 0 || in.SampleDroppedBytes > 0:
+		fmt.Fprintf(w, "  sample file: %d records intact, %d dropped (%d bytes)\n",
+			in.SampleRecords, in.SampleDroppedRecords, in.SampleDroppedBytes)
+	default:
+		fmt.Fprintf(w, "  sample file: %d records intact\n", in.SampleRecords)
+	}
+	if in.Stats == nil {
+		fmt.Fprintf(w, "  daemon: no clean shutdown record (crashed or stats file damaged)\n")
+	} else {
+		fmt.Fprintf(w, "  daemon: %d NMIs, %d logged, %d dropped at buffer; %d flushes, %d flush errors, %d spilled, %d unflushed\n",
+			in.Stats.NMIs, in.Stats.Logged, in.Stats.Dropped,
+			in.Stats.Flushes, in.Stats.FlushErrors, in.Stats.Spilled, in.Stats.Unflushed)
+	}
+	if in.UnresolvedJIT > 0 {
+		fmt.Fprintf(w, "  resolver: %d JIT samples left unresolved rather than guessed\n", in.UnresolvedJIT)
+	}
+	for _, mi := range in.Maps {
+		state := "clean"
+		if mi.Degraded() {
+			state = "degraded"
+		}
+		fmt.Fprintf(w, "  maps %s/%d: %s — %d files, %d entries", mi.Proc, mi.PID, state, mi.Files, mi.Entries)
+		if mi.TornFiles > 0 || mi.DroppedRecords > 0 {
+			fmt.Fprintf(w, ", %d torn files (%d records / %d bytes dropped)",
+				mi.TornFiles, mi.DroppedRecords, mi.DroppedBytes)
+		}
+		if mi.OrphanTmp > 0 {
+			fmt.Fprintf(w, ", %d orphan tmp", mi.OrphanTmp)
+		}
+		if mi.MapWriteErrors > 0 {
+			fmt.Fprintf(w, ", %d write errors (%d entries deferred)", mi.MapWriteErrors, mi.DeferredEntries)
+		}
+		if !mi.AgentStatsPresent {
+			fmt.Fprintf(w, ", agent died before exit")
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

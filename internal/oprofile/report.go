@@ -27,6 +27,10 @@ type Report struct {
 	Events []hpc.Event // column order
 	Totals [hpc.NumEvents]uint64
 	Rows   []Row // sorted descending by the first event's count
+
+	// Integrity, when set, summarizes what was lost or damaged on the
+	// way to this report (nil for purely in-memory reports).
+	Integrity *Integrity
 }
 
 // Percent returns the row's share of the report total for an event.

@@ -11,6 +11,7 @@ package oprofile
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -18,6 +19,7 @@ import (
 
 	"viprof/internal/addr"
 	"viprof/internal/hpc"
+	"viprof/internal/record"
 )
 
 // Sample is one attributed counter-overflow event, the unit the daemon
@@ -112,11 +114,63 @@ func WriteCounts(w io.Writer, counts map[Key]uint64, order []Key) error {
 	return bw.Flush()
 }
 
-// ReadCounts parses sample-file lines, summing duplicate keys (the
-// daemon appends deltas across flushes).
+// ReadCounts parses a sample file, summing duplicate keys (the daemon
+// appends deltas across flushes). It auto-detects the durable framed
+// format (each flush is one checksummed record, see internal/record)
+// and falls back to legacy plain-text parsing; a framed file with any
+// damage is a hard error here — use ReadCountsSalvage to recover the
+// intact records with loss accounting.
 func ReadCounts(r io.Reader) (map[Key]uint64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if record.IsFramed(data) {
+		counts, sal, err := ReadCountsSalvage(data)
+		if err != nil {
+			return nil, err
+		}
+		if sal.Lossy() {
+			return nil, fmt.Errorf("oprofile: sample file corrupt: %d records dropped (%d bytes)",
+				sal.DroppedRecords, sal.DroppedBytes)
+		}
+		return counts, nil
+	}
 	counts := make(map[Key]uint64)
-	sc := bufio.NewScanner(r)
+	if err := readCountsText(data, counts); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// ReadCountsSalvage parses a sample file, recovering every intact
+// framed record and accounting for damage instead of failing. Legacy
+// plain-text files parse as a single clean pseudo-record.
+func ReadCountsSalvage(data []byte) (map[Key]uint64, record.Salvage, error) {
+	counts := make(map[Key]uint64)
+	if len(data) == 0 {
+		return counts, record.Salvage{}, nil
+	}
+	if !record.IsFramed(data) {
+		if err := readCountsText(data, counts); err != nil {
+			return nil, record.Salvage{}, err
+		}
+		return counts, record.Salvage{Records: 1}, nil
+	}
+	recs, sal := record.Scan(data)
+	for _, payload := range recs {
+		// A checksum-valid record that fails to parse is a writer bug,
+		// not disk damage: fail hard rather than salvage it away.
+		if err := readCountsText(payload, counts); err != nil {
+			return nil, sal, err
+		}
+	}
+	return counts, sal, nil
+}
+
+// readCountsText parses plain sample-file lines into counts.
+func readCountsText(data []byte, counts map[Key]uint64) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
 	for sc.Scan() {
@@ -127,7 +181,7 @@ func ReadCounts(r io.Reader) (map[Key]uint64, error) {
 		}
 		parts := strings.SplitN(text, "\t", 7)
 		if len(parts) != 7 {
-			return nil, fmt.Errorf("oprofile: sample line %d: %d fields", line, len(parts))
+			return fmt.Errorf("oprofile: sample line %d: %d fields", line, len(parts))
 		}
 		ev, err1 := strconv.Atoi(parts[0])
 		jit, err2 := strconv.Atoi(parts[1])
@@ -136,7 +190,7 @@ func ReadCounts(r io.Reader) (map[Key]uint64, error) {
 		cnt, err5 := strconv.ParseUint(parts[4], 10, 64)
 		for _, err := range []error{err1, err2, err3, err4, err5} {
 			if err != nil {
-				return nil, fmt.Errorf("oprofile: sample line %d: %v", line, err)
+				return fmt.Errorf("oprofile: sample line %d: %v", line, err)
 			}
 		}
 		k := Key{
@@ -149,5 +203,5 @@ func ReadCounts(r io.Reader) (map[Key]uint64, error) {
 		}
 		counts[k] += cnt
 	}
-	return counts, sc.Err()
+	return sc.Err()
 }

@@ -36,7 +36,6 @@ package viprof
 import (
 	"bytes"
 	"fmt"
-	"strings"
 
 	"viprof/internal/addr"
 	"viprof/internal/cache"
@@ -536,7 +535,7 @@ func (o *Outcome) Annotate(signature string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	counts, err := oprofile.ReadCounts(strings.NewReader(string(data)))
+	counts, sal, err := oprofile.ReadCountsSalvage(data)
 	if err != nil {
 		return "", err
 	}
@@ -546,6 +545,10 @@ func (o *Outcome) Annotate(signature string) (string, error) {
 	}
 	rows := core.AnnotateBody(counts, chain, body, proc.Name)
 	var buf bytes.Buffer
+	if sal.Lossy() {
+		fmt.Fprintf(&buf, "WARNING: sample file damaged — %d records dropped (%d bytes); annotation built from the %d that survived\n",
+			sal.DroppedRecords, sal.DroppedBytes, sal.Records)
+	}
 	if err := core.FormatAnnotation(&buf, signature, rows, o.Events); err != nil {
 		return "", err
 	}
