@@ -1,16 +1,23 @@
 # Developer smoke gate. `make check` is what a PR must keep green:
-# static vetting, a full build, the race-enabled short test suite, a
-# bounded chaos sweep (seeded fault schedules against the persistence
-# layer, conservation invariants checked end to end), and one iteration
-# of the engine microbenchmarks (which self-verify that the batched and
-# per-op paths agree, and that the flattened epoch index matches the
-# backward scan).
+# the viplint invariant passes (determinism, durability, attribution —
+# see DESIGN.md §11), static vetting, a full build, the race-enabled
+# short test suite, a bounded chaos sweep (seeded fault schedules
+# against the persistence layer, conservation invariants checked end to
+# end), and one iteration of the engine microbenchmarks (which
+# self-verify that the batched and per-op paths agree, and that the
+# flattened epoch index matches the backward scan).
 
 GO ?= go
 
-.PHONY: check vet build test chaos-smoke bench-smoke bench
+.PHONY: check lint vet build test chaos-smoke bench-smoke bench
 
-check: vet build test chaos-smoke bench-smoke
+check: lint vet build test chaos-smoke bench-smoke
+
+# viplint: the repo's own go/analysis-style pass suite (cmd/viplint).
+# Exits nonzero on any unsuppressed finding; suppressions require
+# `//viplint:allow <pass> <reason>`.
+lint:
+	$(GO) run ./cmd/viplint ./...
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,32 @@
+// viplint is the repository's invariant checker: a multichecker running
+// the internal/lint pass suite (detrand, maporder, syswrite-err,
+// epoch-resolve) over the module. It prints every unsuppressed
+// diagnostic and exits 1 when any exist, 2 on operational errors — so
+// `make lint` gates exactly like `go vet`.
+//
+// Usage:
+//
+//	viplint [packages]
+//
+// Package patterns are module-root-relative directories, with the go
+// tool's "..." wildcard (default "./...").
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"viprof/internal/lint"
+)
+
+func main() {
+	n, err := lint.Run(os.Stdout, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "viplint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "viplint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"viprof/internal/lint"
+)
+
+// TestTreeIsClean is the gate the Makefile relies on: the full viplint
+// suite over the whole module must report zero unsuppressed findings.
+func TestTreeIsClean(t *testing.T) {
+	var out strings.Builder
+	n, err := lint.Run(&out, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("viplint reports %d finding(s) on a tree that must be clean:\n%s", n, out.String())
+	}
+}
+
+// TestBadFixtureFails drives the nonzero-exit path: pointed at a
+// seeded-bad fixture package, the driver must report findings (main
+// turns a nonzero count into exit status 1).
+func TestBadFixtureFails(t *testing.T) {
+	var out strings.Builder
+	n, err := lint.Run(&out, []string{"internal/lint/testdata/src/detrand_bad"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("viplint found nothing in detrand_bad; the gate cannot fail")
+	}
+	for _, line := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		if !strings.Contains(line, ": [detrand] ") {
+			t.Errorf("malformed finding line %q", line)
+		}
+	}
+}
+
+// TestUnknownPattern: a pattern naming no Go files is an error, not a
+// silent zero-finding success.
+func TestUnknownPattern(t *testing.T) {
+	if _, err := lint.Run(io.Discard, []string{"no/such/dir"}); err == nil {
+		t.Fatal("expected error for pattern naming a nonexistent directory")
+	}
+}

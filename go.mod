@@ -1,3 +1,11 @@
 module viprof
 
 go 1.22
+
+// No requirements — the module builds offline from the standard
+// library alone. In particular golang.org/x/tools is deliberately NOT
+// required: internal/lint vendors a minimal API-compatible subset of
+// go/analysis (internal/lint/analysis) plus its own source loader, so
+// cmd/viplint runs without network access to a module proxy. If x/tools
+// ever lands in the build environment, internal/lint/analysis can be
+// deleted and the passes pointed at the real package unchanged.

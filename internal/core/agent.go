@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -166,6 +167,9 @@ func (a *VMAgent) OnMove(body *jit.CodeBody, old addr.Address) {
 		a.exec("viprof_flag_move", 160)
 		rec := fmt.Sprintf("%08x %08x %d %s\n",
 			uint64(old), uint64(body.Start()), body.Size, body.Method.Signature())
+		// The move log is ablation-only instrumentation for the rejected
+		// eager design; a lost record only understates that design's cost.
+		//viplint:allow syswrite-err ablation-only move log, loss is benign
 		a.m.Kern.SysWrite(a.proc, MapPath(a.proc.PID, -1)+".moves", []byte(rec))
 	} else {
 		a.exec("viprof_flag_move", 5)
@@ -199,9 +203,21 @@ func (a *VMAgent) writeMap(epoch int) {
 		bodies = a.known
 	} else {
 		bodies = a.pending
+		// moved is a map; its iteration order would otherwise leak into
+		// the persisted file bytes, making byte-identical runs impossible
+		// (and torn-write salvage dependent on runtime map order). Sort
+		// the moved bodies before they join the emission order.
+		moved := make([]*jit.CodeBody, 0, len(a.moved))
 		for b := range a.moved {
-			bodies = append(bodies, b)
+			moved = append(moved, b)
 		}
+		sort.Slice(moved, func(i, j int) bool {
+			if moved[i].Start() != moved[j].Start() {
+				return moved[i].Start() < moved[j].Start()
+			}
+			return moved[i].Method.Signature() < moved[j].Method.Signature()
+		})
+		bodies = append(bodies, moved...)
 	}
 	entries := make([]MapEntry, 0, len(bodies))
 	seen := make(map[*jit.CodeBody]bool, len(bodies))
@@ -294,6 +310,11 @@ func (a *VMAgent) writeStats() {
 		a.stats.Compiles, a.stats.Moves, a.stats.MapsWritten, a.stats.Entries, a.stats.MapBytes)
 	fmt.Fprintf(&buf, "map_write_errors=%d\ndeferred=%d\nclean=1\n",
 		a.stats.MapWriteErrors, a.stats.DeferredEntries)
+	// Deliberately discarded: agent.stats is the crash-signal-by-absence
+	// protocol — a failed (or torn) stats write reads back as "the VM did
+	// not shut down cleanly", which is the correct degraded verdict, and
+	// there is no later point in the VM's life to retry or report it.
+	//viplint:allow syswrite-err stats absence IS the crash signal; no retry point exists
 	_ = a.m.Kern.SysWrite(a.proc, AgentStatsPath(a.proc.PID), record.Frame(buf.Bytes()))
 }
 

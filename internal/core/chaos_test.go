@@ -22,8 +22,10 @@ package core_test
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
+	"viprof/internal/core"
 	"viprof/internal/harness"
 	"viprof/internal/kernel"
 	"viprof/internal/oprofile"
@@ -210,6 +212,146 @@ func TestChaosLatencyOnlyIsClean(t *testing.T) {
 		t.Errorf("latency-only run reads degraded:\n%s", buf.String())
 	}
 	checkChaosInvariants(t, r)
+}
+
+// Read-fault chaos: the session itself runs fault-free, then the
+// offline report assembly reads the disk through a seeded EIO schedule
+// (internal/harness.RunChaosRead). The salvage readers' contract is the
+// mirror image of the write side's:
+//
+//   - an unreadable sample file reads as MISSING, never as empty-and-OK;
+//   - an unreadable stats file reads as an unclean shutdown;
+//   - an unreadable epoch map poisons the chain at its epoch, so the
+//     durable resolver refuses attributions the lost entries could have
+//     shadowed — degrade loudly, never misattribute;
+//   - zero injected read faults must leave the report exactly clean.
+func TestChaosReadFaultSweep(t *testing.T) {
+	const readSeeds = 15
+	for seed := int64(100); seed < 100+readSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r, err := harness.RunChaosRead(seed, 0.25)
+			if err != nil {
+				t.Fatalf("read-chaos run: %v", err)
+			}
+			t.Logf("readFaults=%+v", r.ReadFaults)
+			if r.Faults.Destructive() > 0 {
+				t.Fatalf("read-chaos run injected write faults: %+v", r.Faults)
+			}
+			// The durable resolver must never contradict the oracle, no
+			// matter which artifacts the read schedule destroyed.
+			checkNoMisattribution(t, r)
+			integ := r.Report.Integrity
+			if integ == nil {
+				t.Fatal("report has no Integrity section")
+			}
+			if r.ReadFaults.EIO > 0 && !integ.Degraded() {
+				var buf bytes.Buffer
+				_ = oprofile.FormatIntegrity(&buf, integ)
+				t.Errorf("%d read faults injected but Integrity reads clean:\n%s",
+					r.ReadFaults.EIO, buf.String())
+			}
+			if r.ReadFaults.EIO == 0 && integ.Degraded() {
+				var buf bytes.Buffer
+				_ = oprofile.FormatIntegrity(&buf, integ)
+				t.Errorf("no read faults but Integrity reads degraded:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+// A scripted EIO on the very first epoch-map read: the chain must count
+// the file as unreadable and poison its epoch, and the report must read
+// degraded.
+func TestChaosReadFaultUnreadableMap(t *testing.T) {
+	r, err := harness.RunChaosReadPlan(11, 0.25, kernel.ReadFaultPlan{
+		Seed:       11,
+		PathPrefix: core.MapDir,
+		Script:     []int{0},
+	})
+	if err != nil {
+		t.Fatalf("read-chaos run: %v", err)
+	}
+	if r.ReadFaults.EIO != 1 {
+		t.Fatalf("scripted map-read fault did not fire: %+v", r.ReadFaults)
+	}
+	integ := r.Report.Integrity
+	if len(integ.Maps) == 0 || integ.Maps[0].UnreadableFiles != 1 {
+		t.Fatalf("unreadable map file not accounted: %+v", integ.Maps)
+	}
+	if !integ.Maps[0].Degraded() || !integ.Degraded() {
+		t.Error("unreadable map file not surfaced as degradation")
+	}
+	checkNoMisattribution(t, r)
+}
+
+// A scripted EIO on the sample-file read: the report must degrade to
+// "sample file MISSING" (loud), not to an empty-but-clean report.
+func TestChaosReadFaultSampleFile(t *testing.T) {
+	r, err := harness.RunChaosReadPlan(12, 0.25, kernel.ReadFaultPlan{
+		Seed:       12,
+		PathPrefix: oprofile.SampleFile,
+		Script:     []int{0},
+	})
+	if err != nil {
+		t.Fatalf("read-chaos run: %v", err)
+	}
+	if r.ReadFaults.EIO != 1 {
+		t.Fatalf("scripted sample-read fault did not fire: %+v", r.ReadFaults)
+	}
+	integ := r.Report.Integrity
+	if !integ.SampleFileMissing {
+		t.Error("unreadable sample file not reported as missing")
+	}
+	if !integ.Degraded() {
+		t.Error("unreadable sample file not surfaced as degradation")
+	}
+	for _, ev := range r.Report.Events {
+		if r.Report.Totals[ev] != 0 {
+			t.Errorf("report counts samples (%d for %v) despite unreadable sample file",
+				r.Report.Totals[ev], ev)
+		}
+	}
+}
+
+// Two identical fault-free runs must persist byte-identical epoch code
+// maps. This pins the writeMap ordering fix: the agent's moved-body set
+// is a Go map, and emitting it in iteration order would leak runtime
+// map randomization into the persisted bytes (and into which entries a
+// torn write destroys).
+func TestChaosMapBytesDeterministic(t *testing.T) {
+	read := func() map[string]string {
+		r, err := harness.RunChaosPlan(3, 0.25, kernel.FaultPlan{Seed: 3})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		disk := r.Machine.Kern.Disk()
+		files := make(map[string]string)
+		for _, name := range disk.List() {
+			if !strings.HasPrefix(name, core.MapDir) {
+				continue
+			}
+			data, err := disk.Read(name)
+			if err != nil {
+				t.Fatalf("read %s: %v", name, err)
+			}
+			files[name] = string(data)
+		}
+		if len(files) == 0 {
+			t.Fatal("run persisted no map files")
+		}
+		return files
+	}
+	a, b := read(), read()
+	if len(a) != len(b) {
+		t.Fatalf("runs persisted different file sets: %d vs %d", len(a), len(b))
+	}
+	for name, data := range a {
+		if b[name] != data {
+			t.Errorf("map file %s differs between identical runs", name)
+		}
+	}
 }
 
 // runScriptedChaos is RunChaos with a caller-supplied plan instead of a

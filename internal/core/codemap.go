@@ -134,6 +134,10 @@ type ChainIntegrity struct {
 	DroppedRecords, DroppedBytes int
 	// TornFiles is files with dropped records or a bad trailer.
 	TornFiles int
+	// UnreadableFiles is map files that exist but failed to read back
+	// (EIO from a degraded disk). Every entry they held is lost, so they
+	// poison the chain at their epoch like a torn file does.
+	UnreadableFiles int
 }
 
 // MapChain is one process's sequence of epoch code maps, supporting the
@@ -208,6 +212,19 @@ func ReadMapChain(disk *kernel.Disk, pid int) (*MapChain, error) {
 		}
 		data, err := disk.Read(name)
 		if err != nil {
+			// The file exists but would not read back (EIO). Silently
+			// skipping it would let the backward search walk past the
+			// epoch and attribute samples through entries we never saw —
+			// misattribution by omission. Count the loss and poison the
+			// chain at this epoch instead, exactly as for a torn file.
+			integ.Files++
+			integ.UnreadableFiles++
+			if fileEpoch > poison {
+				poison = fileEpoch
+			}
+			if fileEpoch > maxEpoch {
+				maxEpoch = fileEpoch
+			}
 			continue
 		}
 		entries, sal, trailerOK, err := salvageMapData(data)

@@ -191,6 +191,7 @@ func Vipreport(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[str
 			ci := chain.Integrity()
 			mi.Files, mi.OrphanTmp, mi.Entries = ci.Files, ci.OrphanTmp, ci.Entries
 			mi.DroppedRecords, mi.DroppedBytes, mi.TornFiles = ci.DroppedRecords, ci.DroppedBytes, ci.TornFiles
+			mi.UnreadableFiles = ci.UnreadableFiles
 		}
 		if data, err := disk.Read(AgentStatsPath(pid)); err == nil {
 			if ap := ReadAgentStats(data); ap != nil {

@@ -123,6 +123,10 @@ type ChaosResult struct {
 
 	Report   *oprofile.Report
 	Resolver *core.Resolver
+
+	// ReadFaults counts injected offline-read failures (RunChaosRead
+	// only; zero for write-side chaos).
+	ReadFaults kernel.ReadFaultStats
 }
 
 // RunChaos executes one full profiled session under the seed's fault
@@ -131,6 +135,52 @@ type ChaosResult struct {
 // second).
 func RunChaos(seed int64, scale float64) (*ChaosResult, error) {
 	return RunChaosPlan(seed, scale, ChaosPlan(seed))
+}
+
+// ReadChaosPlan derives the deterministic read-fault schedule for a
+// seed: EIO on offline reads of profile artifacts (sample file, stats
+// files, epoch code maps). The prefix deliberately excludes RVM.map —
+// attacking inputs the Integrity section accounts for keeps the
+// "every fault is visible" invariant checkable.
+func ReadChaosPlan(seed int64) kernel.ReadFaultPlan {
+	rng := rand.New(rand.NewSource(seed*0x5851F42D + 3))
+	return kernel.ReadFaultPlan{
+		Seed:       seed,
+		PathPrefix: "var/lib/",
+		PEIO:       0.1 + 0.4*rng.Float64(),
+		MaxFaults:  1 + rng.Intn(4),
+	}
+}
+
+// RunChaosRead runs a fault-free profiled session, then attacks the
+// *offline* report assembly with the seed's read-fault schedule: the
+// writes all land, but reading them back delivers seeded EIO. The
+// salvage readers' contract under test is the mirror image of the write
+// side's — an unreadable artifact degrades the report loudly (missing
+// sample file, nil daemon stats, poisoned map epochs), never silently.
+// The injector is disarmed before returning so callers can re-read the
+// true disk.
+func RunChaosRead(seed int64, scale float64) (*ChaosResult, error) {
+	return RunChaosReadPlan(seed, scale, ReadChaosPlan(seed))
+}
+
+// RunChaosReadPlan is RunChaosRead with a caller-supplied read-fault
+// plan (scripted EIO points) instead of the seed-derived one.
+func RunChaosReadPlan(seed int64, scale float64, rplan kernel.ReadFaultPlan) (*ChaosResult, error) {
+	r, err := RunChaosPlan(seed, scale, kernel.FaultPlan{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	disk := r.Machine.Kern.Disk()
+	disk.SetReadFaultInjector(rplan)
+	rep, res, err := r.Session.Report(r.Session.Images(r.VM), map[string]int{r.Proc.Name: r.Proc.PID})
+	r.ReadFaults = disk.ReadFaultStats()
+	disk.ClearReadFaultInjector()
+	if err != nil {
+		return nil, fmt.Errorf("read-chaos seed %d: report: %v", seed, err)
+	}
+	r.Report, r.Resolver = rep, res
+	return r, nil
 }
 
 // RunChaosPlan is RunChaos with a caller-supplied fault plan (scripted

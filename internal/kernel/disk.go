@@ -3,6 +3,7 @@ package kernel
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -18,6 +19,9 @@ type Disk struct {
 	BytesWritten uint64
 	// Writes counts write syscalls.
 	Writes uint64
+	// readInjector, when set, delivers seeded EIO on Read — the offline
+	// tools' half of the fault model (see fault.go).
+	readInjector *readFaultInjector
 }
 
 // NewDisk returns an empty disk.
@@ -38,13 +42,36 @@ func (d *Disk) Append(path string, data []byte) {
 	d.Writes++
 }
 
-// Read returns the contents of a file.
+// Read returns the contents of a file. An installed read-fault injector
+// may deliver ErrIO for a file that exists — the degraded-platter case
+// the salvage readers must surface loudly rather than treat as absence.
 func (d *Disk) Read(path string) ([]byte, error) {
 	f, ok := d.files[path]
 	if !ok {
 		return nil, fmt.Errorf("disk: no such file %q", path)
 	}
+	if d.readInjector != nil && d.readInjector.decide(path) {
+		return nil, ErrIO
+	}
 	return f.Bytes(), nil
+}
+
+// SetReadFaultInjector installs the read-path fault schedule.
+func (d *Disk) SetReadFaultInjector(plan ReadFaultPlan) {
+	d.readInjector = &readFaultInjector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// ClearReadFaultInjector removes the read-path fault schedule, so later
+// reads (test re-reads, repeated report builds) see the true disk.
+func (d *Disk) ClearReadFaultInjector() { d.readInjector = nil }
+
+// ReadFaultStats returns the read injector's counters (zero value if no
+// injector is installed).
+func (d *Disk) ReadFaultStats() ReadFaultStats {
+	if d.readInjector == nil {
+		return ReadFaultStats{}
+	}
+	return d.readInjector.stats
 }
 
 // Exists reports whether the file exists.

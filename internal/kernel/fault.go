@@ -210,3 +210,67 @@ func (fi *faultInjector) cutTorn(n int) int {
 	}
 	return 1 + fi.rng.Intn(n-1) // [1, n-1]
 }
+
+// Read-path fault injection. The write injector above attacks data on
+// its way to the disk; this one attacks it on the way back — the EIO a
+// degraded platter delivers when the offline tools (vipreport, the
+// integrity assembly) read profile artifacts back. The salvage readers'
+// contract is the same as on the write side: an unreadable file must
+// surface as loud degradation, never as silent absence that could let a
+// sample misattribute through a missing epoch.
+
+// ReadFaultPlan is a deterministic read-fault schedule for a Disk.
+type ReadFaultPlan struct {
+	// Seed drives the injector's private RNG.
+	Seed int64
+	// PathPrefix restricts injection to reads under this path ("" =
+	// every read).
+	PathPrefix string
+	// PEIO is the per-read probability of an injected EIO.
+	PEIO float64
+	// MaxFaults caps injections (0 = unlimited).
+	MaxFaults int
+	// Script forces EIO at exact matched-read indices (0 based),
+	// regardless of the probabilistic schedule.
+	Script []int
+}
+
+// ReadFaultStats counts read-injector activity.
+type ReadFaultStats struct {
+	// Reads is every read seen; Matched is those under PathPrefix.
+	Reads, Matched uint64
+	// EIO is the number of injected read failures.
+	EIO uint64
+}
+
+type readFaultInjector struct {
+	plan  ReadFaultPlan
+	rng   *rand.Rand
+	stats ReadFaultStats
+}
+
+// decide reports whether this read fails. As on the write side, the RNG
+// is consumed only for prefix-matched reads, so a fixed plan reproduces
+// the identical fault schedule against the identical read sequence.
+func (ri *readFaultInjector) decide(path string) bool {
+	ri.stats.Reads++
+	if !strings.HasPrefix(path, ri.plan.PathPrefix) {
+		return false
+	}
+	idx := int(ri.stats.Matched)
+	ri.stats.Matched++
+	for _, w := range ri.plan.Script {
+		if w == idx {
+			ri.stats.EIO++
+			return true
+		}
+	}
+	if ri.plan.MaxFaults > 0 && ri.stats.EIO >= uint64(ri.plan.MaxFaults) {
+		return false
+	}
+	if ri.rng.Float64() < ri.plan.PEIO {
+		ri.stats.EIO++
+		return true
+	}
+	return false
+}

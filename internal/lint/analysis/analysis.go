@@ -1,0 +1,51 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis, vendored so viplint builds offline
+// (the module deliberately carries no external dependencies; see
+// go.mod). It keeps exactly the surface the viplint passes use —
+// Analyzer, Pass, Diagnostic, Reportf — so each pass reads like a
+// standard go/analysis analyzer and could be lifted onto the real
+// framework unchanged if x/tools ever lands in the build environment.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis pass: a named invariant checker run
+// over a single type-checked package.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in
+	// //viplint:allow <name> suppressions.
+	Name string
+	// Doc states the invariant the pass enforces.
+	Doc string
+	// Run applies the pass to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass is the input to an Analyzer's Run: one package's syntax and
+// types, plus the diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // the reporting analyzer's name
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}

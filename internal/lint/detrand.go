@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"viprof/internal/lint/analysis"
+)
+
+// DetRand enforces the simulation's determinism contract: inside the
+// simulation packages, time comes only from the simulated clock and
+// randomness only from injected seeded *rand.Rand values (the pattern
+// kernel/fault.go and harness/chaos.go establish). Wall-clock reads
+// (time.Now, time.Since) and the process-global math/rand source would
+// make "same seed, same bytes" — the property the batched-engine and
+// chaos tests prove — unfalsifiable.
+var DetRand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock time and unseeded/global math/rand in simulation packages; " +
+		"randomness must flow from an injected seeded *rand.Rand",
+	Run: runDetRand,
+}
+
+// simPackages are the simulation packages detrand audits (plus any
+// package carrying a //viplint:simpackage directive — how fixtures and
+// future packages opt in).
+var simPackages = []string{
+	"kernel", "cpu", "cache", "hpc", "jvm", "core", "oprofile", "image", "addr",
+}
+
+func isSimPackage(path string) bool {
+	for _, p := range simPackages {
+		full := "viprof/internal/" + p
+		if path == full || strings.HasPrefix(path, full+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runDetRand(pass *analysis.Pass) (interface{}, error) {
+	if !isSimPackage(pass.Pkg.Path()) && !hasFileDirective(pass, "viplint:simpackage") {
+		return nil, nil
+	}
+	// First sweep: rand.New calls whose source is a direct
+	// rand.NewSource(...) — the one approved construction.
+	approvedNew := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := importedRef(pass.TypesInfo, sel); !ok || !isRandPkg(pkg) || name != "New" {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			isel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := importedRef(pass.TypesInfo, isel); ok && isRandPkg(pkg) && name == "NewSource" {
+				approvedNew[sel] = true
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := importedRef(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time" && name == "Now":
+				pass.Reportf(sel.Pos(), "time.Now in a simulation package: simulated time must come from the machine clock, not the wall clock")
+			case pkg == "time" && name == "Since":
+				pass.Reportf(sel.Pos(), "time.Since reads the wall clock; simulation timing must use simulated cycles")
+			case isRandPkg(pkg):
+				fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !isFn {
+					return true // rand.Rand / rand.Source as types are fine
+				}
+				switch fn.Name() {
+				case "NewSource", "NewZipf":
+					// Constructors feeding an injected generator.
+				case "New":
+					if !approvedNew[sel] {
+						pass.Reportf(sel.Pos(), "rand.New without a direct rand.NewSource(seed) argument: simulation randomness must flow from an explicitly seeded source")
+					}
+				default:
+					pass.Reportf(sel.Pos(), "math/rand global %s uses the shared process-wide source; use an injected seeded *rand.Rand", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"viprof/internal/lint/analysis"
+)
+
+// The fixture tests mirror golang.org/x/tools/go/analysis/analysistest:
+// each fixture package under testdata/src carries `// want `regex``
+// comments on the lines where a pass must report, and the runner
+// asserts an exact match — every want satisfied, no finding
+// unaccounted for. Fixtures are real packages inside the module (the
+// go tool ignores testdata, the lint loader does not), so they may
+// import viprof/internal/kernel and viprof/internal/core and exercise
+// the type-sensitive matching for real.
+
+const fixturePrefix = "viprof/internal/lint/testdata/src/"
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader("viprof", root).Load(fixturePrefix + name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// fixtureWants parses the `// want` expectations out of a loaded
+// fixture package.
+type fixtureWant struct {
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func fixtureWants(t *testing.T, pkg *Package) []*fixtureWant {
+	t.Helper()
+	var wants []*fixtureWant
+	for _, f := range pkg.Files {
+		for _, grp := range f.Comments {
+			for _, c := range grp.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				wants = append(wants, &fixtureWant{line: pkg.Fset.Position(c.Pos()).Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func findingLine(t *testing.T, pos string) int {
+	t.Helper()
+	parts := strings.Split(pos, ":")
+	if len(parts) < 3 {
+		t.Fatalf("malformed finding position %q", pos)
+	}
+	line, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		t.Fatalf("malformed finding position %q: %v", pos, err)
+	}
+	return line
+}
+
+// checkFixture runs one analyzer over one fixture and asserts its
+// findings match the fixture's want comments exactly.
+func checkFixture(t *testing.T, fixture string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+	findings, err := RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", fixture, err)
+	}
+	wants := fixtureWants(t, pkg)
+	for _, f := range findings {
+		line := findingLine(t, f.Pos)
+		satisfied := false
+		for _, w := range wants {
+			if w.line == line && !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			t.Errorf("%s: unexpected finding at %s: [%s] %s", fixture, f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no finding at line %d matching %q", fixture, w.line, w.re)
+		}
+	}
+}
+
+func TestDetRand(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "detrand_bad", DetRand) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "detrand_ok", DetRand) })
+	// A package that is neither a simulation package nor marked
+	// //viplint:simpackage is out of scope even when it reads the wall
+	// clock.
+	t.Run("scope", func(t *testing.T) { checkFixture(t, "detrand_scope", DetRand) })
+}
+
+func TestMapOrder(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "maporder_bad", MapOrder) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "maporder_ok", MapOrder) })
+}
+
+func TestSysWriteErr(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "syswriteerr_bad", SysWriteErr) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "syswriteerr_ok", SysWriteErr) })
+}
+
+func TestEpochResolve(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "epochresolve_bad", EpochResolve) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "epochresolve_ok", EpochResolve) })
+}
+
+// TestSuppressionDropsWaivedDiagnostic proves the waiver machinery does
+// real work: the raw detrand pass DOES flag the rand.Int call under the
+// //viplint:allow directive in detrand_bad, and applySuppressions is
+// what removes it. Without this, a fixture's "waived" function would
+// pass vacuously if the analyzer simply never fired there.
+func TestSuppressionDropsWaivedDiagnostic(t *testing.T) {
+	pkg := loadFixture(t, "detrand_bad")
+
+	// Locate the well-formed allow directive; the waived call sits on
+	// the next line.
+	allowLine := 0
+	for _, d := range scanAllows(pkg) {
+		if d.pass == "detrand" && d.reason != "" {
+			allowLine = d.line
+		}
+	}
+	if allowLine == 0 {
+		t.Fatal("detrand_bad fixture has no well-formed detrand allow directive")
+	}
+	waivedLine := allowLine + 1
+
+	var raw []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  DetRand,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { raw = append(raw, d) },
+	}
+	if _, err := DetRand.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	rawAt := func(diags []analysis.Diagnostic, line int) int {
+		n := 0
+		for _, d := range diags {
+			if pkg.Fset.Position(d.Pos).Line == line {
+				n++
+			}
+		}
+		return n
+	}
+	if got := rawAt(raw, waivedLine); got != 1 {
+		t.Fatalf("raw detrand diagnostics at waived line %d: got %d, want 1", waivedLine, got)
+	}
+	kept := applySuppressions(pkg, raw)
+	if got := rawAt(kept, waivedLine); got != 0 {
+		t.Errorf("suppressed diagnostic at line %d survived applySuppressions", waivedLine)
+	}
+	if len(kept) != len(raw)-1 {
+		t.Errorf("applySuppressions kept %d of %d diagnostics, want exactly one dropped", len(kept), len(raw))
+	}
+}
+
+// TestAllowBadform: a directive that names no pass, or gives no reason,
+// is itself a finding — a suppression is a reviewed waiver, not an off
+// switch.
+func TestAllowBadform(t *testing.T) {
+	pkg := loadFixture(t, "allow_badform")
+	findings, err := RunPackage(pkg, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(findings), findings)
+	}
+	var sawNoPass, sawNoReason bool
+	for _, f := range findings {
+		if f.Analyzer != "viplint" {
+			t.Errorf("malformed-directive finding has analyzer %q, want viplint", f.Analyzer)
+		}
+		if strings.Contains(f.Message, "names no pass") {
+			sawNoPass = true
+		}
+		if strings.Contains(f.Message, "has no reason") {
+			sawNoReason = true
+		}
+	}
+	if !sawNoPass || !sawNoReason {
+		t.Errorf("missing malformed-directive findings: noPass=%v noReason=%v", sawNoPass, sawNoReason)
+	}
+}
+
+// TestAnalyzerMetadata: every pass has a stable name (the suppression
+// key) and documentation.
+func TestAnalyzerMetadata(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"detrand", "maporder", "syswrite-err", "epoch-resolve"} {
+		if !names[want] {
+			t.Errorf("missing analyzer %q", want)
+		}
+	}
+}

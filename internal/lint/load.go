@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package loading. viplint type-checks the module from source with a
+// recursive importer built on the standard library alone: module
+// packages parse + check in dependency order, standard-library imports
+// come from the toolchain's export data (go/importer). This is the
+// offline stand-in for golang.org/x/tools/go/packages, which the build
+// environment cannot fetch.
+
+// Package is one loaded, type-checked package: everything a Pass needs.
+type Package struct {
+	// Path is the import path; Dir the directory it was parsed from.
+	Path string
+	Dir  string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks module packages from source,
+// memoizing by import path. It implements types.Importer so package
+// type-checking recurses through it.
+type Loader struct {
+	// Fset is shared by every package the loader touches, so positions
+	// from different packages compare and print consistently.
+	Fset *token.FileSet
+
+	modulePath string
+	moduleDir  string
+	std        types.Importer
+	cache      map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+// NewLoader returns a loader for the module rooted at moduleDir with
+// the given module path (the go.mod module line).
+func NewLoader(modulePath, moduleDir string) *Loader {
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		modulePath: modulePath,
+		moduleDir:  moduleDir,
+		std:        importer.Default(),
+		cache:      make(map[string]*loadEntry),
+	}
+}
+
+// dirFor maps an import path to its directory inside the module, or
+// "" when the path is not a module package (i.e. standard library).
+func (l *Loader) dirFor(path string) string {
+	if path == l.modulePath {
+		return l.moduleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Import implements types.Importer: module packages load from source,
+// everything else from the toolchain's export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.dirFor(path) != "" {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the module package at the given import
+// path (memoized).
+func (l *Loader) Load(path string) (*Package, error) {
+	if e, ok := l.cache[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	entry := &loadEntry{loading: true}
+	l.cache[path] = entry
+	pkg, err := l.load(path)
+	entry.pkg, entry.err, entry.loading = pkg, err, false
+	return pkg, err
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("%s: not a module package", path)
+	}
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goSources lists the package's buildable, non-test Go files in sorted
+// order (the module carries no build-tagged files).
+func goSources(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

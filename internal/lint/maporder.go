@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"viprof/internal/lint/analysis"
+)
+
+// MapOrder enforces the persistence-determinism invariant: bytes that
+// reach disk or a report writer must not depend on Go's randomized map
+// iteration order. It flags two shapes, per function body:
+//
+//  1. a persistence/output sink called lexically inside a range over a
+//     map (each call lands in map order);
+//  2. a slice populated inside a range over a map (or from values of
+//     such a slice) that reaches a sink with no intervening sort.* call
+//     on it — the exact hazard the VM agent's moved-body emission had.
+//
+// The analysis is an intra-function, source-order taint walk: range
+// statements over maps taint their loop variables and any slice
+// appended to from them; sort.*(x, ...) sanitizes x; reaching a sink
+// while tainted reports. It is deliberately linear (no branch joins) —
+// precise enough for this codebase, and //viplint:allow maporder covers
+// the rest.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "forbid map-iteration order from reaching persistence or report output " +
+		"without an intervening sort",
+	Run: runMapOrder,
+}
+
+// persistSinks names the calls whose argument bytes (or call sequence)
+// become durable or user-visible output.
+var persistSinks = map[string]bool{
+	"SysWrite": true, "SysWriteSync": true, "SysRename": true,
+	"WriteMapFile": true, "WriteCounts": true, "Frame": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true, "WriteString": true,
+}
+
+func runMapOrder(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				st := &moState{pass: pass, tainted: make(map[types.Object]token.Pos)}
+				st.walkStmts(body.List)
+			}
+			return true // nested FuncLits get their own fresh state
+		})
+	}
+	return nil, nil
+}
+
+type moState struct {
+	pass *analysis.Pass
+	// tainted maps an object to the position of the map range whose
+	// iteration order it carries.
+	tainted map[types.Object]token.Pos
+	// mapRangeDepth > 0 while walking statements whose execution order
+	// is map iteration order.
+	mapRangeDepth int
+}
+
+func (st *moState) info() *types.Info { return st.pass.TypesInfo }
+
+func (st *moState) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		st.walkStmt(s)
+	}
+}
+
+func (st *moState) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		st.walkStmts(s.List)
+	case *ast.IfStmt:
+		st.walkStmt(s.Init)
+		st.scanExpr(s.Cond)
+		st.walkStmt(s.Body)
+		st.walkStmt(s.Else)
+	case *ast.ForStmt:
+		st.walkStmt(s.Init)
+		st.scanExpr(s.Cond)
+		st.walkStmt(s.Body)
+		st.walkStmt(s.Post)
+	case *ast.SwitchStmt:
+		st.walkStmt(s.Init)
+		st.scanExpr(s.Tag)
+		st.walkStmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		st.walkStmt(s.Init)
+		st.walkStmt(s.Assign)
+		st.walkStmt(s.Body)
+	case *ast.SelectStmt:
+		st.walkStmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			st.scanExpr(e)
+		}
+		st.walkStmts(s.Body)
+	case *ast.CommClause:
+		st.walkStmt(s.Comm)
+		st.walkStmts(s.Body)
+	case *ast.LabeledStmt:
+		st.walkStmt(s.Stmt)
+	case *ast.RangeStmt:
+		st.walkRange(s)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			st.scanExpr(e)
+		}
+		st.propagate(s.Lhs, s.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st.scanExpr(v)
+					}
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, id := range vs.Names {
+						lhs[i] = id
+					}
+					st.propagate(lhs, vs.Values)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		st.scanExpr(s.X)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			st.scanExpr(e)
+		}
+	case *ast.GoStmt:
+		st.scanExpr(s.Call)
+	case *ast.DeferStmt:
+		st.scanExpr(s.Call)
+	case *ast.SendStmt:
+		st.scanExpr(s.Chan)
+		st.scanExpr(s.Value)
+	case *ast.IncDecStmt:
+		st.scanExpr(s.X)
+	}
+}
+
+// walkRange handles the taint source: iterating a map (or a slice that
+// already carries map order) taints the loop variables and makes the
+// body a map-ordered region.
+func (st *moState) walkRange(s *ast.RangeStmt) {
+	st.scanExpr(s.X)
+	ordered := false
+	if tv, ok := st.info().Types[s.X]; ok && tv.Type != nil {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			ordered = true
+		}
+	}
+	if !ordered {
+		if obj := objectOf(st.info(), s.X); obj != nil {
+			if _, tainted := st.tainted[obj]; tainted {
+				ordered = true
+			}
+		}
+	}
+	if !ordered {
+		st.walkStmt(s.Body)
+		return
+	}
+	for _, v := range []ast.Expr{s.Key, s.Value} {
+		if v == nil {
+			continue
+		}
+		if obj := objectOf(st.info(), v); obj != nil {
+			st.tainted[obj] = s.Pos()
+		}
+	}
+	st.mapRangeDepth++
+	st.walkStmt(s.Body)
+	st.mapRangeDepth--
+}
+
+// scanExpr visits an expression in evaluation context: sort calls
+// sanitize their first argument, sink calls report when reached in map
+// order or with a tainted argument. Function literals are skipped —
+// they are separate bodies with separate state.
+func (st *moState) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if st.isSortCall(call) {
+			if len(call.Args) > 0 {
+				if obj := objectOf(st.info(), call.Args[0]); obj != nil {
+					delete(st.tainted, obj)
+				}
+			}
+			return true
+		}
+		if !persistSinks[calleeName(call)] {
+			return true
+		}
+		name := calleeName(call)
+		if st.mapRangeDepth > 0 {
+			st.pass.Reportf(call.Pos(), "%s called inside iteration over a map: map order leaks into persisted/reported bytes; collect and sort first", name)
+			return true
+		}
+		for _, arg := range call.Args {
+			st.reportTaintedIn(arg, name)
+		}
+		return true
+	})
+}
+
+// reportTaintedIn reports every tainted object referenced in arg.
+func (st *moState) reportTaintedIn(arg ast.Expr, sink string) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		var obj types.Object
+		switch x := n.(type) {
+		case *ast.Ident:
+			obj = objectOf(st.info(), x)
+		case *ast.SelectorExpr:
+			obj = objectOf(st.info(), x)
+		default:
+			return true
+		}
+		if obj == nil {
+			return true
+		}
+		if origin, tainted := st.tainted[obj]; tainted {
+			st.pass.Reportf(origin, "%s is ordered by map iteration and reaches %s without an intervening sort", obj.Name(), sink)
+			// One report per (object, sink encounter) is enough.
+			delete(st.tainted, obj)
+		}
+		return true
+	})
+}
+
+// isSortCall reports a call to any function in package sort (the
+// sanitizer: sort.Slice, sort.Strings, sort.Sort, ...).
+func (st *moState) isSortCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, _, ok := importedRef(st.info(), sel)
+	return ok && pkg == "sort"
+}
+
+// propagate taints slice-typed assignment targets whose right-hand side
+// mentions a tainted object (x := append(tainted, ...), x = tainted,
+// x = f(tainted)...).
+func (st *moState) propagate(lhs, rhs []ast.Expr) {
+	var origin token.Pos
+	found := false
+	for _, r := range rhs {
+		ast.Inspect(r, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			if found {
+				return false
+			}
+			var obj types.Object
+			switch x := n.(type) {
+			case *ast.Ident:
+				obj = objectOf(st.info(), x)
+			case *ast.SelectorExpr:
+				obj = objectOf(st.info(), x)
+			default:
+				return true
+			}
+			if obj != nil {
+				if pos, ok := st.tainted[obj]; ok {
+					origin, found = pos, true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	for _, l := range lhs {
+		obj := objectOf(st.info(), l)
+		if obj != nil && isSliceLike(obj.Type()) {
+			st.tainted[obj] = origin
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package lint is viplint: a suite of static-analysis passes that
+// mechanically enforce the repository's determinism, durability, and
+// attribution invariants (see DESIGN.md §11). The passes are written
+// against a vendored, API-compatible subset of
+// golang.org/x/tools/go/analysis (internal/lint/analysis) so the suite
+// builds with the standard library alone.
+package lint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"viprof/internal/lint/analysis"
+)
+
+// Analyzers returns the full viplint pass suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{DetRand, MapOrder, SysWriteErr, EpochResolve}
+}
+
+// Finding is one unsuppressed diagnostic, positioned for printing.
+type Finding struct {
+	Pos      string // file:line:col, file relative to the module root
+	Analyzer string
+	Message  string
+}
+
+// RunPackage applies the given analyzers to one loaded package and
+// returns its unsuppressed findings sorted by position.
+func RunPackage(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
+		}
+	}
+	diags = applySuppressions(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	findings := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		findings = append(findings, Finding{
+			Pos:      fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column),
+			Analyzer: d.Category,
+			Message:  d.Message,
+		})
+	}
+	return findings, nil
+}
+
+// Run is the multichecker driver: it locates the enclosing module from
+// the working directory, expands the package patterns ("./..." style,
+// relative to the module root), runs every pass over every matched
+// package, and prints unsuppressed findings to w. It returns how many
+// findings were printed; the viplint binary exits nonzero when that
+// count is nonzero.
+func Run(w io.Writer, patterns []string) (int, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	root, modPath, err := moduleRoot(cwd)
+	if err != nil {
+		return 0, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := expandPatterns(root, modPath, patterns)
+	if err != nil {
+		return 0, err
+	}
+	loader := NewLoader(modPath, root)
+	analyzers := Analyzers()
+	total := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return total, err
+		}
+		findings, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, f := range findings {
+			pos := f.Pos
+			if rel, rerr := filepath.Rel(root, pos); rerr == nil && !strings.HasPrefix(rel, "..") {
+				pos = rel
+			}
+			fmt.Fprintf(w, "%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+			total++
+		}
+	}
+	return total, nil
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod and returns the
+// module directory and module path.
+func moduleRoot(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s: go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expandPatterns resolves package patterns relative to the module root
+// into import paths. "dir/..." walks recursively; a plain directory
+// names one package. testdata, hidden, and Go-file-free directories are
+// skipped during walks (matching the go tool), but an explicit
+// non-wildcard pattern may name a testdata package directly — that is
+// how the lint tests point the driver at fixture packages.
+func expandPatterns(root, modPath string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) error {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		p := modPath
+		if rel != "." {
+			p = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		if !recursive {
+			names, err := goSources(base)
+			if err != nil {
+				return nil, fmt.Errorf("pattern %q: %v", pat, err)
+			}
+			if len(names) == 0 {
+				return nil, fmt.Errorf("pattern %q: no Go files in %s", pat, base)
+			}
+			if err := add(base); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if names, serr := goSources(path); serr == nil && len(names) > 0 {
+				return add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

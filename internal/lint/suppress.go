@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+
+	"viprof/internal/lint/analysis"
+)
+
+// Suppression. Every viplint pass honours the shared directive
+//
+//	//viplint:allow <pass> <reason>
+//
+// placed on the flagged line or on the line directly above it. The
+// reason is mandatory: a suppression is a reviewed, explained waiver of
+// an invariant, not an off switch — a directive without a reason is
+// itself a diagnostic.
+
+const allowPrefix = "//viplint:allow"
+
+// allowDirective is one parsed //viplint:allow comment.
+type allowDirective struct {
+	pos    token.Pos
+	line   int
+	pass   string // analyzer name the waiver applies to
+	reason string
+}
+
+// scanAllows parses every viplint:allow directive in the package.
+func scanAllows(pkg *Package) []allowDirective {
+	var out []allowDirective
+	for _, f := range pkg.Files {
+		for _, grp := range f.Comments {
+			for _, c := range grp.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := allowDirective{pos: c.Pos(), line: pkg.Fset.Position(c.Pos()).Line}
+				if len(fields) > 0 {
+					d.pass = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions splits raw diagnostics into kept findings,
+// dropping those waived by a well-formed allow directive on the same
+// or preceding line, and appends a finding for every malformed
+// directive (missing pass name or missing reason).
+func applySuppressions(pkg *Package, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	allows := scanAllows(pkg)
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		line := pkg.Fset.Position(d.Pos).Line
+		suppressed := false
+		for _, a := range allows {
+			if a.pass == d.Category && a.reason != "" && (a.line == line || a.line == line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.pass == "":
+			kept = append(kept, analysis.Diagnostic{
+				Pos: a.pos, Category: "viplint",
+				Message: "viplint:allow directive names no pass",
+			})
+		case a.reason == "":
+			kept = append(kept, analysis.Diagnostic{
+				Pos: a.pos, Category: "viplint",
+				Message: "viplint:allow " + a.pass + " has no reason: a suppression must say why the invariant is waived",
+			})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+
+	"viprof/internal/lint/analysis"
+)
+
+// SysWriteErr enforces the durability invariant that made PR 2
+// necessary: the error of a kernel write-path call (Kernel.SysWrite,
+// SysWriteSync, SysRename) is a durability signal — a swallowed one is
+// a flush that silently never happened. Discarding it, via a bare call
+// statement or a blank assignment, requires an explicit
+// //viplint:allow syswrite-err <reason> waiver stating why the loss is
+// tolerable (e.g. the crash-signal-by-absence stats protocol).
+var SysWriteErr = &analysis.Analyzer{
+	Name: "syswrite-err",
+	Doc: "forbid discarding the error of Kernel.SysWrite/SysWriteSync/SysRename " +
+		"without an explicit annotated waiver",
+	Run: runSysWriteErr,
+}
+
+const kernelPkgPath = "viprof/internal/kernel"
+
+var kernelWriteMethods = map[string]bool{
+	"SysWrite": true, "SysWriteSync": true, "SysRename": true,
+}
+
+// kernelWriteCall resolves a call to one of the kernel write methods
+// (matched by type, not by name alone: the method must live in
+// internal/kernel).
+func kernelWriteCall(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !kernelWriteMethods[fn.Name()] {
+		return "", false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != kernelPkgPath {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func runSysWriteErr(pass *analysis.Pass) (interface{}, error) {
+	report := func(pos ast.Node, name string) {
+		pass.Reportf(pos.Pos(), "error from Kernel.%s discarded: a failed write is a durability event — handle it or waive it with //viplint:allow syswrite-err <reason>", name)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if name, ok := kernelWriteCall(pass, s.X); ok {
+					report(s, name)
+				}
+			case *ast.GoStmt:
+				if name, ok := kernelWriteCall(pass, s.Call); ok {
+					report(s, name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := kernelWriteCall(pass, s.Call); ok {
+					report(s, name)
+				}
+			case *ast.AssignStmt:
+				// The write methods return exactly one value (the error),
+				// so a discarded error is a single blank LHS.
+				if len(s.Rhs) != 1 || len(s.Lhs) != 1 {
+					return true
+				}
+				id, isIdent := s.Lhs[0].(*ast.Ident)
+				if !isIdent || id.Name != "_" {
+					return true
+				}
+				if name, ok := kernelWriteCall(pass, s.Rhs[0]); ok {
+					report(s, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,14 @@
+// Package allow_badform is a viplint fixture: malformed suppression
+// directives. A waiver must name the pass it waives and say why; each
+// directive below is missing one of those and must itself be reported.
+package allow_badform
+
+func noPassName() int {
+	//viplint:allow
+	return 0
+}
+
+func noReason() int {
+	//viplint:allow detrand
+	return 0
+}

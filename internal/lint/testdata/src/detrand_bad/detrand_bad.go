@@ -1,0 +1,35 @@
+// Package detrand_bad is a viplint fixture: every determinism hazard
+// the detrand pass must catch, plus one suppressed occurrence.
+//
+//viplint:simpackage
+package detrand_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in a simulation package`
+}
+
+func wallTiming(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand global Intn uses the shared process-wide source`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `math/rand global Float64`
+}
+
+func unseededNew(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand.New without a direct rand.NewSource`
+}
+
+func waived() int {
+	//viplint:allow detrand fixture: demonstrating an explained waiver
+	return rand.Int()
+}

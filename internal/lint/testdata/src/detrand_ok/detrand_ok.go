@@ -1,0 +1,22 @@
+// Package detrand_ok is a viplint fixture: the approved determinism
+// patterns — injected, explicitly seeded randomness and simulated time
+// carried as plain counters. detrand must stay silent here.
+//
+//viplint:simpackage
+package detrand_ok
+
+import "math/rand"
+
+type sim struct {
+	rng    *rand.Rand
+	cycles uint64
+}
+
+func newSim(seed int64) *sim {
+	return &sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *sim) step() uint64 {
+	s.cycles += uint64(s.rng.Intn(16))
+	return s.cycles
+}

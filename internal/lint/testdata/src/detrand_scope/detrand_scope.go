@@ -1,0 +1,13 @@
+// Package detrand_scope is a viplint fixture: it uses the wall clock
+// and the global rand source but carries no //viplint:simpackage
+// directive and is not a simulation package, so detrand must not apply.
+package detrand_scope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func benchClock() (time.Time, int) {
+	return time.Now(), rand.Int()
+}

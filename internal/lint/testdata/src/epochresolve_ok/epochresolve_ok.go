@@ -1,0 +1,18 @@
+// Package epochresolve_ok is a viplint fixture: attribution through the
+// sanctioned MapChain entry points. epoch-resolve must stay silent.
+package epochresolve_ok
+
+import (
+	"viprof/internal/addr"
+	"viprof/internal/core"
+)
+
+func attribute(c *core.MapChain, epoch int, pc addr.Address) (core.MapEntry, bool) {
+	e, _, ok := c.Resolve(epoch, pc)
+	return e, ok
+}
+
+func attributeDurable(c *core.MapChain, epoch int, pc addr.Address) (core.MapEntry, bool) {
+	e, _, ok := c.ResolveDurable(epoch, pc)
+	return e, ok
+}

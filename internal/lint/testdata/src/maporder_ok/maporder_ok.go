@@ -1,0 +1,42 @@
+// Package maporder_ok is a viplint fixture: the approved pattern —
+// collect map keys, sort, then emit. maporder must stay silent here.
+package maporder_ok
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func sortedKeys(w io.Writer, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, counts[k])
+	}
+}
+
+func sortedSlice(w io.Writer, counts map[string]int) {
+	type kv struct {
+		k string
+		v int
+	}
+	var rows []kv
+	for k, v := range counts {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s %d\n", r.k, r.v)
+	}
+}
+
+// Ranging a slice into a sink is fine: slices have deterministic order.
+func sliceOrder(w io.Writer, rows []string) {
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}

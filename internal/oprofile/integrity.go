@@ -85,6 +85,9 @@ type MapIntegrity struct {
 	DroppedRecords, DroppedBytes int
 	// TornFiles is files with damage or a missing end-trailer.
 	TornFiles int
+	// UnreadableFiles is map files that exist but failed to read back
+	// (EIO on the offline tools' side); their epochs are poisoned.
+	UnreadableFiles int
 
 	// AgentStatsPresent/AgentClean mirror the agent's persisted
 	// self-counters; absent means the VM died before OnExit.
@@ -97,7 +100,8 @@ type MapIntegrity struct {
 // Degraded reports whether this VM's persisted code maps lost anything.
 func (mi MapIntegrity) Degraded() bool {
 	return mi.OrphanTmp > 0 || mi.DroppedRecords > 0 || mi.DroppedBytes > 0 ||
-		mi.TornFiles > 0 || !mi.AgentStatsPresent || !mi.AgentClean ||
+		mi.TornFiles > 0 || mi.UnreadableFiles > 0 ||
+		!mi.AgentStatsPresent || !mi.AgentClean ||
 		mi.MapWriteErrors > 0
 }
 
@@ -178,6 +182,9 @@ func FormatIntegrity(w io.Writer, in *Integrity) error {
 		if mi.TornFiles > 0 || mi.DroppedRecords > 0 {
 			fmt.Fprintf(w, ", %d torn files (%d records / %d bytes dropped)",
 				mi.TornFiles, mi.DroppedRecords, mi.DroppedBytes)
+		}
+		if mi.UnreadableFiles > 0 {
+			fmt.Fprintf(w, ", %d unreadable files (epochs poisoned)", mi.UnreadableFiles)
 		}
 		if mi.OrphanTmp > 0 {
 			fmt.Fprintf(w, ", %d orphan tmp", mi.OrphanTmp)
