@@ -34,7 +34,7 @@ chaos-smoke:
 	$(GO) test -race -run 'TestChaos' -count=1 ./internal/core/
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkEpochResolveIndexed' -benchtime 1x .
+	$(GO) test -race -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkExecMemBatch|BenchmarkEpochResolveIndexed' -benchtime 1x .
 
 # Full reduced-scale benchmark sweep (minutes).
 bench:

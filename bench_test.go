@@ -264,6 +264,30 @@ func BenchmarkExecBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkExecMemBatch measures the batched memory-operand path
+// against the precise per-op path on the arraycopy/GC-copy-heavy stream
+// in membench.go: bulk ExecMemBatch runs and sequential BatchMemOp
+// sweeps with both paper events armed and the NMI handler charging a
+// driver-sized cost. Both sides execute the identical stream through the
+// identical entry points; the per-op side only has batching disabled, so
+// the measured delta is exactly the memory-run engine. The acceptance
+// bar is the batched side retiring the stream at least 3x faster, and
+// both sides must agree on the final cycle count bit for bit.
+func BenchmarkExecMemBatch(b *testing.B) {
+	stream := func(b *testing.B, batched bool) (cycles uint64) {
+		for i := 0; i < b.N; i++ {
+			cycles = MemBatchStream(MemBenchCore(batched), MemBenchOps)
+		}
+		return cycles
+	}
+	var batchedCycles, peropCycles uint64
+	b.Run("batched", func(b *testing.B) { batchedCycles = stream(b, true) })
+	b.Run("perop", func(b *testing.B) { peropCycles = stream(b, false) })
+	if batchedCycles != peropCycles {
+		b.Fatalf("paths diverged: batched %d cycles vs per-op %d", batchedCycles, peropCycles)
+	}
+}
+
 // BenchmarkEpochResolveIndexed measures the flattened epoch index
 // against the paper's literal backward scan on a deep chain: a long run
 // whose agent wrote one big initial map and small partial maps for

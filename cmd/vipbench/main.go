@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,11 +18,12 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "which figure: 1, 2, 3, activity or all")
-		scale = flag.Float64("scale", 1.0, "workload scale (1.0 = paper length)")
-		runs  = flag.Int("runs", 10, "repetitions per cell (paper uses 10)")
-		seed  = flag.Int64("seed", 1, "noise seed")
-		rows  = flag.Int("rows", 14, "Figure 1 report rows")
+		fig      = flag.String("fig", "all", "which figure: 1, 2, 3, activity, membatch or all")
+		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = paper length)")
+		runs     = flag.Int("runs", 10, "repetitions per cell (paper uses 10)")
+		seed     = flag.Int64("seed", 1, "noise seed")
+		rows     = flag.Int("rows", 14, "Figure 1 report rows")
+		benchOut = flag.String("benchout", "BENCH_mem_batch.json", "membatch result file")
 	)
 	flag.Parse()
 
@@ -48,4 +50,50 @@ func main() {
 	if *fig == "activity" || *fig == "all" {
 		do("Activity table", func() (string, error) { return viprof.RunActivityTable(*scale, *seed) })
 	}
+	if *fig == "membatch" || *fig == "all" {
+		do("Mem-batch bench", func() (string, error) { return runMemBatch(*benchOut) })
+	}
+}
+
+// runMemBatch times the batched memory-operand engine against its
+// per-op ablation on the shared deterministic stream (membench.go),
+// verifies the two sides agree on the final cycle count bit for bit,
+// and writes the result as machine-readable JSON.
+func runMemBatch(path string) (string, error) {
+	run := func(batched bool) (time.Duration, uint64) {
+		c := viprof.MemBenchCore(batched)
+		start := time.Now()
+		cycles := viprof.MemBatchStream(c, viprof.MemBenchOps)
+		return time.Since(start), cycles
+	}
+	batchedD, batchedCycles := run(true)
+	peropD, peropCycles := run(false)
+	if batchedCycles != peropCycles {
+		return "", fmt.Errorf("membatch: paths diverged: batched %d cycles vs per-op %d",
+			batchedCycles, peropCycles)
+	}
+	res := struct {
+		Benchmark    string  `json:"benchmark"`
+		Ops          int     `json:"ops"`
+		BatchedNsOp  float64 `json:"batched_ns_per_op"`
+		PerOpNsOp    float64 `json:"perop_ns_per_op"`
+		Speedup      float64 `json:"speedup"`
+		StreamCycles uint64  `json:"stream_cycles"`
+	}{
+		Benchmark:    "BenchmarkExecMemBatch",
+		Ops:          viprof.MemBenchOps,
+		BatchedNsOp:  float64(batchedD.Nanoseconds()) / float64(viprof.MemBenchOps),
+		PerOpNsOp:    float64(peropD.Nanoseconds()) / float64(viprof.MemBenchOps),
+		Speedup:      float64(peropD.Nanoseconds()) / float64(batchedD.Nanoseconds()),
+		StreamCycles: batchedCycles,
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("mem-batch: %.1f ns/op batched, %.1f ns/op per-op, %.2fx (%s)",
+		res.BatchedNsOp, res.PerOpNsOp, res.Speedup, path), nil
 }

@@ -8,6 +8,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"viprof/internal/addr"
 )
@@ -51,6 +52,12 @@ type Cache struct {
 
 	accesses uint64
 	misses   uint64
+
+	// gen counts Flushes. Residency trackers (Hierarchy.DataFree, the
+	// core's streaming batch) snapshot it so a flush behind their back —
+	// the kernel cold-flushes L1 directly at context switch — cannot
+	// leave them believing a line is still resident.
+	gen uint64
 }
 
 // New builds a cache from the configuration.
@@ -71,6 +78,14 @@ func New(cfg Config) (*Cache, error) {
 // Access probes the cache for the line containing a, filling it on a
 // miss, and reports whether the access hit.
 func (c *Cache) Access(a addr.Address) bool {
+	hit, _ := c.probe(a)
+	return hit
+}
+
+// probe is Access returning also the slot the line ended up in, so bulk
+// callers can apply deferred recency updates without re-scanning the set
+// (see touchSlot).
+func (c *Cache) probe(a addr.Address) (bool, int) {
 	line := uint64(a) >> c.lineBits
 	set := int(line & c.setMask)
 	base := set * c.cfg.Ways
@@ -82,7 +97,7 @@ func (c *Cache) Access(a addr.Address) bool {
 		i := base + w
 		if c.tags[i] == line {
 			c.lru[i] = c.clock
-			return true
+			return true, i
 		}
 		if c.lru[i] < oldest {
 			oldest = c.lru[i]
@@ -92,7 +107,7 @@ func (c *Cache) Access(a addr.Address) bool {
 	c.misses++
 	c.tags[victim] = line
 	c.lru[victim] = c.clock
-	return false
+	return false, victim
 }
 
 // Contains reports whether the line holding a is currently resident,
@@ -114,6 +129,87 @@ func (c *Cache) Flush() {
 		c.tags[i] = 0
 		c.lru[i] = 0
 	}
+	c.gen++
+}
+
+// Gen returns the flush generation (see the gen field).
+func (c *Cache) Gen() uint64 { return c.gen }
+
+// lineRun returns how many of the accesses a, a+stride, ... stay within
+// the cache line holding a, capped at max. Stride 0 never leaves the
+// line.
+func (c *Cache) lineRun(a addr.Address, stride uint32, max int) int {
+	if stride == 0 {
+		return max
+	}
+	left := (uint64(1) << c.lineBits) - (uint64(a) & ((uint64(1) << c.lineBits) - 1))
+	var n uint64
+	if stride&(stride-1) == 0 {
+		n = (left-1)>>uint(bits.TrailingZeros32(stride)) + 1
+	} else {
+		n = (left-1)/uint64(stride) + 1
+	}
+	if n > uint64(max) {
+		return max
+	}
+	return int(n)
+}
+
+// touch applies k deferred recency updates for accesses that were
+// guaranteed hits on the line holding a: the line was resident and
+// most-recently-used when they retired, so replaying them later needs
+// no probe — the net state change of k per-op hits is clock+k,
+// accesses+k, and the line's stamp moving to the final clock value.
+// If the line is gone (an intervening Flush, which per-op ordering
+// places after the hits), only the clock and access counts survive,
+// exactly as they would have.
+func (c *Cache) touch(a addr.Address, k uint32) {
+	if k == 0 {
+		return
+	}
+	c.clock += k
+	c.accesses += uint64(k)
+	line := uint64(a) >> c.lineBits
+	base := int(line&c.setMask) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == line {
+			c.lru[base+w] = c.clock
+			return
+		}
+	}
+}
+
+// touchSlot is touch for a caller that just probed the line and knows
+// its slot — valid only while no Flush can have intervened (inside one
+// bulk run), where the scan in touch would find exactly this slot.
+func (c *Cache) touchSlot(slot int, k uint32) {
+	c.clock += k
+	c.accesses += uint64(k)
+	c.lru[slot] = c.clock
+}
+
+// AccessRun replays n strided accesses (a, a+stride, ...) and appends
+// the indices of the ones that missed to miss, returning it. It is
+// bit-for-bit equivalent to n sequential Access calls — same final
+// tags, recency stamps, clock, and statistics, same miss sequence —
+// but exploits line locality: within one cache line only the first
+// access can miss (the probe leaves the line resident and
+// most-recently-used, and nothing else touches this cache during the
+// run), so each line segment costs one probe plus arithmetic.
+func (c *Cache) AccessRun(start addr.Address, stride uint32, n int, miss []int) []int {
+	for i := 0; i < n; {
+		a := start + addr.Address(uint64(i)*uint64(stride))
+		k := c.lineRun(a, stride, n-i)
+		hit, slot := c.probe(a)
+		if !hit {
+			miss = append(miss, i)
+		}
+		if k > 1 {
+			c.touchSlot(slot, uint32(k-1))
+		}
+		i += k
+	}
+	return miss
 }
 
 // Stats returns cumulative accesses and misses.
@@ -139,6 +235,19 @@ type Hierarchy struct {
 	TLBPenalty uint32
 
 	lastIPage uint64 // last instruction page, to probe ITLB per page change
+
+	// Residency tracking for the streaming batched data path: the L1
+	// line and DTLB page of the most recent data access, with the flush
+	// generations they were observed under. A line just probed by
+	// Access is resident and most-recently-used, so a subsequent access
+	// to the same line (with no intervening data access or flush) is a
+	// guaranteed L1 hit — see DataFree.
+	lastDLine    uint64
+	lastDLineGen uint64
+	haveDLine    bool
+	lastDPage    uint64
+	lastDPageGen uint64
+	haveDPage    bool
 }
 
 // newTLB builds a Pentium-4-like TLB: 64 entries, 4-way, 4 KiB pages.
@@ -170,6 +279,9 @@ func DefaultHierarchy() *Hierarchy {
 
 // Access sends one memory reference through the hierarchy.
 func (h *Hierarchy) Access(a addr.Address) (extraCycles uint32, l2miss bool) {
+	h.lastDLine = uint64(a) >> h.L1.lineBits
+	h.lastDLineGen = h.L1.gen
+	h.haveDLine = true
 	if h.L1.Access(a) {
 		return h.L1Hit, false
 	}
@@ -183,10 +295,169 @@ func (h *Hierarchy) Access(a addr.Address) (extraCycles uint32, l2miss bool) {
 // it missed (the DTLB_REFERENCE sampling event); the page-walk penalty
 // is returned as extra cycles.
 func (h *Hierarchy) AccessData(a addr.Address) (extraCycles uint32, miss bool) {
-	if h.DTLB == nil || h.DTLB.Access(a) {
+	if h.DTLB == nil {
+		return 0, false
+	}
+	h.lastDPage = uint64(a) >> h.DTLB.lineBits
+	h.lastDPageGen = h.DTLB.gen
+	h.haveDPage = true
+	if h.DTLB.Access(a) {
 		return 0, false
 	}
 	return h.TLBPenalty, true
+}
+
+// HitCost returns the extra cycles a guaranteed L1 data hit charges —
+// what the batched engine adds to an op's base cost when DataFree
+// proves the probe outcome in advance.
+func (h *Hierarchy) HitCost() uint32 { return h.L1Hit }
+
+// DataFree reports whether a data access at a is guaranteed to be an
+// L1 and DTLB hit with no sampling event — true when a falls on the
+// same L1 line and DTLB page as the most recent data access and
+// neither structure has been flushed since. The probed line/page is
+// resident and most-recently-used, nothing but data accesses touch
+// these structures, and any other data access goes through
+// Access/AccessData and retargets the tracker — so the guarantee
+// cannot go stale silently.
+func (h *Hierarchy) DataFree(a addr.Address) bool {
+	if !h.haveDLine || uint64(a)>>h.L1.lineBits != h.lastDLine || h.L1.gen != h.lastDLineGen {
+		return false
+	}
+	if h.DTLB != nil {
+		if !h.haveDPage || uint64(a)>>h.DTLB.lineBits != h.lastDPage || h.DTLB.gen != h.lastDPageGen {
+			return false
+		}
+	}
+	return true
+}
+
+// DataTouch applies k deferred recency updates for data accesses that
+// DataFree proved to be guaranteed hits at a: the DTLB and L1 receive
+// the same net state change k per-op probes would have produced.
+func (h *Hierarchy) DataTouch(a addr.Address, k uint32) {
+	if h.DTLB != nil {
+		h.DTLB.touch(a, k)
+	}
+	h.L1.touch(a, k)
+}
+
+// DataEvent is one noteworthy access within a DataRun: an op whose
+// memory reference charged more than the L1-hit cost or raised a
+// sampling event. Index is the op's position in the run; Extra is the
+// total memory-system cycles beyond the base op cost (page walk plus
+// cache level); the flags say which counter events to tick.
+type DataEvent struct {
+	Index    int
+	Extra    uint32
+	DTLBMiss bool
+	L2Miss   bool
+}
+
+// DataRun replays n strided data accesses (mem, mem+stride, ...)
+// through the hierarchy — for each op a DTLB probe then a cache probe,
+// exactly the per-op AccessData/Access pair — and appends a DataEvent
+// for every op that was not a plain L1+DTLB hit. State updates are
+// bit-for-bit identical to the per-op loop: within one L1-line/DTLB-
+// page segment only the first access can miss (the head probe leaves
+// line and page resident and most-recently-used, and nothing else
+// touches the data structures mid-run), so the tail is replayed as
+// deferred recency arithmetic.
+//
+// Contract: the caller must ensure no other data access interleaves
+// with the ops of the run. NMI handlers are fine — all simulated
+// handler work is instruction-only (ExecKernel), and instruction
+// fetches touch only the ITLB.
+func (h *Hierarchy) DataRun(mem addr.Address, stride uint32, n int, buf []DataEvent) []DataEvent {
+	if n <= 0 {
+		return buf
+	}
+	// Power-of-two strides no larger than the line tile the line exactly:
+	// after the first (possibly partial) line segment every interior
+	// segment holds lineSize/stride ops and the head advances by exactly
+	// one line — no per-line division.
+	lineSize := uint64(1) << h.L1.lineBits
+	constK := 0
+	if stride != 0 && stride&(stride-1) == 0 && uint64(stride) <= lineSize {
+		constK = int(lineSize) / int(stride)
+	}
+	a := mem
+	for i := 0; i < n; {
+		// Page segment: ops staying on the DTLB page holding a. Pages
+		// are line-multiples, so line segments never straddle them. The
+		// DTLB is probed once at the head — per-op, every tail access is
+		// a guaranteed page hit — and the tail retires as deferred
+		// recency arithmetic, like the L1 tails below.
+		pn := n - i
+		var dExtra uint32
+		var dmiss bool
+		var dSlot int
+		if h.DTLB != nil {
+			if pk := h.DTLB.lineRun(a, stride, pn); pk < pn {
+				pn = pk
+			}
+			var hit bool
+			hit, dSlot = h.DTLB.probe(a)
+			if !hit {
+				dExtra, dmiss = h.TLBPenalty, true
+			}
+		}
+		la := a
+		for j := 0; j < pn; {
+			var k int
+			if constK != 0 && (i != 0 || j != 0) {
+				k = constK
+				if left := pn - j; k > left {
+					k = left
+				}
+			} else {
+				k = h.L1.lineRun(la, stride, pn-j)
+			}
+			hit, slot := h.L1.probe(la)
+			var cextra uint32
+			var l2miss bool
+			switch {
+			case hit:
+				cextra = h.L1Hit
+			case h.L2.Access(la):
+				cextra = h.L2Hit
+			default:
+				cextra = h.MemPenalty
+				l2miss = true
+			}
+			extra := cextra
+			dm := false
+			if j == 0 {
+				extra += dExtra
+				dm = dmiss
+			}
+			if dm || l2miss || extra != h.L1Hit {
+				buf = append(buf, DataEvent{Index: i + j, Extra: extra, DTLBMiss: dm, L2Miss: l2miss})
+			}
+			if k > 1 {
+				h.L1.touchSlot(slot, uint32(k-1))
+			}
+			j += k
+			la += addr.Address(uint64(k) * uint64(stride))
+		}
+		if h.DTLB != nil && pn > 1 {
+			h.DTLB.touchSlot(dSlot, uint32(pn-1))
+		}
+		i += pn
+		a += addr.Address(uint64(pn) * uint64(stride))
+	}
+	// Residency tracking lands on the final op, exactly as the per-op
+	// loop's last Access/AccessData calls would leave it.
+	last := mem + addr.Address(uint64(n-1)*uint64(stride))
+	h.lastDLine = uint64(last) >> h.L1.lineBits
+	h.lastDLineGen = h.L1.gen
+	h.haveDLine = true
+	if h.DTLB != nil {
+		h.lastDPage = uint64(last) >> h.DTLB.lineBits
+		h.lastDPageGen = h.DTLB.gen
+		h.haveDPage = true
+	}
+	return buf
 }
 
 // AccessInstr probes the ITLB when execution crosses a page boundary
@@ -239,8 +510,15 @@ func (h *Hierarchy) InstrRun(pc addr.Address, stride uint32, max uint64) uint64 
 		return max
 	}
 	// Fetch i lands at pc + i*stride; it stays on the current page while
-	// i*stride <= pageEnd - pc.
-	n := (0xFFF-(uint64(pc)&0xFFF))/uint64(stride) + 1
+	// i*stride <= pageEnd - pc. Power-of-two strides (4 everywhere in
+	// practice) divide by shifting.
+	left := 0xFFF - (uint64(pc) & 0xFFF)
+	var n uint64
+	if stride&(stride-1) == 0 {
+		n = left>>uint(bits.TrailingZeros32(stride)) + 1
+	} else {
+		n = left/uint64(stride) + 1
+	}
 	if n > max {
 		n = max
 	}

@@ -76,6 +76,8 @@ type Core struct {
 
 	noBatch bool     // disables the event-horizon fast path (ablation/verification)
 	bat     batchAcc // open micro-op accumulator (see BatchOp)
+
+	evBuf []cache.DataEvent // reusable DataRun scratch for ExecMemBatch
 }
 
 // batchAcc is the streaming half of the batched execution engine: a run
@@ -94,6 +96,13 @@ type batchAcc struct {
 	cost     uint64 // deferred GLOBAL_POWER_EVENTS ticks
 	opsLeft  uint64 // remaining op headroom before any armed counter could overflow
 	costLeft uint64 // remaining cycle headroom likewise
+
+	// Deferred data-cache recency updates for BatchMemOp: dtouch ops
+	// were proven guaranteed L1+DTLB hits (cache.Hierarchy.DataFree) at
+	// addresses on the line/page of daddr; the probes they stand for
+	// are replayed as bulk recency arithmetic at flush time.
+	dtouch uint32
+	daddr  addr.Address
 }
 
 // maxLatched bounds how many overflow NMIs can be latched while one is
@@ -273,7 +282,11 @@ func (c *Core) bulkLen(pc addr.Address, n int, stride uint32, cost uint32) int {
 		k = h
 	}
 	if h := c.Bank.NextOverflowIn(hpc.GlobalPowerEvents); h != hpc.NoLimit {
-		if byCost := h / uint64(cost); byCost < k {
+		byCost := h
+		if cost != 1 {
+			byCost = h / uint64(cost)
+		}
+		if byCost < k {
 			k = byCost
 		}
 	}
@@ -281,11 +294,134 @@ func (c *Core) bulkLen(pc addr.Address, n int, stride uint32, cost uint32) int {
 	// exactly `cost`; the clamp-to-zero op must run precisely. An
 	// already-expired slice imposes no horizon (it stays 0).
 	if c.slice > 0 {
-		if bySlice := c.slice / uint64(cost); bySlice < k {
+		bySlice := c.slice
+		if cost != 1 {
+			bySlice = c.slice / uint64(cost)
+		}
+		if bySlice < k {
 			k = bySlice
 		}
 	}
 	return int(k)
+}
+
+// ExecMemBatch is the event-horizon fast path for a uniform run of
+// memory micro-ops: n ops at PCs start, start+stride, ... each costing
+// `cost` cycles and touching memory at mem, mem+memStride, ... It is
+// bit-for-bit identical to the per-op loop of Exec calls — same
+// cycles, counter state, NMI program counters, cache state, and miss
+// sequence — but replays the data-access run through the cache model
+// once up front (cache.Hierarchy.DataRun, one probe per line segment),
+// then retires the uniform guaranteed-hit stretches between recorded
+// events with O(1) bookkeeping per event horizon. Ops that carry a
+// memory event, or that sit at a horizon (counter overflow, page
+// crossing, slice expiry, pending NMI), retire through the precise
+// path with their pre-resolved memory outcome, so samples land on the
+// exact op.
+//
+// The upfront replay is sound because nothing else touches the data
+// caches between the ops of the run: NMI handlers raised mid-run
+// execute instruction-only kernel work (fetches touch only the ITLB).
+// Handlers must not issue data-memory ops — the same contract
+// cache.Hierarchy.DataRun documents.
+func (c *Core) ExecMemBatch(start addr.Address, n int, stride uint32, cost uint32, mem addr.Address, memStride uint32) {
+	if mem == 0 {
+		c.ExecBatch(start, n, stride, cost)
+		return
+	}
+	if c.noBatch || c.Mem == nil || cost == 0 {
+		pc, m := start, mem
+		for i := 0; i < n; i++ {
+			c.Exec(Op{PC: pc, Cost: cost, Mem: m})
+			pc += addr.Address(stride)
+			m += addr.Address(memStride)
+		}
+		return
+	}
+	if c.bat.active {
+		c.FlushBatch()
+	}
+	c.evBuf = c.Mem.DataRun(mem, memStride, n, c.evBuf[:0])
+	events := c.evBuf
+	hit := c.Mem.HitCost()
+	eff := cost + hit // effective per-op cost of a guaranteed hit
+	pc := start
+	for i, ei := 0, 0; i < n; {
+		next := n
+		if ei < len(events) {
+			next = events[ei].Index
+		}
+		if i == next {
+			// The memory system charged this op beyond a plain hit (or
+			// raised an event): precise retirement at the exact PC.
+			ev := events[ei]
+			ei++
+			c.execResolved(pc, cost, ev.Extra, ev.DTLBMiss, ev.L2Miss)
+			i++
+			pc += addr.Address(stride)
+			continue
+		}
+		k := c.bulkLen(pc, next-i, stride, eff)
+		if k == 0 {
+			// At an event horizon: one precise op (guaranteed hit).
+			c.execResolved(pc, cost, hit, false, false)
+			i++
+			pc += addr.Address(stride)
+			continue
+		}
+		total := uint64(k) * uint64(eff)
+		c.pc = pc + addr.Address(stride)*addr.Address(k-1)
+		c.instrs += uint64(k)
+		c.cycles += total
+		if c.slice >= total {
+			c.slice -= total
+		} else {
+			c.slice = 0
+		}
+		c.Bank.Tick(hpc.InstrRetired, uint64(k))
+		c.Bank.Tick(hpc.GlobalPowerEvents, total)
+		pc += addr.Address(stride) * addr.Address(k)
+		i += k
+	}
+}
+
+// execResolved retires one micro-op whose data-memory outcome was
+// pre-resolved by DataRun: extra memory cycles and which events to
+// tick. It mirrors Exec exactly — same tick order (ITLB, DTLB, BSQ),
+// same cycle-snapshot timing for NMI latching — with the data probes
+// replaced by their recorded outcome (the replay already applied their
+// state changes). The instruction side stays live: handlers run at
+// kernel PCs and move the ITLB, so fetch accounting cannot be
+// precomputed.
+func (c *Core) execResolved(pc addr.Address, cost uint32, extra uint32, dtlbMiss, l2miss bool) {
+	if c.bat.active {
+		c.FlushBatch()
+	}
+	c.pc = pc
+	c.instrs++
+	total := uint64(cost)
+	if c.Mem != nil {
+		if iextra, imiss := c.Mem.AccessInstr(pc); imiss {
+			total += uint64(iextra)
+			c.Bank.Tick(hpc.ITLBMiss, 1)
+		}
+	}
+	if dtlbMiss {
+		c.Bank.Tick(hpc.DTLBMiss, 1)
+	}
+	total += uint64(extra)
+	if l2miss {
+		c.Bank.Tick(hpc.BSQCacheReference, 1)
+	}
+	c.cycles += total
+	if c.slice >= total {
+		c.slice -= total
+	} else {
+		c.slice = 0
+	}
+	c.Bank.Tick(hpc.InstrRetired, 1)
+	c.Bank.Tick(hpc.GlobalPowerEvents, total)
+	c.drainPending()
 }
 
 // BatchOp is the streaming form of ExecBatch for executors that
@@ -328,6 +464,56 @@ func (c *Core) BatchOp(pc addr.Address, cost uint32) {
 	}
 }
 
+// BatchMemOp is the streaming form of ExecMemBatch for executors that
+// discover memory ops one at a time (the JVM's bytecode engine): it
+// retires a single micro-op touching mem, accumulating it into the
+// open batch when the access is provably a plain L1+DTLB hit
+// (cache.Hierarchy.DataFree — same line and page as the previous data
+// access, no flush since) and the op clears the usual event horizons.
+// The cache probes such an op stands for are deferred as recency
+// arithmetic applied at flush time; everything observable — cycles,
+// instruction count, PC, slice — advances eagerly, exactly as BatchOp.
+// Ops whose memory outcome cannot be proven take the precise Exec
+// path, which performs the probes and records the miss sequence
+// exactly as before (and re-establishes the residency tracking for
+// the ops that follow).
+func (c *Core) BatchMemOp(pc addr.Address, cost uint32, mem addr.Address) {
+	if mem == 0 {
+		c.BatchOp(pc, cost)
+		return
+	}
+	if c.noBatch || c.Mem == nil || !c.Mem.DataFree(mem) {
+		c.Exec(Op{PC: pc, Cost: cost, Mem: mem})
+		return
+	}
+	eff := uint64(cost) + uint64(c.Mem.HitCost())
+	b := &c.bat
+	if b.active {
+		if (b.pageOK && uint64(pc)>>12 != b.page) || b.opsLeft == 0 || b.costLeft < eff {
+			c.FlushBatch()
+			c.Exec(Op{PC: pc, Cost: cost, Mem: mem})
+			return
+		}
+	} else if !c.openBatch(pc, eff) {
+		c.Exec(Op{PC: pc, Cost: cost, Mem: mem})
+		return
+	}
+	b.count++
+	b.cost += eff
+	b.opsLeft--
+	b.costLeft -= eff
+	b.dtouch++
+	b.daddr = mem
+	c.pc = pc
+	c.instrs++
+	c.cycles += eff
+	if c.slice >= eff {
+		c.slice -= eff
+	} else {
+		c.slice = 0
+	}
+}
+
 // openBatch starts an accumulation run at pc, capturing the event
 // horizon from the counter bank. It refuses (returning false) when the
 // op cannot be proven event-free: a pending NMI must drain, the fetch
@@ -356,6 +542,7 @@ func (c *Core) openBatch(pc addr.Address, cost64 uint64) bool {
 	b.active = true
 	b.count = 0
 	b.cost = 0
+	b.dtouch = 0
 	return true
 }
 
@@ -370,6 +557,12 @@ func (c *Core) FlushBatch() {
 		return
 	}
 	b.active = false
+	if b.dtouch > 0 {
+		// Replay the deferred guaranteed-hit probes as bulk recency
+		// updates before anything else can probe the data caches.
+		c.Mem.DataTouch(b.daddr, b.dtouch)
+		b.dtouch = 0
+	}
 	if b.count > 0 {
 		c.Bank.Tick(hpc.InstrRetired, b.count)
 		c.Bank.Tick(hpc.GlobalPowerEvents, b.cost)

@@ -74,3 +74,78 @@ func TestBatchedRunBitForBit(t *testing.T) {
 		t.Error("NoBatch option not plumbed through")
 	}
 }
+
+// The memory-operand batch path must be just as invisible: a workload
+// dominated by data traffic — arraycopy intrinsics, memset fills, GC
+// copy sweeps, kernel write copies, array read-modify-write loops —
+// must produce identical cycles, sample-file bytes, and report rows
+// whether memory ops stream through the bulk cache-replay engine or
+// the precise per-op path.
+func TestMemBatchBitForBit(t *testing.T) {
+	spec := workload.Spec{
+		Name: "membatch", Suite: "dacapo", MainClass: "org.membatch.Main",
+		BaseSeconds: 1, Classes: 4, ColdPerHot: 2, HotMethods: 2,
+		OuterIters: 60, InnerIters: 80, ArrayLen: 8192, AllocEvery: 16,
+		SurviveRing: 8, MemsetBytes: 12 << 10, CopyElems: 3000,
+		WriteEvery: 3, HeapBytes: 8 << 20, Seed: 7,
+	}
+	rc := RunConfig{Kind: ProfVIProf, Period: 45_000, MissPeriod: 90_000}
+	run := func(noBatch bool) (*Result, *oprofile.Report, []byte) {
+		r, err := RunOnce(spec, rc, Options{
+			Scale: 0.5, Seed: 13, KeepSession: true, NoBatch: noBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, _, err := r.Session.Report(
+			r.Session.Images(r.VM), map[string]int{r.Proc.Name: r.Proc.PID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := r.Machine.Kern.Disk().Read(oprofile.SampleFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, rep, raw
+	}
+	batched, repB, rawB := run(false)
+	perop, repP, rawP := run(true)
+
+	if batched.Cycles != perop.Cycles {
+		t.Errorf("cycles: batched %d vs per-op %d", batched.Cycles, perop.Cycles)
+	}
+	if batched.DriverStats != perop.DriverStats {
+		t.Errorf("driver stats: %+v vs %+v", batched.DriverStats, perop.DriverStats)
+	}
+	if batched.VMStats != perop.VMStats {
+		t.Errorf("vm stats: %+v vs %+v", batched.VMStats, perop.VMStats)
+	}
+	if batched.AgentStats != perop.AgentStats {
+		t.Errorf("agent stats: %+v vs %+v", batched.AgentStats, perop.AgentStats)
+	}
+	if string(rawB) != string(rawP) {
+		t.Errorf("sample files differ: %d vs %d bytes", len(rawB), len(rawP))
+	}
+	if repB.Totals != repP.Totals {
+		t.Errorf("report totals: %v vs %v", repB.Totals, repP.Totals)
+	}
+	if len(repB.Rows) != len(repP.Rows) {
+		t.Fatalf("report rows: %d vs %d", len(repB.Rows), len(repP.Rows))
+	}
+	for i := range repB.Rows {
+		if repB.Rows[i] != repP.Rows[i] {
+			t.Errorf("row %d: %+v vs %+v", i, repB.Rows[i], repP.Rows[i])
+		}
+	}
+	if batched.DriverStats.NMIs == 0 {
+		t.Error("determinism test ran without samples")
+	}
+	// The workload must actually exercise the data-heavy paths it is
+	// meant to pin down: libc memcpy (arraycopy) and memset rows.
+	if _, ok := repB.Find("memcpy"); !ok {
+		t.Error("no memcpy row: arraycopy traffic missing from report")
+	}
+	if _, ok := repB.Find("memset"); !ok {
+		t.Error("no memset row: fill traffic missing from report")
+	}
+}

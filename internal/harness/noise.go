@@ -4,7 +4,6 @@ import (
 	"math/rand"
 
 	"viprof/internal/addr"
-	"viprof/internal/cpu"
 	"viprof/internal/image"
 	"viprof/internal/kernel"
 )
@@ -68,7 +67,9 @@ func (n *noiseProc) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult
 	for i := 0; i < burst && !m.Core.Expired(); i++ {
 		if i%5 == 0 {
 			mem := 0xA000_0000 + addr.Address(n.rng.Intn(1<<20))
-			m.Core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
+			// Scattered paint traffic: BatchMemOp proves the rare
+			// same-line repeats and takes the precise path otherwise.
+			m.Core.BatchMemOp(pc, 1, mem)
 		} else {
 			// The slice budget stays exact under batching, so the
 			// Expired check above behaves identically.

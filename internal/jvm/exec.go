@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"viprof/internal/addr"
-	"viprof/internal/cpu"
 	"viprof/internal/jvm/bytecode"
 	"viprof/internal/jvm/classes"
 	"viprof/internal/jvm/gc"
@@ -461,13 +460,15 @@ func (vm *VM) stepInstr() error {
 		return vm.runtimeError(f, "unimplemented opcode %s", in.Op)
 	}
 
-	// Straight-line bytecodes with no memory operand stream through the
-	// batched engine; memory ops take the precise path (cache probes and
-	// miss events must happen in exact sequence).
+	// All straight-line bytecodes stream through the batched engine:
+	// no-memory ops accumulate as before, memory ops accumulate when
+	// their access is provably a plain hit and take the precise path
+	// otherwise (cache probes and miss events happen in exact
+	// sequence either way).
 	if mem == 0 {
 		vm.m.Core.BatchOp(f.body.PC(f.pc), cost)
 	} else {
-		vm.m.Core.Exec(cpu.Op{PC: f.body.PC(f.pc), Cost: cost, Mem: mem})
+		vm.m.Core.BatchMemOp(f.body.PC(f.pc), cost, mem)
 	}
 	f.pc = nextPC
 	return nil

@@ -2,7 +2,6 @@ package jvm
 
 import (
 	"viprof/internal/addr"
-	"viprof/internal/cpu"
 	"viprof/internal/jvm/bytecode"
 )
 
@@ -28,12 +27,19 @@ func (vm *VM) execNative(symbol string, n int, memBase addr.Address, stride uint
 	start, end := vm.libcRange(symbol)
 	pc := start
 	core := vm.m.Core
+	if memEvery == 1 && memBase != 0 {
+		// Pure data run (memset-style fill): every op touches memory at
+		// a uniform stride — the bulk cache-replay path, one PC-wrap
+		// segment at a time.
+		vm.memRun(pc, start, end, n, memBase, uint32(stride))
+		return
+	}
 	var memOff uint64
 	for i := 0; i < n; i++ {
 		if memEvery > 0 && i%memEvery == 0 && memBase != 0 {
 			mem := memBase + addr.Address(memOff)
 			memOff += stride
-			core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
+			core.BatchMemOp(pc, 1, mem)
 		} else {
 			core.BatchOp(pc, 1)
 		}
@@ -42,6 +48,28 @@ func (vm *VM) execNative(symbol string, n int, memBase addr.Address, stride uint
 			pc = start
 		}
 	}
+}
+
+// memRun retires n cost-1 micro-ops walking PCs through [start,end)
+// from pc (wrapping), each touching memory at mem, mem+memStride, ...
+// through the core's bulk cache-replay path. It returns the PC after
+// the run, for callers that keep walking the same symbol.
+func (vm *VM) memRun(pc, start, end addr.Address, n int, mem addr.Address, memStride uint32) addr.Address {
+	core := vm.m.Core
+	for n > 0 {
+		seg := int((end - pc + 3) / 4)
+		if seg > n {
+			seg = n
+		}
+		core.ExecMemBatch(pc, seg, 4, 1, mem, memStride)
+		mem += addr.Address(uint64(seg) * uint64(memStride))
+		n -= seg
+		pc += 4 * addr.Address(seg)
+		if pc >= end {
+			pc = start
+		}
+	}
+	return pc
 }
 
 const maxMemsetBytes = 64 << 10
@@ -107,21 +135,26 @@ func (vm *VM) intrinsic(f *frame, in bytecode.Instr) error {
 		} else if len(src.R.Scalars) > 0 && len(dst.R.Scalars) > 0 {
 			copy(dst.R.Scalars[:n], src.R.Scalars[:n])
 		}
-		// Reads from src and writes to dst, one op per element.
+		// Reads from src and writes to dst, one op per element, copied
+		// block-wise the way an unrolled memcpy streams: per block, a
+		// read run over the source then a write run over the
+		// destination (each a strided guaranteed-hit stream the bulk
+		// cache-replay path retires line by line). The block is large —
+		// real memcpy kernels stream whole pages — so the per-run setup
+		// cost of the batched replay amortizes over many lines.
 		start, end := vm.libcRange("memcpy")
 		pc := start
-		core := vm.m.Core
-		for i := 0; i < n; i++ {
-			var mem addr.Address
-			if i%2 == 0 {
-				mem = src.R.FieldAddr(i)
-			} else {
-				mem = dst.R.FieldAddr(i)
+		const copyBlock = 128
+		for base := 0; base < n; base += copyBlock {
+			bn := copyBlock
+			if n-base < bn {
+				bn = n - base
 			}
-			core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
-			pc += 4
-			if pc >= end {
-				pc = start
+			sn := (bn + 1) / 2 // ops that read src fields base, base+2, ...
+			dn := bn / 2       // ops that write dst fields base+1, base+3, ...
+			pc = vm.memRun(pc, start, end, sn, src.R.FieldAddr(base), 16)
+			if dn > 0 {
+				pc = vm.memRun(pc, start, end, dn, dst.R.FieldAddr(base+1), 16)
 			}
 		}
 

@@ -14,7 +14,6 @@ import (
 	"fmt"
 
 	"viprof/internal/addr"
-	"viprof/internal/cpu"
 	"viprof/internal/image"
 	"viprof/internal/jvm/aos"
 	"viprof/internal/jvm/classes"
@@ -158,6 +157,7 @@ type VM struct {
 	svcPCs    [numServices][]svcRange
 	svcCursor [numServices]int
 	memTick   uint64
+	copyTick  uint64 // sequential cursor for the GC copy phase's heap walk
 	payload   []byte // reusable buffer for simulated writes
 
 	// touchedPages tracks which heap pages have been demand-faulted in
@@ -410,9 +410,46 @@ func (vm *VM) workMem(svc ServiceID, ops int, memBase addr.Address, memLen uint6
 			vm.memTick++
 			if vm.memTick%6 == 0 && memLen > 0 {
 				mem := memBase + addr.Address((vm.memTick*88)%memLen)
-				core.Exec(cpu.Op{PC: pc, Cost: 1, Mem: mem})
+				core.BatchMemOp(pc, 1, mem)
 			} else {
 				// No memory operand: stream through the batched engine.
+				core.BatchOp(pc, 1)
+			}
+			pc += 4
+			if pc >= r.end {
+				pc = r.start
+			}
+		}
+		ops -= chunk
+	}
+}
+
+// workMemSeq is workMem with sequential memory traffic: the mem ops
+// walk the working set in address order (one word per op), the access
+// pattern of the collector's semispace copy loop — eight consecutive
+// touches per cache line, which the batched engine's guaranteed-hit
+// streaming retires without re-probing.
+func (vm *VM) workMemSeq(svc ServiceID, ops int, memBase addr.Address, memLen uint64) {
+	ranges := vm.svcPCs[svc]
+	if len(ranges) == 0 {
+		return
+	}
+	core := vm.m.Core
+	for ops > 0 {
+		r := ranges[vm.svcCursor[svc]%len(ranges)]
+		vm.svcCursor[svc]++
+		chunk := r.weight * 12
+		if chunk > ops {
+			chunk = ops
+		}
+		pc := r.start
+		for i := 0; i < chunk; i++ {
+			vm.memTick++
+			if vm.memTick%6 == 0 && memLen > 0 {
+				mem := memBase + addr.Address((vm.copyTick*8)%memLen)
+				vm.copyTick++
+				core.BatchMemOp(pc, 1, mem)
+			} else {
 				core.BatchOp(pc, 1)
 			}
 			pc += 4
@@ -432,7 +469,10 @@ func (vm *VM) gcWork(phase string, units int) {
 	case "trace":
 		vm.workMem(SvcGCTrace, units*3, lo, uint64(hi-lo))
 	case "copy":
-		vm.workMem(SvcGCCopy, units*2, lo, uint64(hi-lo))
+		// Semispace copy is a sequential sweep of the live data, not a
+		// scatter: walk the heap in address order so the traffic has
+		// copy locality (and batches as a guaranteed-hit stream).
+		vm.workMemSeq(SvcGCCopy, units*2, lo, uint64(hi-lo))
 	case "alloc":
 		// Allocation's fast path is charged at the New/NewArray opcode.
 	}

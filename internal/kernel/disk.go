@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"viprof/internal/addr"
 )
 
 // Disk is the simulated filesystem. Profile sample files and VM-agent
@@ -162,6 +164,13 @@ const (
 	writeOpsPerWord = 1 // one op per 16 bytes copied
 )
 
+// copyBounceBuf is the fixed kernel bounce buffer the write path's
+// user-to-pagecache copy streams through. Only the address pattern
+// matters to the cache model (the simulated MMU has no mappings); a
+// fixed hot buffer below the hypervisor hole models the pagecache
+// page being filled, 16 bytes per copy op.
+const copyBounceBuf = addr.Address(0xF7F0_0000)
+
 // SysWrite performs a write syscall on behalf of p: kernel-mode
 // simulated execution proportional to the payload plus the append
 // itself. This is the cost the paper's VM agent pays when it "writes
@@ -178,7 +187,9 @@ func (k *Kernel) SysWrite(p *Process, path string, data []byte) error {
 		return ErrCrashed
 	}
 	k.ExecKernel("sys_write", writeBaseOps/3, 1)
-	k.ExecKernel("copy_from_user", writeBaseOps/3+len(data)/16*writeOpsPerWord, 1)
+	// The user-to-pagecache copy is real memory traffic: a sequential
+	// run over the bounce buffer, one op per 16 bytes.
+	k.ExecKernelMem("copy_from_user", writeBaseOps/3+len(data)/16*writeOpsPerWord, 1, copyBounceBuf, 16)
 	k.ExecKernel("vfs_write", writeBaseOps/3, 1)
 	k.ExecKernel("generic_file_write", writeBaseOps/2, 1)
 	kind := FaultNone

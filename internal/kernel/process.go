@@ -120,6 +120,36 @@ func (k *Kernel) ExecKernel(symbol string, n int, cost uint32) {
 	k.core.SetContext(prev)
 }
 
+// ExecKernelMem is ExecKernel for kernel routines that stream over a
+// buffer (copy_from_user and friends): every op carries a memory
+// operand walking memStride bytes from mem, retired through the
+// core's bulk cache-replay path one wrap-around PC segment at a time.
+// The miss sequence and every sample are identical to the per-op loop
+// it stands for.
+func (k *Kernel) ExecKernelMem(symbol string, n int, cost uint32, mem addr.Address, memStride uint32) {
+	v, ok := k.kernSyms[symbol]
+	if !ok {
+		panic("kernel: ExecKernelMem of unknown symbol " + symbol)
+	}
+	prev := k.core.Context()
+	k.core.SetContext(cpu.Context{PID: prev.PID, Kernel: true})
+	pc := v.Start
+	for n > 0 {
+		seg := int((v.End - pc + 3) / 4)
+		if seg > n {
+			seg = n
+		}
+		k.core.ExecMemBatch(pc, seg, 4, cost, mem, memStride)
+		mem += addr.Address(uint64(seg) * uint64(memStride))
+		n -= seg
+		pc += 4 * addr.Address(seg)
+		if pc >= v.End {
+			pc = v.Start
+		}
+	}
+	k.core.SetContext(prev)
+}
+
 // KernelLookup resolves a kernel-space address to the VMA of the kernel
 // image or module containing it (profilers attribute kernel samples
 // through this).

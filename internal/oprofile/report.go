@@ -1,10 +1,10 @@
 package oprofile
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 
 	"viprof/internal/hpc"
 	"viprof/internal/image"
@@ -31,6 +31,86 @@ type Report struct {
 	// Integrity, when set, summarizes what was lost or damaged on the
 	// way to this report (nil for purely in-memory reports).
 	Integrity *Integrity
+
+	// Precomputed views, built once (BuildReport, or lazily on first
+	// use for hand-assembled reports) instead of re-scanning and
+	// re-sorting the row set per lookup/view:
+	symIdx  map[string]int        // symbol -> index of its first row in Rows order
+	imgIdx  map[string]int        // image -> index into imgRows
+	imgRows []Row                 // per-image aggregates, primary-event order
+	byEvent map[hpc.Event][]int32 // Rows order per event column, as index slices
+}
+
+// ensureIndex builds the precomputed views. Rows must not be mutated
+// after the first lookup/view call.
+func (r *Report) ensureIndex() {
+	if r.symIdx != nil {
+		return
+	}
+	r.symIdx = make(map[string]int, len(r.Rows))
+	r.imgIdx = make(map[string]int)
+	for i, row := range r.Rows {
+		if _, ok := r.symIdx[row.Symbol]; !ok {
+			r.symIdx[row.Symbol] = i
+		}
+		j, ok := r.imgIdx[row.Image]
+		if !ok {
+			j = len(r.imgRows)
+			r.imgIdx[row.Image] = j
+			r.imgRows = append(r.imgRows, Row{Image: row.Image, Symbol: "*"})
+		}
+		for ev := range row.Counts {
+			r.imgRows[j].Counts[ev] += row.Counts[ev]
+		}
+	}
+	primary := hpc.GlobalPowerEvents
+	if len(r.Events) > 0 {
+		primary = r.Events[0]
+	}
+	sort.Slice(r.imgRows, func(i, j int) bool {
+		if r.imgRows[i].Counts[primary] != r.imgRows[j].Counts[primary] {
+			return r.imgRows[i].Counts[primary] > r.imgRows[j].Counts[primary]
+		}
+		return r.imgRows[i].Image < r.imgRows[j].Image
+	})
+	for j, row := range r.imgRows {
+		r.imgIdx[row.Image] = j
+	}
+	r.byEvent = make(map[hpc.Event][]int32, len(r.Events))
+	for _, ev := range r.Events {
+		order := make([]int32, len(r.Rows))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			x, y := &r.Rows[order[a]], &r.Rows[order[b]]
+			if x.Counts[ev] != y.Counts[ev] {
+				return x.Counts[ev] > y.Counts[ev]
+			}
+			if x.Image != y.Image {
+				return x.Image < y.Image
+			}
+			return x.Symbol < y.Symbol
+		})
+		r.byEvent[ev] = order
+	}
+}
+
+// ViewRows returns the report rows ordered by the given event column
+// (descending, ties by image then symbol) — opreport's per-event view,
+// served from the sort orders precomputed as index slices. Events
+// outside the report's column set fall back to the primary order.
+func (r *Report) ViewRows(ev hpc.Event) []Row {
+	r.ensureIndex()
+	order, ok := r.byEvent[ev]
+	if !ok {
+		return r.Rows
+	}
+	out := make([]Row, len(order))
+	for i, j := range order {
+		out[i] = r.Rows[j]
+	}
+	return out
 }
 
 // Percent returns the row's share of the report total for an event.
@@ -41,31 +121,26 @@ func (r *Report) Percent(row Row, ev hpc.Event) float64 {
 	return 100 * float64(row.Counts[ev]) / float64(r.Totals[ev])
 }
 
-// Find returns the first row whose symbol matches exactly.
+// Find returns the first row whose symbol matches exactly (first in
+// the primary sort order, via the precomputed symbol index).
 func (r *Report) Find(symbol string) (Row, bool) {
-	for _, row := range r.Rows {
-		if row.Symbol == symbol {
-			return row, true
-		}
+	r.ensureIndex()
+	i, ok := r.symIdx[symbol]
+	if !ok {
+		return Row{}, false
 	}
-	return Row{}, false
+	return r.Rows[i], true
 }
 
-// FindImage returns the total counts of all rows under an image name.
+// FindImage returns the total counts of all rows under an image name,
+// served from the per-image aggregates built once with the report.
 func (r *Report) FindImage(img string) (Row, bool) {
-	var out Row
-	found := false
-	for _, row := range r.Rows {
-		if row.Image == img {
-			found = true
-			out.Image = img
-			out.Symbol = "*"
-			for i := range row.Counts {
-				out.Counts[i] += row.Counts[i]
-			}
-		}
+	r.ensureIndex()
+	i, ok := r.imgIdx[img]
+	if !ok {
+		return Row{}, false
 	}
-	return out, found
+	return r.imgRows[i], true
 }
 
 // NoSymbols is the placeholder opreport prints for images without
@@ -143,6 +218,7 @@ func BuildReport(counts map[Key]uint64, res Resolver, events []hpc.Event) *Repor
 		}
 		return a.Symbol < b.Symbol
 	})
+	rep.ensureIndex()
 	return rep
 }
 
@@ -153,7 +229,7 @@ func Opreport(disk *kernel.Disk, images map[string]*image.Image, events []hpc.Ev
 	if err != nil {
 		return nil, fmt.Errorf("opreport: %v", err)
 	}
-	counts, err := ReadCounts(strings.NewReader(string(data)))
+	counts, err := ReadCounts(bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}

@@ -16,33 +16,13 @@ import (
 //   - the details view (opreport -d): per-offset sample counts within
 //     one image, the finest granularity the sample files hold.
 
-// ImageSummary aggregates the report's rows by image.
+// ImageSummary aggregates the report's rows by image. The aggregation
+// and primary-event ordering are computed once with the report (see
+// ensureIndex); each call returns a fresh copy of the cached rows.
 func (r *Report) ImageSummary() []Row {
-	agg := make(map[string]*Row)
-	for _, row := range r.Rows {
-		a, ok := agg[row.Image]
-		if !ok {
-			a = &Row{Image: row.Image, Symbol: "*"}
-			agg[row.Image] = a
-		}
-		for i := range row.Counts {
-			a.Counts[i] += row.Counts[i]
-		}
-	}
-	out := make([]Row, 0, len(agg))
-	for _, a := range agg {
-		out = append(out, *a)
-	}
-	primary := hpc.GlobalPowerEvents
-	if len(r.Events) > 0 {
-		primary = r.Events[0]
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Counts[primary] != out[j].Counts[primary] {
-			return out[i].Counts[primary] > out[j].Counts[primary]
-		}
-		return out[i].Image < out[j].Image
-	})
+	r.ensureIndex()
+	out := make([]Row, len(r.imgRows))
+	copy(out, r.imgRows)
 	return out
 }
 

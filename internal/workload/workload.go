@@ -36,6 +36,7 @@ type Spec struct {
 	AllocEvery  int32 // allocate an object every k inner iterations
 	SurviveRing int32 // static ring slots keeping allocations live
 	MemsetBytes int32 // libc activity per outer iteration
+	CopyElems   int32 // arraycopy of this many elements per outer iteration (0 = none)
 	WriteEvery  int32 // kernel write every k outer iterations (0 = none)
 	HeapBytes   uint64
 	Seed        int64
@@ -80,8 +81,13 @@ func Build(s Spec, scale float64) (*classes.Program, error) {
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	// Statics: ring of survivor slots + slot for the ring array itself
-	// + one scratch slot.
-	prog := classes.NewProgram(s.Name, int(s.SurviveRing)+2)
+	// + one scratch slot (+ two slots for the arraycopy operands).
+	nStatics := int(s.SurviveRing) + 2
+	copySrc, copyDst := int32(nStatics), int32(nStatics)+1
+	if s.CopyElems > 0 {
+		nStatics += 2
+	}
+	prog := classes.NewProgram(s.Name, nStatics)
 
 	// Hot worker methods, one per worker class.
 	hotIdx := make([]int32, 0, s.HotMethods)
@@ -117,6 +123,12 @@ func Build(s Spec, scale float64) (*classes.Program, error) {
 	// Survivor ring: a ref array at statics[0] that hot methods store
 	// every k-th allocation into, giving the heap a live tail.
 	a.Const(s.SurviveRing).Emit(bytecode.NewArray, 8, 1).Emit(bytecode.PutStatic, 0)
+	// Arraycopy operands: two long arrays copied once per outer
+	// iteration (System.arraycopy-heavy benchmarks like fop's renderer).
+	if s.CopyElems > 0 {
+		a.Const(s.CopyElems).Emit(bytecode.NewArray, 8, 0).Emit(bytecode.PutStatic, copySrc)
+		a.Const(s.CopyElems).Emit(bytecode.NewArray, 8, 0).Emit(bytecode.PutStatic, copyDst)
+	}
 	for _, ci := range coldIdx {
 		a.Const(7).Call(ci).Emit(bytecode.Pop)
 	}
@@ -138,6 +150,12 @@ func Build(s Spec, scale float64) (*classes.Program, error) {
 	}
 	if s.MemsetBytes > 0 {
 		a.Const(s.MemsetBytes).Emit(bytecode.Intrinsic, int32(bytecode.IntrMemset), 1)
+	}
+	if s.CopyElems > 0 {
+		a.Emit(bytecode.GetStatic, copySrc)
+		a.Emit(bytecode.GetStatic, copyDst)
+		a.Const(s.CopyElems)
+		a.Emit(bytecode.Intrinsic, int32(bytecode.IntrArrayCopy), 1)
 	}
 	if s.WriteEvery > 0 {
 		a.Load(0).Const(s.WriteEvery).Emit(bytecode.Mod)
