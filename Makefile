@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test chaos-smoke bench-smoke bench
+.PHONY: check lint vet build test chaos-smoke chaos-nightly bench-smoke bench
 
 check: lint vet build test chaos-smoke bench-smoke
 
@@ -28,10 +28,19 @@ build:
 test:
 	$(GO) test -race -short ./...
 
-# Bounded seed sweep of the chaos harness: 25 seeds cycling all five
-# fault scenarios, plus the scripted crash/latency schedules.
+# Bounded seed sweep of the chaos harness: 25 seeds — the first seven
+# run each scenario in isolation (daemon crash, ENOSPC, torn map, torn
+# samples, VM kill, rename fault, dir damage), the rest draw composed
+# schedules of 1-3 scenarios — plus the scripted crash/latency/rename/
+# listing-damage schedules. Every seeded run ends with the recovery
+# pass and re-checks conservation and visibility after it.
 chaos-smoke:
 	$(GO) test -race -run 'TestChaos' -count=1 ./internal/core/
+
+# Wide composed-schedule sweep (hundreds of seeds, minutes). Out of
+# `make check` by design: run it nightly or before cutting a release.
+chaos-nightly:
+	VIPROF_CHAOS_SEEDS=500 $(GO) test -race -run 'TestChaosNightly' -count=1 -timeout 30m ./internal/core/
 
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkExecMemBatch|BenchmarkEpochResolveIndexed' -benchtime 1x .

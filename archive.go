@@ -57,6 +57,7 @@ func LoadArchivedReport(dir string) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	//viplint:allow record-frame manifest is line-oriented plain text validated field-by-field by this parser
 	manData, err := disk.Read(manifestPath)
 	if err != nil {
 		return nil, fmt.Errorf("viprof: archive has no manifest: %v", err)
@@ -110,6 +111,7 @@ func LoadArchivedPhases(dir string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	//viplint:allow record-frame manifest is line-oriented plain text validated field-by-field by this parser
 	manData, err := disk.Read(manifestPath)
 	if err != nil {
 		return "", fmt.Errorf("viprof: archive has no manifest: %v", err)

@@ -75,6 +75,11 @@ type AgentStats struct {
 	// how many entries those failures carried into later maps.
 	MapWriteErrors  int
 	DeferredEntries int
+	// JournalErrors counts failed commit-journal appends. The committed
+	// map itself is durable (the rename succeeded), so nothing defers —
+	// but an incomplete journal means the chain reader can no longer
+	// verify directory listings against it, and says so.
+	JournalErrors int
 }
 
 // AgentLibName is the agent library's image name.
@@ -170,7 +175,7 @@ func (a *VMAgent) OnMove(body *jit.CodeBody, old addr.Address) {
 		// The move log is ablation-only instrumentation for the rejected
 		// eager design; a lost record only understates that design's cost.
 		//viplint:allow syswrite-err ablation-only move log, loss is benign
-		a.m.Kern.SysWrite(a.proc, MapPath(a.proc.PID, -1)+".moves", []byte(rec))
+		a.m.Kern.SysWrite(a.proc, MapPath(a.proc.PID, -1)+".moves", []byte(rec)) //viplint:allow record-frame ablation-only text log, nothing resolves through it
 	} else {
 		a.exec("viprof_flag_move", 5)
 	}
@@ -255,6 +260,7 @@ func (a *VMAgent) writeMap(epoch int) {
 	// reader counts as an orphan instead of misparsing.
 	path := MapPath(a.proc.PID, epoch)
 	tmp := path + ".tmp"
+	//viplint:allow record-frame WriteMapFile frames every record; the payload is a concatenation of frames
 	err := a.m.Kern.SysWriteSync(a.proc, tmp, buf.Bytes())
 	if err == nil {
 		err = a.m.Kern.SysRename(a.proc, tmp, path)
@@ -280,6 +286,15 @@ func (a *VMAgent) writeMap(epoch int) {
 	a.stats.MapsWritten++
 	a.stats.Entries += len(entries)
 	a.stats.MapBytes += uint64(buf.Len())
+
+	// Ratify the commit in the agent journal. The map is already
+	// durable, so a failed append loses nothing — it only weakens the
+	// chain reader's listing cross-check, which is why the failure is
+	// counted rather than deferred.
+	commit := record.Frame([]byte(fmt.Sprintf("commit %d %d", epoch, len(entries))))
+	if jerr := a.m.Kern.SysWrite(a.proc, AgentJournalPath(a.proc.PID), commit); jerr != nil {
+		a.stats.JournalErrors++
+	}
 }
 
 // recordOracle appends epoch's intended entries to the in-memory
@@ -301,6 +316,56 @@ func AgentStatsPath(pid int) string {
 	return fmt.Sprintf("%s/%d/agent.stats", MapDir, pid)
 }
 
+// AgentJournalPath names the agent's commit journal: one framed
+// "commit <epoch> <entries>" record per successfully renamed map file.
+// The chain reader cross-checks directory listings against it (a
+// committed epoch whose file a listing omits is a lost dirent, not a
+// deferred write), and the recovery pass consults it to tell a stale
+// orphan temp from an uncommitted one.
+func AgentJournalPath(pid int) string {
+	return fmt.Sprintf("%s/%d/journal", MapDir, pid)
+}
+
+// AgentJournal is the parsed commit journal for one VM.
+type AgentJournal struct {
+	// Committed maps ratified epochs to the entry count their commit
+	// record claimed.
+	Committed map[int]int
+	// Damaged reports salvage loss or unparseable records.
+	Damaged bool
+	// Missing reports that the journal file does not exist.
+	Missing bool
+}
+
+// ReadAgentJournal parses a VM's commit journal through the salvage
+// layer. An unreadable journal (EIO) reads as damaged.
+func ReadAgentJournal(disk *kernel.Disk, pid int) AgentJournal {
+	j := AgentJournal{Committed: make(map[int]int)}
+	path := AgentJournalPath(pid)
+	if !disk.Exists(path) {
+		j.Missing = true
+		return j
+	}
+	data, err := disk.Read(path)
+	if err != nil {
+		j.Damaged = true
+		return j
+	}
+	recs, sal := record.Scan(data)
+	if sal.Lossy() {
+		j.Damaged = true
+	}
+	for _, payload := range recs {
+		var epoch, entries int
+		if n, err := fmt.Sscanf(string(payload), "commit %d %d", &epoch, &entries); n != 2 || err != nil || epoch < 0 {
+			j.Damaged = true
+			continue
+		}
+		j.Committed[epoch] = entries
+	}
+	return j
+}
+
 // writeStats persists the agent's self-counters as one framed record at
 // clean VM exit. Best-effort: a missing or torn stats file reads as
 // "the VM did not shut down cleanly", which is exactly right.
@@ -308,8 +373,8 @@ func (a *VMAgent) writeStats() {
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "compiles=%d\nmoves=%d\nmaps_written=%d\nentries=%d\nmap_bytes=%d\n",
 		a.stats.Compiles, a.stats.Moves, a.stats.MapsWritten, a.stats.Entries, a.stats.MapBytes)
-	fmt.Fprintf(&buf, "map_write_errors=%d\ndeferred=%d\nclean=1\n",
-		a.stats.MapWriteErrors, a.stats.DeferredEntries)
+	fmt.Fprintf(&buf, "map_write_errors=%d\ndeferred=%d\njournal_errors=%d\nclean=1\n",
+		a.stats.MapWriteErrors, a.stats.DeferredEntries, a.stats.JournalErrors)
 	// Deliberately discarded: agent.stats is the crash-signal-by-absence
 	// protocol — a failed (or torn) stats write reads back as "the VM did
 	// not shut down cleanly", which is the correct degraded verdict, and
@@ -324,6 +389,7 @@ type AgentPersisted struct {
 	Compiles, Moves, MapsWritten, Entries int
 	MapBytes                              uint64
 	MapWriteErrors, Deferred              int
+	JournalErrors                         int
 	Clean                                 bool
 }
 
@@ -361,6 +427,8 @@ func ReadAgentStats(data []byte) *AgentPersisted {
 			ap.MapWriteErrors = n
 		case "deferred":
 			ap.Deferred = n
+		case "journal_errors":
+			ap.JournalErrors = n
 		case "clean":
 			ap.Clean = n != 0
 		}

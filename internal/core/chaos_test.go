@@ -7,21 +7,28 @@ package core_test
 //  1. Conservation at the driver: every NMI is logged or dropped.
 //  2. Conservation at the daemon: every logged sample is aggregated or
 //     still buffered.
-//  3. Conservation on disk: persisted + spilled + unflushed equals
-//     aggregated — a failed flush retries its whole delta, a torn
-//     record fails its checksum, so nothing double-counts and nothing
-//     vanishes unaccounted.
+//  3. Conservation on disk, across daemon crashes AND the recovery
+//     pass: persisted + committed-spill-still-parked + unflushed +
+//     spilled-lost equals aggregated — a failed flush retries its
+//     whole delta, a torn record fails its checksum, spilled samples
+//     are parked under a commit journal and either merged back by
+//     recovery (into persisted) or still parked, so nothing
+//     double-counts and nothing vanishes unaccounted.
 //  4. No silent misattribution: any JIT sample the durable resolver
 //     does attribute agrees with the agent's in-memory oracle (what a
 //     fault-free persistence of the same execution would have said).
-//  5. Visibility: destructive faults imply a degraded Integrity
-//     section; no destructive faults imply a clean one.
+//  5. Visibility: destructive faults — including rename faults and
+//     consequential directory damage — imply a degraded Integrity
+//     section; a run with no faults at all implies a clean one.
 //
 // The file lives in package core_test because the harness imports core.
 
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -31,15 +38,35 @@ import (
 	"viprof/internal/oprofile"
 )
 
-// chaosSeeds is the bounded seed sweep: 25 consecutive seeds cycle all
-// five scenarios five times each (daemon crash, ENOSPC, torn map, torn
-// samples, VM kill).
+// chaosSeeds is the bounded seed sweep: the first seven seeds run each
+// scenario in isolation (daemon crash, ENOSPC, torn map, torn samples,
+// VM kill, rename fault, dir damage); later seeds draw composed
+// schedules of 1-3 scenarios.
 const chaosSeeds = 25
 
+// chaosNightlySeedsEnv, when set to a positive integer, widens the
+// sweep (make chaos-nightly sets it to 500).
+const chaosNightlySeedsEnv = "VIPROF_CHAOS_SEEDS"
+
 func TestChaosSweep(t *testing.T) {
-	for seed := int64(0); seed < chaosSeeds; seed++ {
+	runChaosSweep(t, 0, chaosSeeds)
+}
+
+// TestChaosNightly is the wide seed sweep, gated behind
+// VIPROF_CHAOS_SEEDS so `go test ./...` stays fast; `make
+// chaos-nightly` runs it at 500 seeds.
+func TestChaosNightly(t *testing.T) {
+	n, err := strconv.Atoi(os.Getenv(chaosNightlySeedsEnv))
+	if err != nil || n <= 0 {
+		t.Skipf("set %s=<seeds> to run the nightly sweep", chaosNightlySeedsEnv)
+	}
+	runChaosSweep(t, 0, int64(n))
+}
+
+func runChaosSweep(t *testing.T, lo, hi int64) {
+	for seed := lo; seed < hi; seed++ {
 		seed := seed
-		t.Run(fmt.Sprintf("seed=%d/%s", seed, harness.ScenarioOf(seed)), func(t *testing.T) {
+		t.Run(fmt.Sprintf("seed=%d/%s", seed, harness.ScheduleOf(seed)), func(t *testing.T) {
 			t.Parallel()
 			r, err := harness.RunChaos(seed, 0.25)
 			if err != nil {
@@ -52,8 +79,9 @@ func TestChaosSweep(t *testing.T) {
 
 func checkChaosInvariants(t *testing.T, r *harness.ChaosResult) {
 	t.Helper()
-	t.Logf("scenario=%s faults=%+v vmKilled=%v daemonCrashed=%v",
-		r.Scenario, r.Faults, r.VMKilled, r.Daemon.Crashed())
+	t.Logf("schedule=%s faults=%+v listFaults={dropped:%d phantoms:%d} vmKilled=%v daemonCrashed=%v recovery=%+v",
+		r.Schedule, r.Faults, r.ListFaults.Dropped, r.ListFaults.Phantoms,
+		r.VMKilled, r.Daemon.Crashed(), r.Recovery)
 
 	// (1) Driver conservation: NMIs = logged + dropped.
 	ds := r.Driver
@@ -69,8 +97,13 @@ func checkChaosInvariants(t *testing.T, r *harness.ChaosResult) {
 			r.Daemon.SamplesLogged(), buffered, ds.Logged)
 	}
 
-	// (3) Disk conservation: what the salvage reader recovers plus the
-	// daemon's accounted losses equals what the daemon aggregated.
+	// (3) Disk conservation across crashes and recovery: what the
+	// salvage reader recovers from the sample file (spill merges
+	// included), plus committed spill still parked on disk, plus the
+	// daemon's accounted losses, equals what the daemon aggregated. The
+	// parked total comes from the offline spill state, not the daemon's
+	// in-memory counter, because recovery moves parked samples into the
+	// sample file after the daemon last saw them.
 	disk := r.Machine.Kern.Disk()
 	var persisted uint64
 	if data, err := disk.Read(oprofile.SampleFile); err == nil {
@@ -82,10 +115,12 @@ func checkChaosInvariants(t *testing.T, r *harness.ChaosResult) {
 			persisted += c
 		}
 	}
-	accounted := persisted + r.Daemon.Spilled() + r.Daemon.Unflushed()
+	spillSt := oprofile.ReadSpillState(disk)
+	accounted := persisted + spillSt.OnDiskTotal + r.Daemon.Unflushed() + r.Daemon.SpilledLost()
 	if accounted != r.Daemon.SamplesLogged() {
-		t.Errorf("disk conservation: persisted %d + spilled %d + unflushed %d = %d != aggregated %d",
-			persisted, r.Daemon.Spilled(), r.Daemon.Unflushed(), accounted, r.Daemon.SamplesLogged())
+		t.Errorf("disk conservation: persisted %d + parked %d + unflushed %d + spill-lost %d = %d != aggregated %d",
+			persisted, spillSt.OnDiskTotal, r.Daemon.Unflushed(), r.Daemon.SpilledLost(),
+			accounted, r.Daemon.SamplesLogged())
 	}
 
 	// Report totals can never exceed what the driver logged.
@@ -100,23 +135,72 @@ func checkChaosInvariants(t *testing.T, r *harness.ChaosResult) {
 	// resolver attributes must agree with the agent's in-memory oracle.
 	checkNoMisattribution(t, r)
 
-	// (5) Visibility: destructive faults are never invisible, and a
-	// fault-free (or latency-only) run is never falsely degraded.
+	// (5) Visibility: destructive faults are never invisible —
+	// including rename faults (counted destructive) and consequential
+	// directory damage — and a run with no faults at all is never
+	// falsely degraded.
 	integ := r.Report.Integrity
 	if integ == nil {
 		t.Fatal("report has no Integrity section")
 	}
-	if r.Faults.Destructive() > 0 && !integ.Degraded() {
+	mustDegrade := r.Faults.Destructive() > 0
+	reason := fmt.Sprintf("%d destructive faults", r.Faults.Destructive())
+	if r.ListFaults.Phantoms > 0 {
+		// A phantom dirent is always consequential: either it invents an
+		// orphan (recovery records the failure) or it shadows a real
+		// orphan (which itself implies damage).
+		mustDegrade = true
+		reason += fmt.Sprintf(", %d phantom dirents", r.ListFaults.Phantoms)
+	}
+	// A dropped dirent is consequential when the report phase lost a
+	// final map file: the journal cross-check must have poisoned it.
+	for _, p := range r.ListFaults.DroppedPaths[len(r.ListFaultsRecovery.DroppedPaths):] {
+		if isFinalMapPath(p) {
+			mustDegrade = true
+			reason += fmt.Sprintf(", report-phase dropped dirent %s", p)
+			break
+		}
+	}
+	if mustDegrade && !integ.Degraded() {
 		var buf bytes.Buffer
 		_ = oprofile.FormatIntegrity(&buf, integ)
-		t.Errorf("%d destructive faults injected but Integrity reads clean:\n%s",
-			r.Faults.Destructive(), buf.String())
+		t.Errorf("%s injected but Integrity reads clean:\n%s", reason, buf.String())
 	}
-	if r.Faults.Destructive() == 0 && integ.Degraded() {
+	if r.Faults.Destructive() == 0 && r.ListFaults.Dropped == 0 && r.ListFaults.Phantoms == 0 &&
+		integ.Degraded() {
 		var buf bytes.Buffer
 		_ = oprofile.FormatIntegrity(&buf, integ)
-		t.Errorf("no destructive faults but Integrity reads degraded:\n%s", buf.String())
+		t.Errorf("no destructive or listing faults but Integrity reads degraded:\n%s", buf.String())
 	}
+
+	// (5b) Every recovery decision is visible: the pass's in-memory
+	// outcome must round-trip through the persisted stats record into
+	// the report's Integrity section.
+	if r.Recovery != nil {
+		if integ.Recovery == nil {
+			t.Errorf("recovery ran (%+v) but Integrity carries no recovery record", r.Recovery)
+		} else if !reflect.DeepEqual(integ.Recovery, r.Recovery) {
+			t.Errorf("recovery record mismatch:\n  ran:      %+v\n  reported: %+v",
+				r.Recovery, integ.Recovery)
+		}
+	}
+}
+
+// isFinalMapPath reports whether p is a committed epoch map file
+// ("…/map.<digits>"), the artifact whose silent disappearance from a
+// listing would misattribute samples.
+func isFinalMapPath(p string) bool {
+	i := strings.LastIndexByte(p, '/')
+	num, found := strings.CutPrefix(p[i+1:], "map.")
+	if !found || num == "" {
+		return false
+	}
+	for _, c := range num {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // checkNoMisattribution re-reads the sample file from disk and checks
@@ -363,4 +447,157 @@ func runScriptedChaos(t *testing.T, plan kernel.FaultPlan) *harness.ChaosResult 
 		t.Fatalf("scripted chaos run: %v", err)
 	}
 	return r
+}
+
+// A scripted rename-before fault on the very first map commit: the
+// destination never appears, the orphan temp survives, and the
+// recovery pass must adopt it (complete payload, no final file) —
+// after which the report sees no orphan, but the run is still loudly
+// degraded (the agent recorded the failed commit, and recovery
+// recorded the adoption).
+func TestChaosScriptedRenameBeforeAdopted(t *testing.T) {
+	r := runScriptedChaos(t, kernel.FaultPlan{
+		Seed:         44,
+		PathPrefix:   core.MapDir,
+		RenameScript: []kernel.FaultPoint{{Write: 0, Kind: kernel.FaultRenameBefore}},
+	})
+	if r.Faults.RenameBefores != 1 {
+		t.Fatalf("scripted rename-before did not fire: %+v", r.Faults)
+	}
+	if r.Recovery == nil || r.Recovery.Adopted != 1 {
+		t.Fatalf("recovery did not adopt the orphan temp: %+v", r.Recovery)
+	}
+	integ := r.Report.Integrity
+	if len(integ.Maps) == 0 {
+		t.Fatal("no map integrity section")
+	}
+	if integ.Maps[0].OrphanTmp != 0 {
+		t.Errorf("adopted orphan still reported as orphan: %+v", integ.Maps[0])
+	}
+	if integ.Maps[0].MapWriteErrors == 0 {
+		t.Error("agent did not record the failed commit")
+	}
+	if !integ.Degraded() {
+		t.Error("rename fault not surfaced as degradation")
+	}
+	checkChaosInvariants(t, r)
+}
+
+// A scripted rename-after fault: the commit is durable although the
+// agent saw an error. Recovery finds no orphan (the rename applied);
+// the run is degraded only through the agent's own accounting.
+func TestChaosScriptedRenameAfter(t *testing.T) {
+	r := runScriptedChaos(t, kernel.FaultPlan{
+		Seed:         45,
+		PathPrefix:   core.MapDir,
+		RenameScript: []kernel.FaultPoint{{Write: 0, Kind: kernel.FaultRenameAfter}},
+	})
+	if r.Faults.RenameAfters != 1 {
+		t.Fatalf("scripted rename-after did not fire: %+v", r.Faults)
+	}
+	if r.Recovery.Adopted != 0 || r.Recovery.Quarantined != 0 {
+		t.Fatalf("rename-after left recovery work: %+v", r.Recovery)
+	}
+	integ := r.Report.Integrity
+	if len(integ.Maps) == 0 || integ.Maps[0].MapWriteErrors == 0 {
+		t.Error("ambiguous commit not recorded by the agent")
+	}
+	if !integ.Degraded() {
+		t.Error("rename-after fault not surfaced as degradation")
+	}
+	checkChaosInvariants(t, r)
+}
+
+// A dropped dirent that hides a committed final map file during report
+// assembly: the commit-journal cross-check must count the missing
+// epoch, poison it, and degrade the report — misattribution by
+// omission made loud.
+func TestChaosDirDamageDropHidesCommittedMap(t *testing.T) {
+	r, err := harness.RunChaosPlan(46, 0.25, kernel.FaultPlan{Seed: 46})
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	disk := r.Machine.Kern.Disk()
+	prefix := fmt.Sprintf("%s/%d/", core.MapDir, r.Proc.PID)
+	target := prefix + "map.0"
+	idx, matched := -1, 0
+	for _, name := range disk.List() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if name == target {
+			idx = matched
+		}
+		matched++
+	}
+	if idx < 0 {
+		t.Fatalf("fault-free run left no %s", target)
+	}
+	disk.SetListFaultInjector(kernel.ListFaultPlan{
+		Seed: 1, PathPrefix: prefix, DropScript: []int{idx},
+	})
+	rep, _, err := r.Session.Report(r.Session.Images(r.VM), map[string]int{r.Proc.Name: r.Proc.PID})
+	disk.ClearListFaultInjector()
+	if err != nil {
+		t.Fatalf("report under listing damage: %v", err)
+	}
+	integ := rep.Integrity
+	if len(integ.Maps) == 0 || integ.Maps[0].MissingCommitted != 1 {
+		t.Fatalf("hidden committed map not counted: %+v", integ.Maps)
+	}
+	if !integ.Maps[0].Degraded() || !integ.Degraded() {
+		t.Error("hidden committed map not surfaced as degradation")
+	}
+}
+
+// A phantom dirent during report assembly reads as an orphan temp; the
+// same phantom during the recovery pass reads as a failed salvage.
+// Either way the damage is loud.
+func TestChaosDirDamagePhantom(t *testing.T) {
+	r, err := harness.RunChaosPlan(47, 0.25, kernel.FaultPlan{Seed: 47})
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	disk := r.Machine.Kern.Disk()
+	prefix := fmt.Sprintf("%s/%d/", core.MapDir, r.Proc.PID)
+
+	// Report phase: the phantom shows up as an orphan temp.
+	disk.SetListFaultInjector(kernel.ListFaultPlan{
+		Seed: 1, PathPrefix: prefix, PhantomScript: []int{0},
+	})
+	rep, _, err := r.Session.Report(r.Session.Images(r.VM), map[string]int{r.Proc.Name: r.Proc.PID})
+	disk.ClearListFaultInjector()
+	if err != nil {
+		t.Fatalf("report under phantom damage: %v", err)
+	}
+	if len(rep.Integrity.Maps) == 0 || rep.Integrity.Maps[0].OrphanTmp != 1 {
+		t.Fatalf("phantom dirent not read as orphan temp: %+v", rep.Integrity.Maps)
+	}
+	if !rep.Integrity.Degraded() {
+		t.Error("phantom dirent not surfaced as degradation")
+	}
+
+	// Recovery phase: the phantom cannot be read back, so the pass
+	// records a failed salvage — visible in the next report.
+	disk.SetListFaultInjector(kernel.ListFaultPlan{
+		Seed: 2, PathPrefix: prefix, PhantomScript: []int{0},
+	})
+	rec, recErr := core.RunRecovery(r.Machine, []int{r.Proc.PID})
+	disk.ClearListFaultInjector()
+	if recErr != nil {
+		t.Fatalf("recovery under phantom damage: %v", recErr)
+	}
+	if rec.Failed != 1 {
+		t.Fatalf("phantom not recorded as failed salvage: %+v", rec)
+	}
+	rep2, _, err := r.Session.Report(r.Session.Images(r.VM), map[string]int{r.Proc.Name: r.Proc.PID})
+	if err != nil {
+		t.Fatalf("report after phantom recovery: %v", err)
+	}
+	if rep2.Integrity.Recovery == nil || rep2.Integrity.Recovery.Failed != 1 {
+		t.Fatalf("recovery decision not visible in the report: %+v", rep2.Integrity.Recovery)
+	}
+	if !rep2.Integrity.Degraded() {
+		t.Error("failed recovery salvage not surfaced as degradation")
+	}
 }

@@ -138,6 +138,17 @@ type ChainIntegrity struct {
 	// (EIO from a degraded disk). Every entry they held is lost, so they
 	// poison the chain at their epoch like a torn file does.
 	UnreadableFiles int
+	// Quarantined counts .quarantined files the recovery pass set
+	// aside: orphan temps too damaged to adopt, preserved as evidence.
+	Quarantined int
+	// MissingCommitted counts epochs the agent journal ratified whose
+	// final files were nonetheless absent from the directory listing —
+	// a lost dirent, not a deferred write. Each poisons the chain at
+	// its epoch so hidden entries cannot shadow-resolve.
+	MissingCommitted int
+	// JournalDamaged is 1 when the commit journal was torn, unreadable,
+	// or unparseable; the chain is conservatively poisoned whole.
+	JournalDamaged int
 }
 
 // MapChain is one process's sequence of epoch code maps, supporting the
@@ -190,26 +201,35 @@ func ReadMapChain(disk *kernel.Disk, pid int) (*MapChain, error) {
 		entries   []MapEntry
 	}
 	var files []loaded
+	present := make(map[int]bool)
 	for _, name := range disk.List() {
 		if !strings.HasPrefix(name, prefix) {
 			continue
 		}
 		base := name[len(prefix):]
+		if strings.HasSuffix(base, ".quarantined") {
+			// The recovery pass set this damaged orphan aside; it is
+			// preserved evidence, never resolved through.
+			integ.Quarantined++
+			continue
+		}
 		if strings.HasSuffix(base, ".tmp") {
 			// A crash struck between the map data write and the atomic
 			// rename: the final file never appeared, and this orphan is
-			// the durable evidence.
+			// the durable evidence (until recovery adopts or quarantines
+			// it).
 			integ.OrphanTmp++
 			continue
 		}
 		numStr, found := strings.CutPrefix(base, "map.")
 		if !found {
-			continue // agent.stats and other non-map files
+			continue // agent.stats, the commit journal, other non-map files
 		}
 		fileEpoch, err := strconv.Atoi(numStr)
 		if err != nil || fileEpoch < 0 {
 			continue // move logs ("map.-1.moves") etc.
 		}
+		present[fileEpoch] = true
 		data, err := disk.Read(name)
 		if err != nil {
 			// The file exists but would not read back (EIO). Silently
@@ -245,6 +265,61 @@ func ReadMapChain(disk *kernel.Disk, pid int) (*MapChain, error) {
 			maxEpoch = fileEpoch
 		}
 		files = append(files, loaded{fileEpoch, entries})
+	}
+	// Cross-check the listing against the agent's commit journal. A
+	// directory listing is the third trusted surface after writes and
+	// reads: a lost dirent silently hides a committed epoch, and the
+	// backward search would then attribute samples through older,
+	// staler entries — misattribution by omission. The journal (read by
+	// direct path, so a damaged listing cannot hide it) says which
+	// epochs were actually committed:
+	//
+	//   - journal intact + agent stats clean with zero journal errors:
+	//     the journal is complete, so every committed epoch must have a
+	//     file. A committed epoch with no file is a lost dirent —
+	//     counted and poisoned at its epoch.
+	//   - journal damaged, or its completeness unverifiable (agent
+	//     stats absent, or they admit failed journal appends): the
+	//     listing cannot be vouched for at all, so the whole chain is
+	//     conservatively poisoned — ResolveDurable then only trusts
+	//     hits at the newest epoch, which no hidden file can shadow.
+	//   - journal missing with no files: an empty chain, nothing to
+	//     guard. Journal missing with files present: same conservative
+	//     poisoning (hand-assembled disks keep working through the
+	//     poison-blind Resolve).
+	//
+	// This read happens after the map-file loop so the read-fault
+	// schedule for map files is unchanged.
+	journal := ReadAgentJournal(disk, pid)
+	var agentStats *AgentPersisted
+	if spath := AgentStatsPath(pid); disk.Exists(spath) {
+		data, err := disk.Read(spath)
+		if err != nil {
+			// The stats exist but would not read back: the journal's
+			// completeness witness is gone to an EIO, which must be as
+			// loud as any other unreadable artifact.
+			integ.JournalDamaged++
+		} else {
+			agentStats = ReadAgentStats(data)
+		}
+	}
+	verified := !journal.Missing && !journal.Damaged &&
+		agentStats != nil && agentStats.JournalErrors == 0
+	if journal.Damaged {
+		integ.JournalDamaged++
+	}
+	if !journal.Missing || len(files) > 0 || integ.UnreadableFiles > 0 {
+		for e := range journal.Committed {
+			if !present[e] {
+				integ.MissingCommitted++
+				if e > poison {
+					poison = e
+				}
+			}
+		}
+		if !verified && maxEpoch > poison {
+			poison = maxEpoch
+		}
 	}
 	perEpoch := make([][]MapEntry, maxEpoch+1)
 	for _, f := range files {

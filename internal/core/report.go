@@ -172,6 +172,55 @@ func Vipreport(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[str
 	if stats, err := disk.Read(oprofile.DaemonStatsFile); err == nil {
 		integ.Stats = oprofile.ReadDaemonStats(stats)
 	}
+	// Spill and recovery evidence. The spill state is re-read from disk
+	// (not taken from the daemon's self-counters) so the report reflects
+	// what recovery actually left behind.
+	spillSt := oprofile.ReadSpillState(disk)
+	integ.SpillOnDisk = spillSt.OnDiskTotal
+	integ.SpillJournalDamaged = spillSt.Journal.Damaged
+	if disk.Exists(oprofile.RecoveryStatsFile) {
+		if rdata, err := disk.Read(oprofile.RecoveryStatsFile); err == nil {
+			integ.Recovery = oprofile.ReadRecoveryStats(rdata)
+		}
+		if integ.Recovery == nil {
+			// The file exists but no intact decision record survives.
+			integ.RecoveryIncomplete = true
+		}
+	}
+	if spillSt.Journal.RecoveryBegun > 0 && integ.Recovery == nil {
+		// Durable begin marker(s), no decision record: a recovery pass
+		// started and never finished.
+		integ.RecoveryIncomplete = true
+	}
+	// Per-event spill accounting: what recovery merged back vs what the
+	// daemon's hard cap dropped for good.
+	spillEvents := make(map[string]*oprofile.SpillIntegrity)
+	addSpill := func(ev string) *oprofile.SpillIntegrity {
+		si, ok := spillEvents[ev]
+		if !ok {
+			si = &oprofile.SpillIntegrity{Event: ev}
+			spillEvents[ev] = si
+		}
+		return si
+	}
+	if integ.Recovery != nil {
+		for ev, c := range integ.Recovery.SpillRecovered {
+			addSpill(ev).Recovered += c
+		}
+	}
+	if integ.Stats != nil {
+		for ev, c := range integ.Stats.SpilledLostByEvent {
+			addSpill(ev).Lost += c
+		}
+	}
+	spillNames := make([]string, 0, len(spillEvents))
+	for ev := range spillEvents {
+		spillNames = append(spillNames, ev)
+	}
+	sort.Strings(spillNames)
+	for _, ev := range spillNames {
+		integ.Spill = append(integ.Spill, *spillEvents[ev])
+	}
 	res, err := NewResolver(disk, images, vmPIDs)
 	if err != nil {
 		return nil, nil, err
@@ -192,6 +241,9 @@ func Vipreport(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[str
 			mi.Files, mi.OrphanTmp, mi.Entries = ci.Files, ci.OrphanTmp, ci.Entries
 			mi.DroppedRecords, mi.DroppedBytes, mi.TornFiles = ci.DroppedRecords, ci.DroppedBytes, ci.TornFiles
 			mi.UnreadableFiles = ci.UnreadableFiles
+			mi.Quarantined = ci.Quarantined
+			mi.MissingCommitted = ci.MissingCommitted
+			mi.JournalDamaged = ci.JournalDamaged
 		}
 		if data, err := disk.Read(AgentStatsPath(pid)); err == nil {
 			if ap := ReadAgentStats(data); ap != nil {
@@ -199,6 +251,7 @@ func Vipreport(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[str
 				mi.AgentClean = ap.Clean
 				mi.MapWriteErrors = ap.MapWriteErrors
 				mi.DeferredEntries = ap.Deferred
+				mi.JournalErrors = ap.JournalErrors
 			}
 		}
 		integ.Maps = append(integ.Maps, mi)

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"viprof/internal/cache"
 	"viprof/internal/core"
@@ -38,6 +39,14 @@ const (
 	ScenarioTornSamples
 	// ScenarioVMKill crashes the VM process during a map write.
 	ScenarioVMKill
+	// ScenarioRenameFault attacks the atomic commit itself: the agent's
+	// temp-then-rename map commits fail before the rename (orphan temp),
+	// after it (durable but reported failed), or crash mid-commit.
+	ScenarioRenameFault
+	// ScenarioDirDamage damages directory listings under the map dir:
+	// dropped dirents hide committed files, phantom dirents invent
+	// orphan temps that do not exist.
+	ScenarioDirDamage
 	numScenarios
 )
 
@@ -54,6 +63,10 @@ func (s ChaosScenario) String() string {
 		return "torn-samples"
 	case ScenarioVMKill:
 		return "vm-kill"
+	case ScenarioRenameFault:
+		return "rename-fault"
+	case ScenarioDirDamage:
+		return "dir-damage"
 	default:
 		return fmt.Sprintf("scenario-%d", int(s))
 	}
@@ -70,11 +83,17 @@ func ScenarioOf(seed int64) ChaosScenario {
 
 // ChaosPlan derives the deterministic fault schedule for a seed: the
 // scenario picks the target path prefix and failure mix, the seed's
-// private RNG picks the intensities.
+// private RNG picks the intensities. (ScenarioDirDamage attacks
+// listings, not writes, so its write-side plan is inert — use
+// ScheduleOf for the full composed schedule.)
 func ChaosPlan(seed int64) kernel.FaultPlan {
+	return scenarioPlan(ScenarioOf(seed), seed)
+}
+
+func scenarioPlan(sc ChaosScenario, seed int64) kernel.FaultPlan {
 	rng := rand.New(rand.NewSource(seed*0x9E3779B9 + 1))
 	plan := kernel.FaultPlan{Seed: seed}
-	switch ScenarioOf(seed) {
+	switch sc {
 	case ScenarioDaemonCrash:
 		plan.PathPrefix = "var/lib/oprofile/"
 		plan.PCrash = 0.05 + 0.3*rng.Float64()
@@ -97,8 +116,83 @@ func ChaosPlan(seed int64) kernel.FaultPlan {
 		plan.PathPrefix = core.MapDir
 		plan.PCrash = 0.1 + 0.4*rng.Float64()
 		plan.MaxFaults = 1
+	case ScenarioRenameFault:
+		plan.PathPrefix = core.MapDir
+		plan.PRenameBefore = 0.15 + 0.3*rng.Float64()
+		plan.PRenameAfter = 0.1 + 0.2*rng.Float64()
+		plan.PRenameCrash = 0.05 + 0.1*rng.Float64()
+		plan.MaxFaults = 1 + rng.Intn(3)
 	}
 	return plan
+}
+
+// scenarioListPlan derives ScenarioDirDamage's listing-damage schedule.
+func scenarioListPlan(seed int64) kernel.ListFaultPlan {
+	rng := rand.New(rand.NewSource(seed*0x2545F491 + 11))
+	return kernel.ListFaultPlan{
+		Seed:       seed,
+		PathPrefix: core.MapDir,
+		PDrop:      0.1 + 0.3*rng.Float64(),
+		PPhantom:   0.05 + 0.2*rng.Float64(),
+		MaxFaults:  1 + rng.Intn(4),
+	}
+}
+
+// ChaosSchedule is a composed attack: one or more scenarios armed
+// simultaneously, each with its own seeded plan (independent RNG
+// streams — see the propose/note split in internal/kernel/fault.go for
+// why composition cannot change what a single plan would inject).
+type ChaosSchedule struct {
+	Seed      int64
+	Scenarios []ChaosScenario
+	// Plans are the write/rename-side fault plans (one per write-side
+	// scenario); ListPlan is ScenarioDirDamage's listing damage, nil
+	// when that scenario is not drawn.
+	Plans    []kernel.FaultPlan
+	ListPlan *kernel.ListFaultPlan
+}
+
+// String names the composition, e.g. "enospc+rename-fault".
+func (cs ChaosSchedule) String() string {
+	if len(cs.Scenarios) == 0 {
+		return "scripted"
+	}
+	names := make([]string, len(cs.Scenarios))
+	for i, sc := range cs.Scenarios {
+		names[i] = sc.String()
+	}
+	return strings.Join(names, "+")
+}
+
+// ScheduleOf maps a seed to its composed schedule. The first
+// numScenarios seeds each run their scenario alone (so any sweep from
+// seed 0 covers every scenario in isolation); later seeds draw 1-3
+// distinct scenarios. Per-scenario plan seeds are derived from the run
+// seed so a composed schedule's individual plans never share RNG
+// streams.
+func ScheduleOf(seed int64) ChaosSchedule {
+	sched := ChaosSchedule{Seed: seed}
+	var scens []ChaosScenario
+	if seed >= 0 && seed < int64(numScenarios) {
+		scens = []ChaosScenario{ChaosScenario(seed)}
+	} else {
+		rng := rand.New(rand.NewSource(seed*0x6C078965 + 7))
+		n := 1 + rng.Intn(3)
+		for _, p := range rng.Perm(int(numScenarios))[:n] {
+			scens = append(scens, ChaosScenario(p))
+		}
+	}
+	for i, sc := range scens {
+		pseed := seed*31 + int64(i) + 1
+		if sc == ScenarioDirDamage {
+			lp := scenarioListPlan(pseed)
+			sched.ListPlan = &lp
+			continue
+		}
+		sched.Plans = append(sched.Plans, scenarioPlan(sc, pseed))
+	}
+	sched.Scenarios = scens
+	return sched
 }
 
 // ChaosResult is everything one chaos run produced, for the invariant
@@ -106,8 +200,16 @@ func ChaosPlan(seed int64) kernel.FaultPlan {
 type ChaosResult struct {
 	Seed     int64
 	Scenario ChaosScenario
+	Schedule ChaosSchedule
 	Plan     kernel.FaultPlan
 	Faults   kernel.FaultStats
+	// ListFaultsRecovery snapshots the listing-damage stats after the
+	// recovery pass and before the report's own directory reads;
+	// ListFaults is the final total. The difference is the damage the
+	// report phase itself absorbed.
+	ListFaultsRecovery, ListFaults kernel.ListFaultStats
+	// Recovery is the startup recovery pass's decision record.
+	Recovery *oprofile.RecoveryStats
 
 	Machine *kernel.Machine
 	Session *core.Session
@@ -129,12 +231,13 @@ type ChaosResult struct {
 	ReadFaults kernel.ReadFaultStats
 }
 
-// RunChaos executes one full profiled session under the seed's fault
-// schedule and builds the offline report from whatever survived on
-// disk. scale multiplies the workload size (1.0 ≈ one simulated
+// RunChaos executes one full profiled session under the seed's
+// composed fault schedule, runs the startup recovery pass over the
+// crashed state, and builds the offline report from whatever survived
+// on disk. scale multiplies the workload size (1.0 ≈ one simulated
 // second).
 func RunChaos(seed int64, scale float64) (*ChaosResult, error) {
-	return RunChaosPlan(seed, scale, ChaosPlan(seed))
+	return RunChaosSchedule(seed, scale, ScheduleOf(seed))
 }
 
 // ReadChaosPlan derives the deterministic read-fault schedule for a
@@ -186,6 +289,15 @@ func RunChaosReadPlan(seed int64, scale float64, rplan kernel.ReadFaultPlan) (*C
 // RunChaosPlan is RunChaos with a caller-supplied fault plan (scripted
 // crash points, custom probabilities) instead of the seed-derived one.
 func RunChaosPlan(seed int64, scale float64, plan kernel.FaultPlan) (*ChaosResult, error) {
+	return RunChaosSchedule(seed, scale, ChaosSchedule{Seed: seed, Plans: []kernel.FaultPlan{plan}})
+}
+
+// RunChaosSchedule runs the full crash-and-recover cycle under a
+// composed schedule: session + workload under the armed injectors,
+// shutdown, the startup recovery pass (itself under the same
+// injectors — recovery's own writes and renames can be struck), then
+// the offline report over the recovered disk.
+func RunChaosSchedule(seed int64, scale float64, sched ChaosSchedule) (*ChaosResult, error) {
 	if scale <= 0 {
 		scale = 1.0
 	}
@@ -213,6 +325,10 @@ func RunChaosPlan(seed int64, scale float64, plan kernel.FaultPlan) (*ChaosResul
 	machine := kernel.NewMachine(cpu.New(hpc.NewBank(), cache.DefaultHierarchy()), seed)
 	session, err := core.Start(machine, core.Config{
 		Events: []oprofile.EventConfig{{Event: hpc.GlobalPowerEvents, Period: 45_000}},
+		// A small spill bound so flush-failure scenarios actually
+		// exercise the framed spill protocol (the default bound is far
+		// above what a chaos-scale backlog reaches).
+		Daemon: oprofile.DaemonConfig{SpillMax: 16},
 	})
 	if err != nil {
 		return nil, err
@@ -221,9 +337,13 @@ func RunChaosPlan(seed int64, scale float64, plan kernel.FaultPlan) (*ChaosResul
 	if err != nil {
 		return nil, err
 	}
-	// Arm the injector only after launch, so session setup writes (none
+	// Arm the injectors only after launch, so session setup writes (none
 	// today, but cheap insurance) cannot consume schedule randomness.
-	machine.Kern.SetFaultInjector(plan)
+	machine.Kern.SetFaultInjectors(sched.Plans...)
+	disk := machine.Kern.Disk()
+	if sched.ListPlan != nil {
+		disk.SetListFaultInjector(*sched.ListPlan)
+	}
 
 	limit := uint64(spec.BaseSeconds*scale*100+60) * cpu.ClockHz
 	if err := machine.Kern.Run(limit); err != nil {
@@ -235,24 +355,43 @@ func RunChaosPlan(seed int64, scale float64, plan kernel.FaultPlan) (*ChaosResul
 	}
 	session.Shutdown()
 
+	// The startup recovery pass, still under fire: its marker writes,
+	// adoption renames, and merge writes face the same injectors, and
+	// its directory scans see the damaged listings.
+	rec, err := core.RunRecovery(machine, []int{proc.PID})
+	if err != nil {
+		return nil, fmt.Errorf("chaos seed %d: recovery: %v", seed, err)
+	}
+	listRec := disk.ListFaultStats()
+
 	rep, res, err := session.Report(session.Images(vm), map[string]int{proc.Name: proc.PID})
+	listAll := disk.ListFaultStats()
+	disk.ClearListFaultInjector()
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d: report: %v", seed, err)
 	}
+	var plan kernel.FaultPlan
+	if len(sched.Plans) == 1 {
+		plan = sched.Plans[0]
+	}
 	return &ChaosResult{
-		Seed:     seed,
-		Scenario: ScenarioOf(seed),
-		Plan:     plan,
-		Faults:   machine.Kern.FaultStats(),
-		Machine:  machine,
-		Session:  session,
-		VM:       vm,
-		Proc:     proc,
-		VMKilled: killed,
-		Driver:   session.Prof.Driver.Stats(),
-		Daemon:   session.Prof.Daemon,
-		Agent:    session.Agents[proc.PID],
-		Report:   rep,
-		Resolver: res,
+		Seed:               seed,
+		Scenario:           ScenarioOf(seed),
+		Schedule:           sched,
+		Plan:               plan,
+		Faults:             machine.Kern.FaultStats(),
+		ListFaultsRecovery: listRec,
+		ListFaults:         listAll,
+		Recovery:           rec,
+		Machine:            machine,
+		Session:            session,
+		VM:                 vm,
+		Proc:               proc,
+		VMKilled:           killed,
+		Driver:             session.Prof.Driver.Stats(),
+		Daemon:             session.Prof.Daemon,
+		Agent:              session.Agents[proc.PID],
+		Report:             rep,
+		Resolver:           res,
 	}, nil
 }

@@ -24,6 +24,9 @@ type Disk struct {
 	// readInjector, when set, delivers seeded EIO on Read — the offline
 	// tools' half of the fault model (see fault.go).
 	readInjector *readFaultInjector
+	// listInjector, when set, damages directory listings — dropped and
+	// phantom entries the chain reader must degrade loudly on.
+	listInjector *listFaultInjector
 }
 
 // NewDisk returns an empty disk.
@@ -98,14 +101,60 @@ func (d *Disk) Rename(oldPath, newPath string) error {
 	return nil
 }
 
-// List returns all file paths in sorted order.
+// List returns all file paths in sorted order. An installed list-fault
+// injector may damage the result: omit entries (lost dirents) or add
+// phantom ".tmp" siblings of real entries (stale dirents from an
+// unsynced rename). Damage affects only what the listing claims — the
+// files themselves are untouched, and direct-path Reads still work.
 func (d *Disk) List() []string {
 	out := make([]string, 0, len(d.files))
 	for p := range d.files {
 		out = append(out, p)
 	}
 	sort.Strings(out)
-	return out
+	if d.listInjector == nil {
+		return out
+	}
+	damaged := make([]string, 0, len(out))
+	seen := make(map[string]bool, len(out)+2)
+	for _, p := range out {
+		seen[p] = true
+	}
+	var phantoms []string
+	for _, p := range out {
+		drop, phantom := d.listInjector.decide(p)
+		if !drop {
+			damaged = append(damaged, p)
+		}
+		if phantom {
+			ph := p + ".tmp"
+			if !seen[ph] {
+				seen[ph] = true
+				phantoms = append(phantoms, ph)
+			}
+		}
+	}
+	damaged = append(damaged, phantoms...)
+	sort.Strings(damaged)
+	return damaged
+}
+
+// SetListFaultInjector installs the directory-damage schedule.
+func (d *Disk) SetListFaultInjector(plan ListFaultPlan) {
+	d.listInjector = &listFaultInjector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// ClearListFaultInjector removes the directory-damage schedule, so
+// later listings see the true disk.
+func (d *Disk) ClearListFaultInjector() { d.listInjector = nil }
+
+// ListFaultStats returns the list injector's counters (zero value if
+// no injector is installed).
+func (d *Disk) ListFaultStats() ListFaultStats {
+	if d.listInjector == nil {
+		return ListFaultStats{}
+	}
+	return d.listInjector.stats
 }
 
 // DumpTo writes every simulated file under a real directory, preserving
@@ -192,29 +241,38 @@ func (k *Kernel) SysWrite(p *Process, path string, data []byte) error {
 	k.ExecKernelMem("copy_from_user", writeBaseOps/3+len(data)/16*writeOpsPerWord, 1, copyBounceBuf, 16)
 	k.ExecKernel("vfs_write", writeBaseOps/3, 1)
 	k.ExecKernel("generic_file_write", writeBaseOps/2, 1)
-	kind := FaultNone
-	if k.injector != nil {
-		kind = k.injector.decide(path)
+	// Every armed injector proposes (advancing its own deterministic
+	// schedule); the first non-none proposal wins and only the winner
+	// records an injection, so composed schedules never count faults
+	// they did not deliver.
+	kind, winner := FaultNone, (*faultInjector)(nil)
+	for _, fi := range k.injectors {
+		if pk := fi.propose(path); pk != FaultNone && kind == FaultNone {
+			kind, winner = pk, fi
+		}
+	}
+	if winner != nil {
+		winner.note(kind)
 	}
 	switch kind {
 	case FaultEIO:
 		return ErrIO
 	case FaultENOSPC:
-		if n := k.injector.cutShort(len(data)); n > 0 {
+		if n := winner.cutShort(len(data)); n > 0 {
 			k.disk.Append(path, data[:n])
 		}
 		return ErrNoSpace
 	case FaultTorn:
-		if n := k.injector.cutTorn(len(data)); n > 0 {
+		if n := winner.cutTorn(len(data)); n > 0 {
 			k.disk.Append(path, data[:n])
 		}
 		return ErrIO
 	case FaultLatency:
 		k.disk.Append(path, data)
-		k.core.AdvanceIdle(k.injector.plan.LatencyCycles)
+		k.core.AdvanceIdle(winner.plan.LatencyCycles)
 		return nil
 	case FaultCrash:
-		if n := k.injector.cutShort(len(data)); n > 0 {
+		if n := winner.cutShort(len(data)); n > 0 {
 			k.disk.Append(path, data[:n])
 		}
 		k.Kill(p)
@@ -244,13 +302,38 @@ func (k *Kernel) SysWriteSync(p *Process, path string, data []byte) error {
 }
 
 // SysRename renames a file on behalf of p. It is the atomic commit of
-// the temp-then-rename protocol; the rename itself is metadata-only and
-// either fully happens or not at all (crashes strike the data write
-// before it, leaving an orphan temp file as the durable evidence).
+// the temp-then-rename protocol; the rename itself is metadata-only
+// and either fully happens or not at all. An installed fault injector
+// may strike the commit: fail-before (destination never appears, temp
+// survives as an orphan), fail-after (the rename is durable but the
+// caller sees an error — the ambiguous outcome a recovery protocol
+// must tolerate), or crash-mid (the renaming process dies before the
+// rename applies). Faults match against the destination path.
 func (k *Kernel) SysRename(p *Process, oldPath, newPath string) error {
 	if p != nil && p.killed {
 		return ErrCrashed
 	}
 	k.ExecKernel("sys_rename", writeBaseOps/2, 1)
+	kind, winner := FaultNone, (*faultInjector)(nil)
+	for _, fi := range k.injectors {
+		if pk := fi.proposeRename(newPath); pk != FaultNone && kind == FaultNone {
+			kind, winner = pk, fi
+		}
+	}
+	if winner != nil {
+		winner.note(kind)
+	}
+	switch kind {
+	case FaultRenameBefore:
+		return ErrIO
+	case FaultRenameCrash:
+		k.Kill(p)
+		return ErrCrashed
+	case FaultRenameAfter:
+		if err := k.disk.Rename(oldPath, newPath); err != nil {
+			return err
+		}
+		return ErrIO
+	}
 	return k.disk.Rename(oldPath, newPath)
 }

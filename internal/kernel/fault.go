@@ -46,6 +46,18 @@ const (
 	// FaultCrash writes a prefix and kills the writing process; every
 	// later write by that process fails with ErrCrashed.
 	FaultCrash
+	// FaultRenameBefore fails a SysRename before it applies: the
+	// destination never appears and the temp file survives as an orphan
+	// for the recovery pass to adopt or quarantine.
+	FaultRenameBefore
+	// FaultRenameAfter applies the rename, then reports an I/O error —
+	// the ambiguous-outcome commit a recovery protocol must tolerate:
+	// the caller believes the commit failed although it is durable.
+	FaultRenameAfter
+	// FaultRenameCrash kills the renaming process before the rename
+	// applies, leaving the orphan temp file as the only durable
+	// evidence of the attempted commit.
+	FaultRenameCrash
 )
 
 // String names the fault kind.
@@ -61,6 +73,12 @@ func (k FaultKind) String() string {
 		return "latency"
 	case FaultCrash:
 		return "crash"
+	case FaultRenameBefore:
+		return "rename-before"
+	case FaultRenameAfter:
+		return "rename-after"
+	case FaultRenameCrash:
+		return "rename-crash"
 	default:
 		return "none"
 	}
@@ -93,51 +111,114 @@ type FaultPlan struct {
 	MaxFaults int
 	// Script forces exact faults at exact matched-write indices.
 	Script []FaultPoint
+
+	// Per-rename probabilities, evaluated like the write probabilities
+	// but against SysRename calls. Renames draw from a second RNG stream
+	// (derived from Seed), so arming rename faults never perturbs an
+	// existing write-fault schedule.
+	PRenameBefore, PRenameAfter, PRenameCrash float64
+	// RenameScript forces exact rename faults at exact matched-rename
+	// indices (0 based). Only the rename kinds are meaningful here.
+	RenameScript []FaultPoint
 }
 
 // FaultStats counts injector activity.
 type FaultStats struct {
 	// Writes is every write seen; Matched is those under PathPrefix.
 	Writes, Matched uint64
+	// Renames is every rename seen; RenamesMatched is those whose
+	// destination falls under PathPrefix.
+	Renames, RenamesMatched uint64
 	// Per-kind injection counts.
 	EIO, ENoSpace, Torn, Latency, Crashes uint64
+	// Per-rename-kind injection counts.
+	RenameBefores, RenameAfters, RenameCrashes uint64
 	// Injected is the total number of faults delivered.
 	Injected uint64
 }
 
 // Destructive reports how many injected faults can lose or damage
-// persisted data (everything except latency spikes).
+// persisted data (everything except latency spikes). Every rename
+// fault counts: even fail-after leaves the committer believing a
+// durable commit failed, which forces deferral/duplication downstream.
 func (s FaultStats) Destructive() uint64 {
-	return s.EIO + s.ENoSpace + s.Torn + s.Crashes
+	return s.EIO + s.ENoSpace + s.Torn + s.Crashes +
+		s.RenameBefores + s.RenameAfters + s.RenameCrashes
+}
+
+// add merges two counter sets (used when several injectors are armed).
+func (s FaultStats) add(o FaultStats) FaultStats {
+	s.Writes += o.Writes
+	s.Matched += o.Matched
+	s.Renames += o.Renames
+	s.RenamesMatched += o.RenamesMatched
+	s.EIO += o.EIO
+	s.ENoSpace += o.ENoSpace
+	s.Torn += o.Torn
+	s.Latency += o.Latency
+	s.Crashes += o.Crashes
+	s.RenameBefores += o.RenameBefores
+	s.RenameAfters += o.RenameAfters
+	s.RenameCrashes += o.RenameCrashes
+	s.Injected += o.Injected
+	return s
 }
 
 type faultInjector struct {
-	plan  FaultPlan
-	rng   *rand.Rand
-	stats FaultStats
+	plan FaultPlan
+	rng  *rand.Rand
+	// renameRng is a second stream so the rename schedule is
+	// independent of how many writes happened to match.
+	renameRng *rand.Rand
+	stats     FaultStats
 }
 
-// SetFaultInjector installs (or, with a zero-probability empty plan,
-// effectively clears) the write-path fault schedule.
-func (k *Kernel) SetFaultInjector(plan FaultPlan) {
+func newFaultInjector(plan FaultPlan) *faultInjector {
 	if plan.LatencyCycles == 0 {
 		plan.LatencyCycles = 4 * SyncLatencyCycles
 	}
-	k.injector = &faultInjector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+	return &faultInjector{
+		plan:      plan,
+		rng:       rand.New(rand.NewSource(plan.Seed)),
+		renameRng: rand.New(rand.NewSource(plan.Seed ^ 0x7265_6e61_6d65)), // "rename"
+	}
 }
 
-// FaultStats returns the injector's counters (zero value if no
+// SetFaultInjector installs (or, with a zero-probability empty plan,
+// effectively clears) the write-path fault schedule, replacing any
+// previously armed injectors.
+func (k *Kernel) SetFaultInjector(plan FaultPlan) {
+	k.injectors = []*faultInjector{newFaultInjector(plan)}
+}
+
+// SetFaultInjectors arms several fault schedules at once (a composed
+// chaos run). Every injector sees every write/rename and advances its
+// own deterministic schedule; when more than one proposes a fault for
+// the same operation, the first armed plan wins and only the winner's
+// counters record an injection.
+func (k *Kernel) SetFaultInjectors(plans ...FaultPlan) {
+	k.injectors = k.injectors[:0]
+	for _, plan := range plans {
+		k.injectors = append(k.injectors, newFaultInjector(plan))
+	}
+}
+
+// FaultStats returns the injectors' counters summed (zero value if no
 // injector is installed).
 func (k *Kernel) FaultStats() FaultStats {
-	if k.injector == nil {
-		return FaultStats{}
+	var s FaultStats
+	for _, fi := range k.injectors {
+		s = s.add(fi.stats)
 	}
-	return k.injector.stats
+	return s
 }
 
-// decide picks the fault for one write. The RNG is touched only for
-// prefix-matched writes, keeping schedules deterministic per plan.
-func (fi *faultInjector) decide(path string) FaultKind {
+// propose picks the fault this injector wants for one write, without
+// recording an injection — the kernel notes only the winning injector,
+// so losing proposals never inflate destructive-fault counts. The RNG
+// is touched only for prefix-matched writes, keeping schedules
+// deterministic per plan.
+func (fi *faultInjector) propose(path string) FaultKind {
 	fi.stats.Writes++
 	if !strings.HasPrefix(path, fi.plan.PathPrefix) {
 		return FaultNone
@@ -146,7 +227,6 @@ func (fi *faultInjector) decide(path string) FaultKind {
 	fi.stats.Matched++
 	for _, pt := range fi.plan.Script {
 		if pt.Write == idx {
-			fi.note(pt.Kind)
 			return pt.Kind
 		}
 	}
@@ -165,7 +245,41 @@ func (fi *faultInjector) decide(path string) FaultKind {
 		{fi.plan.PCrash, FaultCrash},
 	} {
 		if r < c.p {
-			fi.note(c.k)
+			return c.k
+		}
+		r -= c.p
+	}
+	return FaultNone
+}
+
+// proposeRename picks the fault this injector wants for one SysRename
+// (matched against the rename's destination path). Same contract as
+// propose: no injection is recorded until the kernel notes the winner.
+func (fi *faultInjector) proposeRename(newPath string) FaultKind {
+	fi.stats.Renames++
+	if !strings.HasPrefix(newPath, fi.plan.PathPrefix) {
+		return FaultNone
+	}
+	idx := int(fi.stats.RenamesMatched)
+	fi.stats.RenamesMatched++
+	for _, pt := range fi.plan.RenameScript {
+		if pt.Write == idx {
+			return pt.Kind
+		}
+	}
+	if fi.plan.MaxFaults > 0 && fi.stats.Injected >= uint64(fi.plan.MaxFaults) {
+		return FaultNone
+	}
+	r := fi.renameRng.Float64()
+	for _, c := range []struct {
+		p float64
+		k FaultKind
+	}{
+		{fi.plan.PRenameBefore, FaultRenameBefore},
+		{fi.plan.PRenameAfter, FaultRenameAfter},
+		{fi.plan.PRenameCrash, FaultRenameCrash},
+	} {
+		if r < c.p {
 			return c.k
 		}
 		r -= c.p
@@ -185,6 +299,12 @@ func (fi *faultInjector) note(kind FaultKind) {
 		fi.stats.Latency++
 	case FaultCrash:
 		fi.stats.Crashes++
+	case FaultRenameBefore:
+		fi.stats.RenameBefores++
+	case FaultRenameAfter:
+		fi.stats.RenameAfters++
+	case FaultRenameCrash:
+		fi.stats.RenameCrashes++
 	default:
 		return
 	}
@@ -273,4 +393,98 @@ func (ri *readFaultInjector) decide(path string) bool {
 		return true
 	}
 	return false
+}
+
+// Directory-damage fault injection. Disk.List is the third trusted
+// surface after writes and reads: the offline chain reader discovers
+// epoch map files by listing, so a listing that silently omits a file
+// (a lost dirent) or resurrects a stale one (a phantom dirent after an
+// unsynced rename) can hide committed epochs or re-expose quarantined
+// temp files. The chain reader's contract under this injector is the
+// same loud-degradation rule as everywhere else: a damaged listing may
+// poison epochs and mark the run degraded, but must never let a sample
+// misattribute through a hidden file.
+
+// ListFaultPlan is a deterministic directory-damage schedule.
+type ListFaultPlan struct {
+	// Seed drives the injector's private RNG.
+	Seed int64
+	// PathPrefix restricts injection to listed entries under this path
+	// ("" = every entry).
+	PathPrefix string
+	// PDrop is the per-entry probability that a listing omits the
+	// entry (lost dirent).
+	PDrop float64
+	// PPhantom is the per-entry probability that a listing grows a
+	// phantom sibling: the entry's path with ".tmp" appended, provided
+	// no such file exists (a stale dirent for an already-renamed temp).
+	PPhantom float64
+	// MaxFaults caps injections (0 = unlimited).
+	MaxFaults int
+	// DropScript / PhantomScript force faults at exact matched-entry
+	// indices (0 based), regardless of the probabilistic schedule.
+	DropScript, PhantomScript []int
+}
+
+// ListFaultStats counts directory-damage injector activity.
+type ListFaultStats struct {
+	// Entries is every listed entry seen; Matched is those under
+	// PathPrefix.
+	Entries, Matched uint64
+	// Dropped / Phantoms count injected faults.
+	Dropped, Phantoms uint64
+	// DroppedPaths / PhantomPaths record exactly which entries were
+	// damaged, so invariant checks can tell consequential damage (a
+	// hidden map file) from inconsequential (a hidden stats file that
+	// is read by direct path anyway).
+	DroppedPaths, PhantomPaths []string
+}
+
+type listFaultInjector struct {
+	plan  ListFaultPlan
+	rng   *rand.Rand
+	stats ListFaultStats
+}
+
+// decide classifies one listed entry: dropped, phantom-sibling added,
+// or passed through. The RNG is consumed only for prefix-matched
+// entries, so a fixed plan reproduces the identical damage schedule
+// against the identical listing sequence.
+func (li *listFaultInjector) decide(path string) (drop, phantom bool) {
+	li.stats.Entries++
+	if !strings.HasPrefix(path, li.plan.PathPrefix) {
+		return false, false
+	}
+	idx := int(li.stats.Matched)
+	li.stats.Matched++
+	for _, w := range li.plan.DropScript {
+		if w == idx {
+			li.stats.Dropped++
+			li.stats.DroppedPaths = append(li.stats.DroppedPaths, path)
+			return true, false
+		}
+	}
+	for _, w := range li.plan.PhantomScript {
+		if w == idx {
+			li.stats.Phantoms++
+			li.stats.PhantomPaths = append(li.stats.PhantomPaths, path)
+			return false, true
+		}
+	}
+	if li.plan.MaxFaults > 0 && li.stats.Dropped+li.stats.Phantoms >= uint64(li.plan.MaxFaults) {
+		return false, false
+	}
+	r := li.rng.Float64()
+	if r < li.plan.PDrop {
+		li.stats.Dropped++
+		li.stats.DroppedPaths = append(li.stats.DroppedPaths, path)
+		return true, false
+	}
+	r -= li.plan.PDrop
+	if r < li.plan.PPhantom {
+		li.stats.Phantoms++
+		li.stats.PhantomPaths = append(li.stats.PhantomPaths, path)
+		return false, true
+	}
+	return false, false
 }

@@ -207,3 +207,226 @@ func TestMaxFaultsCap(t *testing.T) {
 		t.Fatalf("%d failed writes, want 3 (2 capped EIO + 1 scripted)", failed)
 	}
 }
+
+// Each rename fault mode: fail-before leaves the orphan temp and no
+// destination; fail-after leaves a durable destination despite the
+// error; crash-mid kills the renamer with the temp intact.
+func TestRenameFaultModes(t *testing.T) {
+	for _, tc := range []struct {
+		kind               FaultKind
+		wantTmp, wantFinal bool
+		wantCrash          bool
+	}{
+		{FaultRenameBefore, true, false, false},
+		{FaultRenameAfter, false, true, false},
+		{FaultRenameCrash, true, false, true},
+	} {
+		m := faultTestMachine(17)
+		m.Kern.SetFaultInjector(FaultPlan{
+			Seed:         5,
+			RenameScript: []FaultPoint{{Write: 0, Kind: tc.kind}},
+		})
+		p, err := m.Kern.NewProcess("renamer", ExecFunc(func(m *Machine, p *Process) StepResult {
+			return StepYield
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Kern.SysWrite(p, "d/a.tmp", []byte("payload")); err != nil {
+			t.Fatalf("%v: setup write: %v", tc.kind, err)
+		}
+		err = m.Kern.SysRename(p, "d/a.tmp", "d/a")
+		if err == nil {
+			t.Fatalf("%v: rename succeeded", tc.kind)
+		}
+		if tc.wantCrash != errors.Is(err, ErrCrashed) {
+			t.Fatalf("%v: rename error %v, crash want %v", tc.kind, err, tc.wantCrash)
+		}
+		if tc.wantCrash != p.Killed() {
+			t.Fatalf("%v: killed=%v, want %v", tc.kind, p.Killed(), tc.wantCrash)
+		}
+		disk := m.Kern.Disk()
+		if got := disk.Exists("d/a.tmp"); got != tc.wantTmp {
+			t.Errorf("%v: temp exists=%v, want %v", tc.kind, got, tc.wantTmp)
+		}
+		if got := disk.Exists("d/a"); got != tc.wantFinal {
+			t.Errorf("%v: final exists=%v, want %v", tc.kind, got, tc.wantFinal)
+		}
+		if tc.wantFinal {
+			if data, err := disk.Read("d/a"); err != nil || string(data) != "payload" {
+				t.Errorf("%v: final content %q, %v", tc.kind, data, err)
+			}
+		}
+		st := m.Kern.FaultStats()
+		if st.Destructive() != 1 || st.Injected != 1 {
+			t.Errorf("%v: stats %+v, want exactly one destructive injection", tc.kind, st)
+		}
+	}
+}
+
+// Renaming onto an existing destination silently replaces it — POSIX
+// rename(2) semantics, which the recovery pass's adoption step relies
+// on being idempotent.
+func TestRenameToExistingPath(t *testing.T) {
+	m := faultTestMachine(19)
+	if err := m.Kern.SysWrite(nil, "d/a", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.SysWrite(nil, "d/a.tmp", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.SysRename(nil, "d/a.tmp", "d/a"); err != nil {
+		t.Fatalf("rename onto existing path: %v", err)
+	}
+	if m.Kern.Disk().Exists("d/a.tmp") {
+		t.Error("source still exists after replacing rename")
+	}
+	data, err := m.Kern.Disk().Read("d/a")
+	if err != nil || string(data) != "new" {
+		t.Fatalf("destination content %q, %v; want the replacement", data, err)
+	}
+}
+
+// The rename schedule draws from its own RNG stream: arming rename
+// probabilities must not change which writes fail.
+func TestRenameStreamIndependentOfWrites(t *testing.T) {
+	run := func(withRenames bool) ([]error, FaultStats) {
+		m := faultTestMachine(23)
+		plan := FaultPlan{Seed: 31, PathPrefix: "var/", PEIO: 0.3}
+		if withRenames {
+			plan.PRenameBefore = 0.4
+			plan.PRenameAfter = 0.3
+		}
+		m.Kern.SetFaultInjector(plan)
+		var errs []error
+		for i := 0; i < 30; i++ {
+			errs = append(errs, m.Kern.SysWrite(nil, "var/data", []byte("xxxxxxxxxxxxxxxx")))
+			_ = m.Kern.SysWrite(nil, "var/t.tmp", []byte("y"))
+			_ = m.Kern.SysRename(nil, "var/t.tmp", "var/t")
+		}
+		return errs, m.Kern.FaultStats()
+	}
+	plain, stPlain := run(false)
+	armed, stArmed := run(true)
+	for i := range plain {
+		if (plain[i] == nil) != (armed[i] == nil) {
+			t.Fatalf("write %d: error %v without renames vs %v with — rename faults perturbed the write schedule",
+				i, plain[i], armed[i])
+		}
+	}
+	if stPlain.EIO != stArmed.EIO {
+		t.Fatalf("EIO count changed when rename faults were armed: %d vs %d", stPlain.EIO, stArmed.EIO)
+	}
+	if stArmed.RenameBefores+stArmed.RenameAfters == 0 {
+		t.Fatal("armed rename schedule injected nothing; probabilities too low to test independence")
+	}
+}
+
+// Composed injectors: every armed plan advances its own schedule, but
+// only the winning proposal records an injection — two always-fail
+// plans on the same path must deliver exactly one fault per write.
+func TestComposedInjectorsCountWinnerOnly(t *testing.T) {
+	m := faultTestMachine(29)
+	m.Kern.SetFaultInjectors(
+		FaultPlan{Seed: 1, PathPrefix: "var/", PEIO: 1.0},
+		FaultPlan{Seed: 2, PathPrefix: "var/", PTorn: 1.0},
+	)
+	const writes = 10
+	for i := 0; i < writes; i++ {
+		if err := m.Kern.SysWrite(nil, "var/data", []byte("xxxxxxxxxxxxxxxx")); err == nil {
+			t.Fatalf("write %d succeeded under an always-fail schedule", i)
+		}
+	}
+	st := m.Kern.FaultStats()
+	if st.Injected != writes {
+		t.Fatalf("injected %d faults over %d writes; losing proposals were counted", st.Injected, writes)
+	}
+	if st.EIO != writes || st.Torn != 0 {
+		t.Fatalf("stats %+v: first armed plan must win every contested write", st)
+	}
+	if st.Matched != 2*writes {
+		t.Fatalf("matched %d, want %d: every injector must see (and advance on) every write", st.Matched, 2*writes)
+	}
+}
+
+// Directory damage: dropped entries vanish from the listing only,
+// phantom entries appear as ".tmp" siblings only when no such file
+// exists, and direct-path reads are never affected.
+func TestListFaultDropAndPhantom(t *testing.T) {
+	m := faultTestMachine(37)
+	disk := m.Kern.Disk()
+	for _, f := range []string{"d/map.0", "d/map.1", "d/map.2"} {
+		if err := m.Kern.SysWrite(nil, f, []byte(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk.SetListFaultInjector(ListFaultPlan{
+		Seed:          3,
+		PathPrefix:    "d/",
+		DropScript:    []int{1},
+		PhantomScript: []int{0},
+	})
+	listed := make(map[string]bool)
+	for _, name := range disk.List() {
+		listed[name] = true
+	}
+	if listed["d/map.1"] {
+		t.Error("dropped dirent still listed")
+	}
+	if !listed["d/map.0"] || !listed["d/map.2"] {
+		t.Error("undamaged entries missing from the listing")
+	}
+	if !listed["d/map.0.tmp"] {
+		t.Error("phantom dirent not listed")
+	}
+	if disk.Exists("d/map.0.tmp") {
+		t.Error("phantom dirent materialized as a real file")
+	}
+	if data, err := disk.Read("d/map.1"); err != nil || string(data) != "d/map.1" {
+		t.Errorf("direct read of dropped entry: %q, %v — listing damage must not affect reads", data, err)
+	}
+	st := disk.ListFaultStats()
+	if st.Dropped != 1 || st.Phantoms != 1 {
+		t.Fatalf("list fault stats %+v", st)
+	}
+	if len(st.DroppedPaths) != 1 || st.DroppedPaths[0] != "d/map.1" {
+		t.Errorf("dropped paths %v", st.DroppedPaths)
+	}
+	if len(st.PhantomPaths) != 1 || st.PhantomPaths[0] != "d/map.0" {
+		t.Errorf("phantom paths %v", st.PhantomPaths)
+	}
+	// A second listing with the script exhausted is undamaged.
+	disk.ClearListFaultInjector()
+	n := 0
+	for _, name := range disk.List() {
+		if listed := name; listed != "" {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("listing after clearing the injector has %d entries, want 3", n)
+	}
+}
+
+// A phantom sibling is suppressed when the ".tmp" file genuinely
+// exists — the listing must not duplicate a real entry.
+func TestListFaultPhantomSkipsRealFile(t *testing.T) {
+	m := faultTestMachine(41)
+	disk := m.Kern.Disk()
+	if err := m.Kern.SysWrite(nil, "d/map.0", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.SysWrite(nil, "d/map.0.tmp", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	disk.SetListFaultInjector(ListFaultPlan{Seed: 3, PathPrefix: "d/", PhantomScript: []int{0}})
+	seen := 0
+	for _, name := range disk.List() {
+		if name == "d/map.0.tmp" {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("real .tmp file listed %d times, want exactly once", seen)
+	}
+}

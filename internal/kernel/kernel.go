@@ -136,7 +136,7 @@ type Kernel struct {
 	rng      *rand.Rand
 	tickers  []*ticker
 	faults   uint64
-	injector *faultInjector
+	injectors []*faultInjector
 
 	Timeslice uint64
 	// SwitchCost is the context-switch overhead in cycles.

@@ -128,6 +128,11 @@ func TestSysWriteErr(t *testing.T) {
 	t.Run("ok", func(t *testing.T) { checkFixture(t, "syswriteerr_ok", SysWriteErr) })
 }
 
+func TestRecordFrame(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "recordframe_bad", RecordFrame) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "recordframe_ok", RecordFrame) })
+}
+
 func TestEpochResolve(t *testing.T) {
 	t.Run("bad", func(t *testing.T) { checkFixture(t, "epochresolve_bad", EpochResolve) })
 	t.Run("ok", func(t *testing.T) { checkFixture(t, "epochresolve_ok", EpochResolve) })
@@ -229,7 +234,7 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"detrand", "maporder", "syswrite-err", "epoch-resolve"} {
+	for _, want := range []string{"detrand", "maporder", "syswrite-err", "epoch-resolve", "record-frame"} {
 		if !names[want] {
 			t.Errorf("missing analyzer %q", want)
 		}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"viprof/internal/lint/analysis"
+)
+
+// RecordFrame enforces the durable-artifact framing invariant behind
+// the crash-recovery protocol: every persisted artifact is written
+// through record.Frame (so a torn write fails its checksum instead of
+// misparsing) and read back through the salvage layer (record.Scan or
+// a salvage-aware Read* helper, so damage degrades loudly instead of
+// erroring or lying). A write whose payload the pass cannot see to be
+// framed, or a read whose bytes never reach a salvage-aware reader,
+// requires an explicit //viplint:allow record-frame <reason> waiver
+// stating why the artifact is exempt (e.g. guest program output, or a
+// payload that is a concatenation of frames built out of line).
+var RecordFrame = &analysis.Analyzer{
+	Name: "record-frame",
+	Doc: "persisted artifacts must be written through record.Frame and read back " +
+		"through the salvage layer, or carry an annotated waiver",
+	Run: runRecordFrame,
+}
+
+const recordPkgPath = "viprof/internal/record"
+
+func runRecordFrame(pass *analysis.Pass) (interface{}, error) {
+	// The kernel implements the disk; its internals are below the
+	// framing protocol.
+	if pass.Pkg.Path() == kernelPkgPath {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRecordFrameFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+func checkRecordFrameFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	// Objects assigned from a frame-producing call anywhere in this
+	// function are framed payloads when later written.
+	framed := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Rhs) != 1 || !isFrameProducing(info, s.Rhs[0]) {
+			return true
+		}
+		for _, lhs := range s.Lhs {
+			if obj := objectOf(info, lhs); obj != nil {
+				framed[obj] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != kernelPkgPath {
+			return true
+		}
+		switch {
+		case kernelWriteMethods[fn.Name()] && fn.Name() != "SysRename":
+			data := call.Args[len(call.Args)-1]
+			if isFrameProducing(info, data) {
+				return true
+			}
+			if obj := objectOf(info, data); obj != nil && framed[obj] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "unframed %s payload: persisted artifacts go through record.Frame so a torn write fails its checksum — frame it or waive with //viplint:allow record-frame <reason>", fn.Name())
+		case fn.Name() == "Read" && receiverIs(fn, "Disk"):
+			checkSalvagedRead(pass, body, call)
+		}
+		return true
+	})
+}
+
+// isFrameProducing reports whether e is a call that yields framed
+// bytes: record.Frame itself, or a helper whose name says it builds
+// frames or journal records (buildSpillFrames, journalSpillCommit,
+// JournalRecoveryBegin, ...).
+func isFrameProducing(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn := calleeFunc(info, call); fn != nil &&
+		fn.Name() == "Frame" && fn.Pkg() != nil && fn.Pkg().Path() == recordPkgPath {
+		return true
+	}
+	name := strings.ToLower(calleeName(call))
+	return strings.Contains(name, "frame") || strings.Contains(name, "journal")
+}
+
+// checkSalvagedRead requires the bytes a Disk.Read call binds to reach
+// a salvage-aware reader somewhere in the enclosing function. A read
+// whose result is discarded (blank) is out of scope.
+func checkSalvagedRead(pass *analysis.Pass, body *ast.BlockStmt, readCall *ast.CallExpr) {
+	info := pass.TypesInfo
+	var obj types.Object
+	bound := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Rhs) != 1 || ast.Unparen(s.Rhs[0]) != readCall || len(s.Lhs) == 0 {
+			return true
+		}
+		bound = true
+		obj = objectOf(info, s.Lhs[0])
+		return false
+	})
+	if bound && obj == nil {
+		return // blank: the caller only wanted the error (or nothing)
+	}
+	if obj != nil {
+		approved := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSalvageReader(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if usesObject(info, arg, obj) {
+					approved = true
+					return false
+				}
+			}
+			return true
+		})
+		if approved {
+			return
+		}
+	}
+	pass.Reportf(readCall.Pos(), "Disk.Read bytes never reach a salvage-aware reader: route them through record.Scan or a Read*/salvage* helper so damage degrades instead of misparsing, or waive with //viplint:allow record-frame <reason>")
+}
+
+// isSalvageReader reports whether call is a salvage-aware reader: any
+// function in internal/record, or a module function whose name marks
+// it as a parsing/salvaging reader. Standard-library helpers
+// (bytes.NewReader, ...) deliberately do not qualify — wrapping bytes
+// is not salvaging them.
+func isSalvageReader(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path == recordPkgPath {
+		return true
+	}
+	if path != "viprof" && !strings.HasPrefix(path, "viprof/") {
+		return false
+	}
+	name := strings.ToLower(fn.Name())
+	for _, marker := range []string{"read", "salvage", "scan", "parse"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// usesObject reports whether expr references obj anywhere.
+func usesObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -19,7 +19,7 @@ import (
 
 // Analyzers returns the full viplint pass suite, in reporting order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{DetRand, MapOrder, SysWriteErr, EpochResolve}
+	return []*analysis.Analyzer{DetRand, MapOrder, SysWriteErr, EpochResolve, RecordFrame}
 }
 
 // Finding is one unsuppressed diagnostic, positioned for printing.

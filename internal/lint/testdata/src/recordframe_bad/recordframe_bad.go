@@ -1,0 +1,40 @@
+// Package recordframe_bad: persisted writes whose payload the pass
+// cannot see to be framed, and reads whose bytes never reach the
+// salvage layer.
+package recordframe_bad
+
+import (
+	"viprof/internal/kernel"
+)
+
+func rawWrite(k *kernel.Kernel, p *kernel.Process, data []byte) error {
+	return k.SysWrite(p, "var/lib/x.dat", data) // want `unframed SysWrite payload`
+}
+
+func rawSyncWrite(k *kernel.Kernel, p *kernel.Process) error {
+	buf := []byte("not a frame")
+	return k.SysWriteSync(p, "var/lib/x.dat", buf) // want `unframed SysWriteSync payload`
+}
+
+func conversionWrite(k *kernel.Kernel, p *kernel.Process, rec string) error {
+	return k.SysWrite(p, "var/lib/x.log", []byte(rec)) // want `unframed SysWrite payload`
+}
+
+func unsalvagedRead(d *kernel.Disk) int {
+	data, err := d.Read("var/lib/x.dat") // want `never reach a salvage-aware reader`
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
+
+func waivedWrite(k *kernel.Kernel, p *kernel.Process, data []byte) error {
+	//viplint:allow record-frame guest output stream, not a profiler artifact
+	return k.SysWrite(p, "guest.out", data)
+}
+
+func waivedRead(d *kernel.Disk) []byte {
+	//viplint:allow record-frame size probe only, bytes are never interpreted
+	data, _ := d.Read("var/lib/x.dat")
+	return data
+}

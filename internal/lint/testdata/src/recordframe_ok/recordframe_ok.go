@@ -1,0 +1,69 @@
+// Package recordframe_ok: the framed-write and salvaged-read shapes
+// the record-frame pass accepts without a waiver.
+package recordframe_ok
+
+import (
+	"viprof/internal/kernel"
+	"viprof/internal/record"
+)
+
+func framedWrite(k *kernel.Kernel, p *kernel.Process, payload []byte) error {
+	return k.SysWrite(p, "var/lib/x.dat", record.Frame(payload))
+}
+
+func framedVarWrite(k *kernel.Kernel, p *kernel.Process, payload []byte) error {
+	frame := record.Frame(payload)
+	return k.SysWriteSync(p, "var/lib/x.dat", frame)
+}
+
+func builderWrite(k *kernel.Kernel, p *kernel.Process, payload []byte) error {
+	frames, err := buildFrames(payload)
+	if err != nil {
+		return err
+	}
+	return k.SysWrite(p, "var/lib/x.spill", frames)
+}
+
+func journalWrite(k *kernel.Kernel, p *kernel.Process) error {
+	return k.SysWrite(p, "var/lib/x.journal", journalCommit(7))
+}
+
+func buildFrames(payload []byte) ([]byte, error) {
+	return record.Frame(payload), nil
+}
+
+func journalCommit(seq int) []byte {
+	return record.Frame([]byte{byte(seq)})
+}
+
+func salvagedRead(d *kernel.Disk) int {
+	data, err := d.Read("var/lib/x.dat")
+	if err != nil {
+		return 0
+	}
+	recs, _ := record.Scan(data)
+	return len(recs)
+}
+
+func helperRead(d *kernel.Disk) int {
+	data, err := d.Read("var/lib/x.stats")
+	if err != nil {
+		return 0
+	}
+	return readStats(data)
+}
+
+func readStats(data []byte) int {
+	recs, _ := record.Scan(data)
+	return len(recs)
+}
+
+func errorOnlyRead(d *kernel.Disk) bool {
+	_, err := d.Read("var/lib/x.dat")
+	return err == nil
+}
+
+// A rename carries no payload; the pass has nothing to say about it.
+func renameOnly(k *kernel.Kernel, p *kernel.Process) error {
+	return k.SysRename(p, "var/lib/x.tmp", "var/lib/x.dat")
+}

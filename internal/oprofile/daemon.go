@@ -21,8 +21,11 @@ import (
 // the daemon retries the full delta later — so a failed flush can never
 // double-count and never silently vanishes. Failures are counted in
 // FlushErrors; when the backlog exceeds SpillMax keys, the tail of the
-// key space is dropped with its sample count accumulated in Spilled —
-// bounded memory, accountable loss.
+// key space is parked on disk as framed, journaled spill records (see
+// spill.go) that the recovery pass re-merges — bounded memory,
+// recoverable loss. Only if the spill path itself keeps failing does a
+// hard cap drop the far tail into SpilledLost: bounded memory first,
+// accountable loss as the last resort.
 
 // DaemonConfig tunes the daemon.
 type DaemonConfig struct {
@@ -32,9 +35,10 @@ type DaemonConfig struct {
 	// BatchMax bounds samples processed per wake (0 = all).
 	BatchMax int
 	// SpillMax bounds the dirty map across failed flushes: beyond this
-	// many keys the sorted tail is dropped and counted in Spilled
-	// (default 8192; the real daemon's event buffer is similarly
-	// bounded).
+	// many keys the sorted tail is spilled to the framed on-disk spill
+	// file (default 8192; the real daemon's event buffer is similarly
+	// bounded). If spilling itself fails, a hard cap of 4x SpillMax
+	// drops the far tail with its count accumulated in SpilledLost.
 	SpillMax int
 }
 
@@ -61,10 +65,21 @@ type Daemon struct {
 	samplesLogged uint64
 	flushes       uint64
 	flushErrors   uint64
-	spilled       uint64
 	backoff       uint // consecutive failed flushes (shifts the sleep)
 	crashed       bool // killed mid-write by fault injection
 	stopped       bool
+
+	// Spill bookkeeping (see spill.go). spillSeq is burned per attempt;
+	// spilledOnDisk counts samples parked in committed spill frames;
+	// spilledLost counts samples the hard cap had to drop outright,
+	// broken down per event mnemonic in spilledLostByEvent.
+	spillSeq           uint64
+	spillBatches       uint64
+	spillErrors        uint64
+	journalErrors      uint64
+	spilledOnDisk      uint64
+	spilledLost        uint64
+	spilledLostByEvent map[string]uint64
 }
 
 // StartDaemon spawns the oprofiled process. It runs as a system daemon
@@ -78,11 +93,12 @@ func StartDaemon(m *kernel.Machine, drv *Driver, cfg DaemonConfig) (*Daemon, err
 		cfg.SpillMax = 8192
 	}
 	d := &Daemon{
-		drv:          drv,
-		cfg:          cfg,
-		counts:       make(map[Key]uint64),
-		dirty:        make(map[Key]uint64),
-		perSampleOps: 420,
+		drv:                drv,
+		cfg:                cfg,
+		counts:             make(map[Key]uint64),
+		dirty:              make(map[Key]uint64),
+		perSampleOps:       420,
+		spilledLostByEvent: make(map[string]uint64),
 	}
 	proc, err := m.Kern.NewProcess("oprofiled", d)
 	if err != nil {
@@ -165,20 +181,88 @@ func (d *Daemon) flush(m *kernel.Machine) {
 		if d.backoff < 6 {
 			d.backoff++
 		}
-		d.spillExcess(order)
+		d.spillExcess(m, order)
 	}
 }
 
-// spillExcess bounds the dirty map after failed flushes by dropping the
-// sorted tail of the key space, accumulating the dropped sample count
-// in Spilled. Deterministic (sorted order) and loud (counted), never
-// silent.
-func (d *Daemon) spillExcess(order []Key) {
+// spillExcess bounds the dirty map after failed flushes by parking the
+// sorted tail of the key space on disk as framed, journaled spill
+// records. The commit order is the whole protocol: frames first (one
+// write), journal ratification second, and only then do the keys leave
+// the dirty map — so every sample is, at every instant, accounted in
+// exactly one of {dirty, committed spill, lost}. Deterministic (sorted
+// order) and loud (counted), never silent.
+func (d *Daemon) spillExcess(m *kernel.Machine, order []Key) {
 	if d.cfg.SpillMax <= 0 || len(d.dirty) <= d.cfg.SpillMax {
 		return
 	}
-	for _, k := range order[d.cfg.SpillMax:] {
-		d.spilled += d.dirty[k]
+	tail := order[d.cfg.SpillMax:]
+	// Burn the sequence number even if this attempt fails: a later
+	// attempt's journal commit must never ratify a stale frame left by
+	// a torn earlier write.
+	seq := d.spillSeq
+	d.spillSeq++
+	frames, err := buildSpillFrames(seq, d.dirty, tail)
+	if err != nil {
+		d.spillErrors++
+		d.hardCap(order)
+		return
+	}
+	if err := m.Kern.SysWrite(d.proc, SpillFile, frames); err != nil {
+		if errors.Is(err, kernel.ErrCrashed) {
+			d.crashed = true
+			d.stopped = true
+			return
+		}
+		d.spillErrors++
+		d.hardCap(order)
+		return
+	}
+	var total uint64
+	for _, k := range tail {
+		total += d.dirty[k]
+	}
+	if err := m.Kern.SysWrite(d.proc, DaemonJournalFile, journalSpillCommit(seq, total)); err != nil {
+		if errors.Is(err, kernel.ErrCrashed) {
+			d.crashed = true
+			d.stopped = true
+			return
+		}
+		// The frames landed but were never ratified: recovery discards
+		// them and the keys stay dirty — adopting samples that are still
+		// accounted unflushed would double-count.
+		d.spillErrors++
+		d.journalErrors++
+		d.hardCap(order)
+		return
+	}
+	for _, k := range tail {
+		d.spilledOnDisk += d.dirty[k]
+		delete(d.dirty, k)
+	}
+	d.spillBatches++
+}
+
+// hardCap is the last-resort memory bound when the spill path itself
+// keeps failing: beyond 4x SpillMax keys the sorted far tail is
+// dropped outright, its sample count accumulated in SpilledLost per
+// event. Loud, bounded, and only reachable through repeated disk
+// failure.
+func (d *Daemon) hardCap(order []Key) {
+	if d.cfg.SpillMax <= 0 {
+		return
+	}
+	limit := 4 * d.cfg.SpillMax
+	if len(d.dirty) <= limit {
+		return
+	}
+	for _, k := range order[limit:] {
+		c, ok := d.dirty[k]
+		if !ok {
+			continue
+		}
+		d.spilledLost += c
+		d.spilledLostByEvent[k.Event.String()] += c
 		delete(d.dirty, k)
 	}
 }
@@ -216,8 +300,19 @@ func (d *Daemon) writeStats(m *kernel.Machine) {
 	ds := d.drv.Stats()
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "nmis=%d\nlogged=%d\ndropped=%d\n", ds.NMIs, ds.Logged, ds.Dropped)
-	fmt.Fprintf(&buf, "samples_logged=%d\nflushes=%d\nflush_errors=%d\nspilled=%d\nunflushed=%d\nclean=1\n",
-		d.samplesLogged, d.flushes, d.flushErrors, d.spilled, unflushed)
+	fmt.Fprintf(&buf, "samples_logged=%d\nflushes=%d\nflush_errors=%d\nspilled=%d\nunflushed=%d\n",
+		d.samplesLogged, d.flushes, d.flushErrors, d.spilledOnDisk+d.spilledLost, unflushed)
+	fmt.Fprintf(&buf, "spilled_on_disk=%d\nspilled_lost=%d\nspill_batches=%d\nspill_errors=%d\njournal_errors=%d\n",
+		d.spilledOnDisk, d.spilledLost, d.spillBatches, d.spillErrors, d.journalErrors)
+	events := make([]string, 0, len(d.spilledLostByEvent))
+	for ev := range d.spilledLostByEvent {
+		events = append(events, ev)
+	}
+	sort.Strings(events)
+	for _, ev := range events {
+		fmt.Fprintf(&buf, "spilled_lost.%s=%d\n", ev, d.spilledLostByEvent[ev])
+	}
+	fmt.Fprintf(&buf, "clean=1\n")
 	// Deliberately discarded: oprofiled.stats is the crash-signal-by-
 	// absence protocol — the reader treats a missing or torn stats file
 	// as an unclean shutdown, which is exactly the verdict a failed
@@ -245,9 +340,24 @@ func (d *Daemon) Flushes() uint64 { return d.flushes }
 // FlushErrors returns the number of failed disk flushes.
 func (d *Daemon) FlushErrors() uint64 { return d.flushErrors }
 
-// Spilled returns the number of samples dropped (with accounting) when
-// the failed-flush backlog exceeded SpillMax keys.
-func (d *Daemon) Spilled() uint64 { return d.spilled }
+// Spilled returns the number of samples that left the dirty map
+// through the spill path — parked on disk plus hard-cap losses.
+func (d *Daemon) Spilled() uint64 { return d.spilledOnDisk + d.spilledLost }
+
+// SpilledOnDisk returns the samples parked in committed spill frames.
+func (d *Daemon) SpilledOnDisk() uint64 { return d.spilledOnDisk }
+
+// SpilledLost returns the samples the hard cap dropped outright.
+func (d *Daemon) SpilledLost() uint64 { return d.spilledLost }
+
+// SpillBatches returns the number of committed spill attempts.
+func (d *Daemon) SpillBatches() uint64 { return d.spillBatches }
+
+// SpillErrors returns the number of failed spill attempts.
+func (d *Daemon) SpillErrors() uint64 { return d.spillErrors }
+
+// JournalErrors returns the number of failed journal-commit writes.
+func (d *Daemon) JournalErrors() uint64 { return d.journalErrors }
 
 // Crashed reports whether fault injection killed the daemon mid-write.
 func (d *Daemon) Crashed() bool { return d.crashed }

@@ -24,7 +24,15 @@ type PersistedStats struct {
 	NMIs, Logged, Dropped                        uint64
 	SamplesLogged, Flushes, FlushErrors, Spilled uint64
 	Unflushed                                    uint64
-	Clean                                        bool
+	// Spilled splits into what was parked on disk under a journal
+	// commit (recoverable) vs dropped past the hard cap (gone).
+	SpilledOnDisk, SpilledLost uint64
+	// SpilledLostByEvent attributes the lost portion per event mnemonic.
+	SpilledLostByEvent map[string]uint64
+	// SpillBatches / SpillErrors / JournalErrors are the spill
+	// protocol's own self-counters.
+	SpillBatches, SpillErrors, JournalErrors uint64
+	Clean                                    bool
 }
 
 // ReadDaemonStats parses the framed stats record; nil if the file is
@@ -34,7 +42,7 @@ func ReadDaemonStats(data []byte) *PersistedStats {
 	if sal.Lossy() || len(recs) != 1 {
 		return nil
 	}
-	ps := &PersistedStats{}
+	ps := &PersistedStats{SpilledLostByEvent: make(map[string]uint64)}
 	for _, line := range strings.Split(string(recs[0]), "\n") {
 		if line == "" {
 			continue
@@ -46,6 +54,10 @@ func ReadDaemonStats(data []byte) *PersistedStats {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
 			return nil
+		}
+		if ev, found := strings.CutPrefix(k, "spilled_lost."); found {
+			ps.SpilledLostByEvent[ev] = n
+			continue
 		}
 		switch k {
 		case "nmis":
@@ -62,6 +74,16 @@ func ReadDaemonStats(data []byte) *PersistedStats {
 			ps.FlushErrors = n
 		case "spilled":
 			ps.Spilled = n
+		case "spilled_on_disk":
+			ps.SpilledOnDisk = n
+		case "spilled_lost":
+			ps.SpilledLost = n
+		case "spill_batches":
+			ps.SpillBatches = n
+		case "spill_errors":
+			ps.SpillErrors = n
+		case "journal_errors":
+			ps.JournalErrors = n
 		case "unflushed":
 			ps.Unflushed = n
 		case "clean":
@@ -89,6 +111,22 @@ type MapIntegrity struct {
 	// (EIO on the offline tools' side); their epochs are poisoned.
 	UnreadableFiles int
 
+	// Quarantined counts damaged temp files the recovery pass set aside
+	// as *.quarantined evidence rather than adopting or deleting.
+	Quarantined int
+	// MissingCommitted counts epochs the agent's commit journal ratified
+	// but whose map file is absent from the directory listing — either
+	// the file was destroyed or the listing itself is damaged; the
+	// resolver poisons those epochs either way.
+	MissingCommitted int
+	// JournalDamaged counts commit-journal damage (torn journal, or an
+	// agent stats file that exists but cannot be read back, which
+	// prevents verifying the journal).
+	JournalDamaged int
+	// JournalErrors is the agent's self-reported count of failed
+	// commit-journal appends.
+	JournalErrors int
+
 	// AgentStatsPresent/AgentClean mirror the agent's persisted
 	// self-counters; absent means the VM died before OnExit.
 	AgentStatsPresent, AgentClean bool
@@ -101,8 +139,17 @@ type MapIntegrity struct {
 func (mi MapIntegrity) Degraded() bool {
 	return mi.OrphanTmp > 0 || mi.DroppedRecords > 0 || mi.DroppedBytes > 0 ||
 		mi.TornFiles > 0 || mi.UnreadableFiles > 0 ||
+		mi.Quarantined > 0 || mi.MissingCommitted > 0 ||
+		mi.JournalDamaged > 0 || mi.JournalErrors > 0 ||
 		!mi.AgentStatsPresent || !mi.AgentClean ||
 		mi.MapWriteErrors > 0
+}
+
+// SpillIntegrity is the per-event accounting of spilled samples: what
+// recovery merged back vs what the hard cap dropped for good.
+type SpillIntegrity struct {
+	Event           string
+	Recovered, Lost uint64
 }
 
 // Integrity is the whole-run degradation summary attached to a Report.
@@ -119,6 +166,20 @@ type Integrity struct {
 	UnresolvedJIT uint64
 	// Maps is the per-VM code-map report.
 	Maps []MapIntegrity
+	// Spill is the per-event spilled-sample accounting (recovered vs
+	// lost), sorted by event mnemonic.
+	Spill []SpillIntegrity
+	// SpillOnDisk is the committed sample total still parked in the
+	// spill file at report time (recovery has not merged it yet).
+	SpillOnDisk uint64
+	// SpillJournalDamaged reports a torn/unparseable daemon journal.
+	SpillJournalDamaged bool
+	// Recovery is the recovery pass's persisted decision record; nil if
+	// no recovery ran (or its stats never reached disk).
+	Recovery *RecoveryStats
+	// RecoveryIncomplete reports durable evidence a recovery attempt
+	// began (journal marker) without a surviving decision record.
+	RecoveryIncomplete bool
 }
 
 // Degraded reports whether any persisted data was lost, damaged, or
@@ -131,7 +192,19 @@ func (in *Integrity) Degraded() bool {
 		return true
 	}
 	if in.Stats == nil || !in.Stats.Clean || in.Stats.FlushErrors > 0 ||
-		in.Stats.Spilled > 0 || in.Stats.Unflushed > 0 || in.Stats.Dropped > 0 {
+		in.Stats.Spilled > 0 || in.Stats.Unflushed > 0 || in.Stats.Dropped > 0 ||
+		in.Stats.SpillErrors > 0 || in.Stats.JournalErrors > 0 {
+		return true
+	}
+	if in.SpillOnDisk > 0 || in.SpillJournalDamaged || in.RecoveryIncomplete {
+		return true
+	}
+	for _, si := range in.Spill {
+		if si.Recovered > 0 || si.Lost > 0 {
+			return true
+		}
+	}
+	if in.Recovery != nil && (in.Recovery.AnyAction() || !in.Recovery.Clean) {
 		return true
 	}
 	for _, mi := range in.Maps {
@@ -169,6 +242,29 @@ func FormatIntegrity(w io.Writer, in *Integrity) error {
 		fmt.Fprintf(w, "  daemon: %d NMIs, %d logged, %d dropped at buffer; %d flushes, %d flush errors, %d spilled, %d unflushed\n",
 			in.Stats.NMIs, in.Stats.Logged, in.Stats.Dropped,
 			in.Stats.Flushes, in.Stats.FlushErrors, in.Stats.Spilled, in.Stats.Unflushed)
+		if in.Stats.Spilled > 0 || in.Stats.SpillErrors > 0 || in.Stats.JournalErrors > 0 {
+			fmt.Fprintf(w, "  spill: %d parked on disk, %d lost past hard cap; %d batches, %d spill errors, %d journal errors\n",
+				in.Stats.SpilledOnDisk, in.Stats.SpilledLost,
+				in.Stats.SpillBatches, in.Stats.SpillErrors, in.Stats.JournalErrors)
+		}
+	}
+	for _, si := range in.Spill {
+		fmt.Fprintf(w, "  spill %s: %d recovered, %d lost\n", si.Event, si.Recovered, si.Lost)
+	}
+	if in.SpillOnDisk > 0 {
+		fmt.Fprintf(w, "  spill: %d committed samples still parked (recovery pending)\n", in.SpillOnDisk)
+	}
+	if in.SpillJournalDamaged {
+		fmt.Fprintf(w, "  spill: daemon journal DAMAGED — uncommitted frames discarded conservatively\n")
+	}
+	if in.RecoveryIncomplete {
+		fmt.Fprintf(w, "  recovery: INCOMPLETE — began but left no decision record\n")
+	}
+	if r := in.Recovery; r != nil && (r.AnyAction() || !r.Clean) {
+		fmt.Fprintf(w, "  recovery: %d adopted, %d discarded, %d quarantined, %d failed; %d spill frames merged, %d discarded (%d samples recovered); %d merge errors, %d journals damaged, %d marker errors, %d restarts\n",
+			r.Adopted, r.Discarded, r.Quarantined, r.Failed,
+			r.SpillFramesMerged, r.SpillFramesDiscarded, r.SpillRecoveredTotal,
+			r.SpillMergeErrors, r.JournalsDamaged, r.MarkerErrors, r.Restarts)
 	}
 	if in.UnresolvedJIT > 0 {
 		fmt.Fprintf(w, "  resolver: %d JIT samples left unresolved rather than guessed\n", in.UnresolvedJIT)
@@ -188,6 +284,15 @@ func FormatIntegrity(w io.Writer, in *Integrity) error {
 		}
 		if mi.OrphanTmp > 0 {
 			fmt.Fprintf(w, ", %d orphan tmp", mi.OrphanTmp)
+		}
+		if mi.Quarantined > 0 {
+			fmt.Fprintf(w, ", %d quarantined", mi.Quarantined)
+		}
+		if mi.MissingCommitted > 0 {
+			fmt.Fprintf(w, ", %d committed epochs missing (poisoned)", mi.MissingCommitted)
+		}
+		if mi.JournalDamaged > 0 || mi.JournalErrors > 0 {
+			fmt.Fprintf(w, ", commit journal damaged (%d damage, %d append errors)", mi.JournalDamaged, mi.JournalErrors)
 		}
 		if mi.MapWriteErrors > 0 {
 			fmt.Fprintf(w, ", %d write errors (%d entries deferred)", mi.MapWriteErrors, mi.DeferredEntries)

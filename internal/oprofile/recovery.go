@@ -1,0 +1,140 @@
+package oprofile
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"viprof/internal/record"
+)
+
+// RecoveryStats is the persisted outcome of the startup recovery pass
+// (core.RunRecovery): every adopt/discard/quarantine decision over
+// orphan temp files, every spill frame merged or discarded, and how
+// many times the pass itself had to restart after being struck by a
+// fault. Written as one framed record per completed attempt at
+// RecoveryStatsFile; the LAST intact record is authoritative (earlier
+// torn records are the expected debris of restarted attempts).
+type RecoveryStats struct {
+	// Orphan-temp decisions: Adopted (complete temp renamed into
+	// place), Discarded (stale temp whose commit was already durable),
+	// Quarantined (damaged temp set aside as evidence), Failed (temp
+	// that could not be read, salvaged, or renamed).
+	Adopted, Discarded, Quarantined, Failed int
+	// Spill outcomes (see spill.go).
+	SpillFramesMerged, SpillFramesDiscarded int
+	// SpillRecovered is the merged sample total per event mnemonic;
+	// SpillRecoveredTotal sums it.
+	SpillRecovered      map[string]uint64
+	SpillRecoveredTotal uint64
+	// SpillMergeErrors counts failed merge writes.
+	SpillMergeErrors int
+	// JournalsDamaged counts damaged commit journals (agent or daemon)
+	// seen while deciding.
+	JournalsDamaged int
+	// MarkerErrors counts failed durable-evidence writes (the
+	// recovery-begin marker or the stats record itself); each one
+	// forced a supervisor restart.
+	MarkerErrors int
+	// Restarts counts attempts abandoned to an injected fault before
+	// this (final) one completed.
+	Restarts int
+	// Clean reports the pass completed.
+	Clean bool
+}
+
+// RecoveryStatsFile is where the recovery pass persists its decisions.
+const RecoveryStatsFile = "var/lib/viprof/recovery.stats"
+
+// AnyAction reports whether recovery did (or failed to do) anything —
+// every one of these implies the run before it was damaged, so a
+// non-trivial recovery marks the run degraded even where it healed the
+// artifacts so well that nothing else shows.
+func (rs *RecoveryStats) AnyAction() bool {
+	if rs == nil {
+		return false
+	}
+	return rs.Adopted+rs.Discarded+rs.Quarantined+rs.Failed+
+		rs.SpillFramesMerged+rs.SpillFramesDiscarded+rs.SpillMergeErrors+
+		rs.JournalsDamaged+rs.MarkerErrors+rs.Restarts > 0
+}
+
+// Payload serializes the stats as key=value lines (the caller frames
+// the result with record.Frame).
+func (rs *RecoveryStats) Payload() []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "adopted=%d\ndiscarded=%d\nquarantined=%d\nfailed=%d\n",
+		rs.Adopted, rs.Discarded, rs.Quarantined, rs.Failed)
+	fmt.Fprintf(&buf, "spill_frames_merged=%d\nspill_frames_discarded=%d\nspill_recovered_total=%d\nspill_merge_errors=%d\n",
+		rs.SpillFramesMerged, rs.SpillFramesDiscarded, rs.SpillRecoveredTotal, rs.SpillMergeErrors)
+	fmt.Fprintf(&buf, "journals_damaged=%d\nmarker_errors=%d\nrestarts=%d\n",
+		rs.JournalsDamaged, rs.MarkerErrors, rs.Restarts)
+	events := make([]string, 0, len(rs.SpillRecovered))
+	for ev := range rs.SpillRecovered {
+		events = append(events, ev)
+	}
+	sort.Strings(events)
+	for _, ev := range events {
+		fmt.Fprintf(&buf, "spill_recovered.%s=%d\n", ev, rs.SpillRecovered[ev])
+	}
+	fmt.Fprintf(&buf, "clean=1\n")
+	return buf.Bytes()
+}
+
+// ReadRecoveryStats parses the persisted recovery record. The last
+// intact record wins; nil if no intact record survives (recovery never
+// completed, or its stats write was destroyed).
+func ReadRecoveryStats(data []byte) *RecoveryStats {
+	recs, _ := record.Scan(data)
+	if len(recs) == 0 {
+		return nil
+	}
+	payload := recs[len(recs)-1]
+	rs := &RecoveryStats{SpillRecovered: make(map[string]uint64)}
+	for _, line := range strings.Split(string(payload), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil
+		}
+		if ev, found := strings.CutPrefix(k, "spill_recovered."); found {
+			rs.SpillRecovered[ev] = n
+			continue
+		}
+		switch k {
+		case "adopted":
+			rs.Adopted = int(n)
+		case "discarded":
+			rs.Discarded = int(n)
+		case "quarantined":
+			rs.Quarantined = int(n)
+		case "failed":
+			rs.Failed = int(n)
+		case "spill_frames_merged":
+			rs.SpillFramesMerged = int(n)
+		case "spill_frames_discarded":
+			rs.SpillFramesDiscarded = int(n)
+		case "spill_recovered_total":
+			rs.SpillRecoveredTotal = n
+		case "spill_merge_errors":
+			rs.SpillMergeErrors = int(n)
+		case "journals_damaged":
+			rs.JournalsDamaged = int(n)
+		case "marker_errors":
+			rs.MarkerErrors = int(n)
+		case "restarts":
+			rs.Restarts = int(n)
+		case "clean":
+			rs.Clean = n != 0
+		}
+	}
+	return rs
+}
