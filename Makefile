@@ -4,8 +4,8 @@
 # short test suite, a bounded chaos sweep (seeded fault schedules
 # against the persistence layer, conservation invariants checked end to
 # end), and one iteration of the engine microbenchmarks (which
-# self-verify that the batched and per-op paths agree, and that the
-# flattened epoch index matches the backward scan).
+# self-verify that the batched, fused-trace, and per-op paths agree,
+# and that the flattened epoch index matches the backward scan).
 
 GO ?= go
 
@@ -28,12 +28,13 @@ build:
 test:
 	$(GO) test -race -short ./...
 
-# Bounded seed sweep of the chaos harness: 25 seeds — the first seven
+# Bounded seed sweep of the chaos harness: 25 seeds — the first eight
 # run each scenario in isolation (daemon crash, ENOSPC, torn map, torn
-# samples, VM kill, rename fault, dir damage), the rest draw composed
-# schedules of 1-3 scenarios — plus the scripted crash/latency/rename/
-# listing-damage schedules. Every seeded run ends with the recovery
-# pass and re-checks conservation and visibility after it.
+# samples, VM kill, rename fault, dir damage, read fault), the rest
+# draw composed schedules of 1-3 scenarios — plus the scripted
+# crash/latency/rename/listing-damage schedules. Every seeded run ends
+# with the recovery pass and re-checks conservation and visibility
+# after it.
 chaos-smoke:
 	$(GO) test -race -run 'TestChaos' -count=1 ./internal/core/
 
@@ -43,7 +44,7 @@ chaos-nightly:
 	VIPROF_CHAOS_SEEDS=500 $(GO) test -race -run 'TestChaosNightly' -count=1 -timeout 30m ./internal/core/
 
 bench-smoke:
-	$(GO) test -race -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkExecMemBatch|BenchmarkEpochResolveIndexed' -benchtime 1x .
+	$(GO) test -race -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkExecMemBatch|BenchmarkTraceBatch|BenchmarkEpochResolveIndexed' -benchtime 1x .
 
 # Full reduced-scale benchmark sweep (minutes).
 bench:

@@ -288,6 +288,39 @@ func BenchmarkExecMemBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceBatch measures the trace cache's fused replay against
+// the per-op oracle on the dispatch-heavy VM workload in tracebench.go:
+// a hot loop of arithmetic chains, array/field/static read-modify-
+// writes, a deopting data-dependent branch, and a periodic allocation
+// that moves the traced body mid-run, with both paper events armed at
+// aggressive periods. The fused side runs the trace cache over the
+// batching engine; the per-op side is SetBatching(false) — every
+// bytecode through core.Exec, the same configuration pair the trace
+// quickcheck suite proves equivalent. Both sides must agree on the
+// final simulated cycle count (and NMI count) bit for bit.
+func BenchmarkTraceBatch(b *testing.B) {
+	run := func(b *testing.B, disTrace, disBatch bool) (r TraceBenchResult) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			r, err = TraceBenchRun(disTrace, disBatch)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return r
+	}
+	var fused, perop TraceBenchResult
+	b.Run("fused", func(b *testing.B) { fused = run(b, false, false) })
+	b.Run("perop", func(b *testing.B) { perop = run(b, true, true) })
+	if fused.Cycles != perop.Cycles || fused.NMIs != perop.NMIs {
+		b.Fatalf("paths diverged: fused %d cycles/%d NMIs vs per-op %d cycles/%d NMIs",
+			fused.Cycles, fused.NMIs, perop.Cycles, perop.NMIs)
+	}
+	if fused.Trace.Replays == 0 {
+		b.Fatalf("fused side never replayed a trace: %+v", fused.Trace)
+	}
+}
+
 // BenchmarkEpochResolveIndexed measures the flattened epoch index
 // against the paper's literal backward scan on a deep chain: a long run
 // whose agent wrote one big initial map and small partial maps for

@@ -32,6 +32,7 @@ func main() {
 		callg    = flag.Int("callgraph", 0, "call-graph depth (0 disables)")
 		out      = flag.String("out", "", "archive profile data to this directory")
 		annotate = flag.String("annotate", "", "per-bytecode annotation of a method (fully qualified signature)")
+		noRecov  = flag.Bool("no-recovery", false, "skip the startup crash-recovery pass over var/")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		Scale:          *scale,
 		Seed:           *seed,
 		CallGraphDepth: *callg,
+		NoRecovery:     *noRecov,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -248,6 +248,10 @@ type Hierarchy struct {
 	lastDPage    uint64
 	lastDPageGen uint64
 	haveDPage    bool
+
+	// scatter holds the reusable working buffers of DataBatch (the
+	// sorted multi-run replay for non-strided address batches).
+	scatter scatterScratch
 }
 
 // newTLB builds a Pentium-4-like TLB: 64 entries, 4-way, 4 KiB pages.

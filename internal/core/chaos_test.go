@@ -17,9 +17,10 @@ package core_test
 //  4. No silent misattribution: any JIT sample the durable resolver
 //     does attribute agrees with the agent's in-memory oracle (what a
 //     fault-free persistence of the same execution would have said).
-//  5. Visibility: destructive faults — including rename faults and
-//     consequential directory damage — imply a degraded Integrity
-//     section; a run with no faults at all implies a clean one.
+//  5. Visibility: destructive faults — including rename faults,
+//     consequential directory damage, and offline-read EIO — imply a
+//     degraded Integrity section; a run with no faults at all implies
+//     a clean one.
 //
 // The file lives in package core_test because the harness imports core.
 
@@ -30,18 +31,20 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"viprof/internal/core"
 	"viprof/internal/harness"
+	"viprof/internal/jvm"
 	"viprof/internal/kernel"
 	"viprof/internal/oprofile"
 )
 
-// chaosSeeds is the bounded seed sweep: the first seven seeds run each
+// chaosSeeds is the bounded seed sweep: the first eight seeds run each
 // scenario in isolation (daemon crash, ENOSPC, torn map, torn samples,
-// VM kill, rename fault, dir damage); later seeds draw composed
-// schedules of 1-3 scenarios.
+// VM kill, rename fault, dir damage, read fault); later seeds draw
+// composed schedules of 1-3 scenarios.
 const chaosSeeds = 25
 
 // chaosNightlySeedsEnv, when set to a positive integer, widens the
@@ -64,24 +67,47 @@ func TestChaosNightly(t *testing.T) {
 }
 
 func runChaosSweep(t *testing.T, lo, hi int64) {
-	for seed := lo; seed < hi; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d/%s", seed, harness.ScheduleOf(seed)), func(t *testing.T) {
-			t.Parallel()
-			r, err := harness.RunChaos(seed, 0.25)
-			if err != nil {
-				t.Fatalf("chaos run: %v", err)
-			}
-			checkChaosInvariants(t, r)
-		})
+	// Aggregated over the sweep so the trailing assertion can prove the
+	// misattribution checks covered runs where fused trace replay (and
+	// its invalidation) was live — not a sweep that silently ran with
+	// the trace cache cold.
+	var mu sync.Mutex
+	var traces jvm.TraceStats
+	t.Run("seeds", func(t *testing.T) {
+		for seed := lo; seed < hi; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, harness.ScheduleOf(seed)), func(t *testing.T) {
+				t.Parallel()
+				r, err := harness.RunChaos(seed, 0.25)
+				if err != nil {
+					t.Fatalf("chaos run: %v", err)
+				}
+				checkChaosInvariants(t, r)
+				mu.Lock()
+				traces.Installed += r.TraceStats.Installed
+				traces.Replays += r.TraceStats.Replays
+				traces.OpsReplayed += r.TraceStats.OpsReplayed
+				traces.Deopts += r.TraceStats.Deopts
+				traces.Invalidations += r.TraceStats.Invalidations
+				mu.Unlock()
+			})
+		}
+	})
+	// The inner group has fully drained its parallel subtests here.
+	t.Logf("trace cache over sweep: %+v", traces)
+	if traces.Installed == 0 || traces.Replays == 0 {
+		t.Errorf("sweep never exercised fused trace replay (%+v): the no-misattribution checks proved nothing about the trace cache", traces)
+	}
+	if traces.Invalidations == 0 {
+		t.Errorf("sweep never invalidated a trace (%+v): promotion/GC interaction with the trace cache went untested under faults", traces)
 	}
 }
 
 func checkChaosInvariants(t *testing.T, r *harness.ChaosResult) {
 	t.Helper()
-	t.Logf("schedule=%s faults=%+v listFaults={dropped:%d phantoms:%d} vmKilled=%v daemonCrashed=%v recovery=%+v",
+	t.Logf("schedule=%s faults=%+v listFaults={dropped:%d phantoms:%d} readFaults=%+v vmKilled=%v daemonCrashed=%v recovery=%+v traces=%+v",
 		r.Schedule, r.Faults, r.ListFaults.Dropped, r.ListFaults.Phantoms,
-		r.VMKilled, r.Daemon.Crashed(), r.Recovery)
+		r.ReadFaults, r.VMKilled, r.Daemon.Crashed(), r.Recovery, r.TraceStats)
 
 	// (1) Driver conservation: NMIs = logged + dropped.
 	ds := r.Driver
@@ -161,13 +187,21 @@ func checkChaosInvariants(t *testing.T, r *harness.ChaosResult) {
 			break
 		}
 	}
+	// Every offline-read EIO strikes an artifact the Integrity section
+	// accounts for: a recovery-phase read failure becomes a recorded
+	// decision (failed orphan, damaged journal) and a report-phase one
+	// becomes a missing/unreadable artifact.
+	if r.ReadFaults.EIO > 0 {
+		mustDegrade = true
+		reason += fmt.Sprintf(", %d read faults", r.ReadFaults.EIO)
+	}
 	if mustDegrade && !integ.Degraded() {
 		var buf bytes.Buffer
 		_ = oprofile.FormatIntegrity(&buf, integ)
 		t.Errorf("%s injected but Integrity reads clean:\n%s", reason, buf.String())
 	}
 	if r.Faults.Destructive() == 0 && r.ListFaults.Dropped == 0 && r.ListFaults.Phantoms == 0 &&
-		integ.Degraded() {
+		r.ReadFaults.EIO == 0 && integ.Degraded() {
 		var buf bytes.Buffer
 		_ = oprofile.FormatIntegrity(&buf, integ)
 		t.Errorf("no destructive or listing faults but Integrity reads degraded:\n%s", buf.String())
@@ -177,11 +211,17 @@ func checkChaosInvariants(t *testing.T, r *harness.ChaosResult) {
 	// outcome must round-trip through the persisted stats record into
 	// the report's Integrity section.
 	if r.Recovery != nil {
-		if integ.Recovery == nil {
+		switch {
+		case integ.Recovery != nil:
+			if !reflect.DeepEqual(integ.Recovery, r.Recovery) {
+				t.Errorf("recovery record mismatch:\n  ran:      %+v\n  reported: %+v",
+					r.Recovery, integ.Recovery)
+			}
+		case r.ReadFaults.EIO > 0 && integ.RecoveryIncomplete:
+			// An injected EIO ate the report's read of the stats record;
+			// the report flagged the gap loudly instead of inventing one.
+		default:
 			t.Errorf("recovery ran (%+v) but Integrity carries no recovery record", r.Recovery)
-		} else if !reflect.DeepEqual(integ.Recovery, r.Recovery) {
-			t.Errorf("recovery record mismatch:\n  ran:      %+v\n  reported: %+v",
-				r.Recovery, integ.Recovery)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -45,6 +46,46 @@ import (
 // so a pass that cannot finish within it indicates a protocol bug,
 // not bad luck.
 const maxRecoveryAttempts = 32
+
+// DiscoverMapPIDs scans the disk listing for per-VM map directories
+// and returns their pids in ascending order. Startup recovery cannot
+// be handed the previous run's pids — the crash took them with it —
+// so it recovers whatever the on-disk layout shows. The listing is a
+// fault surface (dropped dirents hide a pid, phantoms add one); a
+// hidden pid's artifacts simply wait for the next pass, and a phantom
+// pid's empty directory yields zero decisions.
+func DiscoverMapPIDs(disk *kernel.Disk) []int {
+	seen := make(map[int]bool)
+	prefix := MapDir + "/"
+	for _, name := range disk.List() {
+		rest, ok := strings.CutPrefix(name, prefix)
+		if !ok {
+			continue
+		}
+		slash := strings.IndexByte(rest, '/')
+		if slash <= 0 {
+			continue
+		}
+		if pid, err := strconv.Atoi(rest[:slash]); err == nil && pid > 0 {
+			seen[pid] = true
+		}
+	}
+	pids := make([]int, 0, len(seen))
+	for pid := range seen {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	return pids
+}
+
+// RunStartupRecovery is the default boot path: RunRecovery over every
+// VM map directory the disk listing shows, plus the daemon spill file.
+// Session startup (core.Start) runs it before the daemon opens its own
+// files, so a crashed previous run's salvageable artifacts are adopted
+// before anything can resolve against a stale view.
+func RunStartupRecovery(m *kernel.Machine) (*oprofile.RecoveryStats, error) {
+	return RunRecovery(m, DiscoverMapPIDs(m.Kern.Disk()))
+}
 
 // RunRecovery runs the recovery pass over the given VM pids' map
 // directories and the daemon's spill file, persists its decisions to

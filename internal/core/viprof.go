@@ -17,6 +17,9 @@ type Session struct {
 	Runtime *Runtime
 	// Agents, keyed by VM pid, are bound as VMs launch.
 	Agents map[int]*VMAgent
+	// Recovery holds the startup recovery pass's decisions (nil when
+	// Config.NoRecovery skipped the pass).
+	Recovery *oprofile.RecoveryStats
 
 	m            *kernel.Machine
 	events       []hpc.Event
@@ -35,12 +38,27 @@ type Config struct {
 	// EagerMoveLog switches every agent to the log-inside-GC ablation
 	// mode.
 	EagerMoveLog bool
+	// NoRecovery skips the startup recovery pass. Production entry
+	// points leave it false; it exists for tests and harnesses that
+	// stage their own var/ state and drive RunRecovery explicitly.
+	NoRecovery bool
 }
 
 // Start arms the VIProf pipeline ("we start VIProf just prior to
 // benchmark launch", §4.1). Launch VMs afterwards with LaunchJVM so
 // they register their JIT regions and agents.
 func Start(m *kernel.Machine, cfg Config) (*Session, error) {
+	// Startup recovery first, as the deployed daemon would run it: any
+	// orphan temp maps, parked spill frames, or damaged journals a
+	// previous (crashed) run left behind are adopted, discarded, or
+	// quarantined before this session opens its own files.
+	var recovery *oprofile.RecoveryStats
+	if !cfg.NoRecovery {
+		var err error
+		if recovery, err = RunStartupRecovery(m); err != nil {
+			return nil, err
+		}
+	}
 	rt := NewRuntime()
 	prof, err := oprofile.Start(m, oprofile.Config{
 		Events:         cfg.Events,
@@ -60,6 +78,7 @@ func Start(m *kernel.Machine, cfg Config) (*Session, error) {
 		Prof:         prof,
 		Runtime:      rt,
 		Agents:       make(map[int]*VMAgent),
+		Recovery:     recovery,
 		m:            m,
 		events:       events,
 		fullMaps:     cfg.FullMaps,

@@ -77,7 +77,9 @@ type Core struct {
 	noBatch bool     // disables the event-horizon fast path (ablation/verification)
 	bat     batchAcc // open micro-op accumulator (see BatchOp)
 
-	evBuf []cache.DataEvent // reusable DataRun scratch for ExecMemBatch
+	evBuf  []cache.DataEvent // reusable DataRun/DataBatch scratch
+	memBuf []addr.Address    // reusable nonzero-operand gather for ExecScatter
+	memIdx []int32           // memBuf position -> op index within the scatter run
 }
 
 // batchAcc is the streaming half of the batched execution engine: a run

@@ -1,0 +1,367 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viprof/internal/addr"
+	"viprof/internal/cache"
+	"viprof/internal/hpc"
+)
+
+// scatterMems generates a scattered operand vector for ExecScatter:
+// zero slots (no memory operand), exact duplicates, same-line and
+// same-page neighbours, and cold far jumps — the operand shape of the
+// JVM's service-routine memory traffic.
+func scatterMems(r *rand.Rand, n int) []addr.Address {
+	hot := make([]addr.Address, 1+r.Intn(6))
+	for i := range hot {
+		hot[i] = addr.Address(0x8000_0000 + r.Intn(1<<22))
+	}
+	mems := make([]addr.Address, n)
+	for i := range mems {
+		switch r.Intn(10) {
+		case 0, 1, 2: // no memory operand
+			mems[i] = 0
+		case 3, 4: // duplicate or same-line hot operand
+			mems[i] = hot[r.Intn(len(hot))] + addr.Address(r.Intn(64))
+		case 5, 6: // same page, different line
+			mems[i] = hot[r.Intn(len(hot))]&^0xFFF + addr.Address(r.Intn(1<<12))
+		default: // cold scatter
+			mems[i] = addr.Address(0x8000_0000 + r.Intn(1<<26))
+		}
+	}
+	return mems
+}
+
+// driveScatterStream replays one seeded stream centred on ExecScatter
+// runs, interleaved with the rest of the engine's call sites so the
+// scattered fast path composes with streaming batches, precise ops,
+// slice grants, and behind-the-back cache flushes.
+func driveScatterStream(c *Core, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	pc := addr.Address(0x6000_0000)
+	for step := 0; step < 200; step++ {
+		switch r.Intn(10) {
+		case 0:
+			c.StartSlice(uint64(r.Intn(5000)))
+		case 1:
+			c.AdvanceIdle(uint64(r.Intn(200)))
+		case 2:
+			c.Exec(Op{
+				PC:   pc,
+				Cost: uint32(1 + r.Intn(4)),
+				Mem:  addr.Address(0x8000_0000 + r.Intn(1<<18)*8),
+			})
+			pc += 4
+		case 3:
+			n := 1 + r.Intn(1000)
+			c.ExecBatch(pc, n, 4, uint32(1+r.Intn(3)))
+			pc += addr.Address(4 * n)
+		case 4:
+			for i := 1 + r.Intn(40); i > 0; i-- {
+				c.BatchOp(pc, uint32(1+r.Intn(3)))
+				pc += 4
+			}
+		case 5:
+			// Context-switch cold flush behind the engine's back.
+			if c.Mem != nil {
+				c.FlushBatch()
+				c.Mem.L1.Flush()
+			}
+		default:
+			n := 1 + r.Intn(400)
+			c.ExecScatter(pc, 4, uint32(1+r.Intn(3)), scatterMems(r, n))
+			pc += addr.Address(4 * n)
+		}
+		if r.Intn(4) == 0 {
+			pc = addr.Address(0x6000_0000 + r.Intn(1<<20)*4)
+		}
+	}
+	c.FlushBatch()
+}
+
+// compareCores asserts full architectural, counter, cache, and NMI
+// equivalence between a batched core and its per-op oracle.
+func compareCores(t *testing.T, cb, cp *Core, periods map[hpc.Event]uint64, trB, trP *nmiTrace) bool {
+	t.Helper()
+	if cb.Cycles() != cp.Cycles() || cb.Instructions() != cp.Instructions() ||
+		cb.PC() != cp.PC() || cb.SliceLeft() != cp.SliceLeft() ||
+		cb.LostNMIs() != cp.LostNMIs() {
+		t.Logf("state diverged: cycles %d/%d instrs %d/%d pc %x/%x slice %d/%d lost %d/%d",
+			cb.Cycles(), cp.Cycles(), cb.Instructions(), cp.Instructions(),
+			uint64(cb.PC()), uint64(cp.PC()), cb.SliceLeft(), cp.SliceLeft(),
+			cb.LostNMIs(), cp.LostNMIs())
+		return false
+	}
+	for ev := range periods {
+		b, _ := cb.Bank.Counter(ev)
+		p, _ := cp.Bank.Counter(ev)
+		if b.Total() != p.Total() {
+			t.Logf("%v totals diverged: %d vs %d", ev, b.Total(), p.Total())
+			return false
+		}
+	}
+	if cb.Mem != nil {
+		for _, lvl := range []struct {
+			name string
+			b, p interface{ Stats() (uint64, uint64) }
+		}{
+			{"L1", cb.Mem.L1, cp.Mem.L1},
+			{"L2", cb.Mem.L2, cp.Mem.L2},
+			{"DTLB", cb.Mem.DTLB, cp.Mem.DTLB},
+			{"ITLB", cb.Mem.ITLB, cp.Mem.ITLB},
+		} {
+			ba, bm := lvl.b.Stats()
+			pa, pm := lvl.p.Stats()
+			if ba != pa || bm != pm {
+				t.Logf("%s stats diverged: %d/%d vs %d/%d", lvl.name, ba, bm, pa, pm)
+				return false
+			}
+		}
+	}
+	if len(trB.evs) != len(trP.evs) {
+		t.Logf("NMI count diverged: %d vs %d", len(trB.evs), len(trP.evs))
+		return false
+	}
+	for i := range trB.evs {
+		if trB.evs[i] != trP.evs[i] || trB.snaps[i] != trP.snaps[i] {
+			t.Logf("NMI %d diverged: %v %+v vs %v %+v",
+				i, trB.evs[i], trB.snaps[i], trP.evs[i], trP.snaps[i])
+			return false
+		}
+	}
+	return true
+}
+
+// Property: ExecScatter is bit-for-bit identical to the per-op Exec
+// loop over its operand vector — cycles, instructions, PC, slice,
+// per-counter totals, cache statistics at every level, and the NMI
+// sequence down to each interrupted snapshot — including duplicate
+// operands, zero slots, conflict evictions, and nonzero L1 hit costs.
+func TestExecScatterDeterminismQuick(t *testing.T) {
+	f := func(seed int64, rawPeriod uint32, burn8, hit4 uint8) bool {
+		period := uint64(rawPeriod%20_000) + 50
+		periods := map[hpc.Event]uint64{
+			hpc.GlobalPowerEvents: period,
+			hpc.BSQCacheReference: 300,
+			hpc.DTLBMiss:          200,
+			hpc.InstrRetired:      3 * period,
+		}
+		burn := int(burn8 % 60)
+		hit := uint32(hit4 % 3) // exercise both the zero and nonzero L1Hit walks
+		var trB, trP nmiTrace
+		cb := newBatchTestCore(periods, &trB, burn, true)
+		cp := newBatchTestCore(periods, &trP, burn, false)
+		cb.Mem.L1Hit = hit
+		cp.Mem.L1Hit = hit
+		driveScatterStream(cb, seed)
+		driveScatterStream(cp, seed)
+		return compareCores(t, cb, cp, periods, &trB, &trP)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// replayFusedTrace drives TraceWindow/RetireTrace exactly as the JVM's
+// trace replayer does for a straight-line stretch of page-local ops:
+// accumulate while inside the granted horizon, retire the prefix in
+// bulk at the boundary, run the boundary op precisely, re-request the
+// window, and fall back to per-op execution whenever no window is
+// granted. On a per-op core TraceWindow always refuses, so the same
+// driver doubles as the oracle.
+func replayFusedTrace(c *Core, pc addr.Address, costs []uint32) {
+	last := pc + addr.Address(4*(len(costs)-1))
+	ops, cyc, ok := c.TraceWindow(pc, last)
+	var accN, accCost uint64
+	var lastPC addr.Address
+	for i, cost := range costs {
+		p := pc + addr.Address(4*i)
+		if !ok {
+			c.Exec(Op{PC: p, Cost: cost})
+			continue
+		}
+		if accN+1 <= ops && accCost+uint64(cost) <= cyc {
+			accN++
+			accCost += uint64(cost)
+			lastPC = p
+			continue
+		}
+		c.RetireTrace(lastPC, accN, accCost, 0, 0)
+		accN, accCost = 0, 0
+		c.Exec(Op{PC: p, Cost: cost})
+		if i < len(costs)-1 {
+			ops, cyc, ok = c.TraceWindow(p+4, last)
+		}
+	}
+	if accN > 0 {
+		c.RetireTrace(lastPC, accN, accCost, 0, 0)
+	}
+}
+
+// driveTraceStream mixes fused trace replays with the precise and
+// streaming call sites, including page jumps that force TraceWindow to
+// refuse until the ITLB state settles.
+func driveTraceStream(c *Core, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	pc := addr.Address(0x6000_0000)
+	for step := 0; step < 250; step++ {
+		switch r.Intn(8) {
+		case 0:
+			c.StartSlice(uint64(r.Intn(5000)))
+		case 1:
+			c.AdvanceIdle(uint64(r.Intn(200)))
+		case 2:
+			c.Exec(Op{
+				PC:   pc,
+				Cost: uint32(1 + r.Intn(4)),
+				Mem:  addr.Address(0x8000_0000 + r.Intn(1<<18)*8),
+			})
+			pc += 4
+		case 3:
+			for i := 1 + r.Intn(30); i > 0; i-- {
+				c.BatchOp(pc, uint32(1+r.Intn(3)))
+				pc += 4
+			}
+		default:
+			costs := make([]uint32, 1+r.Intn(60))
+			for i := range costs {
+				costs[i] = uint32(1 + r.Intn(4))
+			}
+			replayFusedTrace(c, pc, costs)
+			pc += addr.Address(4 * len(costs))
+		}
+		if r.Intn(5) == 0 {
+			pc = addr.Address(0x6000_0000 + r.Intn(1<<20)*4)
+		}
+	}
+	c.FlushBatch()
+}
+
+// Property: a fused trace replay built on TraceWindow/RetireTrace is
+// bit-for-bit identical to per-op execution of the same instruction
+// stream, including NMIs landing on the exact boundary ops where the
+// per-op path delivers them.
+func TestTraceWindowDeterminismQuick(t *testing.T) {
+	f := func(seed int64, rawPeriod uint32, burn8 uint8) bool {
+		period := uint64(rawPeriod%5_000) + 20
+		periods := map[hpc.Event]uint64{
+			hpc.GlobalPowerEvents: period,
+			hpc.BSQCacheReference: 300,
+			hpc.InstrRetired:      2*period + 7,
+		}
+		burn := int(burn8 % 60)
+		var trB, trP nmiTrace
+		cb := newBatchTestCore(periods, &trB, burn, true)
+		cp := newBatchTestCore(periods, &trP, burn, false)
+		driveTraceStream(cb, seed)
+		driveTraceStream(cp, seed)
+		return compareCores(t, cb, cp, periods, &trB, &trP)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TraceWindow must refuse whenever a fused stretch could hide an
+// observable event: per-op mode, a latched undelivered NMI, a counter
+// within one op of overflow, or a span that leaves the current
+// instruction page.
+func TestTraceWindowRefusals(t *testing.T) {
+	bank := hpc.NewBank()
+	bank.Program(hpc.GlobalPowerEvents, 1000)
+	c := New(bank, nil)
+	c.SetBatching(false)
+	if _, _, ok := c.TraceWindow(0x1000, 0x1010); ok {
+		t.Error("window granted in per-op mode")
+	}
+	c.SetBatching(true)
+	ops, cyc, ok := c.TraceWindow(0x1000, 0x1010)
+	if !ok || ops != hpc.NoLimit || cyc != 999 {
+		t.Errorf("window = (%d, %d, %v), want (NoLimit, 999, true)", ops, cyc, ok)
+	}
+	bank.Program(hpc.InstrRetired, 1) // next op overflows: zero headroom
+	if _, _, ok := c.TraceWindow(0x1000, 0x1010); ok {
+		t.Error("window granted with a counter one op from overflow")
+	}
+	bank.Remove(hpc.InstrRetired)
+
+	// A page-crossing span must be refused; a page-local one on the
+	// resident page is granted.
+	cm := New(bank, cache.DefaultHierarchy())
+	cm.SetBatching(true)
+	cm.Exec(Op{PC: 0x5000_0000, Cost: 1})
+	if _, _, ok := cm.TraceWindow(0x5000_0100, 0x5000_1100); ok {
+		t.Error("window granted across an instruction page boundary")
+	}
+	if _, _, ok := cm.TraceWindow(0x5000_0100, 0x5000_0200); !ok {
+		t.Error("window refused on the resident instruction page")
+	}
+}
+
+// RetireTrace must equal the summed per-op updates: PC of the last op,
+// instruction and cycle totals, slice clamp, and bulk counter ticks.
+func TestRetireTraceBulkUpdate(t *testing.T) {
+	bank := hpc.NewBank()
+	bank.Program(hpc.GlobalPowerEvents, 1000)
+	c := New(bank, nil)
+	c.StartSlice(25)
+	ops, cyc, ok := c.TraceWindow(0x2000, 0x2020)
+	if !ok || ops != hpc.NoLimit || cyc != 999 {
+		t.Fatalf("window = (%d, %d, %v)", ops, cyc, ok)
+	}
+	c.RetireTrace(0x2020, 9, 18, 0, 0)
+	if c.PC() != 0x2020 || c.Instructions() != 9 || c.Cycles() != 18 || c.SliceLeft() != 7 {
+		t.Errorf("state = pc %x instrs %d cycles %d slice %d",
+			uint64(c.PC()), c.Instructions(), c.Cycles(), c.SliceLeft())
+	}
+	ctr, _ := bank.Counter(hpc.GlobalPowerEvents)
+	if ctr.Total() != 18 {
+		t.Errorf("GPE total = %d, want 18", ctr.Total())
+	}
+	// Clamp: retiring more cost than the slice has left pins it at zero.
+	c.RetireTrace(0x2040, 3, 100, 0, 0)
+	if c.SliceLeft() != 0 || !c.Expired() {
+		t.Errorf("slice = %d, want clamped to 0", c.SliceLeft())
+	}
+}
+
+// Samples during a scattered run must land on the exact missing ops:
+// identical NMI PC sequences between the resolved-upfront fast path and
+// per-op execution.
+func TestExecScatterSamplePCs(t *testing.T) {
+	mems := make([]addr.Address, 300)
+	r := rand.New(rand.NewSource(7))
+	for i := range mems {
+		if r.Intn(3) == 0 {
+			mems[i] = 0
+		} else {
+			mems[i] = addr.Address(0x9000_0000 + r.Intn(1<<16)*8)
+		}
+	}
+	run := func(batching bool) []addr.Address {
+		bank := hpc.NewBank()
+		bank.Program(hpc.BSQCacheReference, 2)
+		c := New(bank, cache.DefaultHierarchy())
+		var pcs []addr.Address
+		c.SetNMIHandler(func(_ *Core, s Snapshot, _ hpc.Event) { pcs = append(pcs, s.PC) })
+		c.SetBatching(batching)
+		c.ExecScatter(0x7000_0000, 4, 1, mems)
+		c.FlushBatch()
+		return pcs
+	}
+	got, want := run(true), run(false)
+	if len(got) == 0 {
+		t.Fatal("no NMIs delivered")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NMI count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("NMI %d at %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -47,6 +47,10 @@ const (
 	// dropped dirents hide committed files, phantom dirents invent
 	// orphan temps that do not exist.
 	ScenarioDirDamage
+	// ScenarioReadFault attacks the offline side: after the session
+	// shuts down, the recovery pass's and the report's reads of profile
+	// artifacts deliver seeded EIO (the write side all landed).
+	ScenarioReadFault
 	numScenarios
 )
 
@@ -67,6 +71,8 @@ func (s ChaosScenario) String() string {
 		return "rename-fault"
 	case ScenarioDirDamage:
 		return "dir-damage"
+	case ScenarioReadFault:
+		return "read-fault"
 	default:
 		return fmt.Sprintf("scenario-%d", int(s))
 	}
@@ -84,8 +90,9 @@ func ScenarioOf(seed int64) ChaosScenario {
 // ChaosPlan derives the deterministic fault schedule for a seed: the
 // scenario picks the target path prefix and failure mix, the seed's
 // private RNG picks the intensities. (ScenarioDirDamage attacks
-// listings, not writes, so its write-side plan is inert — use
-// ScheduleOf for the full composed schedule.)
+// listings and ScenarioReadFault attacks offline reads, not writes, so
+// their write-side plans are inert — use ScheduleOf for the full
+// composed schedule.)
 func ChaosPlan(seed int64) kernel.FaultPlan {
 	return scenarioPlan(ScenarioOf(seed), seed)
 }
@@ -146,10 +153,12 @@ type ChaosSchedule struct {
 	Seed      int64
 	Scenarios []ChaosScenario
 	// Plans are the write/rename-side fault plans (one per write-side
-	// scenario); ListPlan is ScenarioDirDamage's listing damage, nil
-	// when that scenario is not drawn.
+	// scenario); ListPlan is ScenarioDirDamage's listing damage and
+	// ReadPlan is ScenarioReadFault's offline-read EIO schedule, each
+	// nil when its scenario is not drawn.
 	Plans    []kernel.FaultPlan
 	ListPlan *kernel.ListFaultPlan
+	ReadPlan *kernel.ReadFaultPlan
 }
 
 // String names the composition, e.g. "enospc+rename-fault".
@@ -184,12 +193,16 @@ func ScheduleOf(seed int64) ChaosSchedule {
 	}
 	for i, sc := range scens {
 		pseed := seed*31 + int64(i) + 1
-		if sc == ScenarioDirDamage {
+		switch sc {
+		case ScenarioDirDamage:
 			lp := scenarioListPlan(pseed)
 			sched.ListPlan = &lp
-			continue
+		case ScenarioReadFault:
+			rp := ReadChaosPlan(pseed)
+			sched.ReadPlan = &rp
+		default:
+			sched.Plans = append(sched.Plans, scenarioPlan(sc, pseed))
 		}
-		sched.Plans = append(sched.Plans, scenarioPlan(sc, pseed))
 	}
 	sched.Scenarios = scens
 	return sched
@@ -227,8 +240,15 @@ type ChaosResult struct {
 	Resolver *core.Resolver
 
 	// ReadFaults counts injected offline-read failures (RunChaosRead
-	// only; zero for write-side chaos).
+	// and composed schedules that drew ScenarioReadFault; zero
+	// otherwise).
 	ReadFaults kernel.ReadFaultStats
+
+	// TraceStats is the VM's trace-cache counter snapshot, so the sweep
+	// can prove its misattribution checks covered runs where fused
+	// trace replay — and its invalidation under promotion and GC moves —
+	// was actually active.
+	TraceStats jvm.TraceStats
 }
 
 // RunChaos executes one full profiled session under the seed's
@@ -329,6 +349,10 @@ func RunChaosSchedule(seed int64, scale float64, sched ChaosSchedule) (*ChaosRes
 		// exercise the framed spill protocol (the default bound is far
 		// above what a chaos-scale backlog reaches).
 		Daemon: oprofile.DaemonConfig{SpillMax: 16},
+		// The chaos cycle stages its own crash and drives the recovery
+		// pass explicitly below, under the armed injectors; the default
+		// startup pass would only add pre-crash journal traffic.
+		NoRecovery: true,
 	})
 	if err != nil {
 		return nil, err
@@ -355,6 +379,12 @@ func RunChaosSchedule(seed int64, scale float64, sched ChaosSchedule) (*ChaosRes
 	}
 	session.Shutdown()
 
+	// ScenarioReadFault arms only now: the session's own writes all
+	// landed, and the recovery pass plus the report absorb the EIOs.
+	if sched.ReadPlan != nil {
+		disk.SetReadFaultInjector(*sched.ReadPlan)
+	}
+
 	// The startup recovery pass, still under fire: its marker writes,
 	// adoption renames, and merge writes face the same injectors, and
 	// its directory scans see the damaged listings.
@@ -366,7 +396,9 @@ func RunChaosSchedule(seed int64, scale float64, sched ChaosSchedule) (*ChaosRes
 
 	rep, res, err := session.Report(session.Images(vm), map[string]int{proc.Name: proc.PID})
 	listAll := disk.ListFaultStats()
+	readStats := disk.ReadFaultStats()
 	disk.ClearListFaultInjector()
+	disk.ClearReadFaultInjector()
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d: report: %v", seed, err)
 	}
@@ -393,5 +425,7 @@ func RunChaosSchedule(seed int64, scale float64, sched ChaosSchedule) (*ChaosRes
 		Agent:              session.Agents[proc.PID],
 		Report:             rep,
 		Resolver:           res,
+		ReadFaults:         readStats,
+		TraceStats:         vm.TraceStats(),
 	}, nil
 }

@@ -111,6 +111,11 @@ type Options struct {
 	// tests and benchmarks proving the two paths are bit-for-bit
 	// identical; production runs leave it false.
 	NoBatch bool
+	// NoRecovery skips the session's startup recovery pass (VIProf
+	// runs only). Production runs leave it false — recovery on a fresh
+	// disk is a cheap no-decision pass — but tests that stage var/
+	// themselves can opt out.
+	NoRecovery bool
 }
 
 // RunOnce executes one benchmark under one configuration on a fresh
@@ -167,6 +172,7 @@ func RunOnce(spec workload.Spec, rc RunConfig, opt Options) (*Result, error) {
 			CallGraphDepth: rc.CallGraphDepth,
 			FullMaps:       rc.FullMaps,
 			EagerMoveLog:   rc.EagerMoveLog,
+			NoRecovery:     opt.NoRecovery,
 		})
 		if err == nil {
 			vm, proc, err = session.LaunchJVM(prog, vmCfg)

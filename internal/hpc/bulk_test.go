@@ -1,0 +1,27 @@
+package hpc
+
+import "testing"
+
+// BulkHeadroom is the joint horizon of a fused run: the op headroom of
+// the ops counter and the weight headroom of the weight counter, with
+// NoLimit for unarmed events and zero once a counter is one op from
+// overflow (the caller must then fall back per-op).
+func TestBulkHeadroom(t *testing.T) {
+	b := NewBank()
+	if ops, w := b.BulkHeadroom(InstrRetired, GlobalPowerEvents); ops != NoLimit || w != NoLimit {
+		t.Errorf("empty bank headroom = (%d, %d), want NoLimit pair", ops, w)
+	}
+	b.Program(InstrRetired, 10)
+	b.Program(GlobalPowerEvents, 25)
+	if ops, w := b.BulkHeadroom(InstrRetired, GlobalPowerEvents); ops != 9 || w != 24 {
+		t.Errorf("headroom = (%d, %d), want (9, 24)", ops, w)
+	}
+	b.Tick(InstrRetired, 9)
+	if ops, _ := b.BulkHeadroom(InstrRetired, GlobalPowerEvents); ops != 0 {
+		t.Errorf("ops headroom = %d, want 0 one op before overflow", ops)
+	}
+	b.Tick(InstrRetired, 1) // overflow rearms at the full period
+	if ops, _ := b.BulkHeadroom(InstrRetired, GlobalPowerEvents); ops != 9 {
+		t.Errorf("ops headroom after rearm = %d, want 9", ops)
+	}
+}

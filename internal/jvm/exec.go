@@ -29,7 +29,7 @@ func (vm *VM) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
 			vm.shutdown()
 			return kernel.StepExit
 		}
-		if err := vm.stepInstr(); err != nil {
+		if err := vm.stepTraced(); err != nil {
 			vm.err = err
 			vm.shutdown()
 			return kernel.StepExit
@@ -249,6 +249,7 @@ func (vm *VM) stepInstr() error {
 		nextPC = int(in.A)
 		if nextPC <= f.pc {
 			vm.backEdge(meth)
+			vm.noteAnchor(f, nextPC)
 		}
 	case bytecode.JmpZ, bytecode.JmpNZ:
 		v, ok := pop()
@@ -260,6 +261,7 @@ func (vm *VM) stepInstr() error {
 			nextPC = int(in.A)
 			if nextPC <= f.pc {
 				vm.backEdge(meth)
+				vm.noteAnchor(f, nextPC)
 			}
 		}
 

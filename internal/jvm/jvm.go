@@ -69,6 +69,11 @@ type Config struct {
 	// take effect at the next invocation (the pre-OSR Jikes behaviour;
 	// kept for the ablation benchmark).
 	DisableOSR bool
+	// DisableTrace turns off trace recording and fused superinstruction
+	// replay: every bytecode dispatches through stepInstr (the ablation
+	// baseline for the trace-batching benchmark). Simulated results are
+	// identical either way; only host-side speed differs.
+	DisableTrace bool
 	// Agent, if set, receives VM events (the VIProf VM agent).
 	Agent Agent
 	// Registry, if set, receives the JIT-region registration.
@@ -144,6 +149,11 @@ type VM struct {
 	cur        int // index of the scheduled thread
 	sinceYield int // bytecodes since the last yieldpoint
 
+	traceAt    []*methodTraces // per-method trace cache (index = method)
+	rec        *traceRecorder  // active trace recording, if any
+	traceStats TraceStats
+	scatterBuf []addr.Address // reusable operand vector for ExecScatter
+
 	bootImg       *image.Image
 	bootBase      addr.Address
 	bootstrapImg  *image.Image
@@ -189,6 +199,7 @@ func Launch(m *kernel.Machine, prog *classes.Program, cfg Config) (*VM, *kernel.
 		bodies:       make([]*jit.CodeBody, len(prog.Methods)),
 		loaded:       make(map[string]bool),
 		touchedPages: make(map[addr.Address]bool),
+		traceAt:      make([]*methodTraces, len(prog.Methods)),
 	}
 	proc, err := m.Kern.NewProcess(cfg.Personality.ProcName, vm)
 	if err != nil {
@@ -391,45 +402,24 @@ func (vm *VM) work(svc ServiceID, ops int) {
 }
 
 // workMem is work with an explicit memory working set (the collector
-// passes the heap so GC traffic has GC locality).
+// passes the heap so GC traffic has GC locality). The op stream is cut
+// into wrap-free segments and executed through cpu.Core.ExecScatter:
+// the scattered memory operands are resolved upfront by the cache
+// model's sorted multi-run replay and the event-free stretches between
+// misses retire in bulk — bit-for-bit what the old per-op stream
+// produced, without a precise fallback at every scattered operand.
 func (vm *VM) workMem(svc ServiceID, ops int, memBase addr.Address, memLen uint64) {
-	ranges := vm.svcPCs[svc]
-	if len(ranges) == 0 {
-		return
-	}
-	core := vm.m.Core
-	for ops > 0 {
-		r := ranges[vm.svcCursor[svc]%len(ranges)]
-		vm.svcCursor[svc]++
-		chunk := r.weight * 12
-		if chunk > ops {
-			chunk = ops
-		}
-		pc := r.start
-		for i := 0; i < chunk; i++ {
-			vm.memTick++
-			if vm.memTick%6 == 0 && memLen > 0 {
-				mem := memBase + addr.Address((vm.memTick*88)%memLen)
-				core.BatchMemOp(pc, 1, mem)
-			} else {
-				// No memory operand: stream through the batched engine.
-				core.BatchOp(pc, 1)
-			}
-			pc += 4
-			if pc >= r.end {
-				pc = r.start
-			}
-		}
-		ops -= chunk
-	}
+	vm.workScatter(svc, ops, memBase, memLen, false)
 }
 
 // workMemSeq is workMem with sequential memory traffic: the mem ops
 // walk the working set in address order (one word per op), the access
-// pattern of the collector's semispace copy loop — eight consecutive
-// touches per cache line, which the batched engine's guaranteed-hit
-// streaming retires without re-probing.
+// pattern of the collector's semispace copy loop.
 func (vm *VM) workMemSeq(svc ServiceID, ops int, memBase addr.Address, memLen uint64) {
+	vm.workScatter(svc, ops, memBase, memLen, true)
+}
+
+func (vm *VM) workScatter(svc ServiceID, ops int, memBase addr.Address, memLen uint64, seq bool) {
 	ranges := vm.svcPCs[svc]
 	if len(ranges) == 0 {
 		return
@@ -443,19 +433,40 @@ func (vm *VM) workMemSeq(svc ServiceID, ops int, memBase addr.Address, memLen ui
 			chunk = ops
 		}
 		pc := r.start
-		for i := 0; i < chunk; i++ {
-			vm.memTick++
-			if vm.memTick%6 == 0 && memLen > 0 {
-				mem := memBase + addr.Address((vm.copyTick*8)%memLen)
-				vm.copyTick++
-				core.BatchMemOp(pc, 1, mem)
+		for rem := chunk; rem > 0; {
+			// One wrap-free segment: ops at pc, pc+4, ... below r.end.
+			span := rem
+			stride := uint32(4)
+			if r.end > pc+4 {
+				if s := int((uint64(r.end-pc) + 3) / 4); s < span {
+					span = s
+				}
 			} else {
-				core.BatchOp(pc, 1)
+				stride = 0 // degenerate range: every op executes at pc
 			}
-			pc += 4
-			if pc >= r.end {
-				pc = r.start
+			buf := vm.scatterBuf[:0]
+			for i := 0; i < span; i++ {
+				vm.memTick++
+				var mem addr.Address
+				if vm.memTick%6 == 0 && memLen > 0 {
+					if seq {
+						mem = memBase + addr.Address((vm.copyTick*8)%memLen)
+						vm.copyTick++
+					} else {
+						mem = memBase + addr.Address((vm.memTick*88)%memLen)
+					}
+				}
+				buf = append(buf, mem)
 			}
+			vm.scatterBuf = buf
+			core.ExecScatter(pc, stride, 1, buf)
+			if stride != 0 {
+				pc += addr.Address(4 * span)
+				if pc >= r.end {
+					pc = r.start
+				}
+			}
+			rem -= span
 		}
 		ops -= chunk
 	}
@@ -525,6 +536,7 @@ func (vm *VM) promote(mi int) error {
 	}
 	vm.faultIn(body.Obj.Addr, body.Obj.Size)
 	vm.bodies[mi] = body
+	vm.invalidateTraces(mi)
 	vm.stats.OptCompiles++
 	if vm.cfg.Agent != nil {
 		vm.cfg.Agent.OnCompile(body, vm.heap.Epoch())

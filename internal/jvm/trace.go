@@ -1,0 +1,857 @@
+// Trace recording and fused superinstruction replay: the VM detects hot
+// straight-line (and single-backedge loop) bytecode sequences at method
+// entries and loop-backedge targets, compiles each into a compact trace
+// descriptor, and replays the descriptor with one event-horizon check
+// (cpu.Core.TraceWindow) and one bulk retirement (cpu.Core.RetireTrace)
+// per fused stretch instead of one dispatch + one accumulator call per
+// bytecode. Replay deoptimizes to the ordinary stepInstr interpreter at
+// any guard failure — branch divergence, operand-stack underflow or a
+// runtime exception, an exhausted event horizon, or a stale descriptor
+// after recompilation — leaving the VM in exactly the state per-op
+// execution would have at that bytecode, so the per-op path can always
+// resume mid-trace.
+//
+// Equivalence contract: a fused replay is bit-for-bit identical to the
+// per-op interpretation of the same bytecodes. Ops are accumulated only
+// while provably event-free (inside the granted TraceWindow, with
+// memory operands proven guaranteed hits via Hierarchy.DataFree);
+// everything else — recorded misses, horizon boundaries, diverging
+// branches — takes the same precise cpu.Core.Exec path the streaming
+// engine falls back to. With batching disabled (the per-op oracle)
+// TraceWindow refuses every window and the interpreter runs per-op,
+// so ablation comparisons exercise identical simulated machines.
+package jvm
+
+import (
+	"viprof/internal/addr"
+	"viprof/internal/cpu"
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/jit"
+)
+
+const (
+	// traceHotThreshold is how many times an anchor (method entry or
+	// backedge target) must be reached before a recording starts.
+	traceHotThreshold = 8
+	// traceMaxOps caps recorded trace length; longer straight-line runs
+	// are split at the cap. Sized so a realistic interpreter loop body
+	// (typically well under a hundred bytecodes) fuses whole — a
+	// truncated loop trace leaves its tail stepping per-op every
+	// iteration.
+	traceMaxOps = 192
+	// traceMinOps is the minimum length worth fusing: below it the
+	// per-replay window bookkeeping costs more than it saves.
+	traceMinOps = 6
+)
+
+// traceOp is one recorded bytecode of a trace, predecoded so replay
+// touches neither the method's code array nor the body's offset table:
+// the opcode, its immediate, its cycle cost at the trace's JIT level,
+// its operand-stack entry requirement, its machine-PC offset from the
+// trace's first op (stable for the descriptor's body level — GC moves
+// the base, never the layout), and — for conditional branches — the
+// recorded direction the trace follows.
+type traceOp struct {
+	bci   int32
+	a     int32 // the instruction's immediate operand
+	pcOff uint32
+	cost  uint32
+	op    bytecode.Opcode
+	needs uint8 // operand-stack values read below entry (opNeeds)
+	flags uint8 // opfBranch|opfMem|opfLast; zero selects the plain fast path
+	taken bool  // recorded outcome for JmpZ/JmpNZ (always true for Jmp)
+}
+
+// traceOp.flags bits. An op with no flag set is "plain": it carries no
+// data operand, cannot diverge, and is not the trace's final op, so the
+// replayer's only architectural question is whether it still fits the
+// open window — the divergence, loop-close, and memory checks are
+// skipped entirely for it.
+const (
+	opfBranch uint8 = 1 << iota // Jmp/JmpZ/JmpNZ: divergence checks apply
+	opfMem                      // may carry a data operand (mem != 0)
+	opfLast                     // final op of the trace: loop-close applies
+)
+
+// opFlags classifies an opcode for the replay fast path.
+func opFlags(op bytecode.Opcode) uint8 {
+	switch op {
+	case bytecode.Jmp, bytecode.JmpZ, bytecode.JmpNZ:
+		return opfBranch
+	case bytecode.ALoad, bytecode.AStore,
+		bytecode.GetField, bytecode.PutField,
+		bytecode.GetRef, bytecode.PutRef,
+		bytecode.GetStatic, bytecode.PutStatic:
+		return opfMem
+	}
+	return 0
+}
+
+// traceDesc is a fused superinstruction descriptor: a hot bytecode
+// sequence with strictly increasing bytecode indexes, closed either by
+// a fall-through exit (straight-line trace) or by a backedge to its own
+// anchor (loop trace). Machine PCs are never stored — the replayer
+// computes body.PC(bci) per run, so descriptors survive GC code moves;
+// the replayer anchors its event-horizon window per instruction page,
+// so a footprint spanning a page boundary fuses each page segment
+// separately with the crossing op retired precisely. The stack shape
+// (minDepth entry values consumed below the entry level, maxGrow slots
+// of growth, net delta) is precomputed for the entry guard.
+type traceDesc struct {
+	level     jit.Level
+	startBC   int32 // anchor: first op's bytecode index
+	lastBC    int32 // final op's bytecode index (the maximum of the trace)
+	loop      bool  // final op is a branch back to startBC
+	ops       []traceOp
+	totalCost uint64 // sum of op costs at `level` (the fused cycle cost)
+	minDepth  int    // operand-stack values required on entry
+	maxGrow   int    // max growth above the entry stack level
+	net       int    // net operand-stack delta of a full replay
+	// Divergence hygiene: replays counts completed replays, diverges
+	// the ones that left through a branch going the unrecorded way. A
+	// descriptor whose recorded path chronically diverges (a recording
+	// that caught the rare arm of a data-dependent branch) is retired
+	// so the anchor re-heats and re-records the now-common path.
+	replays  uint32
+	diverges uint32
+}
+
+// methodTraces is the per-method trace cache: one descriptor slot and
+// one anchor-heat counter per bytecode index.
+type methodTraces struct {
+	at   []*traceDesc
+	heat []uint8
+}
+
+// traceRecorder captures one in-progress recording. Recording is purely
+// observational: recordStep peeks at the instruction about to execute,
+// appends it (or finalizes/aborts), then lets stepInstr run it, so the
+// recording pass is bit-for-bit the ordinary interpreter.
+type traceRecorder struct {
+	mi      int // method index
+	thread  int // vm.cur at start; any switch aborts
+	depth   int // frame depth at start; any call/return aborts
+	level   jit.Level
+	startBC int32
+	expect  int32 // bytecode index the next recorded op must have
+	ops     []traceOp
+	rd      int // stack depth relative to entry
+	minD    int
+	maxG    int
+}
+
+// TraceStats counts trace-cache activity. They are deliberately kept
+// out of Stats: fused replay changes how bytecodes retire, never which
+// bytecodes retire, so Stats stays bit-for-bit identical across the
+// batched, per-op, and trace-disabled configurations while TraceStats
+// legitimately differs.
+type TraceStats struct {
+	Installed     int    // descriptors installed
+	Aborted       int    // recordings abandoned before installation
+	Replays       uint64 // replay invocations that retired at least one op
+	OpsReplayed   uint64 // bytecodes retired by fused replay
+	Deopts        uint64 // replays that left the trace before its recorded end
+	Invalidations int    // per-method cache flushes on recompilation
+	Dropped       int    // descriptors retired for chronic branch divergence
+}
+
+// TraceStats returns trace-cache activity counters.
+func (vm *VM) TraceStats() TraceStats { return vm.traceStats }
+
+// opNeeds returns how many operand-stack values the op reads below the
+// current top (the recorder's entry-depth requirement).
+func opNeeds(op bytecode.Opcode) int {
+	switch op {
+	case bytecode.Store, bytecode.Pop, bytecode.Dup, bytecode.Neg,
+		bytecode.JmpZ, bytecode.JmpNZ, bytecode.PutStatic,
+		bytecode.ArrayLen, bytecode.GetField, bytecode.GetRef:
+		return 1
+	case bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.Div, bytecode.Mod,
+		bytecode.And, bytecode.Or, bytecode.Xor, bytecode.Shl, bytecode.Shr,
+		bytecode.CmpLT, bytecode.CmpLE, bytecode.CmpEQ, bytecode.CmpNE,
+		bytecode.CmpGT, bytecode.CmpGE,
+		bytecode.ALoad, bytecode.PutField, bytecode.PutRef:
+		return 2
+	case bytecode.AStore:
+		return 3
+	}
+	return 0
+}
+
+// traceable reports whether an opcode may appear inside a trace. Calls,
+// returns, spawns, allocations, and intrinsics end recording: they
+// change frames, run VM services, or allocate (and hence may collect),
+// none of which a fused stretch may contain.
+func traceable(op bytecode.Opcode) bool {
+	switch op {
+	case bytecode.Call, bytecode.Spawn, bytecode.Ret, bytecode.RetVoid,
+		bytecode.New, bytecode.NewArray, bytecode.Intrinsic:
+		return false
+	}
+	return true
+}
+
+// noteAnchor records one arrival at a trace anchor (method entry or
+// backedge target) and starts a recording once the anchor is hot and
+// the recorder is free.
+func (vm *VM) noteAnchor(f *frame, bci int) {
+	if vm.cfg.DisableTrace {
+		return
+	}
+	mi := f.body.Method.Index
+	mt := vm.traceAt[mi]
+	if mt == nil {
+		n := len(f.body.Method.Code)
+		mt = &methodTraces{at: make([]*traceDesc, n), heat: make([]uint8, n)}
+		vm.traceAt[mi] = mt
+	}
+	if bci < 0 || bci >= len(mt.at) || mt.at[bci] != nil {
+		return
+	}
+	if mt.heat[bci] < 255 {
+		mt.heat[bci]++
+	}
+	if mt.heat[bci] < traceHotThreshold || vm.rec != nil {
+		return
+	}
+	vm.rec = &traceRecorder{
+		mi:      mi,
+		thread:  vm.cur,
+		depth:   len(vm.threads[vm.cur].frames),
+		level:   f.body.Level,
+		startBC: int32(bci),
+		expect:  int32(bci),
+	}
+}
+
+// invalidateTraces drops every descriptor of a method. Called on
+// recompilation: descriptor costs and the OSR-replaced bodies belong to
+// the old JIT level. (The replayer's level guard is the second layer of
+// this defence, catching frames that still run a stale body.)
+func (vm *VM) invalidateTraces(mi int) {
+	if vm.traceAt == nil || vm.traceAt[mi] == nil {
+		return
+	}
+	vm.traceAt[mi] = nil
+	vm.traceStats.Invalidations++
+	if r := vm.rec; r != nil && r.mi == mi {
+		vm.rec = nil
+		vm.traceStats.Aborted++
+	}
+}
+
+// stepTraced is the interpreter's dispatch entry: continue an active
+// recording, replay an installed descriptor, or fall through to the
+// ordinary stepInstr (bumping the entry anchor on the way).
+func (vm *VM) stepTraced() error {
+	if vm.cfg.DisableTrace {
+		return vm.stepInstr()
+	}
+	th := vm.threads[vm.cur]
+	f := &th.frames[len(th.frames)-1]
+	mi := f.body.Method.Index
+	if r := vm.rec; r != nil {
+		if r.mi == mi && r.thread == vm.cur && r.depth == len(th.frames) &&
+			r.level == f.body.Level && int(r.expect) == f.pc {
+			return vm.recordStep(f)
+		}
+		vm.rec = nil
+		vm.traceStats.Aborted++
+	}
+	if mt := vm.traceAt[mi]; mt != nil && f.pc >= 0 && f.pc < len(mt.at) {
+		if d := mt.at[f.pc]; d != nil {
+			if d.level == f.body.Level {
+				done, err := vm.replayTrace(f, d)
+				if done || err != nil {
+					return err
+				}
+			} else {
+				mt.at[f.pc] = nil
+			}
+		}
+	}
+	if f.pc == 0 {
+		vm.noteAnchor(f, 0)
+		if r := vm.rec; r != nil && r.mi == mi && r.thread == vm.cur &&
+			r.depth == len(th.frames) && len(r.ops) == 0 && r.startBC == 0 {
+			return vm.recordStep(f)
+		}
+	}
+	return vm.stepInstr()
+}
+
+// recordStep observes the instruction stepInstr is about to execute:
+// append it to the recording, finalize the trace (at an ending opcode,
+// the length cap, or the loop-closing backedge), or abort. It then runs
+// stepInstr unchanged, so recording has no architectural effect.
+func (vm *VM) recordStep(f *frame) error {
+	r := vm.rec
+	meth := f.body.Method
+	if f.pc < 0 || f.pc >= len(meth.Code) {
+		vm.rec = nil
+		vm.traceStats.Aborted++
+		return vm.stepInstr()
+	}
+	in := meth.Code[f.pc]
+	if !traceable(in.Op) {
+		vm.finishRecording(f, false)
+		return vm.stepInstr()
+	}
+	bci := int32(f.pc)
+	cost := jit.OpCost(in.Op, r.level)
+	switch in.Op {
+	case bytecode.Jmp, bytecode.JmpZ, bytecode.JmpNZ:
+		taken := true
+		if in.Op != bytecode.Jmp {
+			if len(f.stack) == 0 {
+				// stepInstr will raise the underflow; nothing to record.
+				vm.rec = nil
+				vm.traceStats.Aborted++
+				return vm.stepInstr()
+			}
+			top := f.stack[len(f.stack)-1]
+			taken = (top.I == 0) == (in.Op == bytecode.JmpZ)
+		}
+		dest := f.pc + 1
+		if taken {
+			dest = int(in.A)
+		}
+		if dest <= f.pc {
+			if taken && int32(dest) == r.startBC {
+				// The loop closes on its own anchor: record the backedge
+				// and install a loop trace.
+				r.append(in, bci, cost, taken)
+				vm.finishRecording(f, true)
+			} else {
+				// Backward control flow to a foreign target: not a
+				// single-backedge loop, give up.
+				vm.rec = nil
+				vm.traceStats.Aborted++
+			}
+			return vm.stepInstr()
+		}
+		r.append(in, bci, cost, taken)
+		r.expect = int32(dest)
+	default:
+		r.append(in, bci, cost, false)
+		r.expect = bci + 1
+	}
+	if len(r.ops) >= traceMaxOps {
+		vm.finishRecording(f, false)
+	}
+	return vm.stepInstr()
+}
+
+// append adds one op to the recording and folds its operand-stack shape
+// into the descriptor's entry requirements.
+func (r *traceRecorder) append(in bytecode.Instr, bci int32, cost uint32, taken bool) {
+	needs := opNeeds(in.Op)
+	if need := needs - r.rd; need > r.minD {
+		r.minD = need
+	}
+	r.rd += bytecode.StackDelta(in)
+	if r.rd > r.maxG {
+		r.maxG = r.rd
+	}
+	r.ops = append(r.ops, traceOp{
+		bci: bci, a: in.A, cost: cost,
+		op: in.Op, needs: uint8(needs), flags: opFlags(in.Op), taken: taken,
+	})
+}
+
+// finishRecording installs the recorded trace as a descriptor at its
+// anchor if it is long enough to be worth fusing. The frame supplies
+// the body whose layout the descriptor predecodes its PC offsets from;
+// its level was guarded at every recorded step.
+func (vm *VM) finishRecording(f *frame, loop bool) {
+	r := vm.rec
+	vm.rec = nil
+	if len(r.ops) < traceMinOps || f.body.Level != r.level {
+		vm.traceStats.Aborted++
+		return
+	}
+	var total uint64
+	base := f.body.PC(int(r.startBC))
+	for i := range r.ops {
+		total += uint64(r.ops[i].cost)
+		r.ops[i].pcOff = uint32(f.body.PC(int(r.ops[i].bci)) - base)
+	}
+	r.ops[len(r.ops)-1].flags |= opfLast
+	d := &traceDesc{
+		level:     r.level,
+		startBC:   r.startBC,
+		lastBC:    r.ops[len(r.ops)-1].bci,
+		loop:      loop,
+		ops:       r.ops,
+		totalCost: total,
+		minDepth:  r.minD,
+		maxGrow:   r.maxG,
+		net:       r.rd,
+	}
+	mt := vm.traceAt[r.mi]
+	if mt == nil || int(r.startBC) >= len(mt.at) {
+		vm.traceStats.Aborted++
+		return
+	}
+	mt.at[r.startBC] = d
+	vm.traceStats.Installed++
+}
+
+// replayTrace executes one pass over a descriptor. It returns done=true
+// when it retired at least one bytecode (f.pc then points at the next
+// bytecode to execute, which may be mid-trace after a deoptimization)
+// and done=false — with zero architectural or functional effect — when
+// replay cannot begin, in which case the caller falls through to
+// stepInstr. A loop trace replays exactly one iteration per call, so
+// the Step loop's slice and scheduling checks run between iterations
+// exactly as they do per-op.
+func (vm *VM) replayTrace(f *frame, d *traceDesc) (bool, error) {
+	// Entry guards: enough operand stack for the recorded shape, and the
+	// yield quantum cannot expire inside the fused stretch (scheduling
+	// checks skipped by fusion are then provably no-ops).
+	if len(f.stack) < d.minDepth || vm.sinceYield+len(d.ops) > vm.cfg.YieldQuantum {
+		return false, nil
+	}
+	core := vm.m.Core
+	if !core.Batching() {
+		// The per-op oracle: replay must not run at all.
+		return false, nil
+	}
+	body := f.body
+	startPC := body.PC(int(d.startBC))
+	// The window is anchored per instruction page, not per trace: a
+	// descriptor whose footprint spans a page boundary (long bodies,
+	// post-promotion code layouts) fuses each page segment separately,
+	// with the crossing op retired precisely so it pays exactly the
+	// per-op ITLB probe. winPage is the page the current window proved
+	// fetch-free; ops off that page leave the accumulator.
+	remOps, remCost, ok := core.TraceWindow(startPC, startPC)
+	winPage := uint64(startPC) >> 12
+	needReopen := !ok
+	if !ok {
+		// Cold entry: the instruction page moved (a kernel slice ran
+		// since the last replay), an NMI is latched, or a counter is
+		// within one op of overflow. None of these forbids replay — the
+		// first op(s) retire precisely, paying exactly the per-op
+		// fetch/latch/overflow accounting, and the window reopens warm
+		// (typically from the second op).
+		remOps, remCost = 0, 0
+	}
+	hier := core.Mem
+	var hit uint32
+	if hier != nil {
+		hit = hier.HitCost()
+	}
+	meth := body.Method
+	mi := meth.Index
+
+	var accN, accCost uint64
+	var accLastPC addr.Address
+	var dtouch uint32
+	var daddr addr.Address
+	executed := 0
+
+	// The Step loop polls core.Expired() between bytecodes, so per-op
+	// execution yields to the kernel at exactly the op where the
+	// scheduling slice runs out. Fused replay must stop at the same op:
+	// track pending slice consumption (the accumulator's cost is not yet
+	// applied to the core) and re-sync from the core whenever it is.
+	sliceBudget := core.SliceLeft()
+	var sliceUsed uint64
+
+	flush := func() {
+		if accN > 0 {
+			core.RetireTrace(accLastPC, accN, accCost, daddr, dtouch)
+			accN, accCost, dtouch, daddr = 0, 0, 0, 0
+		}
+		sliceBudget = core.SliceLeft()
+		sliceUsed = 0
+	}
+	commit := func(deopt bool) {
+		vm.sinceYield += executed
+		vm.stats.BytecodesRun += uint64(executed)
+		if executed > 0 {
+			vm.traceStats.Replays++
+			vm.traceStats.OpsReplayed += uint64(executed)
+			d.replays++
+		}
+		if deopt {
+			vm.traceStats.Deopts++
+		}
+	}
+	// deopt abandons the trace before executing op j: all previous ops
+	// are committed, f.pc points at op j's bytecode, and stepInstr
+	// resumes there — including re-raising whatever runtime error made
+	// the op unexecutable, with the per-op path's exact semantics.
+	deopt := func(bci int32) (bool, error) {
+		flush()
+		f.pc = int(bci)
+		commit(true)
+		return executed > 0, nil
+	}
+
+	for j := 0; j < len(d.ops); j++ {
+		op := &d.ops[j]
+		if sliceUsed >= sliceBudget {
+			// The scheduling slice expired at this op boundary: per-op
+			// execution would leave the Step loop here without running
+			// the op, so replay stops and lets the kernel take over.
+			flush()
+			f.pc = int(op.bci)
+			commit(true)
+			return executed > 0, nil
+		}
+		pc := startPC + addr.Address(op.pcOff)
+		sp := len(f.stack)
+		if sp < int(op.needs) {
+			return deopt(op.bci)
+		}
+
+		// Functional phase: validate without mutating, then apply —
+		// exactly stepInstr's effect for the op. Ops that would raise a
+		// runtime error deopt unexecuted so stepInstr raises it.
+		var mem addr.Address
+		branchTaken := op.taken
+		switch op.op {
+		case bytecode.Nop:
+		case bytecode.Const:
+			f.stack = append(f.stack, Value{I: int64(op.a)})
+		case bytecode.Load:
+			f.stack = append(f.stack, f.locals[op.a])
+		case bytecode.Store:
+			f.locals[op.a] = f.stack[sp-1]
+			f.stack = f.stack[:sp-1]
+		case bytecode.Dup:
+			f.stack = append(f.stack, f.stack[sp-1])
+		case bytecode.Pop:
+			f.stack = f.stack[:sp-1]
+
+		case bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.Div, bytecode.Mod,
+			bytecode.And, bytecode.Or, bytecode.Xor, bytecode.Shl, bytecode.Shr:
+			a, b := f.stack[sp-2], f.stack[sp-1]
+			if (op.op == bytecode.Div || op.op == bytecode.Mod) && b.I == 0 {
+				return deopt(op.bci)
+			}
+			var v int64
+			switch op.op {
+			case bytecode.Add:
+				v = a.I + b.I
+			case bytecode.Sub:
+				v = a.I - b.I
+			case bytecode.Mul:
+				v = a.I * b.I
+			case bytecode.Div:
+				v = a.I / b.I
+			case bytecode.Mod:
+				v = a.I % b.I
+			case bytecode.And:
+				v = a.I & b.I
+			case bytecode.Or:
+				v = a.I | b.I
+			case bytecode.Xor:
+				v = a.I ^ b.I
+			case bytecode.Shl:
+				v = a.I << (uint64(b.I) & 63)
+			case bytecode.Shr:
+				v = a.I >> (uint64(b.I) & 63)
+			}
+			f.stack = f.stack[:sp-1]
+			f.stack[sp-2] = Value{I: v}
+		case bytecode.Neg:
+			f.stack[sp-1] = Value{I: -f.stack[sp-1].I}
+
+		case bytecode.CmpLT, bytecode.CmpLE, bytecode.CmpEQ, bytecode.CmpNE,
+			bytecode.CmpGT, bytecode.CmpGE:
+			a, b := f.stack[sp-2], f.stack[sp-1]
+			var r bool
+			switch op.op {
+			case bytecode.CmpLT:
+				r = a.I < b.I
+			case bytecode.CmpLE:
+				r = a.I <= b.I
+			case bytecode.CmpEQ:
+				r = a.I == b.I
+			case bytecode.CmpNE:
+				r = a.I != b.I
+			case bytecode.CmpGT:
+				r = a.I > b.I
+			case bytecode.CmpGE:
+				r = a.I >= b.I
+			}
+			var v int64
+			if r {
+				v = 1
+			}
+			f.stack = f.stack[:sp-1]
+			f.stack[sp-2] = Value{I: v}
+
+		case bytecode.Jmp:
+		case bytecode.JmpZ, bytecode.JmpNZ:
+			v := f.stack[sp-1]
+			f.stack = f.stack[:sp-1]
+			branchTaken = (v.I == 0) == (op.op == bytecode.JmpZ)
+
+		case bytecode.ALoad:
+			ref, idx := f.stack[sp-2], f.stack[sp-1]
+			o := ref.R
+			if o == nil {
+				return deopt(op.bci)
+			}
+			i := idx.I
+			if len(o.Refs) > 0 {
+				if i < 0 || int(i) >= len(o.Refs) {
+					return deopt(op.bci)
+				}
+				mem = o.FieldAddr(int(i))
+				f.stack = f.stack[:sp-1]
+				f.stack[sp-2] = Value{R: o.Refs[i]}
+			} else {
+				if i < 0 || int(i) >= len(o.Scalars) {
+					return deopt(op.bci)
+				}
+				mem = o.FieldAddr(int(i))
+				f.stack = f.stack[:sp-1]
+				f.stack[sp-2] = Value{I: o.Scalars[i]}
+			}
+		case bytecode.AStore:
+			ref, idx, val := f.stack[sp-3], f.stack[sp-2], f.stack[sp-1]
+			o := ref.R
+			if o == nil {
+				return deopt(op.bci)
+			}
+			i := idx.I
+			if len(o.Refs) > 0 {
+				if i < 0 || int(i) >= len(o.Refs) {
+					return deopt(op.bci)
+				}
+				o.Refs[i] = val.R
+			} else {
+				if i < 0 || int(i) >= len(o.Scalars) {
+					return deopt(op.bci)
+				}
+				o.Scalars[i] = val.I
+			}
+			mem = o.FieldAddr(int(i))
+			f.stack = f.stack[:sp-3]
+		case bytecode.ArrayLen:
+			o := f.stack[sp-1].R
+			if o == nil {
+				return deopt(op.bci)
+			}
+			n := len(o.Scalars)
+			if len(o.Refs) > 0 {
+				n = len(o.Refs)
+			}
+			f.stack[sp-1] = Value{I: int64(n)}
+
+		case bytecode.GetField:
+			o := f.stack[sp-1].R
+			if o == nil || int(op.a) >= len(o.Scalars) {
+				return deopt(op.bci)
+			}
+			mem = o.FieldAddr(int(op.a))
+			f.stack[sp-1] = Value{I: o.Scalars[op.a]}
+		case bytecode.PutField:
+			o := f.stack[sp-2].R
+			if o == nil || int(op.a) >= len(o.Scalars) {
+				return deopt(op.bci)
+			}
+			o.Scalars[op.a] = f.stack[sp-1].I
+			mem = o.FieldAddr(int(op.a))
+			f.stack = f.stack[:sp-2]
+		case bytecode.GetRef:
+			o := f.stack[sp-1].R
+			if o == nil || int(op.a) >= len(o.Refs) {
+				return deopt(op.bci)
+			}
+			mem = o.FieldAddr(int(op.a))
+			f.stack[sp-1] = Value{R: o.Refs[op.a]}
+		case bytecode.PutRef:
+			o := f.stack[sp-2].R
+			if o == nil || int(op.a) >= len(o.Refs) {
+				return deopt(op.bci)
+			}
+			o.Refs[op.a] = f.stack[sp-1].R
+			mem = o.FieldAddr(int(op.a))
+			f.stack = f.stack[:sp-2]
+
+		case bytecode.GetStatic:
+			mem = vm.staticsBase + addr.Address(op.a)*8
+			f.stack = append(f.stack, vm.statics[op.a])
+		case bytecode.PutStatic:
+			mem = vm.staticsBase + addr.Address(op.a)*8
+			vm.statics[op.a] = f.stack[sp-1]
+			f.stack = f.stack[:sp-1]
+
+		default:
+			// A non-traceable opcode can only appear here through a bug in
+			// the recorder; run it per-op.
+			return deopt(op.bci)
+		}
+
+		// Plain ops (no data operand, no divergence possible, not the
+		// final op) take a short architectural path: reopen-if-needed,
+		// accumulate if the op fits the window, retire precisely if not.
+		// This is the general path below with every branch that cannot
+		// apply removed — the bulk of any trace is these.
+		if op.flags == 0 {
+			if needReopen {
+				remOps, remCost, ok = core.TraceWindow(pc, pc)
+				if ok {
+					winPage = uint64(pc) >> 12
+					needReopen = false
+				}
+			}
+			eff := uint64(op.cost)
+			if !needReopen && uint64(pc)>>12 == winPage &&
+				accN+1 <= remOps && accCost+eff <= remCost {
+				accN++
+				accCost += eff
+				accLastPC = pc
+				sliceUsed += eff
+			} else {
+				flush()
+				core.Exec(cpu.Op{PC: pc, Cost: op.cost})
+				sliceBudget = core.SliceLeft()
+				sliceUsed = 0
+				needReopen = true
+			}
+			executed = j + 1
+			continue
+		}
+
+		// Loop-closing backedge: retire the accumulator, then charge the
+		// backedge in stepInstr's exact order — backEdge (which may
+		// promote, OSR-replace f.body, and invalidate this descriptor)
+		// before the op's own charge at the *new* body's address with the
+		// *old* level's cost.
+		if d.loop && j == len(d.ops)-1 && branchTaken {
+			flush()
+			executed = len(d.ops)
+			vm.backEdge(meth)
+			core.BatchOp(f.body.PC(int(op.bci)), op.cost)
+			vm.noteAnchor(f, int(d.startBC))
+			f.pc = int(d.startBC)
+			commit(false)
+			return true, nil
+		}
+
+		// Divergence from the recorded direction exits the trace after
+		// charging this op; a backward divergence reports its backedge
+		// first, exactly as stepInstr does.
+		diverged := false
+		var divergeDest int
+		if op.op == bytecode.Jmp || op.op == bytecode.JmpZ || op.op == bytecode.JmpNZ {
+			if branchTaken != op.taken {
+				diverged = true
+				divergeDest = int(op.bci) + 1
+				if branchTaken {
+					divergeDest = int(op.a)
+				}
+			}
+		}
+		if diverged && divergeDest <= int(op.bci) {
+			flush()
+			executed = j + 1
+			vm.backEdge(meth)
+			core.BatchOp(f.body.PC(int(op.bci)), op.cost)
+			vm.noteAnchor(f, divergeDest)
+			f.pc = divergeDest
+			commit(true)
+			d.diverges++
+			vm.dropChronicDiverge(d, mi)
+			return true, nil
+		}
+
+		// Architectural phase: accumulate inside the window when the op
+		// is provably event-free, otherwise retire precisely. A closed
+		// window never abandons the trace — precise ops deliver latched
+		// NMIs, tick overflows, and refetch the page, after which the
+		// window reopens for the remaining ops.
+		canAcc := mem == 0 || (hier != nil && hier.DataFree(mem))
+		if canAcc && needReopen {
+			remOps, remCost, ok = core.TraceWindow(pc, pc)
+			if ok {
+				winPage = uint64(pc) >> 12
+				needReopen = false
+			}
+		}
+		eff := uint64(op.cost)
+		if mem != 0 {
+			eff += uint64(hit)
+		}
+		if canAcc && !needReopen && uint64(pc)>>12 == winPage &&
+			accN+1 <= remOps && accCost+eff <= remCost {
+			accN++
+			accCost += eff
+			accLastPC = pc
+			sliceUsed += eff
+			if mem != 0 {
+				dtouch++
+				daddr = mem
+			}
+		} else {
+			flush()
+			core.Exec(cpu.Op{PC: pc, Cost: op.cost, Mem: mem})
+			// The precise op (and any NMI handler it ran) consumed slice
+			// directly on the core.
+			sliceBudget = core.SliceLeft()
+			sliceUsed = 0
+			needReopen = true
+		}
+		executed = j + 1
+
+		if diverged {
+			flush()
+			f.pc = divergeDest
+			commit(true)
+			d.diverges++
+			vm.dropChronicDiverge(d, mi)
+			return true, nil
+		}
+	}
+
+	// Recorded end of a straight-line trace (or a loop trace whose
+	// closing branch fell through — handled above as divergence).
+	flush()
+	f.pc = nextTracePC(d, len(d.ops)-1)
+	commit(false)
+	return true, nil
+}
+
+// traceDivergeMinReplays is how many replays a descriptor gets before
+// its divergence rate is judged.
+const traceDivergeMinReplays = 32
+
+// dropChronicDiverge retires a descriptor once more than half its
+// replays left through a branch going the unrecorded way: the
+// recording caught a rare arm of a data-dependent branch (or the
+// program changed phase). Resetting the anchor's heat lets a fresh
+// recording capture the now-common path.
+func (vm *VM) dropChronicDiverge(d *traceDesc, mi int) {
+	if d.replays < traceDivergeMinReplays || d.diverges*2 <= d.replays {
+		return
+	}
+	mt := vm.traceAt[mi]
+	if mt == nil || int(d.startBC) >= len(mt.at) || mt.at[d.startBC] != d {
+		return
+	}
+	mt.at[d.startBC] = nil
+	mt.heat[d.startBC] = 0
+	vm.traceStats.Dropped++
+}
+
+// nextTracePC is the bytecode index control reaches after executing
+// op j of the trace with its recorded branch outcome.
+func nextTracePC(d *traceDesc, j int) int {
+	op := &d.ops[j]
+	switch op.op {
+	case bytecode.Jmp:
+		return int(op.a)
+	case bytecode.JmpZ, bytecode.JmpNZ:
+		if op.taken {
+			return int(op.a)
+		}
+	}
+	return int(op.bci) + 1
+}

@@ -1,0 +1,271 @@
+package jvm
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"viprof/internal/cache"
+	"viprof/internal/cpu"
+	"viprof/internal/hpc"
+	"viprof/internal/jvm/bytecode"
+	"viprof/internal/jvm/classes"
+	"viprof/internal/kernel"
+)
+
+// The trace-replay equivalence property: a random loop-heavy program
+// must produce bit-for-bit identical simulated machines under (a) the
+// default fused trace replay, (b) DisableTrace (per-op interpretation
+// over the streaming batch engine), and (c) SetBatching(false) (the
+// fully per-op oracle). Programs mix arithmetic, array and field RMW,
+// statics, data-dependent branches (random deopt points), and periodic
+// allocation (GC moves JIT bodies mid-trace), so the sweep exercises
+// replay, divergence deopts, trace invalidation on promotion, and
+// descriptor survival across code motion.
+
+// genTraceProgram builds a worker whose loop body is a random sequence
+// of stack-neutral gadgets, plus a main that calls it enough times for
+// entry and backedge anchors to pass the hot threshold.
+//
+// Worker locals: 0=iterations 1=i 2=arr 3=obj 4=acc 5=tmp.
+// Statics: 0,1 allocation rings (refs), 2=acc 3=arr probe 4=field probe
+// 5=static RMW cell.
+func genTraceProgram(rng *rand.Rand) *classes.Program {
+	p := classes.NewProgram("traceq", 8)
+	arrLen := int32(16 + rng.Intn(48))
+
+	w := bytecode.NewAsm()
+	w.Const(arrLen).Emit(bytecode.NewArray, 8, 0).Store(2)
+	w.Emit(bytecode.New, 1, 4).Store(3)
+	w.Const(int32(rng.Intn(100))).Store(4)
+	w.Const(0).Store(1)
+	w.Label("loop")
+
+	binOps := []bytecode.Opcode{
+		bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.And,
+		bytecode.Or, bytecode.Xor,
+	}
+	nGadgets := 3 + rng.Intn(4)
+	for gi := 0; gi < nGadgets; gi++ {
+		lbl := fmt.Sprintf("g%d", gi)
+		switch rng.Intn(5) {
+		case 0: // arithmetic chain on acc
+			w.Load(4).Load(1).Emit(binOps[rng.Intn(len(binOps))])
+			w.Const(int32(rng.Intn(200) - 100)).Emit(binOps[rng.Intn(len(binOps))])
+			w.Store(4)
+		case 1: // array RMW: arr[i%len] += i
+			w.Load(2).Load(1).Const(arrLen).Emit(bytecode.Mod).Emit(bytecode.ALoad)
+			w.Load(1).Emit(bytecode.Add)
+			w.Store(5)
+			w.Load(2).Load(1).Const(arrLen).Emit(bytecode.Mod)
+			w.Load(5)
+			w.Emit(bytecode.AStore)
+		case 2: // scalar field RMW on the loop-local object
+			fi := int32(rng.Intn(4))
+			w.Load(3)
+			w.Load(3).Emit(bytecode.GetField, fi)
+			w.Const(int32(rng.Intn(50) + 1)).Emit(bytecode.Add)
+			w.Emit(bytecode.PutField, fi)
+		case 3: // static RMW
+			w.Emit(bytecode.GetStatic, 5)
+			w.Load(1).Emit(binOps[rng.Intn(len(binOps))])
+			w.Emit(bytecode.PutStatic, 5)
+		default: // data-dependent skip: diverges from any recorded direction
+			br := bytecode.JmpZ
+			if rng.Intn(2) == 0 {
+				br = bytecode.JmpNZ
+			}
+			w.Load(1).Const(int32(rng.Intn(6) + 2)).Emit(bytecode.Mod)
+			w.Branch(br, lbl)
+			w.Load(4).Const(int32(rng.Intn(30) + 1)).Emit(bytecode.Add).Store(4)
+			w.Label(lbl)
+		}
+	}
+	// Always allocate on a random cadence so GC runs (and moves the
+	// traced body) at seed-dependent points.
+	w.Load(1).Const(int32(rng.Intn(14) + 3)).Emit(bytecode.Mod)
+	w.Branch(bytecode.JmpNZ, "skipalloc")
+	w.Emit(bytecode.New, 1, 2)
+	w.Emit(bytecode.PutStatic, int32(rng.Intn(2)))
+	w.Label("skipalloc")
+	// i++; loop while i < iterations
+	w.Load(1).Const(1).Emit(bytecode.Add).Store(1)
+	w.Load(1).Load(0).Emit(bytecode.CmpLT)
+	w.Branch(bytecode.JmpNZ, "loop")
+	// Publish observable results into scalar statics.
+	w.Load(4).Emit(bytecode.PutStatic, 2)
+	w.Load(2).Const(arrLen/2).Emit(bytecode.ALoad).Emit(bytecode.PutStatic, 3)
+	w.Load(3).Emit(bytecode.GetField, 1).Emit(bytecode.PutStatic, 4)
+	w.Emit(bytecode.RetVoid)
+	worker := p.Add(&classes.Method{
+		Class: "traceq.Worker", Name: "run", NArgs: 1, MaxLocals: 6,
+		Code: w.MustFinish(),
+	})
+
+	outer := int32(10 + rng.Intn(20))
+	inner := int32(120 + rng.Intn(150))
+	mn := bytecode.NewAsm()
+	mn.Const(0).Store(0)
+	mn.Label("loop")
+	mn.Const(inner).Call(int32(worker.Index))
+	mn.Load(0).Const(1).Emit(bytecode.Add).Store(0)
+	mn.Load(0).Const(outer).Emit(bytecode.CmpLT)
+	mn.Branch(bytecode.JmpNZ, "loop")
+	mn.Emit(bytecode.RetVoid)
+	main := p.Add(&classes.Method{
+		Class: "traceq.Main", Name: "main", MaxLocals: 1,
+		Code: mn.MustFinish(),
+	})
+	p.SetMain(main)
+	return p
+}
+
+type traceNMI struct {
+	Ev   hpc.Event
+	Snap cpu.Snapshot
+}
+
+// traceRunResult is everything observable about one run that must be
+// identical across the fused, trace-disabled, and per-op machines.
+// TraceStats is deliberately excluded: it legitimately differs.
+type traceRunResult struct {
+	Cycles, Instrs uint64
+	Counters       [2][2]uint64 // (Total, Overflows) per programmed event
+	CacheStats     [4][2]uint64 // (accesses, misses) for L1, L2, DTLB, ITLB
+	NMIs           []traceNMI
+	VMStats        Stats
+	Statics        [4]int64 // scalar statics 2..5
+	Finished       bool
+	ErrStr         string
+}
+
+func runTraceProgram(t *testing.T, p *classes.Program, seed int64, disableTrace, noBatch bool) (traceRunResult, TraceStats) {
+	t.Helper()
+	core := cpu.New(hpc.NewBank(), cache.DefaultHierarchy())
+	core.Bank.Program(hpc.GlobalPowerEvents, 7_003)
+	core.Bank.Program(hpc.BSQCacheReference, 1_201)
+	if noBatch {
+		core.SetBatching(false)
+	}
+	m := kernel.NewMachine(core, seed)
+	var res traceRunResult
+	m.Kern.SetNMIHandler(func(mm *kernel.Machine, s cpu.Snapshot, ev hpc.Event) {
+		res.NMIs = append(res.NMIs, traceNMI{Ev: ev, Snap: s})
+	})
+	vm, _, err := Launch(m, p, Config{
+		HeapBytes: 96 << 10, AOSThreshold: 120, DisableTrace: disableTrace,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: launch: %v", seed, err)
+	}
+	if err := m.Kern.Run(3_000_000_000); err != nil {
+		t.Fatalf("seed %d: run: %v", seed, err)
+	}
+	res.Cycles = core.Cycles()
+	res.Instrs = core.Instructions()
+	for i, ev := range []hpc.Event{hpc.GlobalPowerEvents, hpc.BSQCacheReference} {
+		if c, ok := core.Bank.Counter(ev); ok {
+			res.Counters[i] = [2]uint64{c.Total(), c.Overflows()}
+		}
+	}
+	for i, c := range []*cache.Cache{core.Mem.L1, core.Mem.L2, core.Mem.DTLB, core.Mem.ITLB} {
+		if c != nil {
+			a, ms := c.Stats()
+			res.CacheStats[i] = [2]uint64{a, ms}
+		}
+	}
+	res.VMStats = vm.Stats()
+	for i := 0; i < 4; i++ {
+		res.Statics[i] = vm.statics[2+i].I
+	}
+	res.Finished = vm.Finished()
+	if vm.Err() != nil {
+		res.ErrStr = vm.Err().Error()
+	}
+	return res, vm.TraceStats()
+}
+
+func TestTraceReplayMatchesPerOpQuick(t *testing.T) {
+	var totalReplays, totalOps, totalDeopts uint64
+	var totalInstalled, totalInvalidations int
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := genTraceProgram(rng)
+		if err := p.Verify(); err != nil {
+			t.Logf("seed %d: generated invalid program: %v", seed, err)
+			return false
+		}
+		fused, ts := runTraceProgram(t, p, seed, false, false)
+		totalReplays += ts.Replays
+		totalOps += ts.OpsReplayed
+		totalDeopts += ts.Deopts
+		totalInstalled += ts.Installed
+		totalInvalidations += ts.Invalidations
+		if !fused.Finished {
+			t.Logf("seed %d: fused run did not finish: %s", seed, fused.ErrStr)
+			return false
+		}
+		plain, pts := runTraceProgram(t, p, seed, true, false)
+		if pts.Installed != 0 || pts.Replays != 0 {
+			t.Logf("seed %d: DisableTrace still traced: %+v", seed, pts)
+			return false
+		}
+		if !reflect.DeepEqual(fused, plain) {
+			t.Logf("seed %d: fused vs DisableTrace diverged:\n fused: %+v\n plain: %+v", seed, fused, plain)
+			return false
+		}
+		perop, _ := runTraceProgram(t, p, seed, false, true)
+		if !reflect.DeepEqual(fused, perop) {
+			t.Logf("seed %d: fused vs per-op oracle diverged:\n fused: %+v\n perop: %+v", seed, fused, perop)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+	// The sweep must actually exercise the fused path, its deopt exits,
+	// and invalidation on promotion — otherwise the equivalence above is
+	// vacuous.
+	if totalInstalled == 0 || totalReplays == 0 || totalOps == 0 {
+		t.Errorf("traces not exercised: installed=%d replays=%d ops=%d",
+			totalInstalled, totalReplays, totalOps)
+	}
+	if totalDeopts == 0 {
+		t.Error("no deopts across the sweep: divergence paths untested")
+	}
+	if totalInvalidations == 0 {
+		t.Error("no invalidations across the sweep: recompile paths untested")
+	}
+	t.Logf("trace sweep: installed=%d replays=%d ops=%d deopts=%d invalidations=%d",
+		totalInstalled, totalReplays, totalOps, totalDeopts, totalInvalidations)
+}
+
+// A deterministic loop-heavy workload must install loop traces and
+// retire the overwhelming share of its bytecodes through fused replay —
+// the property the ≥2x host-speed target rests on.
+func TestTraceReplayCoversHotLoop(t *testing.T) {
+	m := newMachine(7)
+	prog := buildLoopProgram(60, 400)
+	vm, _, err := Launch(m, prog, Config{HeapBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.Run(3_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Finished() {
+		t.Fatalf("VM failed: %v", vm.Err())
+	}
+	ts := vm.TraceStats()
+	if ts.Installed == 0 {
+		t.Fatal("no traces installed on a hot loop")
+	}
+	st := vm.Stats()
+	if ts.OpsReplayed*2 < st.BytecodesRun {
+		t.Errorf("fused replay covered %d of %d bytecodes, want majority",
+			ts.OpsReplayed, st.BytecodesRun)
+	}
+}

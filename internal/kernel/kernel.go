@@ -132,10 +132,10 @@ type Kernel struct {
 	nmiHandler func(m *Machine, s cpu.Snapshot, ev hpc.Event)
 	m          *Machine
 
-	disk     *Disk
-	rng      *rand.Rand
-	tickers  []*ticker
-	faults   uint64
+	disk      *Disk
+	rng       *rand.Rand
+	tickers   []*ticker
+	faults    uint64
 	injectors []*faultInjector
 
 	Timeslice uint64

@@ -196,6 +196,10 @@ type Options struct {
 	// paper's §5 future work): hypervisor samples appear as xen-syms
 	// rows in the report, as XenoProf reports them.
 	Xen bool
+	// NoRecovery skips the session's startup crash-recovery pass.
+	// The default (false) matches the deployed daemon, which always
+	// salvages whatever a previous run left in var/ before arming.
+	NoRecovery bool
 }
 
 func (o *Options) fill() {
@@ -257,6 +261,7 @@ func ProfileBenchmark(name string, opt Options) (*Outcome, error) {
 	}
 	res, err := harness.RunOnce(spec, rc, harness.Options{
 		Scale: opt.Scale, Seed: opt.Seed, KeepSession: true,
+		NoRecovery: opt.NoRecovery,
 	})
 	if err != nil {
 		return nil, err
