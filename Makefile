@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test chaos-smoke chaos-nightly bench-smoke bench
+.PHONY: check lint vet build test chaos-smoke fleet-smoke chaos-nightly bench-smoke bench
 
-check: lint vet build test chaos-smoke bench-smoke
+check: lint vet build test chaos-smoke fleet-smoke bench-smoke
 
 # viplint: the repo's own go/analysis-style pass suite (cmd/viplint).
 # Exits nonzero on any unsuppressed finding; suppressions require
@@ -38,13 +38,27 @@ test:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaos' -count=1 ./internal/core/
 
+# Bounded seed sweep of the fleet chaos harness (internal/harness):
+# 25+ seeds of 8-10 hosts each — the first thirteen run each network or
+# disk scenario in isolation (drop, dup, reorder, latency, partition,
+# collector crash, ENOSPC, torn journal, torn spill, sender kill,
+# snapshot rename, dir damage, read fault), the rest draw composed
+# schedules. Every seed asserts fleet-level conservation (per-host
+# oracles vs live and replayed aggregates, key by key), zero
+# misattribution, and destructive-faults <=> degraded-verdict.
+fleet-smoke:
+	$(GO) test -race -run 'TestFleetChaos$$' -count=1 ./internal/harness/
+
 # Wide composed-schedule sweep (hundreds of seeds, minutes). Out of
 # `make check` by design: run it nightly or before cutting a release.
+# Covers both the per-host persistence chaos suite and the fleet
+# network-fault suite.
 chaos-nightly:
 	VIPROF_CHAOS_SEEDS=500 $(GO) test -race -run 'TestChaosNightly' -count=1 -timeout 30m ./internal/core/
+	VIPROF_FLEET_SEEDS=300 $(GO) test -race -run 'TestFleetChaosNightly' -count=1 -timeout 30m ./internal/harness/
 
 bench-smoke:
-	$(GO) test -race -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkExecMemBatch|BenchmarkTraceBatch|BenchmarkEpochResolveIndexed' -benchtime 1x .
+	$(GO) test -race -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkExecMemBatch|BenchmarkTraceBatch|BenchmarkEpochResolveIndexed|BenchmarkFleetIngest' -benchtime 1x .
 
 # Full reduced-scale benchmark sweep (minutes).
 bench:

@@ -18,13 +18,14 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure: 1, 2, 3, activity, membatch, tracebatch or all")
+		fig      = flag.String("fig", "all", "which figure: 1, 2, 3, activity, membatch, tracebatch, fleet or all")
 		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = paper length)")
 		runs     = flag.Int("runs", 10, "repetitions per cell (paper uses 10)")
 		seed     = flag.Int64("seed", 1, "noise seed")
 		rows     = flag.Int("rows", 14, "Figure 1 report rows")
 		benchOut = flag.String("benchout", "BENCH_mem_batch.json", "membatch result file")
 		traceOut = flag.String("tracebenchout", "BENCH_trace_batch.json", "tracebatch result file")
+		fleetOut = flag.String("fleetbenchout", "BENCH_fleet.json", "fleet bench result file")
 	)
 	flag.Parse()
 
@@ -57,6 +58,84 @@ func main() {
 	if *fig == "tracebatch" || *fig == "all" {
 		do("Trace-batch bench", func() (string, error) { return runTraceBatch(*traceOut) })
 	}
+	if *fig == "fleet" || *fig == "all" {
+		do("Fleet bench", func() (string, error) { return runFleet(*fleetOut) })
+	}
+}
+
+// runFleet measures fleet ingestion and crash recovery against host
+// count: for each fleet size it times the clean ingest run and the
+// crash cell (scripted collector crashes forcing supervisor restarts
+// and under-fire journal replays). Each cell runs three times and the
+// fastest repetition is kept — the simulated work is identical across
+// repetitions, so the minimum is the measurement least polluted by
+// host scheduling noise. Every repetition is conservation-checked by
+// the workload itself (FleetBenchRun errors on any imbalance).
+func runFleet(path string) (string, error) {
+	const reps = 3
+	hostCounts := []int{4, 8, 16}
+	type cell struct {
+		Hosts         int     `json:"hosts"`
+		Deltas        int     `json:"deltas_per_host"`
+		Samples       uint64  `json:"samples"`
+		JournalFrames int     `json:"journal_frames"`
+		IngestMs      float64 `json:"ingest_ms"`
+		KSamplesPerS  float64 `json:"ksamples_per_s"`
+		CrashMs       float64 `json:"crash_recovery_ms"`
+		Restarts      uint64  `json:"restarts"`
+	}
+	run := func(hosts int, crash bool) (time.Duration, viprof.FleetBenchResult, error) {
+		var best time.Duration
+		var keep viprof.FleetBenchResult
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			r, err := viprof.FleetBenchRun(hosts, crash)
+			d := time.Since(start)
+			if err != nil {
+				return 0, r, err
+			}
+			if i == 0 || d < best {
+				best, keep = d, r
+			}
+		}
+		return best, keep, nil
+	}
+	var cells []cell
+	for _, hosts := range hostCounts {
+		cleanD, clean, err := run(hosts, false)
+		if err != nil {
+			return "", fmt.Errorf("fleet %d hosts clean: %w", hosts, err)
+		}
+		crashD, crashed, err := run(hosts, true)
+		if err != nil {
+			return "", fmt.Errorf("fleet %d hosts crash: %w", hosts, err)
+		}
+		cells = append(cells, cell{
+			Hosts:         hosts,
+			Deltas:        clean.Deltas,
+			Samples:       clean.Samples,
+			JournalFrames: clean.JournalFrames,
+			IngestMs:      float64(cleanD.Nanoseconds()) / 1e6,
+			KSamplesPerS:  float64(clean.Samples) / cleanD.Seconds() / 1e3,
+			CrashMs:       float64(crashD.Nanoseconds()) / 1e6,
+			Restarts:      crashed.Restarts,
+		})
+	}
+	res := struct {
+		Benchmark string `json:"benchmark"`
+		Reps      int    `json:"reps"`
+		Cells     []cell `json:"cells"`
+	}{Benchmark: "BenchmarkFleetIngest", Reps: reps, Cells: cells}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	last := cells[len(cells)-1]
+	return fmt.Sprintf("fleet: %d hosts %.1f ms ingest (%.0f ksamples/s), %.1f ms with crash recovery, %d restarts (%s)",
+		last.Hosts, last.IngestMs, last.KSamplesPerS, last.CrashMs, last.Restarts, path), nil
 }
 
 // runMemBatch times the batched memory-operand engine against its

@@ -19,12 +19,17 @@ func main() {
 	before := flag.String("before", "", "baseline profile archive")
 	after := flag.String("after", "", "comparison profile archive")
 	rows := flag.Int("rows", 20, "max rows (0 = all)")
+	fleetView := flag.Bool("fleet", false, "compare fleet collector dumps (from viprof-fleet -out)")
 	flag.Parse()
 	if *before == "" || *after == "" {
-		fmt.Fprintln(os.Stderr, "usage: vipdiff -before <archive> -after <archive>")
+		fmt.Fprintln(os.Stderr, "usage: vipdiff [-fleet] -before <archive> -after <archive>")
 		os.Exit(2)
 	}
-	out, err := viprof.DiffArchives(*before, *after, *rows)
+	diff := viprof.DiffArchives
+	if *fleetView {
+		diff = viprof.DiffFleetArchives
+	}
+	out, err := diff(*before, *after, *rows)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -20,10 +20,20 @@ func main() {
 	rows := flag.Int("rows", 30, "max report rows (0 = all)")
 	summary := flag.Bool("summary", false, "per-image summary instead of per-symbol rows")
 	phases := flag.Bool("phases", false, "per-epoch phase timeline for the VM process")
+	fleetView := flag.Bool("fleet", false, "treat the archive as a fleet collector dump (from viprof-fleet -out)")
 	flag.Parse()
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: vipreport -dir <archive> [-summary] [-rows N]")
+		fmt.Fprintln(os.Stderr, "usage: vipreport -dir <archive> [-fleet] [-summary] [-rows N]")
 		os.Exit(2)
+	}
+	if *fleetView {
+		v, err := viprof.LoadFleetArchive(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(v.Render(*rows))
+		return
 	}
 	if *phases {
 		out, err := viprof.LoadArchivedPhases(*dir)

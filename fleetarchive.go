@@ -1,0 +1,184 @@
+package viprof
+
+// Fleet archives: a fleet run dumped to a real directory (the
+// collector journal, aggregate snapshot, per-host stats and spill
+// files) can be re-queried offline by vipreport -fleet and compared by
+// vipdiff -fleet, with no simulation state — the same
+// archive-then-post-process shape the per-host profile tools use. The
+// authoritative source is always the write-ahead journal: loading an
+// archive replays it through the same idempotent path the collector's
+// own crash recovery uses, then cross-checks the snapshot against the
+// replay.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"viprof/internal/fleet"
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+)
+
+// FleetView is a loaded fleet archive, ready for rendering or diffing.
+type FleetView struct {
+	Aggregate *fleet.Aggregate
+	Replay    fleet.JournalReplay
+	Integrity *fleet.FleetIntegrity
+}
+
+// LoadFleetArchive replays the collector journal from an archive
+// directory and assembles the fleet integrity block. Network counters
+// are not persisted (they die with the run), so the offline integrity
+// judges only the durable evidence.
+func LoadFleetArchive(dir string) (*FleetView, error) {
+	disk, err := kernel.LoadDiskFrom(dir)
+	if err != nil {
+		return nil, err
+	}
+	agg, rep, err := fleet.ReplayJournal(disk, 0)
+	if err != nil {
+		return nil, fmt.Errorf("viprof: replaying fleet journal: %v", err)
+	}
+	fi := fleet.AssembleIntegrity(disk, agg, rep, agg.Hosts(), fleet.NetFaultStats{})
+	return &FleetView{Aggregate: agg, Replay: rep, Integrity: fi}, nil
+}
+
+// fleetRow is one (event, image) cell of the fleet aggregate.
+type fleetRow struct {
+	event, image string
+	samples      uint64
+}
+
+// fleetRows folds the aggregate per (event, image), JIT keys under the
+// JIT image name, sorted by descending sample count.
+func fleetRows(agg *fleet.Aggregate) []fleetRow {
+	cells := make(map[[2]string]uint64)
+	for k, c := range agg.Counts() {
+		img := k.Image
+		if k.JIT {
+			img = oprofile.JITImageName
+		}
+		cells[[2]string{k.Event.String(), img}] += c
+	}
+	rows := make([]fleetRow, 0, len(cells))
+	for cell, c := range cells {
+		rows = append(rows, fleetRow{event: cell[0], image: cell[1], samples: c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].samples != rows[j].samples {
+			return rows[i].samples > rows[j].samples
+		}
+		if rows[i].event != rows[j].event {
+			return rows[i].event < rows[j].event
+		}
+		return rows[i].image < rows[j].image
+	})
+	return rows
+}
+
+// Render prints the fleet aggregate the way vipreport -fleet shows it:
+// per-image totals with fleet-wide shares, per-host totals, and the
+// integrity block.
+func (v *FleetView) Render(maxRows int) string {
+	var sb strings.Builder
+	total := v.Aggregate.Total()
+	fmt.Fprintf(&sb, "fleet aggregate: %d samples from %d host(s), %d journal frame(s)\n\n",
+		total, len(v.Aggregate.Hosts()), v.Replay.Deltas+v.Replay.Duplicates)
+	fmt.Fprintf(&sb, "%-10s %7s  %-24s %s\n", "samples", "%", "image", "event")
+	rows := fleetRows(v.Aggregate)
+	for i, r := range rows {
+		if maxRows > 0 && i >= maxRows {
+			fmt.Fprintf(&sb, "  ... %d more row(s)\n", len(rows)-i)
+			break
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.samples) / float64(total)
+		}
+		fmt.Fprintf(&sb, "%-10d %6.2f%%  %-24s %s\n", r.samples, share, r.image, r.event)
+	}
+	sb.WriteString("\nper-host:\n")
+	for _, h := range v.Aggregate.Hosts() {
+		fmt.Fprintf(&sb, "  host%02d  %8d samples  (max seq %d)\n", h, v.Aggregate.HostTotal(h), v.Aggregate.MaxSeq(h))
+	}
+	sb.WriteString("\n")
+	sb.WriteString(fleet.FormatFleetIntegrity(v.Integrity))
+	return sb.String()
+}
+
+// DiffFleetArchives compares two fleet archives and prints the
+// (event, image) cells whose share of the fleet-wide total moved the
+// most — the fleet-level analogue of vipdiff's symbol view.
+func DiffFleetArchives(beforeDir, afterDir string, maxRows int) (string, error) {
+	before, err := LoadFleetArchive(beforeDir)
+	if err != nil {
+		return "", fmt.Errorf("before: %w", err)
+	}
+	after, err := LoadFleetArchive(afterDir)
+	if err != nil {
+		return "", fmt.Errorf("after: %w", err)
+	}
+	share := func(v *FleetView) map[[2]string]float64 {
+		total := v.Aggregate.Total()
+		out := make(map[[2]string]float64)
+		if total == 0 {
+			return out
+		}
+		for _, r := range fleetRows(v.Aggregate) {
+			out[[2]string{r.event, r.image}] = 100 * float64(r.samples) / float64(total)
+		}
+		return out
+	}
+	bs, as := share(before), share(after)
+	type move struct {
+		event, image string
+		before, af   float64
+	}
+	var moves []move
+	seen := make(map[[2]string]bool)
+	for cell := range bs {
+		seen[cell] = true
+	}
+	for cell := range as {
+		seen[cell] = true
+	}
+	for cell := range seen {
+		moves = append(moves, move{event: cell[0], image: cell[1], before: bs[cell], af: as[cell]})
+	}
+	abs := func(f float64) float64 {
+		if f < 0 {
+			return -f
+		}
+		return f
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		di, dj := abs(moves[i].af-moves[i].before), abs(moves[j].af-moves[j].before)
+		if di != dj {
+			return di > dj
+		}
+		if moves[i].event != moves[j].event {
+			return moves[i].event < moves[j].event
+		}
+		return moves[i].image < moves[j].image
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet diff: %d -> %d samples\n\n", before.Aggregate.Total(), after.Aggregate.Total())
+	fmt.Fprintf(&sb, "%8s  %8s  %8s  %-24s %s\n", "before", "after", "delta", "image", "event")
+	for i, mv := range moves {
+		if maxRows > 0 && i >= maxRows {
+			fmt.Fprintf(&sb, "  ... %d more row(s)\n", len(moves)-i)
+			break
+		}
+		fmt.Fprintf(&sb, "%7.2f%%  %7.2f%%  %+7.2f%%  %-24s %s\n",
+			mv.before, mv.af, mv.af-mv.before, mv.image, mv.event)
+	}
+	degraded := func(v *FleetView) string {
+		if v.Integrity.Degraded() {
+			return "DEGRADED"
+		}
+		return "clean"
+	}
+	fmt.Fprintf(&sb, "\nintegrity: before %s, after %s\n", degraded(before), degraded(after))
+	return sb.String(), nil
+}

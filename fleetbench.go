@@ -1,0 +1,96 @@
+package viprof
+
+// The deterministic fleet-ingestion workload behind
+// BenchmarkFleetIngest and `vipbench -fig fleet`: N hosts ship their
+// full delta runs through the simulated network into the collector's
+// write-ahead journal, and the journal is then replayed offline — the
+// recovery path a supervisor restart takes. Every configuration must
+// come out conserved: the in-memory per-host oracles, the live
+// aggregate, and the replayed aggregate all agree key by key. The
+// benchmark reports two costs per host count: the ingest run itself
+// (host wall time for the whole simulated fleet) and the offline
+// journal replay (the dominant term in collector crash recovery).
+
+import (
+	"fmt"
+
+	"viprof/internal/cache"
+	"viprof/internal/cpu"
+	"viprof/internal/fleet"
+	"viprof/internal/hpc"
+	"viprof/internal/kernel"
+)
+
+// FleetBenchDeltas is each host's delta count in the benchmark
+// workload: large enough that journal replay is measurably more than
+// constant overhead, small enough that the 16-host cell stays quick.
+const FleetBenchDeltas = 40
+
+// FleetBenchResult carries one fleet bench cell's verified outcome.
+type FleetBenchResult struct {
+	Hosts   int
+	Deltas  int // per host
+	Samples uint64
+	// JournalFrames is what the offline replay walked (== successful
+	// journal writes; the recovery cost scales with it).
+	JournalFrames int
+	// Restarts counts injected collector crashes survived (crash cell
+	// only).
+	Restarts uint64
+}
+
+// FleetBenchRun runs one fleet ingestion at the given host count and
+// verifies conservation end to end. With crash set, a scripted fault
+// plan kills the collector mid-run so the measured path includes a
+// supervisor restart and an under-fire journal replay.
+func FleetBenchRun(hosts int, crash bool) (FleetBenchResult, error) {
+	var res FleetBenchResult
+	core := cpu.New(hpc.NewBank(), cache.DefaultHierarchy())
+	m := kernel.NewMachine(core, int64(hosts)*1000+7)
+	if crash {
+		m.Kern.SetFaultInjectors(kernel.FaultPlan{
+			Seed:       int64(hosts),
+			PathPrefix: fleet.JournalFile,
+			Script: []kernel.FaultPoint{
+				{Write: 5, Kind: kernel.FaultCrash},
+				{Write: 5 + 4*hosts, Kind: kernel.FaultCrash},
+			},
+		})
+	}
+	cfg := fleet.FleetConfig{
+		Hosts:         hosts,
+		DeltasPerHost: FleetBenchDeltas,
+		Seed:          int64(hosts)*101 + 3,
+	}
+	r, err := fleet.RunFleet(m, cfg)
+	if err != nil {
+		return res, err
+	}
+	if r.RunErr != nil {
+		return res, r.RunErr
+	}
+	cons := fleet.CheckConservation(r.Senders, r.Collector.Aggregate())
+	if !cons.Balanced() {
+		return res, fmt.Errorf("fleetbench: live aggregate unbalanced: %v", cons.Mismatches)
+	}
+	if r.Replayed != nil {
+		rcons := fleet.CheckConservation(r.Senders, r.Replayed)
+		if !rcons.Balanced() {
+			return res, fmt.Errorf("fleetbench: replayed aggregate unbalanced: %v", rcons.Mismatches)
+		}
+	}
+	if !crash && r.Integrity.Degraded() {
+		return res, fmt.Errorf("fleetbench: fault-free run degraded")
+	}
+	res = FleetBenchResult{
+		Hosts:         hosts,
+		Deltas:        FleetBenchDeltas,
+		Samples:       r.Collector.Aggregate().Total(),
+		JournalFrames: r.Replay.Deltas + r.Replay.Duplicates,
+		Restarts:      r.Collector.Stats().Restarts,
+	}
+	if crash && res.Restarts == 0 {
+		return res, fmt.Errorf("fleetbench: crash cell survived without a restart")
+	}
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package viprof
+
+import (
+	"strings"
+	"testing"
+
+	"viprof/internal/cache"
+	"viprof/internal/cpu"
+	"viprof/internal/fleet"
+	"viprof/internal/hpc"
+	"viprof/internal/kernel"
+)
+
+// TestFleetBenchConserves pins the bench harness's own verification:
+// both cells (clean and crash) run conserved at a small host count.
+func TestFleetBenchConserves(t *testing.T) {
+	for _, crash := range []bool{false, true} {
+		r, err := FleetBenchRun(4, crash)
+		if err != nil {
+			t.Fatalf("crash=%v: %v", crash, err)
+		}
+		if r.Samples == 0 || r.JournalFrames == 0 {
+			t.Fatalf("crash=%v: empty run: %+v", crash, r)
+		}
+		if crash && r.Restarts == 0 {
+			t.Fatalf("crash cell did not restart: %+v", r)
+		}
+	}
+}
+
+// TestFleetArchiveRoundTrip dumps a fleet run (with network dups, so
+// the journal holds real duplicate absorption evidence) to a real
+// directory and re-queries it through the offline archive path used by
+// vipreport -fleet / vipdiff -fleet.
+func TestFleetArchiveRoundTrip(t *testing.T) {
+	core := cpu.New(hpc.NewBank(), cache.DefaultHierarchy())
+	m := kernel.NewMachine(core, 11)
+	res, err := fleet.RunFleet(m, fleet.FleetConfig{
+		Hosts: 3, DeltasPerHost: 8, Seed: 11,
+		Net: fleet.NetFaultPlan{Seed: 12, PDup: 0.3},
+	})
+	if err != nil || res.RunErr != nil {
+		t.Fatalf("run: %v / %v", err, res.RunErr)
+	}
+	dir := t.TempDir()
+	if err := m.Kern.Disk().DumpTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	v, err := LoadFleetArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.Aggregate.Total(), res.Collector.Aggregate().Total(); got != want {
+		t.Fatalf("archived replay total %d, live %d", got, want)
+	}
+	cons := fleet.CheckConservation(res.Senders, v.Aggregate)
+	if !cons.Balanced() {
+		t.Fatalf("archived aggregate unbalanced: %v", cons.Mismatches)
+	}
+	out := v.Render(10)
+	if !strings.Contains(out, "status: clean") || !strings.Contains(out, "per-host:") {
+		t.Fatalf("render missing sections:\n%s", out)
+	}
+	diff, err := DiffFleetArchives(dir, dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diff, "+0.00%") && !strings.Contains(diff, "0.00%") {
+		t.Fatalf("self-diff should be all zeros:\n%s", diff)
+	}
+}
+
+// BenchmarkFleetIngest is the bench-smoke entry: one full fleet
+// ingestion (8 hosts) per iteration, conservation-checked.
+func BenchmarkFleetIngest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := FleetBenchRun(8, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Samples == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}

@@ -84,7 +84,11 @@ func DiscoverMapPIDs(disk *kernel.Disk) []int {
 // files, so a crashed previous run's salvageable artifacts are adopted
 // before anything can resolve against a stale view.
 func RunStartupRecovery(m *kernel.Machine) (*oprofile.RecoveryStats, error) {
-	return RunRecovery(m, DiscoverMapPIDs(m.Kern.Disk()))
+	rec, err := RunRecovery(m, DiscoverMapPIDs(m.Kern.Disk()))
+	// Housekeeping after recovery: bound the quarantined-evidence set
+	// (its failures surface through Integrity, never as a boot error).
+	RunRetention(m, DefaultRetentionPolicy)
+	return rec, err
 }
 
 // RunRecovery runs the recovery pass over the given VM pids' map

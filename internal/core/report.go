@@ -192,6 +192,16 @@ func Vipreport(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[str
 		// started and never finished.
 		integ.RecoveryIncomplete = true
 	}
+	if disk.Exists(oprofile.RetentionStatsFile) {
+		if rdata, err := disk.Read(oprofile.RetentionStatsFile); err == nil {
+			integ.Retention = oprofile.ReadRetentionStats(rdata)
+		}
+		if integ.Retention == nil {
+			// The ledger exists but no intact record survives (or the
+			// read itself failed): age tracking is broken — loudly.
+			integ.RetentionDamaged = true
+		}
+	}
 	// Per-event spill accounting: what recovery merged back vs what the
 	// daemon's hard cap dropped for good.
 	spillEvents := make(map[string]*oprofile.SpillIntegrity)

@@ -1,0 +1,506 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+	"viprof/internal/record"
+)
+
+// On-disk layout of the fleet collector.
+const (
+	// FleetDir is the root of every fleet artifact.
+	FleetDir = "var/fleet"
+	// JournalFile is the collector's write-ahead journal: received
+	// delta frames appended verbatim before apply+ack, plus restart
+	// markers. It is the durable truth the supervisor replays.
+	JournalFile = "var/fleet/collector.journal"
+	// CollectorStatsFile is the collector's framed self-counter record;
+	// absence means the collector never shut down cleanly.
+	CollectorStatsFile = "var/fleet/collector.stats"
+	// AggregateFile is the sharded aggregate's committed snapshot, a
+	// framed WriteCounts body committed temp-then-rename so vipreport
+	// and vipdiff can query it like any sample file.
+	AggregateFile = "var/fleet/aggregate.samples"
+)
+
+// SpillPath is the host's framed salvageable overflow file: deltas the
+// sender parked after exhausting its retry budget.
+func SpillPath(host int) string {
+	return fmt.Sprintf("%s/host%02d/sender.spill", FleetDir, host)
+}
+
+// SenderStatsPath is the host sender's framed self-counter record.
+// Deliberately outside the host spill directory, so listing damage
+// aimed at spill discovery cannot hide it (it is read by direct path).
+func SenderStatsPath(host int) string {
+	return fmt.Sprintf("%s/stats/host%02d.stats", FleetDir, host)
+}
+
+// Aggregate is the collector's pure in-memory state: sharded counts
+// plus the per-host burned-seq sets that make ingestion idempotent and
+// order-insensitive. It has no I/O and no clock, so the quickcheck
+// property tests drive it directly against an oracle.
+type Aggregate struct {
+	shards  []map[oprofile.Key]uint64
+	applied map[int]map[uint64]bool
+	// hostTotals is samples applied per host; maxSeq the highest seq
+	// applied per host (gaps below it are loud).
+	hostTotals map[int]uint64
+	maxSeq     map[int]uint64
+	lastSeq    map[int]uint64
+
+	// Ingested counts fresh applies; Duplicates seq-burned absorptions;
+	// OutOfOrder arrivals below the host's high-water mark (absorbed,
+	// counted as evidence the network reordered).
+	Ingested, Duplicates, OutOfOrder uint64
+}
+
+// NewAggregate builds an empty aggregate with the given shard count.
+func NewAggregate(shards int) *Aggregate {
+	if shards <= 0 {
+		shards = 8
+	}
+	a := &Aggregate{
+		shards:     make([]map[oprofile.Key]uint64, shards),
+		applied:    make(map[int]map[uint64]bool),
+		hostTotals: make(map[int]uint64),
+		maxSeq:     make(map[int]uint64),
+		lastSeq:    make(map[int]uint64),
+	}
+	for i := range a.shards {
+		a.shards[i] = make(map[oprofile.Key]uint64)
+	}
+	return a
+}
+
+// shardOf picks the shard for a key (FNV-1a over the identifying
+// fields; any stable hash works, determinism is what matters).
+func (a *Aggregate) shardOf(k oprofile.Key) int {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(k.Image)
+	mix(k.Proc)
+	h ^= uint64(k.Off) ^ uint64(k.Event)<<32 ^ uint64(k.Epoch)<<16
+	h *= 1099511628211
+	return int(h % uint64(len(a.shards)))
+}
+
+// Applied reports whether (host, seq) has been applied.
+func (a *Aggregate) Applied(host int, seq uint64) bool {
+	return a.applied[host][seq]
+}
+
+// Apply ingests one decoded delta. It is idempotent: a seq already
+// burned for the host is absorbed without touching the shards, so
+// duplicated or replayed deltas can never double-count.
+func (a *Aggregate) Apply(msg *WireMsg) (fresh bool) {
+	if msg.Kind != KindDelta {
+		return false
+	}
+	set, ok := a.applied[msg.Host]
+	if !ok {
+		set = make(map[uint64]bool)
+		a.applied[msg.Host] = set
+	}
+	if set[msg.Seq] {
+		a.Duplicates++
+		return false
+	}
+	if msg.Seq < a.lastSeq[msg.Host] {
+		a.OutOfOrder++
+	}
+	a.lastSeq[msg.Host] = msg.Seq
+	set[msg.Seq] = true
+	if msg.Seq > a.maxSeq[msg.Host] {
+		a.maxSeq[msg.Host] = msg.Seq
+	}
+	for k, c := range msg.Counts {
+		a.shards[a.shardOf(k)][k] += c
+		a.hostTotals[msg.Host] += c
+	}
+	a.Ingested++
+	return true
+}
+
+// Counts merges the shards into one map (the queryable aggregate view).
+func (a *Aggregate) Counts() map[oprofile.Key]uint64 {
+	out := make(map[oprofile.Key]uint64)
+	for _, sh := range a.shards {
+		for k, c := range sh {
+			out[k] += c
+		}
+	}
+	return out
+}
+
+// Total is the aggregate sample total.
+func (a *Aggregate) Total() uint64 {
+	var n uint64
+	for _, t := range a.hostTotals {
+		n += t
+	}
+	return n
+}
+
+// HostTotal is the samples applied for one host.
+func (a *Aggregate) HostTotal(host int) uint64 { return a.hostTotals[host] }
+
+// Hosts returns the hosts with applied deltas, sorted.
+func (a *Aggregate) Hosts() []int {
+	out := make([]int, 0, len(a.applied))
+	for h := range a.applied {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxSeq is the highest applied seq for the host.
+func (a *Aggregate) MaxSeq(host int) uint64 { return a.maxSeq[host] }
+
+// Gaps returns the host's unapplied seqs below its high-water mark —
+// the candidate MissingDelta set the integrity assembly must explain
+// from host-side artifacts (spilled or lost) or poison loudly.
+func (a *Aggregate) Gaps(host int) []uint64 {
+	var out []uint64
+	set := a.applied[host]
+	for s := uint64(1); s <= a.maxSeq[host]; s++ {
+		if !set[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CollectorConfig tunes the collector process.
+type CollectorConfig struct {
+	// WakeCycles is the ingest poll period (default 8_000).
+	WakeCycles uint64
+	// Shards is the aggregation shard count (default 8).
+	Shards int
+}
+
+func (c *CollectorConfig) fill() {
+	if c.WakeCycles == 0 {
+		c.WakeCycles = 8_000
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+}
+
+// CollectorStats is the collector's in-memory self-accounting, persisted
+// framed at shutdown (see CollectorPersisted in integrity.go).
+type CollectorStats struct {
+	// Ingested / Duplicates / OutOfOrder snapshot the aggregate's
+	// counters at persist time.
+	Ingested, Duplicates, OutOfOrder uint64
+	// WireDamaged counts received frames that failed their checksum or
+	// would not parse (dropped without ack — the sender retries).
+	WireDamaged uint64
+	// JournalErrors counts failed write-ahead appends (the delta was
+	// not applied and not acked).
+	JournalErrors uint64
+	// AcksSent counts acknowledgements (including re-acks of absorbed
+	// duplicates).
+	AcksSent uint64
+	// Restarts counts supervisor restarts after a crash; ReplayErrors
+	// failed journal replays during restart; ReplayedFrames the frames
+	// rebuilt into memory across all restarts; MarkerErrors failed
+	// restart-marker appends; DeadLetters datagrams flushed from the
+	// dead collector's queue at restart (or left undeliverable at
+	// shutdown).
+	Restarts, ReplayErrors, ReplayedFrames, MarkerErrors, DeadLetters uint64
+	// SnapshotErrors counts failed aggregate-snapshot commits.
+	SnapshotErrors uint64
+	// Clean reports an orderly shutdown reached the stats write.
+	Clean bool
+}
+
+// Collector is the fleet collector process: it drains the network,
+// journals each fresh delta before applying and acking it, and is
+// restarted by the supervisor (journal replay) after a crash.
+type Collector struct {
+	cfg   CollectorConfig
+	net   *Network
+	agg   *Aggregate
+	proc  *kernel.Process
+	stats CollectorStats
+}
+
+// NewCollector builds the collector and registers its daemon process.
+func NewCollector(m *kernel.Machine, net *Network, cfg CollectorConfig) (*Collector, error) {
+	cfg.fill()
+	c := &Collector{cfg: cfg, net: net, agg: NewAggregate(cfg.Shards)}
+	proc, err := m.Kern.NewProcess("collectord", c)
+	if err != nil {
+		return nil, err
+	}
+	proc.Daemon = true
+	c.proc = proc
+	return c, nil
+}
+
+// Proc returns the collector's current kernel process.
+func (c *Collector) Proc() *kernel.Process { return c.proc }
+
+// Aggregate returns the live in-memory aggregate.
+func (c *Collector) Aggregate() *Aggregate { return c.agg }
+
+// Stats snapshots the self-counters (aggregate counters folded in).
+func (c *Collector) Stats() CollectorStats {
+	s := c.stats
+	s.Ingested = c.agg.Ingested
+	s.Duplicates = c.agg.Duplicates
+	s.OutOfOrder = c.agg.OutOfOrder
+	return s
+}
+
+// Alive reports whether the collector process is running (not crashed,
+// not exited).
+func (c *Collector) Alive() bool {
+	return c.proc != nil && !c.proc.Killed() && !c.proc.Done()
+}
+
+// Step implements kernel.Executor: drain, ingest, sleep.
+func (c *Collector) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
+	for _, data := range c.net.Deliver(0) {
+		c.ingest(m, p, data)
+		if p.Killed() {
+			// An injected crash struck the journal append; stop
+			// touching state, the supervisor takes over.
+			return kernel.StepBlocked
+		}
+	}
+	m.Kern.Sleep(p, c.cfg.WakeCycles)
+	return kernel.StepBlocked
+}
+
+// ingest processes one received datagram: decode, dedup, journal,
+// apply, ack — in exactly that order, so every applied delta is durable
+// before its ack can release the sender's copy.
+func (c *Collector) ingest(m *kernel.Machine, p *kernel.Process, data []byte) {
+	// Ingestion is kernel work: checksum + parse, roughly linear in
+	// the payload.
+	m.Kern.ExecKernel("sys_read", 20+len(data)/32, 1)
+	msg, err := DecodeWire(data)
+	if err != nil {
+		c.stats.WireDamaged++
+		return
+	}
+	if msg.Kind != KindDelta {
+		return
+	}
+	if c.agg.Applied(msg.Host, msg.Seq) {
+		// Seq already burned: absorb the duplicate but re-ack it — the
+		// retry usually means the previous ack was lost.
+		c.agg.Duplicates++
+		c.ack(msg)
+		return
+	}
+	// Write-ahead: the received frame is appended verbatim. The payload
+	// is the sender's framed wire record (CRC-checked by DecodeWire
+	// above and re-verified by record.Scan on every replay), so the
+	// journal stays a salvageable concatenation of frames.
+	//viplint:allow record-frame payload is the sender's framed wire record, checksum-verified by DecodeWire and salvage-scanned on replay
+	if err := m.Kern.SysWrite(p, JournalFile, data); err != nil {
+		c.stats.JournalErrors++
+		return // no apply, no ack: the sender retries
+	}
+	c.agg.Apply(msg)
+	c.ack(msg)
+}
+
+func (c *Collector) ack(msg *WireMsg) {
+	c.net.Send(0, msg.Host, AckFrame(msg.Host, msg.Seq))
+	c.stats.AcksSent++
+}
+
+// JournalReplay is the outcome of one journal read-back.
+type JournalReplay struct {
+	Salvage record.Salvage
+	// Deltas / Duplicates / Markers / ParseErrors classify the intact
+	// records. ParseErrors are checksum-valid records that would not
+	// parse — a writer bug, not disk damage, and loud.
+	Deltas, Duplicates, Markers, ParseErrors int
+}
+
+// ReplayJournal rebuilds an aggregate from the write-ahead journal via
+// the salvage layer: torn tails (a crash mid-append) fail their
+// checksum and are dropped — safely, because an unjournaled delta was
+// never acked and the sender still holds it. Returns an error only if
+// the journal exists but cannot be read (injected EIO) — the caller
+// retries or degrades loudly.
+func ReplayJournal(disk *kernel.Disk, shards int) (*Aggregate, JournalReplay, error) {
+	agg := NewAggregate(shards)
+	var rep JournalReplay
+	if !disk.Exists(JournalFile) {
+		return agg, rep, nil
+	}
+	data, err := disk.Read(JournalFile)
+	if err != nil {
+		return nil, rep, err
+	}
+	recs, sal := record.Scan(data)
+	rep.Salvage = sal
+	for _, payload := range recs {
+		msg, err := DecodePayload(payload)
+		if err != nil {
+			rep.ParseErrors++
+			continue
+		}
+		switch msg.Kind {
+		case KindDelta:
+			if agg.Apply(msg) {
+				rep.Deltas++
+			} else {
+				rep.Duplicates++
+			}
+		case KindRestart:
+			rep.Markers++
+		}
+	}
+	return agg, rep, nil
+}
+
+// SpillReingest is the outcome of merging one host's parked spill file
+// back into an aggregate.
+type SpillReingest struct {
+	Host int
+	// Applied are the parked deltas merged fresh; Absorbed the ones the
+	// aggregate had already applied (a spill whose ack arrived late);
+	// ParseErrors checksum-valid records that would not parse.
+	Applied, Absorbed, ParseErrors int
+	Salvage                        record.Salvage
+	// ReadError marks an injected EIO on the spill read.
+	ReadError bool
+}
+
+// ReingestSpills merges every host's parked spill deltas into the
+// aggregate — the fleet-level analogue of the startup spill merge:
+// because ingestion is seq-burned idempotent, re-offering a delta whose
+// ack was lost is safe, and a genuinely parked one is recovered rather
+// than held forever. Pure disk+memory; run it offline after a chaos
+// run to reclaim spilled samples.
+func ReingestSpills(disk *kernel.Disk, agg *Aggregate, hosts []int) []SpillReingest {
+	var out []SpillReingest
+	for _, host := range hosts {
+		ri := SpillReingest{Host: host}
+		if !disk.Exists(SpillPath(host)) {
+			out = append(out, ri)
+			continue
+		}
+		data, err := disk.Read(SpillPath(host))
+		if err != nil {
+			ri.ReadError = true
+			out = append(out, ri)
+			continue
+		}
+		recs, sal := record.Scan(data)
+		ri.Salvage = sal
+		for _, payload := range recs {
+			msg, derr := DecodePayload(payload)
+			if derr != nil || msg.Kind != KindDelta || msg.Host != host {
+				ri.ParseErrors++
+				continue
+			}
+			if agg.Apply(msg) {
+				ri.Applied++
+			} else {
+				ri.Absorbed++
+			}
+		}
+		out = append(out, ri)
+	}
+	return out
+}
+
+// Restart is the supervisor's recovery pass (the core.RunRecovery shape
+// scaled to the collector): flush dead letters, replay the journal into
+// a fresh aggregate, spawn a replacement process, and append a durable
+// restart marker. An error (journal EIO) leaves the collector down for
+// the supervisor to retry.
+func (c *Collector) Restart(m *kernel.Machine) error {
+	c.stats.Restarts++
+	c.stats.DeadLetters += uint64(c.net.Flush(0))
+	agg, rep, err := ReplayJournal(m.Kern.Disk(), c.cfg.Shards)
+	if err != nil {
+		c.stats.ReplayErrors++
+		return err
+	}
+	c.stats.ReplayedFrames += uint64(rep.Deltas)
+	// Replay rebuilt counters from scratch; fold the pre-crash absorbed
+	// counts forward so the self-accounting stays cumulative.
+	agg.Duplicates += c.agg.Duplicates
+	agg.OutOfOrder += c.agg.OutOfOrder
+	c.agg = agg
+	proc, err := m.Kern.NewProcess("collectord", c)
+	if err != nil {
+		return err
+	}
+	proc.Daemon = true
+	c.proc = proc
+	if werr := m.Kern.SysWrite(proc, JournalFile, RestartJournalFrame(int(c.stats.Restarts))); werr != nil {
+		// The marker is evidence, not state: a failed append is counted
+		// (and may itself have crashed the fresh process — the
+		// supervisor will see that and come around again).
+		c.stats.MarkerErrors++
+	}
+	return nil
+}
+
+// DrainRemaining ingests everything still queued for the collector
+// (the runner advances the clock past the network's maximum delay
+// first). Used at shutdown so in-flight datagrams land before the
+// final snapshot.
+func (c *Collector) DrainRemaining(m *kernel.Machine) {
+	for {
+		msgs := c.net.Deliver(0)
+		if len(msgs) == 0 {
+			break
+		}
+		for _, data := range msgs {
+			c.ingest(m, c.proc, data)
+			if c.proc.Killed() {
+				return
+			}
+		}
+	}
+}
+
+// Finalize commits the aggregate snapshot (temp-then-rename, the same
+// atomic protocol as epoch maps) and persists the collector's framed
+// stats record. Called once at orderly shutdown; a crashed collector
+// never reaches it, which is exactly the signal integrity reads.
+func (c *Collector) Finalize(m *kernel.Machine) {
+	counts := c.agg.Counts()
+	var buf bytes.Buffer
+	if err := oprofile.WriteCounts(&buf, counts, sortedKeys(counts)); err == nil {
+		frame := record.Frame(buf.Bytes())
+		tmp := AggregateFile + ".tmp"
+		if err := m.Kern.SysWriteSync(c.proc, tmp, frame); err != nil {
+			c.stats.SnapshotErrors++
+		} else if err := m.Kern.SysRename(c.proc, tmp, AggregateFile); err != nil {
+			c.stats.SnapshotErrors++
+		}
+	} else {
+		c.stats.SnapshotErrors++
+	}
+	if c.proc.Killed() {
+		return // the snapshot commit crashed us; no clean stats record
+	}
+	c.stats.DeadLetters += uint64(c.net.Flush(0))
+	stats := c.Stats()
+	stats.Clean = true
+	//viplint:allow syswrite-err the stats record is the clean-shutdown signal itself: if this write fails the file is absent or torn and integrity reports the crash
+	m.Kern.SysWriteSync(c.proc, CollectorStatsFile, record.Frame(collectorStatsPayload(&stats)))
+}

@@ -1,0 +1,473 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+	"viprof/internal/record"
+)
+
+// Persisted stats records. Both the collector and every sender write
+// one framed key=value record at clean shutdown (the RecoveryStats
+// protocol, DESIGN §12): the record's absence or damage IS the crash
+// signal, so the readers return nil instead of guessing.
+
+// collectorStatsPayload serializes CollectorStats as key=value lines.
+func collectorStatsPayload(s *CollectorStats) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "ingested=%d\nduplicates=%d\nout_of_order=%d\nwire_damaged=%d\n",
+		s.Ingested, s.Duplicates, s.OutOfOrder, s.WireDamaged)
+	fmt.Fprintf(&buf, "journal_errors=%d\nacks_sent=%d\nrestarts=%d\nreplay_errors=%d\n",
+		s.JournalErrors, s.AcksSent, s.Restarts, s.ReplayErrors)
+	fmt.Fprintf(&buf, "replayed_frames=%d\nmarker_errors=%d\ndead_letters=%d\nsnapshot_errors=%d\n",
+		s.ReplayedFrames, s.MarkerErrors, s.DeadLetters, s.SnapshotErrors)
+	fmt.Fprintf(&buf, "clean=%d\n", b2i(s.Clean))
+	return buf.Bytes()
+}
+
+// ReadCollectorStats parses the collector's persisted stats record (the
+// last intact record wins). Nil means the collector never shut down
+// cleanly.
+func ReadCollectorStats(data []byte) *CollectorStats {
+	kv := readStatsKV(data)
+	if kv == nil {
+		return nil
+	}
+	s := &CollectorStats{}
+	for k, n := range kv {
+		switch k {
+		case "ingested":
+			s.Ingested = n
+		case "duplicates":
+			s.Duplicates = n
+		case "out_of_order":
+			s.OutOfOrder = n
+		case "wire_damaged":
+			s.WireDamaged = n
+		case "journal_errors":
+			s.JournalErrors = n
+		case "acks_sent":
+			s.AcksSent = n
+		case "restarts":
+			s.Restarts = n
+		case "replay_errors":
+			s.ReplayErrors = n
+		case "replayed_frames":
+			s.ReplayedFrames = n
+		case "marker_errors":
+			s.MarkerErrors = n
+		case "dead_letters":
+			s.DeadLetters = n
+		case "snapshot_errors":
+			s.SnapshotErrors = n
+		case "clean":
+			s.Clean = n != 0
+		}
+	}
+	return s
+}
+
+// senderStatsPayload serializes SenderStats as key=value lines.
+func senderStatsPayload(s *SenderStats) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "generated=%d\nsent=%d\nretries=%d\ntimeouts=%d\nacked=%d\n",
+		s.Generated, s.Sent, s.Retries, s.Timeouts, s.Acked)
+	fmt.Fprintf(&buf, "spilled=%d\ndeferred=%d\nlost=%d\nspill_errors=%d\nstats_errors=%d\n",
+		s.Spilled, s.Deferred, s.Lost, s.SpillErrors, s.StatsErrors)
+	fmt.Fprintf(&buf, "spilled_samples=%d\nlost_samples=%d\n", s.SpilledSamples, s.LostSamples)
+	for _, pair := range []struct {
+		prefix string
+		m      map[string]uint64
+	}{{"spilled_by_event.", s.SpilledByEvent}, {"lost_by_event.", s.LostByEvent}} {
+		events := make([]string, 0, len(pair.m))
+		for ev := range pair.m {
+			events = append(events, ev)
+		}
+		sort.Strings(events)
+		for _, ev := range events {
+			if pair.m[ev] == 0 {
+				continue
+			}
+			fmt.Fprintf(&buf, "%s%s=%d\n", pair.prefix, ev, pair.m[ev])
+		}
+	}
+	fmt.Fprintf(&buf, "clean=%d\n", b2i(s.Clean))
+	return buf.Bytes()
+}
+
+// ReadSenderStats parses a host's persisted stats record (last intact
+// record wins). Nil means the sender crashed before finishing.
+func ReadSenderStats(data []byte) *SenderStats {
+	kv := readStatsKV(data)
+	if kv == nil {
+		return nil
+	}
+	s := &SenderStats{
+		SpilledByEvent: make(map[string]uint64),
+		LostByEvent:    make(map[string]uint64),
+	}
+	for k, n := range kv {
+		if ev, found := strings.CutPrefix(k, "spilled_by_event."); found {
+			s.SpilledByEvent[ev] = n
+			continue
+		}
+		if ev, found := strings.CutPrefix(k, "lost_by_event."); found {
+			s.LostByEvent[ev] = n
+			continue
+		}
+		switch k {
+		case "generated":
+			s.Generated = n
+		case "sent":
+			s.Sent = n
+		case "retries":
+			s.Retries = n
+		case "timeouts":
+			s.Timeouts = n
+		case "acked":
+			s.Acked = n
+		case "spilled":
+			s.Spilled = n
+		case "deferred":
+			s.Deferred = n
+		case "lost":
+			s.Lost = n
+		case "spill_errors":
+			s.SpillErrors = n
+		case "stats_errors":
+			s.StatsErrors = n
+		case "spilled_samples":
+			s.SpilledSamples = n
+		case "lost_samples":
+			s.LostSamples = n
+		case "clean":
+			s.Clean = n != 0
+		}
+	}
+	return s
+}
+
+// readStatsKV scans a framed stats file and parses the last intact
+// record as key=value lines; nil on no intact record or parse damage.
+func readStatsKV(data []byte) map[string]uint64 {
+	recs, _ := record.Scan(data)
+	if len(recs) == 0 {
+		return nil
+	}
+	kv := make(map[string]uint64)
+	for _, line := range strings.Split(string(recs[len(recs)-1]), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil
+		}
+		kv[k] = n
+	}
+	return kv
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// HostReport is the per-host slice of the fleet integrity assembly.
+type HostReport struct {
+	Host int
+	// Stats is the sender's persisted self-accounting; nil means the
+	// sender crashed (or its stats write was destroyed).
+	Stats *SenderStats
+	// StatsUnreadable marks an injected EIO on the stats read.
+	StatsUnreadable bool
+	// Spill scan: intact parked deltas found in the host's spill file
+	// and the salvage accounting of its damage.
+	SpillSeqs    []uint64
+	SpillSamples uint64
+	SpillSalvage record.Salvage
+	SpillParse   int // checksum-valid spill records that would not parse
+	// SpillUnreadable marks an injected EIO on the spill read.
+	SpillUnreadable bool
+	// MissingDeltas are collector-side seq gaps for this host that no
+	// host-side artifact explains: not applied, not parked in the spill
+	// file, not accounted lost by clean sender stats. Each one is a
+	// sample set that vanished — the loudest possible poison.
+	MissingDeltas []uint64
+}
+
+// FleetIntegrity is the fleet-level integrity assembly, built offline
+// from the disk artifacts plus the network's injector counters — the
+// Integrity contract (DESIGN §11) extended across hosts.
+type FleetIntegrity struct {
+	// Collector is the persisted collector record (nil = crash).
+	Collector *CollectorStats
+	// CollectorUnreadable marks an injected EIO reading it.
+	CollectorUnreadable bool
+	// Journal is the journal read-back outcome; JournalUnreadable an
+	// injected EIO reading the journal itself.
+	Journal           JournalReplay
+	JournalUnreadable bool
+	// AggregateSnapshot reports whether the committed snapshot exists
+	// and is clean; SnapshotDamaged counts salvage loss inside it.
+	AggregateSnapshot bool
+	SnapshotDamaged   bool
+	Hosts             []HostReport
+	// StraySpillEntries counts phantom or vanished spill-dir listings
+	// (list-fault damage surfaced during discovery).
+	StraySpillEntries int
+	// Net is the network injector accounting.
+	Net NetFaultStats
+}
+
+// Degraded reports whether anything anywhere in the fleet run was lost,
+// damaged, or left unresolved. Duplicates, reorders, retries, and
+// backoff waits are NOT degradation — the protocol absorbs them by
+// design; degradation starts where state was destroyed or parked.
+func (fi *FleetIntegrity) Degraded() bool {
+	if fi.Collector == nil || !fi.Collector.Clean {
+		return true
+	}
+	c := fi.Collector
+	if c.WireDamaged+c.JournalErrors+c.Restarts+c.ReplayErrors+
+		c.MarkerErrors+c.DeadLetters+c.SnapshotErrors > 0 {
+		return true
+	}
+	if fi.CollectorUnreadable || fi.JournalUnreadable || !fi.AggregateSnapshot || fi.SnapshotDamaged {
+		return true
+	}
+	if fi.Journal.Salvage.Lossy() || fi.Journal.ParseErrors > 0 || fi.Journal.Markers > 0 {
+		return true
+	}
+	if fi.StraySpillEntries > 0 {
+		return true
+	}
+	for _, h := range fi.Hosts {
+		if h.Stats == nil || !h.Stats.Clean || h.StatsUnreadable || h.SpillUnreadable {
+			return true
+		}
+		if h.Stats.Spilled+h.Stats.Lost+h.Stats.SpillErrors > 0 {
+			return true
+		}
+		if len(h.SpillSeqs) > 0 || h.SpillSalvage.Lossy() || h.SpillParse > 0 {
+			return true
+		}
+		if len(h.MissingDeltas) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MissingTotal counts unexplained gaps across all hosts.
+func (fi *FleetIntegrity) MissingTotal() int {
+	n := 0
+	for _, h := range fi.Hosts {
+		n += len(h.MissingDeltas)
+	}
+	return n
+}
+
+// AssembleIntegrity builds the fleet integrity report from disk. The
+// aggregate passed in is the replayed journal truth (the caller usually
+// has it already); hosts lists the endpoint ids to audit.
+func AssembleIntegrity(disk *kernel.Disk, agg *Aggregate, rep JournalReplay, hosts []int, net NetFaultStats) *FleetIntegrity {
+	fi := &FleetIntegrity{Journal: rep, Net: net}
+
+	if disk.Exists(CollectorStatsFile) {
+		if data, err := disk.Read(CollectorStatsFile); err != nil {
+			fi.CollectorUnreadable = true
+		} else {
+			fi.Collector = ReadCollectorStats(data)
+		}
+	}
+	if disk.Exists(AggregateFile) {
+		if data, err := disk.Read(AggregateFile); err == nil {
+			_, sal, rerr := oprofile.ReadCountsSalvage(data)
+			fi.AggregateSnapshot = true
+			if rerr != nil || sal.Lossy() {
+				fi.SnapshotDamaged = true
+			}
+		}
+	}
+
+	for _, host := range hosts {
+		hr := HostReport{Host: host}
+		if disk.Exists(SenderStatsPath(host)) {
+			if data, err := disk.Read(SenderStatsPath(host)); err != nil {
+				hr.StatsUnreadable = true
+			} else {
+				hr.Stats = ReadSenderStats(data)
+			}
+		}
+		spillSeqs := make(map[uint64]bool)
+		if disk.Exists(SpillPath(host)) {
+			if data, err := disk.Read(SpillPath(host)); err != nil {
+				hr.SpillUnreadable = true
+			} else {
+				recs, sal := record.Scan(data)
+				hr.SpillSalvage = sal
+				for _, payload := range recs {
+					msg, derr := DecodePayload(payload)
+					if derr != nil || msg.Kind != KindDelta || msg.Host != host {
+						hr.SpillParse++
+						continue
+					}
+					if !spillSeqs[msg.Seq] {
+						spillSeqs[msg.Seq] = true
+						hr.SpillSeqs = append(hr.SpillSeqs, msg.Seq)
+						hr.SpillSamples += msg.Total()
+					}
+				}
+			}
+		}
+		// A collector-side gap is explained if the host parked the seq
+		// in its spill file, or its clean stats account it lost, or the
+		// host never handed the seq to the network at all (crashed
+		// mid-run: seqs above the ack high-water mark are simply still
+		// held). Everything else is a MissingDelta — poison.
+		lostBudget := uint64(0)
+		if hr.Stats != nil && hr.Stats.Clean {
+			lostBudget = hr.Stats.Lost
+		}
+		crashed := hr.Stats == nil || !hr.Stats.Clean
+		for _, seq := range agg.Gaps(host) {
+			if spillSeqs[seq] {
+				continue
+			}
+			if lostBudget > 0 {
+				lostBudget--
+				continue
+			}
+			if crashed {
+				// The sender died holding this delta in memory; the
+				// run-level conservation check (which still has the
+				// in-memory oracle) vouches for it. Offline we can only
+				// flag it if the host claims a clean exit.
+				continue
+			}
+			hr.MissingDeltas = append(hr.MissingDeltas, seq)
+		}
+		fi.Hosts = append(fi.Hosts, hr)
+	}
+
+	// Spill-directory discovery damage: phantom dirents that do not
+	// parse as host spill paths, or listed paths that vanish on read.
+	for _, path := range disk.List() {
+		if !strings.HasPrefix(path, FleetDir+"/host") {
+			continue
+		}
+		var host int
+		if _, err := fmt.Sscanf(path, FleetDir+"/host%02d/sender.spill", &host); err != nil {
+			fi.StraySpillEntries++
+			continue
+		}
+		if !disk.Exists(path) {
+			fi.StraySpillEntries++
+		}
+	}
+	return fi
+}
+
+// FormatFleetIntegrity renders the fleet integrity block for vipreport.
+func FormatFleetIntegrity(fi *FleetIntegrity) string {
+	var b strings.Builder
+	b.WriteString("fleet integrity:\n")
+	switch {
+	case fi.CollectorUnreadable:
+		b.WriteString("  collector: stats unreadable (I/O error)\n")
+	case fi.Collector == nil:
+		b.WriteString("  collector: CRASHED (no clean stats record)\n")
+	default:
+		c := fi.Collector
+		fmt.Fprintf(&b, "  collector: ingested=%d duplicates=%d out-of-order=%d restarts=%d dead-letters=%d\n",
+			c.Ingested, c.Duplicates, c.OutOfOrder, c.Restarts, c.DeadLetters)
+		if c.WireDamaged+c.JournalErrors+c.ReplayErrors+c.MarkerErrors+c.SnapshotErrors > 0 {
+			fmt.Fprintf(&b, "  collector errors: wire-damaged=%d journal=%d replay=%d marker=%d snapshot=%d\n",
+				c.WireDamaged, c.JournalErrors, c.ReplayErrors, c.MarkerErrors, c.SnapshotErrors)
+		}
+	}
+	if fi.JournalUnreadable {
+		b.WriteString("  journal: UNREADABLE (I/O error)\n")
+	} else {
+		fmt.Fprintf(&b, "  journal: %d deltas, %d replay-duplicates, %d restart markers",
+			fi.Journal.Deltas, fi.Journal.Duplicates, fi.Journal.Markers)
+		if fi.Journal.Salvage.Lossy() {
+			fmt.Fprintf(&b, ", %d records dropped (%d bytes)",
+				fi.Journal.Salvage.DroppedRecords, fi.Journal.Salvage.DroppedBytes)
+		}
+		if fi.Journal.ParseErrors > 0 {
+			fmt.Fprintf(&b, ", %d unparseable", fi.Journal.ParseErrors)
+		}
+		b.WriteString("\n")
+	}
+	if !fi.AggregateSnapshot {
+		b.WriteString("  aggregate snapshot: MISSING\n")
+	} else if fi.SnapshotDamaged {
+		b.WriteString("  aggregate snapshot: DAMAGED\n")
+	}
+	fmt.Fprintf(&b, "  network: sends=%d delivered=%d dropped=%d dup=%d reorder=%d latency=%d partition-drops=%d\n",
+		fi.Net.Sends, fi.Net.Delivered, fi.Net.Dropped, fi.Net.Duplicated,
+		fi.Net.Reordered, fi.Net.Latencies, fi.Net.PartitionDrops)
+	if fi.StraySpillEntries > 0 {
+		fmt.Fprintf(&b, "  spill discovery: %d stray entries\n", fi.StraySpillEntries)
+	}
+	for _, h := range fi.Hosts {
+		label := fmt.Sprintf("  host%02d:", h.Host)
+		switch {
+		case h.StatsUnreadable:
+			fmt.Fprintf(&b, "%s stats unreadable (I/O error)\n", label)
+		case h.Stats == nil || !h.Stats.Clean:
+			fmt.Fprintf(&b, "%s CRASHED (no clean stats record)\n", label)
+		default:
+			s := h.Stats
+			fmt.Fprintf(&b, "%s generated=%d acked=%d retries=%d deferred=%d spilled=%d lost=%d\n",
+				label, s.Generated, s.Acked, s.Retries, s.Deferred, s.Spilled, s.Lost)
+			for _, pair := range []struct {
+				name string
+				m    map[string]uint64
+			}{{"spilled", s.SpilledByEvent}, {"lost", s.LostByEvent}} {
+				events := make([]string, 0, len(pair.m))
+				for ev := range pair.m {
+					if pair.m[ev] > 0 {
+						events = append(events, ev)
+					}
+				}
+				sort.Strings(events)
+				for _, ev := range events {
+					fmt.Fprintf(&b, "    %s[%s]=%d samples\n", pair.name, ev, pair.m[ev])
+				}
+			}
+		}
+		if len(h.SpillSeqs) > 0 {
+			fmt.Fprintf(&b, "    spill file: %d parked deltas (%d samples)\n", len(h.SpillSeqs), h.SpillSamples)
+		}
+		if h.SpillSalvage.Lossy() {
+			fmt.Fprintf(&b, "    spill file: %d records dropped (%d bytes)\n",
+				h.SpillSalvage.DroppedRecords, h.SpillSalvage.DroppedBytes)
+		}
+		if h.SpillUnreadable {
+			b.WriteString("    spill file: UNREADABLE (I/O error)\n")
+		}
+		if len(h.MissingDeltas) > 0 {
+			fmt.Fprintf(&b, "    MISSING DELTAS: seqs %v — samples unaccounted for\n", h.MissingDeltas)
+		}
+	}
+	if fi.Degraded() {
+		b.WriteString("  status: DEGRADED\n")
+	} else {
+		b.WriteString("  status: clean\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,409 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viprof/internal/addr"
+	"viprof/internal/hpc"
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+	"viprof/internal/record"
+)
+
+// SenderConfig tunes one host's delta sender.
+type SenderConfig struct {
+	// Host is the network endpoint id (1..N; 0 is the collector).
+	Host int
+	// Deltas is how many deltas the host generates; KeysPerDelta the
+	// keys per delta (defaults 12 and 4).
+	Deltas, KeysPerDelta int
+	// GenEveryCycles is the generation period (default 30_000).
+	GenEveryCycles uint64
+	// TimeoutCycles is the ack timeout per attempt (default 600_000 —
+	// comfortably above the network's worst stacked delay plus the
+	// collector's poll period, so latency alone never times out).
+	TimeoutCycles uint64
+	// BackoffBaseCycles/BackoffCapCycles shape the capped exponential
+	// backoff between retries (defaults 40_000 / 640_000); jitter comes
+	// from the sender's seeded RNG.
+	BackoffBaseCycles, BackoffCapCycles uint64
+	// MaxAttempts is the retry budget before a delta spills (default 8).
+	MaxAttempts int
+	// SendWindow bounds in-flight unacked deltas (default 4).
+	SendWindow int
+	// Seed drives workload generation and backoff jitter.
+	Seed int64
+}
+
+func (c *SenderConfig) fill() {
+	if c.Deltas == 0 {
+		c.Deltas = 12
+	}
+	if c.KeysPerDelta == 0 {
+		c.KeysPerDelta = 4
+	}
+	if c.GenEveryCycles == 0 {
+		c.GenEveryCycles = 30_000
+	}
+	if c.TimeoutCycles == 0 {
+		c.TimeoutCycles = 600_000
+	}
+	if c.BackoffBaseCycles == 0 {
+		c.BackoffBaseCycles = 40_000
+	}
+	if c.BackoffCapCycles == 0 {
+		c.BackoffCapCycles = 640_000
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 8
+	}
+	if c.SendWindow == 0 {
+		c.SendWindow = 4
+	}
+}
+
+// ProcName is the host's process name (the Proc field of every key it
+// generates — the misattribution check hinges on it).
+func (c SenderConfig) ProcName() string { return fmt.Sprintf("host%02d", c.Host) }
+
+// Delta hold states. A delta is "held" by its host until the collector
+// has durably applied it; the conservation equality partitions every
+// generated delta into exactly one of applied-by-collector or held.
+const (
+	// HoldPending: still retrying (or in flight) at shutdown.
+	HoldPending = "pending"
+	// HoldSpilled: retry budget exhausted, parked durably in the framed
+	// spill file — recoverable, degraded loudly, never lost.
+	HoldSpilled = "spilled"
+	// HoldLost: retry budget exhausted AND the spill write failed; the
+	// only state where samples are gone, and it is accounted per event.
+	HoldLost = "lost"
+)
+
+// Delta is one generated delta and its full lifecycle record: the
+// in-memory list doubles as the per-host oracle the chaos sweep checks
+// the collector against.
+type Delta struct {
+	Seq    uint64
+	Counts map[oprofile.Key]uint64
+	Total  uint64
+
+	frame    []byte
+	attempts int
+	deadline uint64 // ack deadline of the outstanding attempt
+	nextTry  uint64 // backoff gate for the next attempt
+	inflight bool
+
+	// Acked: the collector acknowledged (it journaled and applied the
+	// delta). Hold: non-empty once the host gave up ("spilled"/"lost")
+	// or at shutdown while unresolved ("pending").
+	Acked bool
+	Hold  string
+}
+
+// SenderStats is one host's self-accounting, persisted framed at exit.
+type SenderStats struct {
+	Generated, Sent, Retries, Timeouts, Acked uint64
+	// Spilled/Deferred/Lost deltas: spilled are parked durably, deferred
+	// counts backoff waits taken (transient degradation that resolved or
+	// ended in spill), lost had their spill write fail too.
+	Spilled, Deferred, Lost uint64
+	// SpillErrors counts failed spill writes; StatsErrors failed stats
+	// persists (observed by integrity as a missing/torn stats file).
+	SpillErrors, StatsErrors uint64
+	// SpilledSamples/LostSamples are sample totals over those deltas.
+	SpilledSamples, LostSamples uint64
+	// SpilledByEvent/LostByEvent break the degradation down per hardware
+	// event, keyed by hpc.Event.String() — the per-event accounting the
+	// Integrity report surfaces.
+	SpilledByEvent, LostByEvent map[string]uint64
+	// Clean reports the sender exited its loop and persisted stats.
+	Clean bool
+}
+
+// Sender is one host's delta shipper: generate on the simulated clock,
+// send with an ack timeout, retry under capped exponential backoff with
+// seeded jitter, and spill durably when the budget runs out.
+type Sender struct {
+	cfg   SenderConfig
+	net   *Network
+	rng   *rand.Rand
+	proc  *kernel.Process
+	now   func() uint64
+	stats SenderStats
+
+	Deltas    []*Delta
+	generated int
+	nextGen   uint64
+	finished  bool
+}
+
+// NewSender builds a host sender and registers its process (a regular
+// process: the machine runs until every sender resolves or crashes).
+func NewSender(m *kernel.Machine, net *Network, now func() uint64, cfg SenderConfig) (*Sender, error) {
+	cfg.fill()
+	s := &Sender{
+		cfg: cfg,
+		net: net,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		now: now,
+		stats: SenderStats{
+			SpilledByEvent: make(map[string]uint64),
+			LostByEvent:    make(map[string]uint64),
+		},
+	}
+	proc, err := m.Kern.NewProcess(cfg.ProcName(), s)
+	if err != nil {
+		return nil, err
+	}
+	s.proc = proc
+	return s, nil
+}
+
+// Proc returns the sender's kernel process.
+func (s *Sender) Proc() *kernel.Process { return s.proc }
+
+// Stats snapshots the sender's self-accounting.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// Finished reports whether the sender resolved every delta and exited.
+func (s *Sender) Finished() bool { return s.finished }
+
+// generate builds the next delta. The workload is synthetic but shaped
+// like real daemon flushes: a few images, this host's proc name on
+// every key, an occasional JIT key with an epoch tag.
+func (s *Sender) generate() *Delta {
+	seq := uint64(s.generated + 1)
+	images := []string{"fleet.app", "libfleet.so", "vmlinux"}
+	counts := make(map[oprofile.Key]uint64, s.cfg.KeysPerDelta)
+	var total uint64
+	for i := 0; i < s.cfg.KeysPerDelta; i++ {
+		k := oprofile.Key{
+			Event: hpc.Event(s.rng.Intn(2)),
+			Image: images[s.rng.Intn(len(images))],
+			Proc:  s.cfg.ProcName(),
+			Off:   addr.Address(0x1000 + 8*s.rng.Intn(512)),
+		}
+		if s.rng.Intn(5) == 0 {
+			k.Image = oprofile.JITImageName
+			k.JIT = true
+			k.Epoch = 1 + s.rng.Intn(3)
+		}
+		c := uint64(1 + s.rng.Intn(4))
+		counts[k] += c
+		total += c
+	}
+	return &Delta{Seq: seq, Counts: counts, Total: total}
+}
+
+// backoff sizes the wait before attempt n (1-based): capped exponential
+// with jitter in [0, base) drawn from the seeded RNG.
+func (s *Sender) backoff(attempt int) uint64 {
+	d := s.cfg.BackoffBaseCycles << uint(attempt-1)
+	if d > s.cfg.BackoffCapCycles || d < s.cfg.BackoffBaseCycles {
+		d = s.cfg.BackoffCapCycles
+	}
+	return d + uint64(s.rng.Int63n(int64(s.cfg.BackoffBaseCycles)))
+}
+
+// drainAcks consumes acknowledgements addressed to this host.
+func (s *Sender) drainAcks() {
+	for _, data := range s.net.Deliver(s.cfg.Host) {
+		msg, err := DecodeWire(data)
+		if err != nil || msg.Kind != KindAck {
+			continue
+		}
+		for _, d := range s.Deltas {
+			if d.Seq == msg.Seq && !d.Acked {
+				d.Acked = true
+				d.inflight = false
+				// A late ack rescues a delta we had already given up on:
+				// the collector applied it, so the host no longer holds
+				// it. The spill-file copy becomes an absorbable
+				// duplicate, not a held sample.
+				if d.Hold != "" {
+					s.unhold(d)
+				}
+				s.stats.Acked++
+			}
+		}
+	}
+}
+
+// unhold reverses the spilled/lost accounting for a delta rescued by a
+// late ack.
+func (s *Sender) unhold(d *Delta) {
+	switch d.Hold {
+	case HoldSpilled:
+		s.stats.Spilled--
+		s.stats.SpilledSamples -= d.Total
+		for k, c := range d.Counts {
+			s.stats.SpilledByEvent[k.Event.String()] -= c
+		}
+	case HoldLost:
+		s.stats.Lost--
+		s.stats.LostSamples -= d.Total
+		for k, c := range d.Counts {
+			s.stats.LostByEvent[k.Event.String()] -= c
+		}
+	}
+	d.Hold = ""
+}
+
+// spill parks a delta durably after the retry budget runs out.
+func (s *Sender) spill(m *kernel.Machine, p *kernel.Process, d *Delta) {
+	//viplint:allow record-frame d.frame is the DeltaFrame-built wire record, framed once at generation and reused for sends and spills
+	err := m.Kern.SysWriteSync(p, SpillPath(s.cfg.Host), d.frame)
+	if p.Killed() {
+		// Crash mid-spill: the delta stays pending; whether the frame
+		// landed is the salvage scan's problem (a torn tail drops).
+		return
+	}
+	if err != nil {
+		d.Hold = HoldLost
+		s.stats.SpillErrors++
+		s.stats.Lost++
+		s.stats.LostSamples += d.Total
+		for k, c := range d.Counts {
+			s.stats.LostByEvent[k.Event.String()] += c
+		}
+		return
+	}
+	d.Hold = HoldSpilled
+	s.stats.Spilled++
+	s.stats.SpilledSamples += d.Total
+	for k, c := range d.Counts {
+		s.stats.SpilledByEvent[k.Event.String()] += c
+	}
+}
+
+// Step implements kernel.Executor: one scheduling pass of the send loop.
+func (s *Sender) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
+	now := s.now()
+	s.drainAcks()
+
+	// Generate due deltas.
+	for s.generated < s.cfg.Deltas && now >= s.nextGen {
+		d := s.generate()
+		frame, err := DeltaFrame(s.cfg.Host, d.Seq, d.Counts)
+		if err != nil {
+			// Serialization of our own map cannot fail; treat it as lost
+			// rather than crash the fleet.
+			d.Hold = HoldLost
+			s.stats.Lost++
+			s.stats.LostSamples += d.Total
+			for k, c := range d.Counts {
+				s.stats.LostByEvent[k.Event.String()] += c
+			}
+		}
+		d.frame = frame
+		s.Deltas = append(s.Deltas, d)
+		s.generated++
+		s.stats.Generated++
+		m.Kern.ExecKernel("sys_write", 15+len(frame)/32, 1)
+		s.nextGen = now + s.cfg.GenEveryCycles
+	}
+
+	// Drive unresolved deltas.
+	inflight := 0
+	for _, d := range s.Deltas {
+		if d.inflight && !d.Acked {
+			inflight++
+		}
+	}
+	var wake uint64 // earliest future event (0 = none)
+	sooner := func(at uint64) {
+		if at > now && (wake == 0 || at < wake) {
+			wake = at
+		}
+	}
+	if s.generated < s.cfg.Deltas {
+		sooner(s.nextGen)
+	}
+	unresolved := 0
+	for _, d := range s.Deltas {
+		if d.Acked || d.Hold != "" {
+			continue
+		}
+		unresolved++
+		if d.inflight {
+			if now < d.deadline {
+				sooner(d.deadline)
+				continue
+			}
+			// Ack timeout: back off before the next attempt.
+			d.inflight = false
+			inflight--
+			s.stats.Timeouts++
+			if d.attempts >= s.cfg.MaxAttempts {
+				s.spill(m, p, d)
+				if p.Killed() {
+					return kernel.StepBlocked
+				}
+				continue
+			}
+			d.nextTry = now + s.backoff(d.attempts)
+			s.stats.Deferred++
+		}
+		if now < d.nextTry {
+			sooner(d.nextTry)
+			continue
+		}
+		if inflight >= s.cfg.SendWindow {
+			continue
+		}
+		d.attempts++
+		d.deadline = now + s.cfg.TimeoutCycles
+		d.inflight = true
+		inflight++
+		s.net.Send(s.cfg.Host, 0, d.frame)
+		s.stats.Sent++
+		if d.attempts > 1 {
+			s.stats.Retries++
+		}
+		m.Kern.ExecKernel("sys_write", 10+len(d.frame)/64, 1)
+		sooner(d.deadline)
+	}
+
+	if s.generated == s.cfg.Deltas && unresolved == 0 {
+		s.finish(m, p)
+		if p.Killed() {
+			return kernel.StepBlocked
+		}
+		return kernel.StepExit
+	}
+	if inflight > 0 {
+		// Poll for acks well before the timeout would fire.
+		poll := now + s.net.MaxDelayCycles() + 4_000
+		sooner(poll)
+	}
+	if wake == 0 {
+		wake = now + s.cfg.GenEveryCycles
+	}
+	m.Kern.Sleep(p, wake-now)
+	return kernel.StepBlocked
+}
+
+// finish persists the host's framed stats record. Mark deltas still
+// unresolved (none, on this path) and write the self-accounting; a
+// missing or torn stats file is the crash signal integrity reads.
+func (s *Sender) finish(m *kernel.Machine, p *kernel.Process) {
+	s.finished = true
+	s.stats.Clean = true
+	if err := m.Kern.SysWriteSync(p, SenderStatsPath(s.cfg.Host), record.Frame(senderStatsPayload(&s.stats))); err != nil {
+		s.stats.StatsErrors++
+		s.stats.Clean = false
+	}
+}
+
+// MarkShutdownHolds labels every still-unresolved delta as pending held
+// at shutdown. Called by the fleet runner after the machine stops (a
+// crashed sender never reaches finish; its unresolved deltas are held).
+func (s *Sender) MarkShutdownHolds() {
+	for _, d := range s.Deltas {
+		if !d.Acked && d.Hold == "" {
+			d.Hold = HoldPending
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"viprof/internal/oprofile"
+	"viprof/internal/record"
+)
+
+// Wire format. Every datagram is one framed+CRC record (record.Frame —
+// the same format every durable artifact uses, DESIGN §10), so a
+// mangled or torn payload fails its checksum at the receiver instead of
+// misparsing, and the collector can append the received frame verbatim
+// to its write-ahead journal. The payload is a '#'-header line followed
+// by a WriteCounts sample-file body:
+//
+//	#delta host=<id> seq=<n>
+//	event<TAB>jit<TAB>epoch<TAB>offset<TAB>count<TAB>proc<TAB>image
+//	...
+//
+// Acks are header-only: "#ack host=<id> seq=<n>". Restart markers
+// ("#restart attempt=<n>") appear only in the collector journal, as
+// durable evidence of supervisor restarts.
+
+// Wire message kinds.
+const (
+	KindDelta   = "delta"
+	KindAck     = "ack"
+	KindRestart = "restart"
+)
+
+// WireMsg is one decoded wire record.
+type WireMsg struct {
+	Kind string
+	Host int
+	Seq  uint64
+	// Attempt is the restart ordinal (restart markers only).
+	Attempt int
+	// Counts is the delta body (deltas only).
+	Counts map[oprofile.Key]uint64
+}
+
+// Total returns the message's sample total.
+func (m *WireMsg) Total() uint64 {
+	var n uint64
+	for _, c := range m.Counts {
+		n += c
+	}
+	return n
+}
+
+// sortedKeys returns the counts' keys in a deterministic total order
+// (keyLess plus the proc/jit fields it does not compare), so the same
+// delta always serializes to the same bytes.
+func sortedKeys(counts map[oprofile.Key]uint64) []oprofile.Key {
+	order := make([]oprofile.Key, 0, len(counts))
+	for k := range counts {
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Event != b.Event {
+			return a.Event < b.Event
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Image != b.Image {
+			return a.Image < b.Image
+		}
+		if a.JIT != b.JIT {
+			return !a.JIT
+		}
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		return a.Off < b.Off
+	})
+	return order
+}
+
+// DeltaFrame builds the framed wire record for one delta.
+func DeltaFrame(host int, seq uint64, counts map[oprofile.Key]uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "#%s host=%d seq=%d\n", KindDelta, host, seq)
+	if err := oprofile.WriteCounts(&buf, counts, sortedKeys(counts)); err != nil {
+		return nil, err
+	}
+	return record.Frame(buf.Bytes()), nil
+}
+
+// AckFrame builds the framed wire record acknowledging (host, seq).
+func AckFrame(host int, seq uint64) []byte {
+	return record.Frame([]byte(fmt.Sprintf("#%s host=%d seq=%d\n", KindAck, host, seq)))
+}
+
+// RestartJournalFrame builds the framed restart marker the supervisor
+// appends to the collector journal as durable evidence of a restart.
+func RestartJournalFrame(attempt int) []byte {
+	return record.Frame([]byte(fmt.Sprintf("#%s attempt=%d\n", KindRestart, attempt)))
+}
+
+// DecodeWire decodes one framed wire record. A torn, mangled, or
+// multi-record payload is an error — the caller drops it (and, for
+// deltas, withholds the ack so the sender retries).
+func DecodeWire(data []byte) (*WireMsg, error) {
+	recs, sal := record.Scan(data)
+	if sal.Lossy() || len(recs) != 1 {
+		return nil, fmt.Errorf("fleet: wire record damaged (%d intact, %d dropped)",
+			len(recs), sal.DroppedRecords)
+	}
+	return DecodePayload(recs[0])
+}
+
+// DecodePayload decodes one already-unframed wire payload (a single
+// record's bytes, e.g. one journal entry out of record.Scan).
+func DecodePayload(payload []byte) (*WireMsg, error) {
+	header, body, _ := bytes.Cut(payload, []byte("\n"))
+	fields := strings.Fields(string(header))
+	if len(fields) == 0 || !strings.HasPrefix(fields[0], "#") {
+		return nil, fmt.Errorf("fleet: wire payload has no #header")
+	}
+	msg := &WireMsg{Kind: strings.TrimPrefix(fields[0], "#")}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("fleet: malformed wire header field %q", f)
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: wire header %s: %v", k, err)
+		}
+		switch k {
+		case "host":
+			msg.Host = int(n)
+		case "seq":
+			msg.Seq = n
+		case "attempt":
+			msg.Attempt = int(n)
+		}
+	}
+	switch msg.Kind {
+	case KindDelta:
+		msg.Counts = make(map[oprofile.Key]uint64)
+		if err := oprofile.ParseCountsText(body, msg.Counts); err != nil {
+			return nil, fmt.Errorf("fleet: delta body: %v", err)
+		}
+		if msg.Seq == 0 {
+			return nil, fmt.Errorf("fleet: delta with seq 0")
+		}
+	case KindAck:
+		if msg.Seq == 0 {
+			return nil, fmt.Errorf("fleet: ack with seq 0")
+		}
+	case KindRestart:
+	default:
+		return nil, fmt.Errorf("fleet: unknown wire kind %q", msg.Kind)
+	}
+	return msg, nil
+}

@@ -47,6 +47,17 @@ func (d *Disk) Append(path string, data []byte) {
 	d.Writes++
 }
 
+// Size reports the named file's length in bytes. It is a metadata
+// operation (a stat, not a data read): the read-fault injector does not
+// apply, so retention policies can size files they will never open.
+func (d *Disk) Size(path string) (int, bool) {
+	f, ok := d.files[path]
+	if !ok {
+		return 0, false
+	}
+	return f.Len(), true
+}
+
 // Read returns the contents of a file. An installed read-fault injector
 // may deliver ErrIO for a file that exists — the degraded-platter case
 // the salvage readers must surface loudly rather than treat as absence.

@@ -27,6 +27,7 @@ var DetRand = &analysis.Analyzer{
 // future packages opt in).
 var simPackages = []string{
 	"kernel", "cpu", "cache", "hpc", "jvm", "core", "oprofile", "image", "addr",
+	"fleet",
 }
 
 func isSimPackage(path string) bool {
@@ -41,6 +42,15 @@ func isSimPackage(path string) bool {
 
 func isRandPkg(path string) bool {
 	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// wallWaits are the time-package blocking/deferred primitives: inside a
+// simulation package every wait (a sender's retry backoff, a
+// collector's wake period) must be expressed in machine cycles so the
+// fleet chaos sweeps replay bit-identically from a seed.
+var wallWaits = map[string]bool{
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
 }
 
 func runDetRand(pass *analysis.Pass) (interface{}, error) {
@@ -95,6 +105,10 @@ func runDetRand(pass *analysis.Pass) (interface{}, error) {
 				pass.Reportf(sel.Pos(), "time.Now in a simulation package: simulated time must come from the machine clock, not the wall clock")
 			case pkg == "time" && name == "Since":
 				pass.Reportf(sel.Pos(), "time.Since reads the wall clock; simulation timing must use simulated cycles")
+			case pkg == "time" && wallWaits[name]:
+				// Retry/backoff waits must advance simulated cycles
+				// (Kern.Sleep, AdvanceIdle), never block the host.
+				pass.Reportf(sel.Pos(), "time.%s blocks on the wall clock; simulated waits (retry backoff, timeouts) must advance machine cycles instead", name)
 			case isRandPkg(pkg):
 				fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 				if !isFn {

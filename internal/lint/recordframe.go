@@ -164,7 +164,7 @@ func isSalvageReader(info *types.Info, call *ast.CallExpr) bool {
 		return false
 	}
 	name := strings.ToLower(fn.Name())
-	for _, marker := range []string{"read", "salvage", "scan", "parse"} {
+	for _, marker := range []string{"read", "salvage", "scan", "parse", "decode"} {
 		if strings.Contains(name, marker) {
 			return true
 		}

@@ -29,6 +29,20 @@ func unseededNew(src rand.Source) *rand.Rand {
 	return rand.New(src) // want `rand.New without a direct rand.NewSource`
 }
 
+// The fleet sender's retry/backoff shape: every wait must advance
+// simulated cycles, never block the host.
+func wallBackoff(attempt int) {
+	time.Sleep(time.Duration(attempt) * time.Second) // want `time.Sleep blocks on the wall clock`
+}
+
+func wallDeadline() <-chan time.Time {
+	return time.After(time.Second) // want `time.After blocks on the wall clock`
+}
+
+func wallTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time.NewTicker blocks on the wall clock`
+}
+
 func waived() int {
 	//viplint:allow detrand fixture: demonstrating an explained waiver
 	return rand.Int()

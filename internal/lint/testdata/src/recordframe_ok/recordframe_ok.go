@@ -58,6 +58,21 @@ func readStats(data []byte) int {
 	return len(recs)
 }
 
+// The fleet collector's wire shape: journal bytes routed through a
+// Decode* helper (itself built on record.Scan) are salvage-aware.
+func decodedRead(d *kernel.Disk) int {
+	data, err := d.Read("var/fleet/collector.journal")
+	if err != nil {
+		return 0
+	}
+	return decodeWire(data)
+}
+
+func decodeWire(data []byte) int {
+	recs, _ := record.Scan(data)
+	return len(recs)
+}
+
 func errorOnlyRead(d *kernel.Disk) bool {
 	_, err := d.Read("var/lib/x.dat")
 	return err == nil

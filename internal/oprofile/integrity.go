@@ -180,6 +180,12 @@ type Integrity struct {
 	// RecoveryIncomplete reports durable evidence a recovery attempt
 	// began (journal marker) without a surviving decision record.
 	RecoveryIncomplete bool
+	// Retention is the retention pass's persisted ledger (quarantined
+	// evidence kept/pruned); nil if no pass has ever persisted one.
+	Retention *RetentionStats
+	// RetentionDamaged reports the ledger file exists but no intact
+	// record survives in it.
+	RetentionDamaged bool
 }
 
 // Degraded reports whether any persisted data was lost, damaged, or
@@ -205,6 +211,16 @@ func (in *Integrity) Degraded() bool {
 		}
 	}
 	if in.Recovery != nil && (in.Recovery.AnyAction() || !in.Recovery.Clean) {
+		return true
+	}
+	// Retention pruning itself is housekeeping, not data loss (the
+	// evidence it removes marked an *earlier* run degraded); only a
+	// retention failure — unpersisted decisions, a damaged ledger —
+	// degrades this run.
+	if in.RetentionDamaged {
+		return true
+	}
+	if in.Retention != nil && (in.Retention.StatsErrors > 0 || in.Retention.PriorDamaged || !in.Retention.Clean) {
 		return true
 	}
 	for _, mi := range in.Maps {
@@ -259,6 +275,14 @@ func FormatIntegrity(w io.Writer, in *Integrity) error {
 	}
 	if in.RecoveryIncomplete {
 		fmt.Fprintf(w, "  recovery: INCOMPLETE — began but left no decision record\n")
+	}
+	if in.RetentionDamaged {
+		fmt.Fprintf(w, "  retention: ledger DAMAGED — age tracking restarted\n")
+	}
+	if rt := in.Retention; rt != nil && rt.AnyAction() {
+		fmt.Fprintf(w, "  retention: %d scanned, %d kept (%d bytes), %d pruned (%d bytes: %d by age, %d by count, %d by size); %d ledger errors\n",
+			rt.Scanned, rt.Kept, rt.KeptBytes, rt.Pruned, rt.PrunedBytes,
+			rt.AgePruned, rt.CountPruned, rt.SizePruned, rt.StatsErrors)
 	}
 	if r := in.Recovery; r != nil && (r.AnyAction() || !r.Clean) {
 		fmt.Fprintf(w, "  recovery: %d adopted, %d discarded, %d quarantined, %d failed; %d spill frames merged, %d discarded (%d samples recovered); %d merge errors, %d journals damaged, %d marker errors, %d restarts\n",

@@ -168,6 +168,14 @@ func ReadCountsSalvage(data []byte) (map[Key]uint64, record.Salvage, error) {
 	return counts, sal, nil
 }
 
+// ParseCountsText parses plain sample-file lines (the WriteCounts
+// format) into counts, summing duplicate keys. It is the payload parser
+// for contexts where framing is handled out of line — the fleet wire
+// protocol ships one WriteCounts body per framed delta record.
+func ParseCountsText(data []byte, counts map[Key]uint64) error {
+	return readCountsText(data, counts)
+}
+
 // readCountsText parses plain sample-file lines into counts.
 func readCountsText(data []byte, counts map[Key]uint64) error {
 	sc := bufio.NewScanner(bytes.NewReader(data))
