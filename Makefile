@@ -9,15 +9,24 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test chaos-smoke fleet-smoke chaos-nightly bench-smoke bench
+.PHONY: check lint vet build test race-smoke chaos-smoke fleet-smoke chaos-nightly bench-smoke bench
 
-check: lint vet build test chaos-smoke fleet-smoke bench-smoke
+check: lint vet build test race-smoke chaos-smoke fleet-smoke bench-smoke
 
 # viplint: the repo's own go/analysis-style pass suite (cmd/viplint).
 # Exits nonzero on any unsuppressed finding; suppressions require
-# `//viplint:allow <pass> <reason>`.
+# `//viplint:allow <pass> <reason>`. -stats appends the per-pass
+# finding-count/wall-time table so slow passes surface in CI logs.
 lint:
-	$(GO) run ./cmd/viplint ./...
+	$(GO) run ./cmd/viplint -stats ./...
+
+# Focused race gate on the concurrency-bearing subsystems: the fleet
+# collector (networked delta ingestion, supervisor restarts) and the
+# chaos harness drive the most goroutine traffic; re-run their short
+# suites under the race detector with caching defeated, so `make check`
+# exercises them fresh even when the cached `test` target is a no-op.
+race-smoke:
+	$(GO) test -race -short -count=1 ./internal/fleet/ ./internal/harness/
 
 vet:
 	$(GO) vet ./...

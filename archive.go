@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -32,9 +33,15 @@ func (o *Outcome) DumpProfile(dir string) error {
 		return fmt.Errorf("viprof: run kept no machine state")
 	}
 	disk := m.Kern.Disk()
-	for name, im := range o.Images() {
+	images := o.Images()
+	names := make([]string, 0, len(images))
+	for name := range images {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		var buf bytes.Buffer
-		if err := image.WriteRVMMap(&buf, im); err != nil {
+		if err := image.WriteRVMMap(&buf, images[name]); err != nil {
 			return err
 		}
 		disk.Append(imageMapDir+"/"+name+".map", buf.Bytes())
@@ -88,6 +95,7 @@ func LoadArchivedReport(dir string) (*Report, error) {
 			continue
 		}
 		name := strings.TrimSuffix(strings.TrimPrefix(p, imageMapDir+"/"), ".map")
+		//viplint:allow record-frame RVM.map is the legacy line-oriented text format; ReadRVMMap fails per-line, a torn tail loses at most trailing symbols
 		data, err := disk.Read(p)
 		if err != nil {
 			return nil, err

@@ -102,6 +102,7 @@ func NewResolver(disk *kernel.Disk, images map[string]*image.Image, vmPIDs map[s
 		SearchDepths: make(map[int]uint64),
 	}
 	for _, pers := range jvm.Personalities() {
+		//viplint:allow record-frame RVM.map is the legacy line-oriented text format; ReadRVMMap fails per-line, a torn tail loses at most trailing symbols
 		data, err := disk.Read(pers.MapFileName)
 		if err != nil {
 			continue // personality not present in this run

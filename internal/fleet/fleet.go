@@ -108,7 +108,8 @@ func RunFleet(m *kernel.Machine, cfg FleetConfig) (*FleetResult, error) {
 			return
 		}
 		restartAttempts++
-		_ = collector.Restart(m) // errors are counted in stats; retried next tick
+		//viplint:allow errflow Restart failure is already counted in collector stats and retried on the next supervisor tick
+		_ = collector.Restart(m)
 	})
 
 	res.RunErr = m.Kern.Run(cfg.MaxCycles)

@@ -1,0 +1,29 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFleetWallTimeSmoke logs how long a small fleet run takes on the
+// host — diagnostic output for CI triage only, never an assertion, so
+// host speed cannot fail the build. The wall-clock reads are waived:
+// they time the test harness itself, and nothing derived from them
+// flows back into the simulation. (This file is also the live proof
+// that viplint's test-file sweep covers the simulation packages: strip
+// a waiver and `make lint` must fail.)
+func TestFleetWallTimeSmoke(t *testing.T) {
+	//viplint:allow detrand host wall time measures the test harness, not simulated time; log-only diagnostics
+	start := time.Now()
+	m := newTestMachine(7)
+	res, err := RunFleet(m, FleetConfig{Hosts: 2, DeltasPerHost: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RunErr != nil {
+		t.Fatalf("run error: %v", res.RunErr)
+	}
+	requireConservation(t, res)
+	//viplint:allow detrand host wall time measures the test harness, not simulated time; log-only diagnostics
+	t.Logf("fleet smoke run took %v of host time", time.Since(start))
+}

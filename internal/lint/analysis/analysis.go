@@ -12,6 +12,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"viprof/internal/lint/ir"
 )
 
 // Analyzer describes one analysis pass: a named invariant checker run
@@ -36,6 +38,13 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+
+	// IR is the whole-program SSA-lite view (def-use chains, call
+	// graph, summary memo) the interprocedural passes consult. This is
+	// the one deliberate divergence from the x/tools surface: it
+	// stands in for the Facts machinery, which would be overkill for a
+	// loader that always has the whole module in memory.
+	IR *ir.Program
 }
 
 // Diagnostic is one finding at a position.

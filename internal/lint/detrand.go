@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"viprof/internal/lint/analysis"
+	"viprof/internal/lint/ir"
 )
 
 // DetRand enforces the simulation's determinism contract: inside the
@@ -17,7 +18,8 @@ import (
 // chaos tests prove — unfalsifiable.
 var DetRand = &analysis.Analyzer{
 	Name: "detrand",
-	Doc: "forbid wall-clock time and unseeded/global math/rand in simulation packages; " +
+	Doc: "forbid wall-clock time and unseeded/global math/rand in simulation packages, " +
+		"including transitively through helpers outside the simulation scope; " +
 		"randomness must flow from an injected seeded *rand.Rand",
 	Run: runDetRand,
 }
@@ -31,6 +33,9 @@ var simPackages = []string{
 }
 
 func isSimPackage(path string) bool {
+	// External test packages (foo_test) are checked under the import
+	// path "<path>_test"; they live in the same determinism scope.
+	path = strings.TrimSuffix(path, "_test")
 	for _, p := range simPackages {
 		full := "viprof/internal/" + p
 		if path == full || strings.HasPrefix(path, full+"/") {
@@ -128,5 +133,130 @@ func runDetRand(pass *analysis.Pass) (interface{}, error) {
 			return true
 		})
 	}
+	// Interprocedural sweep: a sim-package call into a helper outside
+	// the simulation scope that (transitively) reads the wall clock or
+	// the global math/rand source smuggles nondeterminism in just as
+	// surely as a local call. Summaries over the IR call graph carry
+	// the root offense back to the boundary call site.
+	if pass.IR != nil {
+		sums := drSummariesOf(pass.IR)
+		for _, f := range pass.IR.FuncsOf(pass.Pkg) {
+			for _, cs := range f.Calls {
+				if cs.Callee == nil {
+					continue
+				}
+				gf, ok := pass.IR.ByObj[cs.Callee]
+				if !ok || isSimPackage(gf.Pkg.Types.Path()) {
+					continue // sim-package callees are reported at their own offense
+				}
+				if offense := sums[gf]; offense != "" {
+					pass.Reportf(cs.Call.Pos(), "call to %s reaches %s outside the simulation packages: simulated time and randomness must be injected, not read from the host", cs.Callee.Name(), offense)
+				}
+			}
+		}
+	}
 	return nil, nil
+}
+
+// drSummariesOf computes, per function, the root determinism offense
+// its body (or a non-sim module callee's body, transitively) commits:
+// "" when clean, otherwise e.g. "time.Now" or "math/rand global Intn".
+func drSummariesOf(prog *ir.Program) map[*ir.Func]string {
+	return prog.Memo("detrand", func() any {
+		sums := make(map[*ir.Func]string)
+		prog.Fixpoint(func(f *ir.Func) bool {
+			if sums[f] != "" {
+				return false
+			}
+			if off := drLocalOffense(f); off != "" {
+				sums[f] = off
+				return true
+			}
+			for _, cs := range f.Calls {
+				if cs.Callee == nil {
+					continue
+				}
+				gf, ok := prog.ByObj[cs.Callee]
+				if !ok || isSimPackage(gf.Pkg.Types.Path()) {
+					continue
+				}
+				if off := sums[gf]; off != "" {
+					sums[f] = off
+					return true
+				}
+			}
+			return false
+		})
+		return sums
+	}).(map[*ir.Func]string)
+}
+
+// drLocalOffense scans one body for a direct determinism offense and
+// names it (the same patterns the local sweep reports, minus the
+// approved rand.New(rand.NewSource(...)) construction).
+func drLocalOffense(f *ir.Func) string {
+	info := f.Pkg.Info
+	offense := ""
+	ast.Inspect(f.Body, func(n ast.Node) bool {
+		if offense != "" {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // literals are their own Funcs
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := importedRef(info, sel)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkg == "time" && (name == "Now" || name == "Since" || wallWaits[name]):
+			offense = "time." + name
+		case isRandPkg(pkg):
+			fn, isFn := info.Uses[sel.Sel].(*types.Func)
+			if !isFn {
+				return true
+			}
+			switch fn.Name() {
+			case "NewSource", "NewZipf":
+			case "New":
+				if !drApprovedNew(info, f.Body, sel) {
+					offense = "rand.New without a seeded source"
+				}
+			default:
+				offense = "math/rand global " + fn.Name()
+			}
+		}
+		return true
+	})
+	return offense
+}
+
+// drApprovedNew reports whether the rand.New selected by sel is called
+// with a direct rand.NewSource(...) argument somewhere in body.
+func drApprovedNew(info *types.Info, body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
+	approved := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || ast.Unparen(call.Fun) != sel || len(call.Args) != 1 {
+			return true
+		}
+		inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		isel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := importedRef(info, isel); ok && isRandPkg(pkg) && name == "NewSource" {
+			approved = true
+			return false
+		}
+		return true
+	})
+	return approved
 }

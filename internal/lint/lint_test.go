@@ -21,17 +21,18 @@ import (
 
 const fixturePrefix = "viprof/internal/lint/testdata/src/"
 
-func loadFixture(t *testing.T, name string) *Package {
+func loadFixture(t *testing.T, name string) (*Loader, *Package) {
 	t.Helper()
 	root, err := filepath.Abs("../..")
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := NewLoader("viprof", root).Load(fixturePrefix + name)
+	loader := NewLoader("viprof", root)
+	pkg, err := loader.Load(fixturePrefix + name)
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", name, err)
 	}
-	return pkg
+	return loader, pkg
 }
 
 var wantRe = regexp.MustCompile("// want `([^`]*)`")
@@ -82,8 +83,8 @@ func findingLine(t *testing.T, pos string) int {
 // findings match the fixture's want comments exactly.
 func checkFixture(t *testing.T, fixture string, a *analysis.Analyzer) {
 	t.Helper()
-	pkg := loadFixture(t, fixture)
-	findings, err := RunPackage(pkg, []*analysis.Analyzer{a})
+	loader, pkg := loadFixture(t, fixture)
+	findings, err := RunPackage(loader, pkg, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("%s: %v", fixture, err)
 	}
@@ -123,6 +124,32 @@ func TestMapOrder(t *testing.T) {
 	t.Run("ok", func(t *testing.T) { checkFixture(t, "maporder_ok", MapOrder) })
 }
 
+// The interprocedural fixtures: each pass must catch violations buried
+// one and two helper levels deep, and stay silent when a sort, frame,
+// salvage, or check discharges the obligation anywhere on the path.
+func TestMapOrderInterprocedural(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "maporder_ipr_bad", MapOrder) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "maporder_ipr_ok", MapOrder) })
+}
+
+func TestRecordFrameInterprocedural(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "recordframe_ipr_bad", RecordFrame) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "recordframe_ipr_ok", RecordFrame) })
+}
+
+func TestDetRandInterprocedural(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "detrand_ipr_bad", DetRand) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "detrand_ipr_ok", DetRand) })
+	// The helper package itself is outside the simulation scope: the
+	// local sweep must not flag its direct wall-clock reads.
+	t.Run("help", func(t *testing.T) { checkFixture(t, "detrand_ipr_help", DetRand) })
+}
+
+func TestErrFlow(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "errflow_bad", ErrFlow) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "errflow_ok", ErrFlow) })
+}
+
 func TestSysWriteErr(t *testing.T) {
 	t.Run("bad", func(t *testing.T) { checkFixture(t, "syswriteerr_bad", SysWriteErr) })
 	t.Run("ok", func(t *testing.T) { checkFixture(t, "syswriteerr_ok", SysWriteErr) })
@@ -144,7 +171,7 @@ func TestEpochResolve(t *testing.T) {
 // what removes it. Without this, a fixture's "waived" function would
 // pass vacuously if the analyzer simply never fired there.
 func TestSuppressionDropsWaivedDiagnostic(t *testing.T) {
-	pkg := loadFixture(t, "detrand_bad")
+	_, pkg := loadFixture(t, "detrand_bad")
 
 	// Locate the well-formed allow directive; the waived call sits on
 	// the next line.
@@ -183,12 +210,12 @@ func TestSuppressionDropsWaivedDiagnostic(t *testing.T) {
 	if got := rawAt(raw, waivedLine); got != 1 {
 		t.Fatalf("raw detrand diagnostics at waived line %d: got %d, want 1", waivedLine, got)
 	}
-	kept := applySuppressions(pkg, raw)
+	kept, _, _ := suppressDiags(pkg, raw)
 	if got := rawAt(kept, waivedLine); got != 0 {
-		t.Errorf("suppressed diagnostic at line %d survived applySuppressions", waivedLine)
+		t.Errorf("suppressed diagnostic at line %d survived suppressDiags", waivedLine)
 	}
 	if len(kept) != len(raw)-1 {
-		t.Errorf("applySuppressions kept %d of %d diagnostics, want exactly one dropped", len(kept), len(raw))
+		t.Errorf("suppressDiags kept %d of %d diagnostics, want exactly one dropped", len(kept), len(raw))
 	}
 }
 
@@ -196,8 +223,8 @@ func TestSuppressionDropsWaivedDiagnostic(t *testing.T) {
 // is itself a finding — a suppression is a reviewed waiver, not an off
 // switch.
 func TestAllowBadform(t *testing.T) {
-	pkg := loadFixture(t, "allow_badform")
-	findings, err := RunPackage(pkg, Analyzers())
+	loader, pkg := loadFixture(t, "allow_badform")
+	findings, err := RunPackage(loader, pkg, Analyzers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,6 +248,121 @@ func TestAllowBadform(t *testing.T) {
 	}
 }
 
+// TestSuppressEdges drives the waiver matcher's corner cases through
+// the full driver: wrong-pass directives don't suppress, a directive
+// covers a multi-line statement only via its first line, and duplicate
+// directives credit first-match-only. checkFixture (audit off) asserts
+// the kept findings; the audit tests below assert the stale set.
+func TestSuppressEdges(t *testing.T) {
+	checkFixture(t, "suppress_edge", DetRand)
+}
+
+const suppressEdgePath = "internal/lint/testdata/src/suppress_edge"
+
+// TestWaiverAuditFindsStale: with the audit on, every well-formed
+// directive that suppressed nothing is itself a finding — the
+// wrong-pass waiver, the too-late waiver below a multi-line statement,
+// and the duplicate on an already-covered line.
+func TestWaiverAuditFindsStale(t *testing.T) {
+	res, err := RunOpts([]string{suppressEdgePath}, Options{WaiverAudit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, detrand := 0, 0
+	for _, f := range res.Findings {
+		switch {
+		case strings.Contains(f.Message, "stale viplint:allow"):
+			stale++
+		case f.Analyzer == "detrand":
+			detrand++
+		}
+	}
+	if stale != 3 {
+		t.Errorf("stale-waiver findings: got %d, want 3\n%+v", stale, res.Findings)
+	}
+	if detrand != 2 {
+		t.Errorf("unsuppressed detrand findings: got %d, want 2\n%+v", detrand, res.Findings)
+	}
+}
+
+// TestWaiverAuditOff: -waiver-audit=off is the bisecting escape hatch —
+// the same run must keep the real findings and drop every stale-waiver
+// diagnostic.
+func TestWaiverAuditOff(t *testing.T) {
+	res, err := RunOpts([]string{suppressEdgePath}, Options{WaiverAudit: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		if strings.Contains(f.Message, "stale viplint:allow") {
+			t.Errorf("audit off still reported: %+v", f)
+		}
+	}
+	if len(res.Findings) != 2 {
+		t.Errorf("findings with audit off: got %d, want 2\n%+v", len(res.Findings), res.Findings)
+	}
+}
+
+// TestTestFileSweepSeesSimTests proves the _test.go sweep does real
+// work: detrand over the augmented fleet package DOES flag the
+// intentional wall-clock reads in perf_test.go, and only their
+// reviewed waivers keep the tree clean.
+func TestTestFileSweepSeesSimTests(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader("viprof", root)
+	aug, _, err := loader.LoadWithTests("viprof/internal/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aug == nil {
+		t.Fatal("fleet has test files; augmented package missing")
+	}
+	var raw []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  DetRand,
+		Fset:      aug.Fset,
+		Files:     aug.Files,
+		Pkg:       aug.Types,
+		TypesInfo: aug.Info,
+		Report:    func(d analysis.Diagnostic) { raw = append(raw, d) },
+	}
+	if _, err := DetRand.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	inPerfTest := 0
+	for _, d := range raw {
+		if strings.HasSuffix(aug.Fset.Position(d.Pos).Filename, "perf_test.go") {
+			inPerfTest++
+		}
+	}
+	if inPerfTest != 2 {
+		t.Fatalf("raw detrand diagnostics in perf_test.go: got %d, want 2 (time.Now + time.Since)", inPerfTest)
+	}
+	kept, _, _ := suppressDiags(aug, raw)
+	for _, d := range kept {
+		if strings.HasSuffix(aug.Fset.Position(d.Pos).Filename, "perf_test.go") {
+			t.Errorf("waived diagnostic survived suppression: %s", d.Message)
+		}
+	}
+}
+
+// TestErrFlowFleetClean pins the acceptance bar for the error-flow
+// pass: zero unwaivered drops across the fleet subsystem.
+func TestErrFlowFleetClean(t *testing.T) {
+	res, err := RunOpts([]string{"internal/fleet"}, Options{WaiverAudit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		if f.Analyzer == ErrFlow.Name {
+			t.Errorf("errflow finding on internal/fleet: %s: %s", f.Pos, f.Message)
+		}
+	}
+}
+
 // TestAnalyzerMetadata: every pass has a stable name (the suppression
 // key) and documentation.
 func TestAnalyzerMetadata(t *testing.T) {
@@ -234,7 +376,7 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"detrand", "maporder", "syswrite-err", "epoch-resolve", "record-frame"} {
+	for _, want := range []string{"detrand", "maporder", "syswrite-err", "epoch-resolve", "record-frame", "errflow"} {
 		if !names[want] {
 			t.Errorf("missing analyzer %q", want)
 		}

@@ -44,6 +44,7 @@ type Loader struct {
 	moduleDir  string
 	std        types.Importer
 	cache      map[string]*loadEntry
+	testCache  map[string]*loadEntry
 }
 
 type loadEntry struct {
@@ -61,6 +62,7 @@ func NewLoader(modulePath, moduleDir string) *Loader {
 		moduleDir:  moduleDir,
 		std:        importer.Default(),
 		cache:      make(map[string]*loadEntry),
+		testCache:  make(map[string]*loadEntry),
 	}
 }
 
@@ -125,6 +127,114 @@ func (l *Loader) load(path string) (*Package, error) {
 		}
 		files = append(files, f)
 	}
+	pkg, err := l.check(path, dir, files)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return pkg, nil
+}
+
+// Loaded returns every module package the loader has successfully
+// type-checked so far, sorted by import path — the package set the
+// driver builds the whole-program IR from. Augmented with-tests
+// packages are excluded: they are variants, not part of the canonical
+// import graph.
+func (l *Loader) Loaded() []*Package {
+	var out []*Package
+	for _, e := range l.cache {
+		if !e.loading && e.err == nil && e.pkg != nil {
+			out = append(out, e.pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// LoadWithTests type-checks the package's test files and returns the
+// resulting packages: the in-package augmentation (all buildable files
+// plus same-package _test.go files, re-checked as one unit) and, when
+// external `package foo_test` files exist, a second package checked
+// under the import path `<path>_test`. Either slot may be nil when no
+// such test files exist.
+//
+// The canonical (test-free) package is loaded first and stays the one
+// the import graph sees, so a test file importing a package that
+// itself imports this one (core's chaos tests import harness, harness
+// imports core) re-uses the cached test-free core instead of cycling.
+func (l *Loader) LoadWithTests(path string) (aug, ext *Package, err error) {
+	if e, ok := l.testCache[path+" [aug]"]; ok {
+		ea := l.testCache[path+" [ext]"]
+		var extPkg *Package
+		if ea != nil {
+			extPkg = ea.pkg
+		}
+		return e.pkg, extPkg, e.err
+	}
+	memo := func(a, x *Package, err error) (*Package, *Package, error) {
+		l.testCache[path+" [aug]"] = &loadEntry{pkg: a, err: err}
+		l.testCache[path+" [ext]"] = &loadEntry{pkg: x}
+		return a, x, err
+	}
+	base, err := l.Load(path)
+	if err != nil {
+		return memo(nil, nil, err)
+	}
+	inPkg, extPkgFiles, err := l.parseTestFiles(base)
+	if err != nil {
+		return memo(nil, nil, err)
+	}
+	if len(inPkg) > 0 {
+		files := append(append([]*ast.File{}, base.Files...), inPkg...)
+		aug, err = l.check(path, base.Dir, files)
+		if err != nil {
+			return memo(nil, nil, fmt.Errorf("%s [with tests]: %v", path, err))
+		}
+	}
+	if len(extPkgFiles) > 0 {
+		ext, err = l.check(path+"_test", base.Dir, extPkgFiles)
+		if err != nil {
+			return memo(aug, nil, fmt.Errorf("%s [external tests]: %v", path, err))
+		}
+	}
+	return memo(aug, ext, nil)
+}
+
+// parseTestFiles parses the directory's _test.go files, split into
+// in-package and external (package foo_test) groups.
+func (l *Loader) parseTestFiles(base *Package) (inPkg, ext []*ast.File, err error) {
+	ents, err := os.ReadDir(base.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	baseName := base.Types.Name()
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(base.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		switch f.Name.Name {
+		case baseName:
+			inPkg = append(inPkg, f)
+		case baseName + "_test":
+			ext = append(ext, f)
+		}
+	}
+	return inPkg, ext, nil
+}
+
+// check type-checks one file set as a fresh package through the
+// loader's importer (canonical packages satisfy the imports).
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -137,7 +247,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, err
 	}
 	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
 }

@@ -51,18 +51,23 @@ func scanAllows(pkg *Package) []allowDirective {
 	return out
 }
 
-// applySuppressions splits raw diagnostics into kept findings,
-// dropping those waived by a well-formed allow directive on the same
-// or preceding line, and appends a finding for every malformed
-// directive (missing pass name or missing reason).
-func applySuppressions(pkg *Package, diags []analysis.Diagnostic) []analysis.Diagnostic {
-	allows := scanAllows(pkg)
-	var kept []analysis.Diagnostic
+// suppressDiags splits raw diagnostics into kept findings, dropping
+// those waived by a well-formed allow directive on the same or
+// preceding line, and appends a finding for every malformed directive
+// (missing pass name or missing reason). It also returns the parsed
+// directives and a parallel count of how many diagnostics each one
+// suppressed — each diagnostic credits the *first* matching directive,
+// so a duplicate waiver on the same line earns a zero count and shows
+// up stale in the audit.
+func suppressDiags(pkg *Package, diags []analysis.Diagnostic) (kept []analysis.Diagnostic, allows []allowDirective, used []int) {
+	allows = scanAllows(pkg)
+	used = make([]int, len(allows))
 	for _, d := range diags {
 		line := pkg.Fset.Position(d.Pos).Line
 		suppressed := false
-		for _, a := range allows {
+		for i, a := range allows {
 			if a.pass == d.Category && a.reason != "" && (a.line == line || a.line == line-1) {
+				used[i]++
 				suppressed = true
 				break
 			}
@@ -85,5 +90,33 @@ func applySuppressions(pkg *Package, diags []analysis.Diagnostic) []analysis.Dia
 			})
 		}
 	}
-	return kept
+	return kept, allows, used
+}
+
+// auditWaivers reports every well-formed directive that suppressed
+// zero diagnostics: a stale waiver silences a pass nobody is reviewing
+// (the invariant may have been re-established, the code moved, or the
+// pass name mistyped). testFilesOnly restricts the audit to directives
+// in _test.go files — the test-file sweep runs a reduced pass set, so
+// judging non-test directives there would double-report.
+func auditWaivers(pkg *Package, allows []allowDirective, used []int, testFilesOnly bool) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for i, a := range allows {
+		if a.pass == "" || a.reason == "" || used[i] > 0 {
+			continue // malformed directives are their own diagnostic
+		}
+		if testFilesOnly {
+			if !strings.HasSuffix(pkg.Fset.Position(a.pos).Filename, "_test.go") {
+				continue
+			}
+			if a.pass != DetRand.Name {
+				continue // only detrand runs over test files
+			}
+		}
+		out = append(out, analysis.Diagnostic{
+			Pos: a.pos, Category: "viplint",
+			Message: "stale viplint:allow " + a.pass + " waiver: it suppresses no diagnostic — delete it (or rerun with -waiver-audit=off while bisecting)",
+		})
+	}
+	return out
 }

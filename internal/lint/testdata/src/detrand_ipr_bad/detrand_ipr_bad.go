@@ -1,0 +1,27 @@
+// Package detrand_ipr_bad is a viplint fixture for the
+// interprocedural detrand sweep: a simulation package smuggling in
+// wall-clock time and global randomness through helpers that live
+// outside the simulation scope.
+//
+//viplint:simpackage
+package detrand_ipr_bad
+
+import (
+	help "viprof/internal/lint/testdata/src/detrand_ipr_help"
+)
+
+func stamp() int64 {
+	return help.StampNow() // want `call to StampNow reaches time.Now outside the simulation packages`
+}
+
+func jitter() int {
+	return help.Jitter() // want `call to Jitter reaches math/rand global Intn outside the simulation packages`
+}
+
+func nested() int64 {
+	return help.StampNested() // want `call to StampNested reaches time.Now outside the simulation packages`
+}
+
+func clean() string {
+	return help.Format(42)
+}

@@ -1,0 +1,33 @@
+// Package detrand_ipr_help holds wall-clock and global-rand helpers
+// that sit OUTSIDE the simulation scope — deliberately no
+// //viplint:simpackage directive. The local detrand sweep must ignore
+// this package; the interprocedural sweep must carry each root offense
+// back to the simulation-package call sites in detrand_ipr_bad.
+package detrand_ipr_help
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// StampNow reads the wall clock directly (a one-level offense).
+func StampNow() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter uses the process-global math/rand source (one level).
+func Jitter() int {
+	return rand.Intn(100)
+}
+
+// StampNested reaches the wall clock through another helper (two
+// levels).
+func StampNested() int64 {
+	return StampNow()
+}
+
+// Format is clean all the way down: calls to it must not be flagged.
+func Format(v int64) string {
+	return fmt.Sprintf("%d", v)
+}

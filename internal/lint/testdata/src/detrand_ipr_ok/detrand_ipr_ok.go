@@ -1,0 +1,25 @@
+// Package detrand_ipr_ok: a simulation package whose out-of-scope
+// helper calls are all clean — the interprocedural sweep must stay
+// silent.
+//
+//viplint:simpackage
+package detrand_ipr_ok
+
+import (
+	"math/rand"
+
+	help "viprof/internal/lint/testdata/src/detrand_ipr_help"
+)
+
+func label(v int64) string {
+	return help.Format(v)
+}
+
+// Injected seeded randomness is the approved pattern, local or not.
+func draw(rng *rand.Rand) int {
+	return rng.Intn(100)
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,79 @@
+// Package maporder_ipr_bad is a viplint fixture for the
+// interprocedural maporder pass: map order crossing function
+// boundaries — through helper returns, helper parameters, struct
+// fields, and sinks buried one or two calls deep.
+package maporder_ipr_bad
+
+import (
+	"fmt"
+	"io"
+)
+
+// collectKeys returns the map's keys in iteration order: the summary
+// marks its result as a map-order source.
+func collectKeys(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectKeys2 adds a second helper level above the range.
+func collectKeys2(counts map[string]int) []string {
+	return collectKeys(counts)
+}
+
+// emit persists its slice in order: the summary marks the parameter as
+// reaching Fprintln.
+func emit(w io.Writer, keys []string) {
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// emit2 buries the sink a second level down.
+func emit2(w io.Writer, keys []string) {
+	emit(w, keys)
+}
+
+// One helper level on each side of the flow.
+func oneLevel(w io.Writer, counts map[string]int) {
+	keys := collectKeys(counts) // want `keys is ordered by map iteration and reaches Fprintln via emit without an intervening sort`
+	emit(w, keys)
+}
+
+// Two helper levels on each side.
+func twoLevel(w io.Writer, counts map[string]int) {
+	keys := collectKeys2(counts) // want `keys is ordered by map iteration and reaches Fprintln via emit2 without an intervening sort`
+	emit2(w, keys)
+}
+
+// writeOne looks innocuous at the call site; its body persists.
+func writeOne(w io.Writer, k string) {
+	fmt.Fprint(w, k)
+}
+
+// A sink-calling helper invoked inside the map range itself.
+func eachInRange(w io.Writer, counts map[string]int) {
+	for k := range counts {
+		writeOne(w, k) // want `call to writeOne inside iteration over a map reaches Fprint`
+	}
+}
+
+// tally carries map order between methods through a struct field.
+type tally struct {
+	rows []string
+}
+
+func (t *tally) fill(counts map[string]int) {
+	for k := range counts {
+		t.rows = append(t.rows, k)
+	}
+}
+
+func (t *tally) dump(w io.Writer) {
+	for _, r := range t.rows {
+		fmt.Fprintln(w, r) // want `Fprintln called inside iteration over a map`
+	}
+}

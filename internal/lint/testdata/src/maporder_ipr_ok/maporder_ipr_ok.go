@@ -1,0 +1,65 @@
+// Package maporder_ipr_ok is the clean counterpart to
+// maporder_ipr_bad: the same cross-function shapes with a sort placed
+// somewhere on the path — none of these may be flagged.
+package maporder_ipr_ok
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func collectKeys(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func emit(w io.Writer, keys []string) {
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// The sort sits between the collecting helper and the emitting helper.
+func sortedBetween(w io.Writer, counts map[string]int) {
+	keys := collectKeys(counts)
+	sort.Strings(keys)
+	emit(w, keys)
+}
+
+// collectSorted discharges the order inside the helper: its result is
+// not a source, so callers owe nothing.
+func collectSorted(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func viaSortedHelper(w io.Writer, counts map[string]int) {
+	emit(w, collectSorted(counts))
+}
+
+// tally populates a field in map order but sorts it before the method
+// returns — the idiomatic populate-then-sort shape must stay clean.
+type tally struct {
+	rows []string
+}
+
+func (t *tally) fillSorted(counts map[string]int) {
+	for k := range counts {
+		t.rows = append(t.rows, k)
+	}
+	sort.Strings(t.rows)
+}
+
+func (t *tally) dump(w io.Writer) {
+	for _, r := range t.rows {
+		fmt.Fprintln(w, r)
+	}
+}

@@ -1,0 +1,56 @@
+// Package recordframe_ipr_bad is a viplint fixture for the
+// interprocedural record-frame pass: framing and salvage obligations
+// transferred through one and two helper levels.
+package recordframe_ipr_bad
+
+import (
+	"viprof/internal/kernel"
+)
+
+// writeBlob's payload parameter reaches SysWrite: its summary moves
+// the framing obligation to every caller.
+func writeBlob(k *kernel.Kernel, p *kernel.Process, path string, data []byte) error {
+	return k.SysWrite(p, path, data)
+}
+
+// writeBlob2 forwards the parameter: the obligation survives a second
+// helper level.
+func writeBlob2(k *kernel.Kernel, p *kernel.Process, path string, data []byte) error {
+	return writeBlob(k, p, path, data)
+}
+
+func oneLevelWrite(k *kernel.Kernel, p *kernel.Process, rec string) error {
+	return writeBlob(k, p, "spill", []byte(rec)) // want `unframed SysWrite payload passed to writeBlob`
+}
+
+func twoLevelWrite(k *kernel.Kernel, p *kernel.Process, rec string) error {
+	return writeBlob2(k, p, "spill", []byte(rec)) // want `unframed SysWrite payload passed to writeBlob2`
+}
+
+// readBlob returns Disk.Read bytes it never salvages: its summary
+// moves the salvage obligation to every caller.
+func readBlob(d *kernel.Disk, path string) ([]byte, error) {
+	data, err := d.Read(path)
+	return data, err
+}
+
+// readBlob2 passes the whole tuple through untouched.
+func readBlob2(d *kernel.Disk, path string) ([]byte, error) {
+	return readBlob(d, path)
+}
+
+func oneLevelRead(d *kernel.Disk) int {
+	data, err := readBlob(d, "spill") // want `raw Disk.Read bytes returned by readBlob never reach a salvage-aware reader`
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
+
+func twoLevelRead(d *kernel.Disk) int {
+	data, err := readBlob2(d, "spill") // want `raw Disk.Read bytes returned by readBlob2 never reach a salvage-aware reader`
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}

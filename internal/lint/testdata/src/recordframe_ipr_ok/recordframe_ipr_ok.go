@@ -1,0 +1,71 @@
+// Package recordframe_ipr_ok is the clean counterpart to
+// recordframe_ipr_bad: every obligation discharged somewhere on the
+// path — in the helper, at the caller, or through the salvage layer.
+package recordframe_ipr_ok
+
+import (
+	"bytes"
+	"io"
+
+	"viprof/internal/kernel"
+	"viprof/internal/record"
+)
+
+// frameAndWrite discharges the framing obligation inside the helper.
+func frameAndWrite(k *kernel.Kernel, p *kernel.Process, path string, data []byte) error {
+	return k.SysWrite(p, path, record.Frame(data))
+}
+
+// writeBlob transfers the obligation — and every caller here meets it.
+func writeBlob(k *kernel.Kernel, p *kernel.Process, path string, data []byte) error {
+	return k.SysWrite(p, path, data)
+}
+
+func framedAtCaller(k *kernel.Kernel, p *kernel.Process, rec string) error {
+	return writeBlob(k, p, "spill", record.Frame([]byte(rec)))
+}
+
+// frames is frame-producing by result type: every return path wraps
+// the bytes in record.Frame.
+func frames(rec string) []byte {
+	return record.Frame([]byte(rec))
+}
+
+func viaFramedHelper(k *kernel.Kernel, p *kernel.Process, rec string) error {
+	return k.SysWrite(p, "spill", frames(rec))
+}
+
+// readSalvaged routes the raw bytes through record.Scan before
+// returning anything: salvage-aware, callers owe nothing.
+func readSalvaged(d *kernel.Disk, path string) ([][]byte, int) {
+	data, err := d.Read(path)
+	if err != nil {
+		return nil, 0
+	}
+	recs, sal := record.Scan(data)
+	return recs, sal.DroppedRecords
+}
+
+func cleanRead(d *kernel.Disk) int {
+	recs, _ := readSalvaged(d, "spill")
+	return len(recs)
+}
+
+// parse earns the salvage fact for its reader parameter: the bytes
+// read from r flow into record.Scan.
+func parse(r io.Reader) int {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0
+	}
+	recs, _ := record.Scan(data)
+	return len(recs)
+}
+
+func readViaReader(d *kernel.Disk) int {
+	data, err := d.Read("spill")
+	if err != nil {
+		return 0
+	}
+	return parse(bytes.NewReader(data))
+}

@@ -1,0 +1,39 @@
+// Package suppress_edge exercises the waiver matcher's edges: a
+// directive naming the wrong pass, directives around multi-line
+// statements, and duplicate directives covering one diagnostic.
+//
+//viplint:simpackage
+package suppress_edge
+
+import "time"
+
+// A waiver naming the wrong pass suppresses nothing.
+func wrongPass() time.Time {
+	//viplint:allow maporder wrong pass: the diagnostic below is detrand's
+	return time.Now() // want `time.Now in a simulation package`
+}
+
+// A multi-line statement is covered by a directive above its first
+// line — the diagnostic anchors where the statement starts.
+func multiLineWaived() time.Time {
+	//viplint:allow detrand fixture: the directive covers the statement's first line
+	return time.Now().
+		Add(time.Second)
+}
+
+// ...but a directive after the statement misses: the diagnostic's line
+// is the first line of the statement, not the last.
+func multiLineTooLate() time.Time {
+	t := time.Now(). // want `time.Now in a simulation package`
+		Add(time.Second)
+	//viplint:allow detrand too late: the diagnostic anchors two lines up
+	return t
+}
+
+// Two directives both cover one diagnostic (line above + flagged
+// line): only the first scanned is credited; the duplicate audits as
+// stale.
+func duplicated() time.Time {
+	//viplint:allow detrand the covering waiver, credited
+	return time.Now() //viplint:allow detrand duplicate on the flagged line, never credited
+}
