@@ -21,12 +21,14 @@ lint:
 	$(GO) run ./cmd/viplint -stats ./...
 
 # Focused race gate on the concurrency-bearing subsystems: the fleet
-# collector (networked delta ingestion, supervisor restarts) and the
-# chaos harness drive the most goroutine traffic; re-run their short
-# suites under the race detector with caching defeated, so `make check`
-# exercises them fresh even when the cached `test` target is a no-op.
+# collector (networked delta ingestion, supervisor restarts), the chaos
+# harness, the daemon's concurrent per-CPU shard drain (internal/core
+# drives it end to end; internal/cpu holds the cores whose banks the
+# shards are fed from), re-run under the race detector with caching
+# defeated, so `make check` exercises them fresh even when the cached
+# `test` target is a no-op.
 race-smoke:
-	$(GO) test -race -short -count=1 ./internal/fleet/ ./internal/harness/
+	$(GO) test -race -short -count=1 ./internal/fleet/ ./internal/harness/ ./internal/core/ ./internal/cpu/
 
 vet:
 	$(GO) vet ./...
@@ -67,7 +69,7 @@ chaos-nightly:
 	VIPROF_FLEET_SEEDS=300 $(GO) test -race -run 'TestFleetChaosNightly' -count=1 -timeout 30m ./internal/harness/
 
 bench-smoke:
-	$(GO) test -race -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkExecMemBatch|BenchmarkTraceBatch|BenchmarkEpochResolveIndexed|BenchmarkFleetIngest' -benchtime 1x .
+	$(GO) test -race -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkExecMemBatch|BenchmarkTraceBatch|BenchmarkEpochResolveIndexed|BenchmarkFleetIngest|BenchmarkSMPScaling' -benchtime 1x .
 
 # Full reduced-scale benchmark sweep (minutes).
 bench:

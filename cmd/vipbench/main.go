@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure: 1, 2, 3, activity, membatch, tracebatch, fleet or all")
+		fig      = flag.String("fig", "all", "which figure: 1, 2, 3, activity, membatch, tracebatch, fleet, smp or all")
 		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = paper length)")
 		runs     = flag.Int("runs", 10, "repetitions per cell (paper uses 10)")
 		seed     = flag.Int64("seed", 1, "noise seed")
@@ -26,6 +26,7 @@ func main() {
 		benchOut = flag.String("benchout", "BENCH_mem_batch.json", "membatch result file")
 		traceOut = flag.String("tracebenchout", "BENCH_trace_batch.json", "tracebatch result file")
 		fleetOut = flag.String("fleetbenchout", "BENCH_fleet.json", "fleet bench result file")
+		smpOut   = flag.String("smpbenchout", "BENCH_smp.json", "smp bench result file")
 	)
 	flag.Parse()
 
@@ -61,6 +62,100 @@ func main() {
 	if *fig == "fleet" || *fig == "all" {
 		do("Fleet bench", func() (string, error) { return runFleet(*fleetOut) })
 	}
+	if *fig == "smp" || *fig == "all" {
+		do("SMP bench", func() (string, error) { return runSMP(*smpOut) })
+	}
+}
+
+// runSMP measures aggregate profiling throughput against core count:
+// the fixed dispatch-heavy multi-VM workload (smpbench.go) runs on
+// 1/2/4/8-core machines and the figure of merit is samples and work
+// cycles per *simulated* second. Each cell runs three times and the
+// fastest repetition is kept — the simulated outcome is deterministic
+// per core count, so repetitions only smooth host scheduling noise out
+// of the host-time column. Every repetition is conservation-checked by
+// the workload itself (SMPBenchRun errors on any per-CPU imbalance),
+// and the 4-core cell must show at least 2x the single-core aggregate
+// samples/s — the PR's acceptance floor for the sharded pipeline.
+func runSMP(path string) (string, error) {
+	const reps = 3
+	coreCounts := []int{1, 2, 4, 8}
+	type cell struct {
+		Cores        int     `json:"cores"`
+		VMs          int     `json:"vms"`
+		Samples      uint64  `json:"samples"`
+		SimSeconds   float64 `json:"sim_seconds"`
+		SamplesPerS  float64 `json:"samples_per_sim_s"`
+		WorkMCPerS   float64 `json:"work_mcycles_per_sim_s"`
+		Speedup      float64 `json:"samples_per_s_speedup_vs_1core"`
+		Migrations   uint64  `json:"migrations"`
+		CohTransfers uint64  `json:"coherency_transfers"`
+		HostMs       float64 `json:"host_ms"`
+	}
+	run := func(cores int) (time.Duration, viprof.SMPBenchResult, error) {
+		var best time.Duration
+		var keep viprof.SMPBenchResult
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			r, err := viprof.SMPBenchRun(cores)
+			d := time.Since(start)
+			if err != nil {
+				return 0, r, err
+			}
+			if i == 0 || d < best {
+				best, keep = d, r
+			}
+		}
+		return best, keep, nil
+	}
+	var cells []cell
+	var base float64
+	for _, cores := range coreCounts {
+		d, r, err := run(cores)
+		if err != nil {
+			return "", fmt.Errorf("smp %d cores: %w", cores, err)
+		}
+		perS := r.SamplesPerSimSec()
+		if cores == 1 {
+			base = perS
+		}
+		cells = append(cells, cell{
+			Cores:        r.Cores,
+			VMs:          r.VMs,
+			Samples:      r.Samples,
+			SimSeconds:   r.SimSeconds,
+			SamplesPerS:  perS,
+			WorkMCPerS:   r.WorkCyclesPerSimSec() / 1e6,
+			Speedup:      perS / base,
+			Migrations:   r.Migrations,
+			CohTransfers: r.CohTransfers,
+			HostMs:       float64(d.Nanoseconds()) / 1e6,
+		})
+	}
+	res := struct {
+		Benchmark string `json:"benchmark"`
+		Reps      int    `json:"reps"`
+		Cells     []cell `json:"cells"`
+	}{Benchmark: "BenchmarkSMPScaling", Reps: reps, Cells: cells}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	var four cell
+	for _, c := range cells {
+		if c.Cores == 4 {
+			four = c
+		}
+	}
+	if four.Speedup < 2.0 {
+		return "", fmt.Errorf("smp: 4-core samples/s speedup %.2fx below the 2x floor", four.Speedup)
+	}
+	last := cells[len(cells)-1]
+	return fmt.Sprintf("smp: %.0f samples/s at 1 core, %.2fx at 4 cores, %.2fx at %d cores (%s)",
+		base, four.Speedup, last.Speedup, last.Cores, path), nil
 }
 
 // runFleet measures fleet ingestion and crash recovery against host

@@ -33,6 +33,7 @@ func main() {
 		out      = flag.String("out", "", "archive profile data to this directory")
 		annotate = flag.String("annotate", "", "per-bytecode annotation of a method (fully qualified signature)")
 		noRecov  = flag.Bool("no-recovery", false, "skip the startup crash-recovery pass over var/")
+		cores    = flag.Int("cores", 1, "simulated core count (multi-core shards the pipeline per CPU)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 		Seed:           *seed,
 		CallGraphDepth: *callg,
 		NoRecovery:     *noRecov,
+		Cores:          *cores,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

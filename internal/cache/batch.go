@@ -186,18 +186,23 @@ func (h *Hierarchy) DataBatch(mems []addr.Address, buf []DataEvent) []DataEvent 
 			}
 		}
 		hit, _ := s.l1.step(h.L1, a, i)
-		var l2miss bool
-		switch {
-		case hit:
+		var l2miss, cohm bool
+		if hit {
 			extra += h.L1Hit
-		case h.L2.Access(a):
-			extra += h.L2Hit
-		default:
-			extra += h.MemPenalty
-			l2miss = true
+		} else {
+			if h.Coh != nil && h.Coh.Transfer(a, h.CoreID) {
+				cohm = true
+				extra += h.CohPenalty
+			}
+			if h.L2.Access(a) {
+				extra += h.L2Hit
+			} else {
+				extra += h.MemPenalty
+				l2miss = true
+			}
 		}
-		if dmiss || l2miss || extra != h.L1Hit {
-			buf = append(buf, DataEvent{Index: i, Extra: extra, DTLBMiss: dmiss, L2Miss: l2miss})
+		if dmiss || l2miss || cohm || extra != h.L1Hit {
+			buf = append(buf, DataEvent{Index: i, Extra: extra, DTLBMiss: dmiss, L2Miss: l2miss, Coh: cohm})
 		}
 	}
 	s.l1.reset()

@@ -234,6 +234,15 @@ type Hierarchy struct {
 	DTLB, ITLB *Cache
 	TLBPenalty uint32
 
+	// Coh, when non-nil, is the coherency directory shared with the
+	// other cores' hierarchies (see coherency.go); CoreID is this
+	// hierarchy's core in that directory and CohPenalty the extra
+	// cycles a cross-core line transfer charges. A nil Coh (the
+	// single-core default) skips all directory bookkeeping.
+	Coh        *Directory
+	CoreID     int
+	CohPenalty uint32
+
 	lastIPage uint64 // last instruction page, to probe ITLB per page change
 
 	// Residency tracking for the streaming batched data path: the L1
@@ -281,18 +290,40 @@ func DefaultHierarchy() *Hierarchy {
 	}
 }
 
-// Access sends one memory reference through the hierarchy.
-func (h *Hierarchy) Access(a addr.Address) (extraCycles uint32, l2miss bool) {
+// DefaultCohPenalty is the cross-core transfer cost in cycles: an
+// invalidate round plus a cache-to-cache forward, between an L2 hit (8)
+// and a memory fill (120) on the default geometry.
+const DefaultCohPenalty = 40
+
+// Access sends one memory reference through the hierarchy. The coh
+// result reports a cross-core coherency transfer (always false without
+// a directory); its penalty is folded into extraCycles.
+func (h *Hierarchy) Access(a addr.Address) (extraCycles uint32, l2miss, coh bool) {
 	h.lastDLine = uint64(a) >> h.L1.lineBits
 	h.lastDLineGen = h.L1.gen
 	h.haveDLine = true
 	if h.L1.Access(a) {
-		return h.L1Hit, false
+		return h.L1Hit, false, false
+	}
+	// The line is not in our private L1: if another core wrote it last,
+	// this fill is the transfer. L1 hits never check — a resident line
+	// was filled by us after any prior transfer.
+	if h.Coh != nil && h.Coh.Transfer(a, h.CoreID) {
+		coh = true
+		extraCycles = h.CohPenalty
 	}
 	if h.L2.Access(a) {
-		return h.L2Hit, false
+		return extraCycles + h.L2Hit, false, coh
 	}
-	return h.MemPenalty, true
+	return extraCycles + h.MemPenalty, true, coh
+}
+
+// MarkWrite records a store by this core in the shared coherency
+// directory. No-op on a single-core hierarchy (nil Coh).
+func (h *Hierarchy) MarkWrite(a addr.Address) {
+	if h.Coh != nil {
+		h.Coh.MarkWrite(a, h.CoreID)
+	}
 }
 
 // AccessData probes the DTLB for the data address and reports whether
@@ -356,6 +387,8 @@ type DataEvent struct {
 	Extra    uint32
 	DTLBMiss bool
 	L2Miss   bool
+	// Coh marks a cross-core coherency transfer (see coherency.go).
+	Coh bool
 }
 
 // DataRun replays n strided data accesses (mem, mem+stride, ...)
@@ -419,15 +452,20 @@ func (h *Hierarchy) DataRun(mem addr.Address, stride uint32, n int, buf []DataEv
 			}
 			hit, slot := h.L1.probe(la)
 			var cextra uint32
-			var l2miss bool
-			switch {
-			case hit:
+			var l2miss, cohm bool
+			if hit {
 				cextra = h.L1Hit
-			case h.L2.Access(la):
-				cextra = h.L2Hit
-			default:
-				cextra = h.MemPenalty
-				l2miss = true
+			} else {
+				if h.Coh != nil && h.Coh.Transfer(la, h.CoreID) {
+					cohm = true
+					cextra = h.CohPenalty
+				}
+				if h.L2.Access(la) {
+					cextra += h.L2Hit
+				} else {
+					cextra += h.MemPenalty
+					l2miss = true
+				}
 			}
 			extra := cextra
 			dm := false
@@ -435,8 +473,8 @@ func (h *Hierarchy) DataRun(mem addr.Address, stride uint32, n int, buf []DataEv
 				extra += dExtra
 				dm = dmiss
 			}
-			if dm || l2miss || extra != h.L1Hit {
-				buf = append(buf, DataEvent{Index: i + j, Extra: extra, DTLBMiss: dm, L2Miss: l2miss})
+			if dm || l2miss || cohm || extra != h.L1Hit {
+				buf = append(buf, DataEvent{Index: i + j, Extra: extra, DTLBMiss: dm, L2Miss: l2miss, Coh: cohm})
 			}
 			if k > 1 {
 				h.L1.touchSlot(slot, uint32(k-1))

@@ -155,11 +155,11 @@ func TestDirectMappedShadowQuick(t *testing.T) {
 func TestHierarchy(t *testing.T) {
 	h := DefaultHierarchy()
 	a := addr.Address(0x20000)
-	cyc, miss := h.Access(a)
+	cyc, miss, _ := h.Access(a)
 	if !miss || cyc != h.MemPenalty {
 		t.Errorf("cold access: %d cycles, miss=%v", cyc, miss)
 	}
-	cyc, miss = h.Access(a)
+	cyc, miss, _ = h.Access(a)
 	if miss || cyc != h.L1Hit {
 		t.Errorf("warm access: %d cycles, miss=%v", cyc, miss)
 	}
@@ -173,12 +173,12 @@ func TestHierarchy(t *testing.T) {
 	if h.L1.Contains(a) {
 		t.Fatal("line survived L1 conflict sweep")
 	}
-	cyc, miss = h.Access(a)
+	cyc, miss, _ = h.Access(a)
 	if miss || cyc != h.L2Hit {
 		t.Errorf("L2 hit path: %d cycles, miss=%v; want %d,false", cyc, miss, h.L2Hit)
 	}
 	h.Flush()
-	if _, miss := h.Access(a); !miss {
+	if _, miss, _ := h.Access(a); !miss {
 		t.Error("access after Flush did not miss")
 	}
 }

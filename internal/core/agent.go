@@ -142,7 +142,7 @@ func (a *VMAgent) exec(symbol string, n int) {
 		if seg > n {
 			seg = n
 		}
-		a.m.Core.ExecBatch(pc, seg, 4, 1)
+		a.m.CPU().ExecBatch(pc, seg, 4, 1)
 		n -= seg
 		pc += 4 * addr.Address(seg)
 		if pc >= end {

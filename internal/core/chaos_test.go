@@ -132,13 +132,15 @@ func checkChaosInvariants(t *testing.T, r *harness.ChaosResult) {
 	// sample file after the daemon last saw them.
 	disk := r.Machine.Kern.Disk()
 	var persisted uint64
+	persistedCPU := make(map[int]uint64)
 	if data, err := disk.Read(oprofile.SampleFile); err == nil {
 		counts, _, err := oprofile.ReadCountsSalvage(data)
 		if err != nil {
 			t.Fatalf("salvage re-read: %v", err)
 		}
-		for _, c := range counts {
+		for k, c := range counts {
 			persisted += c
+			persistedCPU[k.CPU] += c
 		}
 	}
 	spillSt := oprofile.ReadSpillState(disk)
@@ -149,11 +151,74 @@ func checkChaosInvariants(t *testing.T, r *harness.ChaosResult) {
 			accounted, r.Daemon.SamplesLogged())
 	}
 
-	// Report totals can never exceed what the driver logged.
+	// (1b-3b) Per-CPU conservation: the shard split must account exactly
+	// at every stage and sum back to the aggregates. The disk equation
+	// closes per CPU whenever no samples are parked in spill frames or
+	// lost past the hard cap (those two are accounted per event, not per
+	// CPU); persisted counts can never exceed a CPU's aggregated total —
+	// that would be cross-CPU misattribution.
+	drv := r.Session.Prof.Driver
+	loggedCPU := r.Daemon.SamplesLoggedCPU()
+	aggCPU := func(ci int) uint64 {
+		if ci < len(loggedCPU) {
+			return loggedCPU[ci]
+		}
+		return 0
+	}
+	unflushedCPU := r.Daemon.UnflushedCPU()
+	exact := spillSt.OnDiskTotal == 0 && r.Daemon.SpilledLost() == 0
+	var sumNMI, sumLogged, sumDropped, sumAgg uint64
+	for ci := 0; ci < drv.NumCPU(); ci++ {
+		cs := drv.StatsCPU(ci)
+		sumNMI += cs.NMIs
+		sumLogged += cs.Logged
+		sumDropped += cs.Dropped
+		sumAgg += aggCPU(ci)
+		if cs.Logged+cs.Dropped != cs.NMIs {
+			t.Errorf("cpu%d driver conservation: logged %d + dropped %d != NMIs %d",
+				ci, cs.Logged, cs.Dropped, cs.NMIs)
+		}
+		if aggCPU(ci)+uint64(drv.ShardLen(ci)) != cs.Logged {
+			t.Errorf("cpu%d daemon conservation: aggregated %d + buffered %d != logged %d",
+				ci, aggCPU(ci), drv.ShardLen(ci), cs.Logged)
+		}
+		if persistedCPU[ci] > aggCPU(ci) {
+			t.Errorf("cpu%d misattribution: persisted %d exceeds aggregated %d",
+				ci, persistedCPU[ci], aggCPU(ci))
+		}
+		if exact && persistedCPU[ci]+unflushedCPU[ci] != aggCPU(ci) {
+			t.Errorf("cpu%d disk conservation: persisted %d + unflushed %d != aggregated %d",
+				ci, persistedCPU[ci], unflushedCPU[ci], aggCPU(ci))
+		}
+	}
+	if sumNMI != ds.NMIs || sumLogged != ds.Logged || sumDropped != ds.Dropped {
+		t.Errorf("per-CPU driver stats (NMIs %d, logged %d, dropped %d) do not sum to aggregate (%d, %d, %d)",
+			sumNMI, sumLogged, sumDropped, ds.NMIs, ds.Logged, ds.Dropped)
+	}
+	if sumAgg != r.Daemon.SamplesLogged() {
+		t.Errorf("per-CPU aggregation %d does not sum to SamplesLogged %d",
+			sumAgg, r.Daemon.SamplesLogged())
+	}
+	for ci := range persistedCPU {
+		if ci < 0 || ci >= drv.NumCPU() {
+			t.Errorf("persisted samples attributed to nonexistent cpu%d", ci)
+		}
+	}
+
+	// Report totals can never exceed what the driver logged, and the
+	// report's per-CPU breakdown must sum back to its totals.
 	for _, ev := range r.Report.Events {
 		if r.Report.Totals[ev] > ds.Logged {
 			t.Errorf("report total %d for event %v exceeds logged %d",
 				r.Report.Totals[ev], ev, ds.Logged)
+		}
+		var cpuSum uint64
+		for _, ct := range r.Report.PerCPU {
+			cpuSum += ct.Counts[ev]
+		}
+		if cpuSum != r.Report.Totals[ev] {
+			t.Errorf("report per-CPU breakdown for %v sums to %d, total is %d",
+				ev, cpuSum, r.Report.Totals[ev])
 		}
 	}
 
@@ -310,6 +375,77 @@ func TestChaosScriptedDaemonCrash(t *testing.T) {
 	if r.Report.Integrity.Stats != nil {
 		t.Error("integrity reports daemon stats despite the crash")
 	}
+	checkChaosInvariants(t, r)
+}
+
+// A scripted SMP shard crash: on a 4-core machine the daemon writes one
+// framed record per CPU per flush, and the script kills it on the third
+// sample-file record — so a strict subset of the per-CPU shards reached
+// disk. The partial state must stay per-CPU accountable: persisted
+// counts within each CPU's aggregated totals (no cross-CPU
+// misattribution), the un-persisted remainder visible as unflushed, and
+// the crash loud in the Integrity section.
+func TestChaosScriptedShardCrash(t *testing.T) {
+	sched := harness.ChaosSchedule{
+		Seed:  321,
+		Cores: 4,
+		Plans: []kernel.FaultPlan{{
+			Seed:       321,
+			PathPrefix: oprofile.SampleFile,
+			Script:     []kernel.FaultPoint{{Write: 2, Kind: kernel.FaultCrash}},
+		}},
+	}
+	r, err := harness.RunChaosSchedule(321, 0.25, sched)
+	if err != nil {
+		t.Fatalf("shard-crash run: %v", err)
+	}
+	if r.Cores != 4 {
+		t.Fatalf("machine has %d cores, want 4", r.Cores)
+	}
+	if r.Faults.Crashes != 1 {
+		t.Fatalf("scripted crash did not fire: %+v", r.Faults)
+	}
+	if !r.Daemon.Crashed() {
+		t.Fatal("daemon survived a scripted crash point")
+	}
+	if r.Machine.Kern.Disk().Exists(oprofile.DaemonStatsFile) {
+		t.Error("crashed daemon left a stats file")
+	}
+	if !r.Report.Integrity.Degraded() {
+		t.Error("partial shard flush not surfaced as degradation")
+	}
+	// Two records committed before the crash, so at least one shard's
+	// data persisted; the torn record's group and everything after it
+	// stayed dirty, so the loss is visible as unflushed.
+	data, err := r.Machine.Kern.Disk().Read(oprofile.SampleFile)
+	if err != nil {
+		t.Fatalf("sample file unreadable after partial flush: %v", err)
+	}
+	counts, _, err := oprofile.ReadCountsSalvage(data)
+	if err != nil {
+		t.Fatalf("salvage re-read: %v", err)
+	}
+	persistedCPU := make(map[int]uint64)
+	for k, c := range counts {
+		persistedCPU[k.CPU] += c
+	}
+	if len(persistedCPU) == 0 {
+		t.Error("no shard persisted despite two committed records")
+	}
+	if r.Daemon.Unflushed() == 0 {
+		t.Error("mid-flush crash left nothing unflushed — the subset state never happened")
+	}
+	loggedCPU := r.Daemon.SamplesLoggedCPU()
+	for ci, c := range persistedCPU {
+		var agg uint64
+		if ci >= 0 && ci < len(loggedCPU) {
+			agg = loggedCPU[ci]
+		}
+		if c > agg {
+			t.Errorf("cpu%d misattribution after partial flush: persisted %d > aggregated %d", ci, c, agg)
+		}
+	}
+	t.Logf("persisted per CPU: %v; unflushed %d", persistedCPU, r.Daemon.Unflushed())
 	checkChaosInvariants(t, r)
 }
 

@@ -45,11 +45,13 @@ type Context struct {
 }
 
 // Snapshot captures the architectural state the NMI handler sees: the
-// interrupted program counter and context, plus the cycle time.
+// interrupted program counter and context, plus the cycle time and the
+// CPU the overflow fired on.
 type Snapshot struct {
 	PC     addr.Address
 	Ctx    Context
 	Cycles uint64
+	CPU    int
 }
 
 // NMIHandler services a counter overflow. It runs in interrupt context;
@@ -62,6 +64,7 @@ type Core struct {
 	Bank *hpc.Bank
 	Mem  *cache.Hierarchy
 
+	id      int // CPU number on the machine (0 on single-core)
 	cycles  uint64
 	instrs  uint64
 	ctx     Context
@@ -130,6 +133,21 @@ func New(bank *hpc.Bank, mem *cache.Hierarchy) *Core {
 	return c
 }
 
+// NewWithID is New for a core of an SMP machine: id is the CPU number
+// samples taken on this core carry.
+func NewWithID(id int, bank *hpc.Bank, mem *cache.Hierarchy) *Core {
+	c := New(bank, mem)
+	c.id = id
+	return c
+}
+
+// ID returns the CPU number.
+func (c *Core) ID() int { return c.id }
+
+// SetID assigns the CPU number; the kernel numbers cores at machine
+// construction.
+func (c *Core) SetID(id int) { c.id = id }
+
 // SetNMIHandler installs the overflow handler (the profiler driver).
 // A nil handler drops overflows on the floor.
 func (c *Core) SetNMIHandler(h NMIHandler) { c.handler = h }
@@ -169,10 +187,16 @@ func (c *Core) Exec(op Op) {
 				cost += uint64(extra)
 				c.Bank.Tick(hpc.DTLBMiss, 1)
 			}
-			extra, l2miss := c.Mem.Access(op.Mem)
+			extra, l2miss, coh := c.Mem.Access(op.Mem)
 			cost += uint64(extra)
 			if l2miss {
 				c.Bank.Tick(hpc.BSQCacheReference, 1)
+			}
+			if coh {
+				c.Bank.Tick(hpc.CoherencyTransfers, 1)
+			}
+			if op.Store {
+				c.Mem.MarkWrite(op.Mem)
 			}
 		}
 	}
@@ -358,7 +382,7 @@ func (c *Core) ExecMemBatch(start addr.Address, n int, stride uint32, cost uint3
 			// raised an event): precise retirement at the exact PC.
 			ev := events[ei]
 			ei++
-			c.execResolved(pc, cost, ev.Extra, ev.DTLBMiss, ev.L2Miss)
+			c.execResolved(pc, cost, ev.Extra, ev.DTLBMiss, ev.L2Miss, ev.Coh)
 			i++
 			pc += addr.Address(stride)
 			continue
@@ -366,7 +390,7 @@ func (c *Core) ExecMemBatch(start addr.Address, n int, stride uint32, cost uint3
 		k := c.bulkLen(pc, next-i, stride, eff)
 		if k == 0 {
 			// At an event horizon: one precise op (guaranteed hit).
-			c.execResolved(pc, cost, hit, false, false)
+			c.execResolved(pc, cost, hit, false, false, false)
 			i++
 			pc += addr.Address(stride)
 			continue
@@ -395,7 +419,7 @@ func (c *Core) ExecMemBatch(start addr.Address, n int, stride uint32, cost uint3
 // state changes). The instruction side stays live: handlers run at
 // kernel PCs and move the ITLB, so fetch accounting cannot be
 // precomputed.
-func (c *Core) execResolved(pc addr.Address, cost uint32, extra uint32, dtlbMiss, l2miss bool) {
+func (c *Core) execResolved(pc addr.Address, cost uint32, extra uint32, dtlbMiss, l2miss, coh bool) {
 	if c.bat.active {
 		c.FlushBatch()
 	}
@@ -414,6 +438,9 @@ func (c *Core) execResolved(pc addr.Address, cost uint32, extra uint32, dtlbMiss
 	total += uint64(extra)
 	if l2miss {
 		c.Bank.Tick(hpc.BSQCacheReference, 1)
+	}
+	if coh {
+		c.Bank.Tick(hpc.CoherencyTransfers, 1)
 	}
 	c.cycles += total
 	if c.slice >= total {
@@ -516,6 +543,28 @@ func (c *Core) BatchMemOp(pc addr.Address, cost uint32, mem addr.Address) {
 	}
 }
 
+// BatchStoreOp is BatchMemOp for a micro-op that *writes* mem: the
+// retirement is identical, but the store is recorded in the shared
+// coherency directory so another core's next miss on the line pays the
+// cross-core transfer. A guaranteed-hit store can still accumulate into
+// the open batch — the line is resident in our L1, so ownership changes
+// hands without an observable event on this core — but the directory
+// mark must land eagerly, before any other core can access the line.
+// On a single-core hierarchy (nil directory) this is exactly
+// BatchMemOp.
+func (c *Core) BatchStoreOp(pc addr.Address, cost uint32, mem addr.Address) {
+	if c.Mem == nil || mem == 0 {
+		c.BatchOp(pc, cost)
+		return
+	}
+	if c.noBatch || !c.Mem.DataFree(mem) {
+		c.Exec(Op{PC: pc, Cost: cost, Mem: mem, Store: true})
+		return
+	}
+	c.Mem.MarkWrite(mem)
+	c.BatchMemOp(pc, cost, mem)
+}
+
 // openBatch starts an accumulation run at pc, capturing the event
 // horizon from the counter bank. It refuses (returning false) when the
 // op cannot be proven event-free: a pending NMI must drain, the fetch
@@ -592,7 +641,7 @@ func (c *Core) onOverflow(ctr *hpc.Counter) {
 		c.lost++
 		return
 	}
-	snap := Snapshot{PC: c.pc, Ctx: c.ctx, Cycles: c.cycles}
+	snap := Snapshot{PC: c.pc, Ctx: c.ctx, Cycles: c.cycles, CPU: c.id}
 	c.pending = append(c.pending, pendingNMI{snap, ctr.Event})
 }
 

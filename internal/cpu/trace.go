@@ -137,21 +137,21 @@ func (c *Core) ExecScatter(start addr.Address, stride uint32, cost uint32, mems 
 		// op charges beyond the base cost and leaves the stretch.
 		next := n
 		var extra uint32
-		var dm, l2 bool
+		var dm, l2, coh bool
 		if hit == 0 {
 			if ei < len(c.evBuf) {
 				next = int(c.memIdx[c.evBuf[ei].Index])
-				extra, dm, l2 = c.evBuf[ei].Extra, c.evBuf[ei].DTLBMiss, c.evBuf[ei].L2Miss
+				extra, dm, l2, coh = c.evBuf[ei].Extra, c.evBuf[ei].DTLBMiss, c.evBuf[ei].L2Miss, c.evBuf[ei].Coh
 			}
 		} else if mi < len(c.memIdx) {
 			next = int(c.memIdx[mi])
 			extra = hit
 			if ei < len(c.evBuf) && c.evBuf[ei].Index == mi {
-				extra, dm, l2 = c.evBuf[ei].Extra, c.evBuf[ei].DTLBMiss, c.evBuf[ei].L2Miss
+				extra, dm, l2, coh = c.evBuf[ei].Extra, c.evBuf[ei].DTLBMiss, c.evBuf[ei].L2Miss, c.evBuf[ei].Coh
 			}
 		}
 		if i == next {
-			c.execResolved(pc, cost, extra, dm, l2)
+			c.execResolved(pc, cost, extra, dm, l2, coh)
 			if hit == 0 {
 				ei++
 			} else {
@@ -169,7 +169,7 @@ func (c *Core) ExecScatter(start addr.Address, stride uint32, cost uint32, mems 
 			// At an event horizon: one precise op. Its data outcome, if
 			// any, is a silent guaranteed hit (extra 0), so the resolved
 			// path is exact for memory and no-memory ops alike.
-			c.execResolved(pc, cost, 0, false, false)
+			c.execResolved(pc, cost, 0, false, false, false)
 			i++
 			pc += addr.Address(stride)
 			continue

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"strings"
 
-	"viprof/internal/cache"
 	"viprof/internal/core"
 	"viprof/internal/cpu"
 	"viprof/internal/hpc"
@@ -51,6 +50,12 @@ const (
 	// shuts down, the recovery pass's and the report's reads of profile
 	// artifacts deliver seeded EIO (the write side all landed).
 	ScenarioReadFault
+	// ScenarioShardCrash kills the daemon on an SMP machine partway
+	// through a multi-record flush, so only a subset of the per-CPU
+	// shards reached disk. The invariants must hold per CPU: persisted
+	// counts stay within each CPU's logged totals (no cross-CPU
+	// misattribution) and the partial flush degrades loudly.
+	ScenarioShardCrash
 	numScenarios
 )
 
@@ -73,6 +78,8 @@ func (s ChaosScenario) String() string {
 		return "dir-damage"
 	case ScenarioReadFault:
 		return "read-fault"
+	case ScenarioShardCrash:
+		return "shard-crash"
 	default:
 		return fmt.Sprintf("scenario-%d", int(s))
 	}
@@ -129,6 +136,13 @@ func scenarioPlan(sc ChaosScenario, seed int64) kernel.FaultPlan {
 		plan.PRenameAfter = 0.1 + 0.2*rng.Float64()
 		plan.PRenameCrash = 0.05 + 0.1*rng.Float64()
 		plan.MaxFaults = 1 + rng.Intn(3)
+	case ScenarioShardCrash:
+		// Scripted, not probabilistic: crash the daemon on an exact
+		// matched write a few records in, so on a multi-core machine
+		// the crash lands between the per-CPU records of a flush and
+		// leaves only a shard subset persisted.
+		plan.PathPrefix = "var/lib/oprofile/"
+		plan.Script = []kernel.FaultPoint{{Write: 1 + rng.Intn(6), Kind: kernel.FaultCrash}}
 	}
 	return plan
 }
@@ -159,6 +173,10 @@ type ChaosSchedule struct {
 	Plans    []kernel.FaultPlan
 	ListPlan *kernel.ListFaultPlan
 	ReadPlan *kernel.ReadFaultPlan
+	// Cores is the simulated machine's core count (0/1 = single-core).
+	// Composed seeds draw it so every fault scenario also runs against
+	// SMP machines; ScenarioShardCrash forces it multi-core.
+	Cores int
 }
 
 // String names the composition, e.g. "enospc+rename-fault".
@@ -189,6 +207,17 @@ func ScheduleOf(seed int64) ChaosSchedule {
 		n := 1 + rng.Intn(3)
 		for _, p := range rng.Perm(int(numScenarios))[:n] {
 			scens = append(scens, ChaosScenario(p))
+		}
+		// Core count composes with the fault mix: drawn after the
+		// scenario picks so arming SMP never perturbs which scenarios a
+		// seed selects.
+		sched.Cores = 1 << rng.Intn(3)
+	}
+	for _, sc := range scens {
+		if sc == ScenarioShardCrash && sched.Cores < 2 {
+			// A shard-subset crash needs shards: force a multi-core run
+			// (including the scenario's isolated low seed).
+			sched.Cores = 4
 		}
 	}
 	for i, sc := range scens {
@@ -228,6 +257,8 @@ type ChaosResult struct {
 	Session *core.Session
 	VM      *jvm.VM
 	Proc    *kernel.Process
+	// Cores is the machine's core count for this run.
+	Cores int
 	// VMKilled reports the VM process was crashed by fault injection
 	// (so the workload legitimately did not finish).
 	VMKilled bool
@@ -342,7 +373,7 @@ func RunChaosSchedule(seed int64, scale float64, sched ChaosSchedule) (*ChaosRes
 	if err != nil {
 		return nil, err
 	}
-	machine := kernel.NewMachine(cpu.New(hpc.NewBank(), cache.DefaultHierarchy()), seed)
+	machine := BuildMachine(sched.Cores, seed)
 	session, err := core.Start(machine, core.Config{
 		Events: []oprofile.EventConfig{{Event: hpc.GlobalPowerEvents, Period: 45_000}},
 		// A small spill bound so flush-failure scenarios actually
@@ -419,6 +450,7 @@ func RunChaosSchedule(seed int64, scale float64, sched ChaosSchedule) (*ChaosRes
 		Session:            session,
 		VM:                 vm,
 		Proc:               proc,
+		Cores:              len(machine.Cores),
 		VMKilled:           killed,
 		Driver:             session.Prof.Driver.Stats(),
 		Daemon:             session.Prof.Daemon,

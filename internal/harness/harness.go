@@ -116,6 +116,30 @@ type Options struct {
 	// disk is a cheap no-decision pass — but tests that stage var/
 	// themselves can opt out.
 	NoRecovery bool
+	// Cores sets the simulated machine's core count (0 or 1 = the
+	// classic single-core machine). Multi-core machines share an L2
+	// and coherency directory; each core gets private L1/TLBs and its
+	// own counter bank, and the profiling pipeline shards per CPU.
+	Cores int
+	// legacyRun drives the run through the kernel's pre-SMP scheduler
+	// loop (RunLegacy), kept verbatim as the single-core differential
+	// oracle. Test-only; requires Cores <= 1.
+	legacyRun bool
+}
+
+// BuildMachine constructs a simulated machine with n cores (n <= 1
+// builds the classic single-core machine) sharing one L2 and coherency
+// directory, each with a private L1/TLB pair and its own counter bank.
+func BuildMachine(n int, seed int64) *kernel.Machine {
+	if n <= 1 {
+		return kernel.NewMachine(cpu.New(hpc.NewBank(), cache.DefaultHierarchy()), seed)
+	}
+	hs := cache.SharedHierarchies(n)
+	cores := make([]*cpu.Core, n)
+	for i := range cores {
+		cores[i] = cpu.NewWithID(i, hpc.NewBank(), hs[i])
+	}
+	return kernel.NewMachineN(seed, cores...)
 }
 
 // RunOnce executes one benchmark under one configuration on a fresh
@@ -128,9 +152,11 @@ func RunOnce(spec workload.Spec, rc RunConfig, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	machine := kernel.NewMachine(cpu.New(hpc.NewBank(), cache.DefaultHierarchy()), opt.Seed)
+	machine := BuildMachine(opt.Cores, opt.Seed)
 	if opt.NoBatch {
-		machine.Core.SetBatching(false)
+		for _, c := range machine.Cores {
+			c.SetBatching(false)
+		}
 	}
 	if rc.Xen {
 		if _, err := xen.Enable(machine, xen.Config{}); err != nil {
@@ -184,7 +210,11 @@ func RunOnce(spec workload.Spec, rc RunConfig, opt Options) (*Result, error) {
 
 	// Generous limit: 100x the calibrated base time catches runaways.
 	limit := uint64(spec.BaseSeconds*opt.Scale*100+60) * cpu.ClockHz
-	if err := machine.Kern.Run(limit); err != nil {
+	runLoop := machine.Kern.Run
+	if opt.legacyRun {
+		runLoop = machine.Kern.RunLegacy
+	}
+	if err := runLoop(limit); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %v", spec.Name, rc.Label(), err)
 	}
 	if !vm.Finished() {
@@ -192,8 +222,14 @@ func RunOnce(spec workload.Spec, rc RunConfig, opt Options) (*Result, error) {
 	}
 
 	// "We configure it to measure the execution time of the benchmarks
-	// only": the clock when the benchmark process exits.
+	// only": the clock when the benchmark process exits. On SMP the
+	// wall clock is the furthest-ahead core.
 	res.Cycles = machine.Core.Cycles()
+	for _, c := range machine.Cores {
+		if c.Cycles() > res.Cycles {
+			res.Cycles = c.Cycles()
+		}
+	}
 	res.Seconds = cpu.Seconds(res.Cycles)
 	res.VMStats = vm.Stats()
 	res.VM = vm

@@ -64,16 +64,16 @@ func (n *noiseProc) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult
 	burst := 200 + n.rng.Intn(2500)
 	sym := n.syms[n.rng.Intn(len(n.syms))]
 	pc := sym.Start
-	for i := 0; i < burst && !m.Core.Expired(); i++ {
+	for i := 0; i < burst && !m.CPU().Expired(); i++ {
 		if i%5 == 0 {
 			mem := 0xA000_0000 + addr.Address(n.rng.Intn(1<<20))
 			// Scattered paint traffic: BatchMemOp proves the rare
 			// same-line repeats and takes the precise path otherwise.
-			m.Core.BatchMemOp(pc, 1, mem)
+			m.CPU().BatchMemOp(pc, 1, mem)
 		} else {
 			// The slice budget stays exact under batching, so the
 			// Expired check above behaves identically.
-			m.Core.BatchOp(pc, 1)
+			m.CPU().BatchOp(pc, 1)
 		}
 		pc += 4
 		if pc >= sym.End {

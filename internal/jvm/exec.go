@@ -14,7 +14,7 @@ import (
 // Step implements kernel.Executor: the VM runs bytecode (as compiled
 // code) until the scheduling slice expires or the program finishes.
 func (vm *VM) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
-	core := m.Core
+	core := m.CPU()
 	if vm.finished || vm.err != nil {
 		return kernel.StepExit
 	}
@@ -79,7 +79,7 @@ func (vm *VM) startup() {
 	// Bootstrap: the small C loader mmaps the boot image.
 	if sym, ok := vm.bootstrapImg.Lookup("loadBootImage"); ok {
 		pc := vm.bootstrapBase + sym.Off
-		vm.m.Core.ExecRange(pc, 1500, 4, 1)
+		vm.m.CPU().ExecRange(pc, 1500, 4, 1)
 	}
 	// VM.boot: scheduler and runtime initialization.
 	vm.work(SvcStartup, 12_000)
@@ -132,6 +132,7 @@ func (vm *VM) stepInstr() error {
 	level := f.body.Level
 	cost := jit.OpCost(in.Op, level)
 	var mem addr.Address
+	var store bool // the memory operand is written, not read
 	nextPC := f.pc + 1
 	vm.stats.BytecodesRun++
 
@@ -280,7 +281,7 @@ func (vm *VM) stepInstr() error {
 			}
 			rv = v
 		}
-		vm.m.Core.BatchOp(f.body.PC(f.pc), cost)
+		vm.m.CPU().BatchOp(f.body.PC(f.pc), cost)
 		th.frames = th.frames[:len(th.frames)-1]
 		if len(th.frames) > 0 && in.Op == bytecode.Ret {
 			caller := &th.frames[len(th.frames)-1]
@@ -319,6 +320,7 @@ func (vm *VM) stepInstr() error {
 		}
 		vm.faultIn(obj.Addr, obj.Size)
 		mem = obj.Addr
+		store = true
 		push(Value{R: obj})
 
 	case bytecode.ALoad:
@@ -368,6 +370,7 @@ func (vm *VM) stepInstr() error {
 			o.Scalars[i] = val.I
 		}
 		mem = o.FieldAddr(int(i))
+		store = true
 	case bytecode.ArrayLen:
 		ref, ok := pop()
 		if !ok {
@@ -411,6 +414,7 @@ func (vm *VM) stepInstr() error {
 		}
 		o.Scalars[in.A] = val.I
 		mem = o.FieldAddr(int(in.A))
+		store = true
 
 	case bytecode.GetRef:
 		ref, ok := pop()
@@ -441,6 +445,7 @@ func (vm *VM) stepInstr() error {
 		}
 		o.Refs[in.A] = val.R
 		mem = o.FieldAddr(int(in.A))
+		store = true
 
 	case bytecode.GetStatic:
 		mem = vm.staticsBase + addr.Address(in.A)*8
@@ -452,6 +457,7 @@ func (vm *VM) stepInstr() error {
 		}
 		mem = vm.staticsBase + addr.Address(in.A)*8
 		vm.statics[in.A] = v
+		store = true
 
 	case bytecode.Intrinsic:
 		if err := vm.intrinsic(f, in); err != nil {
@@ -466,11 +472,16 @@ func (vm *VM) stepInstr() error {
 	// no-memory ops accumulate as before, memory ops accumulate when
 	// their access is provably a plain hit and take the precise path
 	// otherwise (cache probes and miss events happen in exact
-	// sequence either way).
-	if mem == 0 {
-		vm.m.Core.BatchOp(f.body.PC(f.pc), cost)
-	} else {
-		vm.m.Core.BatchMemOp(f.body.PC(f.pc), cost, mem)
+	// sequence either way). Stores additionally mark the line in the
+	// coherency directory, so another core touching it later pays the
+	// cross-core transfer.
+	switch {
+	case mem == 0:
+		vm.m.CPU().BatchOp(f.body.PC(f.pc), cost)
+	case store:
+		vm.m.CPU().BatchStoreOp(f.body.PC(f.pc), cost, mem)
+	default:
+		vm.m.CPU().BatchMemOp(f.body.PC(f.pc), cost, mem)
 	}
 	f.pc = nextPC
 	return nil
@@ -503,7 +514,7 @@ func (vm *VM) doCall(th *vmThread, f *frame, in bytecode.Instr, cost uint32) err
 
 	// The call instruction executes in the caller, then control enters
 	// the callee prologue.
-	vm.m.Core.BatchOp(f.body.PC(f.pc), cost)
+	vm.m.CPU().BatchOp(f.body.PC(f.pc), cost)
 	f.pc++ // return continues after the call
 
 	th.frames = append(th.frames, frame{
@@ -536,7 +547,7 @@ func (vm *VM) doSpawn(th *vmThread, f *frame, in bytecode.Instr, cost uint32) er
 	copy(locals, f.stack[base:])
 	f.stack = f.stack[:base]
 
-	vm.m.Core.BatchOp(f.body.PC(f.pc), cost)
+	vm.m.CPU().BatchOp(f.body.PC(f.pc), cost)
 	f.pc++
 	// Thread creation is a VM service (stack setup, scheduler insert).
 	vm.work(SvcScheduler, 300)

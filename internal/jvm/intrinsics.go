@@ -26,7 +26,7 @@ func (vm *VM) libcRange(name string) (start, end addr.Address) {
 func (vm *VM) execNative(symbol string, n int, memBase addr.Address, stride uint64, memEvery int) {
 	start, end := vm.libcRange(symbol)
 	pc := start
-	core := vm.m.Core
+	core := vm.m.CPU()
 	if memEvery == 1 && memBase != 0 {
 		// Pure data run (memset-style fill): every op touches memory at
 		// a uniform stride — the bulk cache-replay path, one PC-wrap
@@ -55,7 +55,7 @@ func (vm *VM) execNative(symbol string, n int, memBase addr.Address, stride uint
 // through the core's bulk cache-replay path. It returns the PC after
 // the run, for callers that keep walking the same symbol.
 func (vm *VM) memRun(pc, start, end addr.Address, n int, mem addr.Address, memStride uint32) addr.Address {
-	core := vm.m.Core
+	core := vm.m.CPU()
 	for n > 0 {
 		seg := int((end - pc + 3) / 4)
 		if seg > n {
@@ -179,7 +179,7 @@ func (vm *VM) intrinsic(f *frame, in bytecode.Instr) error {
 
 	case bytecode.IntrCurrentTime:
 		vm.execNative("gettimeofday", 8, 0, 0, 0)
-		f.stack = append(f.stack, Value{I: int64(vm.m.Core.Cycles())})
+		f.stack = append(f.stack, Value{I: int64(vm.m.CPU().Cycles())})
 
 	default:
 		return vm.runtimeError(f, "unknown intrinsic %d", in.A)

@@ -424,7 +424,7 @@ func (vm *VM) workScatter(svc ServiceID, ops int, memBase addr.Address, memLen u
 	if len(ranges) == 0 {
 		return
 	}
-	core := vm.m.Core
+	core := vm.m.CPU()
 	for ops > 0 {
 		r := ranges[vm.svcCursor[svc]%len(ranges)]
 		vm.svcCursor[svc]++
@@ -450,8 +450,15 @@ func (vm *VM) workScatter(svc ServiceID, ops int, memBase addr.Address, memLen u
 				var mem addr.Address
 				if vm.memTick%6 == 0 && memLen > 0 {
 					if seq {
+						// The sequential sweep is the collector's semispace
+						// copy: it writes the destination, so mark the line
+						// in the coherency directory — a JIT body reading
+						// the object from another core pays the transfer.
 						mem = memBase + addr.Address((vm.copyTick*8)%memLen)
 						vm.copyTick++
+						if core.Mem != nil {
+							core.Mem.MarkWrite(mem)
+						}
 					} else {
 						mem = memBase + addr.Address((vm.memTick*88)%memLen)
 					}

@@ -412,7 +412,7 @@ func (vm *VM) replayTrace(f *frame, d *traceDesc) (bool, error) {
 	if len(f.stack) < d.minDepth || vm.sinceYield+len(d.ops) > vm.cfg.YieldQuantum {
 		return false, nil
 	}
-	core := vm.m.Core
+	core := vm.m.CPU()
 	if !core.Batching() {
 		// The per-op oracle: replay must not run at all.
 		return false, nil

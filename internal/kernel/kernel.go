@@ -94,6 +94,7 @@ type Process struct {
 	killed  bool   // crashed by fault injection; reaped at slice end
 	wakeAt  uint64 // cycle at which a sleeping process becomes runnable
 	cpuTime uint64 // cycles consumed (user+kernel on its behalf)
+	cpu     int    // run-queue (core) this process is assigned to
 
 	heapAlloc *addr.Allocator
 	libAlloc  *addr.Allocator
@@ -103,6 +104,9 @@ type Process struct {
 // CPUTime returns the cycles this process has consumed.
 func (p *Process) CPUTime() uint64 { return p.cpuTime }
 
+// CPU returns the core whose run queue currently holds this process.
+func (p *Process) CPU() int { return p.cpu }
+
 // Done reports whether the process has exited.
 func (p *Process) Done() bool { return p.state == stateDone }
 
@@ -110,18 +114,36 @@ func (p *Process) Done() bool { return p.state == stateDone }
 // (as opposed to exiting cleanly).
 func (p *Process) Killed() bool { return p.killed }
 
-// Machine is the full simulated system: one core plus the kernel.
+// Machine is the full simulated system: one or more cores plus the
+// kernel. Core is the boot core (Cores[0]), kept for the single-core
+// call sites that predate SMP; executors that run under the scheduler
+// must use CPU(), which returns the core their process is currently
+// scheduled on.
 type Machine struct {
-	Core *cpu.Core
-	Kern *Kernel
+	Core  *cpu.Core
+	Cores []*cpu.Core
+	Kern  *Kernel
 }
+
+// CPU returns the core the kernel is currently scheduling on — the one
+// an executor's micro-ops must retire through. On a single-core
+// machine this is always Core.
+func (m *Machine) CPU() *cpu.Core { return m.Kern.core }
 
 // Kernel is the simulated operating system.
 type Kernel struct {
+	// core is the core the scheduler is currently driving: ExecKernel,
+	// Sleep, tickers and NMI dispatch all charge it. The Run loop
+	// repoints it each iteration (always the least-advanced clock).
 	core    *cpu.Core
+	cores   []*cpu.Core
 	procs   []*Process
 	nextPID int
-	current *Process
+	spawned int // processes created, for round-robin queue assignment
+	// current is the process on the scheduling core; currents[i] is the
+	// last process core i ran (its warm-cache owner).
+	current  *Process
+	currents []*Process
 
 	vmlinux    *image.Image
 	kernBase   addr.Address
@@ -143,6 +165,9 @@ type Kernel struct {
 	SwitchCost uint32
 	// ctxSwitches counts scheduler context switches.
 	ctxSwitches uint64
+	// migrations counts pull-based steals (a process moving between
+	// per-core run queues).
+	migrations uint64
 }
 
 // LoadedModule is a kernel module mapped into kernel space.
@@ -157,13 +182,28 @@ type ticker struct {
 	fn           func()
 }
 
-// NewMachine builds a machine: core + kernel with the standard kernel
-// image loaded at addr.KernelBase. The seed drives scheduling jitter and
-// any other modelled nondeterminism (paper §4.3 attributes run-to-run
-// variance to "system noise").
+// NewMachine builds a single-core machine: core + kernel with the
+// standard kernel image loaded at addr.KernelBase. The seed drives
+// scheduling jitter and any other modelled nondeterminism (paper §4.3
+// attributes run-to-run variance to "system noise").
 func NewMachine(core *cpu.Core, seed int64) *Machine {
+	return NewMachineN(seed, core)
+}
+
+// NewMachineN builds an SMP machine over the given cores. Core i is
+// assigned CPU number i; processes are placed on run queues round-robin
+// by creation order and may later migrate via pull-based stealing. For
+// cross-core cache traffic to be modelled the cores should share an L2
+// and coherency directory (cache.SharedHierarchies); independent
+// hierarchies also work but see no coherency cost.
+func NewMachineN(seed int64, cores ...*cpu.Core) *Machine {
+	if len(cores) == 0 {
+		panic("kernel: NewMachineN with no cores")
+	}
 	k := &Kernel{
-		core:       core,
+		core:       cores[0],
+		cores:      cores,
+		currents:   make([]*Process, len(cores)),
 		modules:    make(map[string]*LoadedModule),
 		kernSyms:   make(map[string]addr.VMA),
 		kernSpace:  addr.NewSpace(),
@@ -173,10 +213,13 @@ func NewMachine(core *cpu.Core, seed int64) *Machine {
 		SwitchCost: 600,
 		nextPID:    1,
 	}
-	m := &Machine{Core: core, Kern: k}
+	m := &Machine{Core: cores[0], Cores: cores, Kern: k}
 	k.m = m
 	k.loadVmlinux()
-	core.SetNMIHandler(k.dispatchNMI)
+	for i, c := range cores {
+		c.SetID(i)
+		c.SetNMIHandler(k.dispatchNMI)
+	}
 	// The periodic timer interrupt (HZ=100): a small slice of kernel
 	// work every tick, as on the real machine, so timer_interrupt and
 	// do_IRQ rows appear in profiles.
@@ -251,6 +294,13 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // ContextSwitches returns the number of scheduler context switches.
 func (k *Kernel) ContextSwitches() uint64 { return k.ctxSwitches }
+
+// Migrations returns how many times a process was stolen onto another
+// core's run queue.
+func (k *Kernel) Migrations() uint64 { return k.migrations }
+
+// Cores returns the machine's cores in CPU order.
+func (k *Kernel) Cores() []*cpu.Core { return k.cores }
 
 // LoadModule maps a module image into kernel space and records it.
 func (k *Kernel) LoadModule(im *image.Image) (*LoadedModule, error) {

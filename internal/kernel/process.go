@@ -23,11 +23,13 @@ func (k *Kernel) NewProcess(name string, exec Executor) (*Process, error) {
 		Space:     sp,
 		exec:      exec,
 		state:     stateRunnable,
+		cpu:       k.spawned % len(k.cores),
 		heapAlloc: addr.NewAllocator(HeapBase, StackTop-0x100_0000),
 		libAlloc:  addr.NewAllocator(LibBase, HeapBase),
 		userAlloc: addr.NewAllocator(UserBase, LibBase),
 	}
 	k.nextPID++
+	k.spawned++
 	k.procs = append(k.procs, p)
 	return p, nil
 }
@@ -237,28 +239,61 @@ func (k *Kernel) runTickers() {
 	}
 }
 
-// Run drives the scheduler until every non-daemon process has exited or
-// the cycle limit is hit (0 means no limit). It returns an error on
-// limit overrun so runaway workloads fail loudly instead of hanging.
+// Run drives the multi-queue scheduler until every non-daemon process
+// has exited or the cycle limit is hit (0 means no limit). It returns
+// an error on limit overrun so runaway workloads fail loudly instead
+// of hanging.
+//
+// Each iteration schedules the core with the least-advanced cycle
+// clock (ties to the lowest CPU number), so the per-core clocks stay
+// in near-lockstep and every simulated event has a deterministic
+// global order for a fixed seed and core count. The chosen core runs
+// the next runnable process of its own queue; an empty queue pulls
+// work from the first victim queue holding at least two runnable
+// processes (stealing a single runnable would just ping-pong it); a
+// core with nothing to run or steal idles its clock past the next busy
+// core's. On a single-core machine the iteration order — ticker
+// firing, round-robin pick, slice jitter RNG draws, idle advancement —
+// is exactly the pre-SMP loop's (RunLegacy is that loop, kept verbatim
+// as the equivalence oracle).
 func (k *Kernel) Run(maxCycles uint64) error {
 	for {
 		if !k.anyNonDaemonAlive() {
 			return nil
 		}
-		if maxCycles > 0 && k.core.Cycles() > maxCycles {
-			return fmt.Errorf("kernel: cycle limit %d exceeded at %d", maxCycles, k.core.Cycles())
+		ci := k.minClockCore()
+		c := k.cores[ci]
+		k.core = c
+		if maxCycles > 0 && c.Cycles() > maxCycles {
+			return fmt.Errorf("kernel: cycle limit %d exceeded at %d", maxCycles, c.Cycles())
 		}
 		k.runTickers()
-		p := k.pickNext()
+		p := k.pickNextOn(ci)
 		if p == nil {
-			// Everyone is blocked: idle until the earliest wakeup.
-			next := k.earliestWake()
-			if next == ^uint64(0) {
-				return fmt.Errorf("kernel: deadlock — all processes blocked with no pending wakeup")
+			p = k.stealFor(ci)
+		}
+		if p == nil {
+			if !k.anyRunnable() {
+				// Everyone is blocked: idle until the earliest wakeup.
+				next := k.earliestWake()
+				if next == ^uint64(0) {
+					return fmt.Errorf("kernel: deadlock — all processes blocked with no pending wakeup")
+				}
+				if next > c.Cycles() {
+					c.AdvanceIdle(next - c.Cycles())
+				}
+				k.wakeExpired()
+				continue
 			}
-			if next > k.core.Cycles() {
-				k.core.AdvanceIdle(next - k.core.Cycles())
+			// Work exists, but on other queues and not stealable: idle
+			// this core just past the next busy core's clock (it was the
+			// minimum, so this always advances and the busy core becomes
+			// the next minimum), or to the earliest wakeup if sooner.
+			target := k.minBusyClock(ci) + 1
+			if w := k.earliestWake(); w > c.Cycles() && w < target {
+				target = w
 			}
+			c.AdvanceIdle(target - c.Cycles())
 			k.wakeExpired()
 			continue
 		}
@@ -266,13 +301,13 @@ func (k *Kernel) Run(maxCycles uint64) error {
 		// Small jitter models timer-tick phase and other system noise
 		// (paper §4.3 attributes sub-1% run variance to such noise).
 		slice := k.Timeslice + uint64(k.rng.Intn(int(k.Timeslice/16)+1))
-		k.core.StartSlice(slice)
-		before := k.core.Cycles()
+		c.StartSlice(slice)
+		before := c.Cycles()
 		res := p.exec.Step(k.m, p)
 		// Close any batch the executor left open, so counter state is
 		// current at every scheduler boundary (tickers, sleeps, stats).
-		k.core.FlushBatch()
-		p.cpuTime += k.core.Cycles() - before
+		c.FlushBatch()
+		p.cpuTime += c.Cycles() - before
 		if p.killed {
 			// Crashed mid-slice (an injected FaultCrash): reap it no
 			// matter what the executor reported.
@@ -295,19 +330,77 @@ func (k *Kernel) Run(maxCycles uint64) error {
 	}
 }
 
-// switchTo performs a context switch to p, charging its cost and
-// disturbing the L1 cache (a newly scheduled process sees a cold L1).
+// RunLegacy is the pre-SMP single-queue scheduler loop, kept verbatim
+// as the reference side of the N=1 equivalence oracle: on a one-core
+// machine Run must produce bit-for-bit the same execution (cycles,
+// samples, RNG draws, profile bytes) as this loop. It refuses
+// multi-core machines.
+func (k *Kernel) RunLegacy(maxCycles uint64) error {
+	if len(k.cores) != 1 {
+		return fmt.Errorf("kernel: RunLegacy on a %d-core machine", len(k.cores))
+	}
+	for {
+		if !k.anyNonDaemonAlive() {
+			return nil
+		}
+		if maxCycles > 0 && k.core.Cycles() > maxCycles {
+			return fmt.Errorf("kernel: cycle limit %d exceeded at %d", maxCycles, k.core.Cycles())
+		}
+		k.runTickers()
+		p := k.pickNextLegacy()
+		if p == nil {
+			next := k.earliestWake()
+			if next == ^uint64(0) {
+				return fmt.Errorf("kernel: deadlock — all processes blocked with no pending wakeup")
+			}
+			if next > k.core.Cycles() {
+				k.core.AdvanceIdle(next - k.core.Cycles())
+			}
+			k.wakeExpired()
+			continue
+		}
+		k.switchTo(p)
+		slice := k.Timeslice + uint64(k.rng.Intn(int(k.Timeslice/16)+1))
+		k.core.StartSlice(slice)
+		before := k.core.Cycles()
+		res := p.exec.Step(k.m, p)
+		k.core.FlushBatch()
+		p.cpuTime += k.core.Cycles() - before
+		if p.killed {
+			p.state = stateDone
+		} else {
+			switch res {
+			case StepExit:
+				p.state = stateDone
+			case StepBlocked:
+				if p.state == stateRunnable {
+					break
+				}
+			case StepYield:
+			}
+		}
+		k.wakeExpired()
+	}
+}
+
+// switchTo performs a context switch to p on the scheduling core,
+// charging its cost and disturbing that core's L1 (a newly scheduled
+// process sees a cold private cache). Per-core warm-cache ownership is
+// tracked in currents: re-running the same process on the same core
+// charges nothing, exactly the pre-SMP behavior on one core.
 func (k *Kernel) switchTo(p *Process) {
-	if k.current != p {
+	ci := p.cpu
+	if k.currents[ci] != p {
 		k.ctxSwitches++
 		k.core.SetContext(cpu.Context{PID: 0, Kernel: true})
 		k.ExecKernel("schedule", int(k.SwitchCost/2), 1)
 		k.ExecKernel("__switch_to", int(k.SwitchCost/2), 1)
-		if k.core.Mem != nil && k.current != nil {
+		if k.core.Mem != nil && k.currents[ci] != nil {
 			k.core.Mem.L1.Flush()
 		}
-		k.current = p
+		k.currents[ci] = p
 	}
+	k.current = p
 	k.core.SetContext(cpu.Context{PID: p.PID, Kernel: false})
 }
 
@@ -320,7 +413,77 @@ func (k *Kernel) anyNonDaemonAlive() bool {
 	return false
 }
 
-func (k *Kernel) pickNext() *Process {
+// minClockCore returns the core with the least-advanced cycle clock,
+// ties to the lowest CPU number.
+func (k *Kernel) minClockCore() int {
+	ci := 0
+	min := k.cores[0].Cycles()
+	for i := 1; i < len(k.cores); i++ {
+		if c := k.cores[i].Cycles(); c < min {
+			min, ci = c, i
+		}
+	}
+	return ci
+}
+
+// minBusyClock returns the smallest cycle clock among cores other than
+// ci whose queues hold runnable work. Callers guarantee one exists
+// (anyRunnable and an empty queue on ci).
+func (k *Kernel) minBusyClock(ci int) uint64 {
+	min := ^uint64(0)
+	for i, c := range k.cores {
+		if i == ci {
+			continue
+		}
+		if k.hasRunnable(i) && c.Cycles() < min {
+			min = c.Cycles()
+		}
+	}
+	return min
+}
+
+func (k *Kernel) hasRunnable(ci int) bool {
+	for _, p := range k.procs {
+		if p.cpu == ci && p.state == stateRunnable {
+			return true
+		}
+	}
+	return false
+}
+
+func (k *Kernel) anyRunnable() bool {
+	for _, p := range k.procs {
+		if p.state == stateRunnable {
+			return true
+		}
+	}
+	return false
+}
+
+// pickNextOn returns the next runnable process of core ci's queue,
+// round-robin starting after the process the core last ran.
+func (k *Kernel) pickNextOn(ci int) *Process {
+	start := 0
+	if cur := k.currents[ci]; cur != nil {
+		for i, p := range k.procs {
+			if p == cur {
+				start = i + 1
+				break
+			}
+		}
+	}
+	n := len(k.procs)
+	for i := 0; i < n; i++ {
+		p := k.procs[(start+i)%n]
+		if p.cpu == ci && p.state == stateRunnable {
+			return p
+		}
+	}
+	return nil
+}
+
+// pickNextLegacy is the pre-SMP single-queue pick, used by RunLegacy.
+func (k *Kernel) pickNextLegacy() *Process {
 	// Round-robin starting after the current process.
 	start := 0
 	for i, p := range k.procs {
@@ -334,6 +497,35 @@ func (k *Kernel) pickNext() *Process {
 		p := k.procs[(start+i)%n]
 		if p.state == stateRunnable {
 			return p
+		}
+	}
+	return nil
+}
+
+// stealFor implements pull-based migration: core ci's queue is empty,
+// so scan the other queues in deterministic order (ci+1, ci+2, ...)
+// for one holding at least two runnable processes, and pull the last
+// runnable that is not the victim core's warm-cache owner. Requiring
+// two keeps a lone runnable process from ping-ponging between idle
+// cores; sparing the owner keeps its warm L1 worth something.
+func (k *Kernel) stealFor(ci int) *Process {
+	n := len(k.cores)
+	for d := 1; d < n; d++ {
+		vi := (ci + d) % n
+		runnable := 0
+		var cand *Process
+		for _, p := range k.procs {
+			if p.cpu == vi && p.state == stateRunnable {
+				runnable++
+				if p != k.currents[vi] {
+					cand = p
+				}
+			}
+		}
+		if runnable >= 2 && cand != nil {
+			cand.cpu = ci
+			k.migrations++
+			return cand
 		}
 	}
 	return nil

@@ -132,6 +132,24 @@ func TestMapOrderInterprocedural(t *testing.T) {
 	t.Run("ok", func(t *testing.T) { checkFixture(t, "maporder_ipr_ok", MapOrder) })
 }
 
+// The SMP shard-drain fixtures: map order escaping through worker
+// goroutines (captured-map ranges feeding sinks, range-ordered
+// collection crossing the goroutine join) must be flagged, while the
+// daemon's actual protocol — shard-local folds, commutative merges,
+// sort-before-write — must stay silent.
+func TestMapOrderShardDrain(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "maporder_drain_bad", MapOrder) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "maporder_drain_ok", MapOrder) })
+}
+
+// The per-CPU flush fixtures: a group's write fault dropped or
+// overwritten while the merge walks the groups must be flagged; the
+// stop-on-first-fault and errors.Join shapes must stay silent.
+func TestErrFlowShardDrain(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "errflow_drain_bad", ErrFlow) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "errflow_drain_ok", ErrFlow) })
+}
+
 func TestRecordFrameInterprocedural(t *testing.T) {
 	t.Run("bad", func(t *testing.T) { checkFixture(t, "recordframe_ipr_bad", RecordFrame) })
 	t.Run("ok", func(t *testing.T) { checkFixture(t, "recordframe_ipr_ok", RecordFrame) })

@@ -1,0 +1,42 @@
+// Package errflow_drain_bad is a viplint fixture for the shard-merge
+// shapes the SMP drain must not regress into: per-CPU flush faults
+// dropped or overwritten while the groups are walked. The daemon
+// flushes one framed record per CPU group; losing any group's write
+// fault silently under-persists exactly one shard — the bug class the
+// subset-shard chaos scenario exists to catch.
+package errflow_drain_bad
+
+import (
+	"viprof/internal/kernel"
+)
+
+// flushShard wraps the kernel write for one CPU group: its error
+// result carries the fault mask to callers.
+func flushShard(k *kernel.Kernel, p *kernel.Process, cpu int, payload []byte) error {
+	return k.SysWrite(p, "var/lib/oprofile/samples", payload)
+}
+
+// The merge loop discards each group's flush fault outright.
+func flushAllDiscarded(k *kernel.Kernel, p *kernel.Process, groups [][]byte) {
+	for cpu, g := range groups {
+		flushShard(k, p, cpu, g) // want `fault-injected error from flushShard is discarded`
+	}
+}
+
+// A two-shard merge that keeps only the last group's fault: the
+// second flush's rebinding overwrites the first CPU's unread error.
+func flushPairLastWins(k *kernel.Kernel, p *kernel.Process, g0, g1 []byte) error {
+	err := flushShard(k, p, 0, g0) // want `fault-injected error from flushShard is overwritten before it is checked`
+	err = flushShard(k, p, 1, g1)
+	return err
+}
+
+// A shard worker binds the fault and returns without ever reading it.
+func flushShardUnread(k *kernel.Kernel, p *kernel.Process, g []byte) error {
+	var err error
+	if err != nil {
+		return err
+	}
+	err = flushShard(k, p, 0, g) // want `fault-injected error from flushShard is bound to err but never checked`
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package errflow_drain_ok is the clean counterpart to
+// errflow_drain_bad: the per-CPU flush protocol the daemon actually
+// uses. Each group's fault is read before the next group is written —
+// the first failure stops the walk, so a committed group is never
+// retried and a failed one is never silently skipped.
+package errflow_drain_ok
+
+import (
+	"errors"
+
+	"viprof/internal/kernel"
+)
+
+func flushShard(k *kernel.Kernel, p *kernel.Process, cpu int, payload []byte) error {
+	return k.SysWrite(p, "var/lib/oprofile/samples", payload)
+}
+
+// The daemon's shape: check per group, stop on the first fault with
+// the surviving groups reported to the caller for respill.
+func flushGroups(k *kernel.Kernel, p *kernel.Process, groups [][]byte) (flushed int, err error) {
+	for cpu, g := range groups {
+		if err := flushShard(k, p, cpu, g); err != nil {
+			return flushed, err
+		}
+		flushed++
+	}
+	return flushed, nil
+}
+
+// Collecting every shard's fault with errors.Join reads each binding:
+// nothing is lost even when the walk continues past a failure.
+func flushGroupsJoined(k *kernel.Kernel, p *kernel.Process, groups [][]byte) error {
+	var errs []error
+	for cpu, g := range groups {
+		if err := flushShard(k, p, cpu, g); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"viprof/internal/kernel"
 	"viprof/internal/record"
@@ -32,7 +33,7 @@ type DaemonConfig struct {
 	// WakeCycles is the periodic wake interval (default ~100 ms of
 	// simulated time).
 	WakeCycles uint64
-	// BatchMax bounds samples processed per wake (0 = all).
+	// BatchMax bounds samples processed per CPU shard per wake (0 = all).
 	BatchMax int
 	// SpillMax bounds the dirty map across failed flushes: beyond this
 	// many keys the sorted tail is spilled to the framed on-disk spill
@@ -63,11 +64,20 @@ type Daemon struct {
 	perSampleOps int
 
 	samplesLogged uint64
-	flushes       uint64
-	flushErrors   uint64
-	backoff       uint // consecutive failed flushes (shifts the sleep)
-	crashed       bool // killed mid-write by fault injection
-	stopped       bool
+	// samplesLoggedCPU splits samplesLogged by the CPU the sample was
+	// taken on; the per-CPU entries always sum to the aggregate.
+	samplesLoggedCPU []uint64
+	// horizons tracks, per process, the highest GC epoch each CPU has
+	// observed in that process's JIT samples. An epoch is closed for
+	// attribution only when every observing CPU has passed it — the
+	// cross-core horizon rule (see EpochHorizons).
+	horizons map[string]map[int]int
+
+	flushes     uint64
+	flushErrors uint64
+	backoff     uint // consecutive failed flushes (shifts the sleep)
+	crashed     bool // killed mid-write by fault injection
+	stopped     bool
 
 	// Spill bookkeeping (see spill.go). spillSeq is burned per attempt;
 	// spilledOnDisk counts samples parked in committed spill frames;
@@ -97,6 +107,7 @@ func StartDaemon(m *kernel.Machine, drv *Driver, cfg DaemonConfig) (*Daemon, err
 		cfg:                cfg,
 		counts:             make(map[Key]uint64),
 		dirty:              make(map[Key]uint64),
+		horizons:           make(map[string]map[int]int),
 		perSampleOps:       420,
 		spilledLostByEvent: make(map[string]uint64),
 	}
@@ -125,64 +136,175 @@ func (d *Daemon) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
 	return kernel.StepBlocked
 }
 
-// processBatch drains and logs up to max samples, then flushes deltas
-// to disk. Runs in the daemon's (or, during final flush, the caller's)
-// process context.
+// processBatch drains and logs up to max samples per CPU shard, then
+// flushes deltas to disk. Runs in the daemon's (or, during final flush,
+// the caller's) process context.
 func (d *Daemon) processBatch(m *kernel.Machine, max int) {
-	samples := d.drv.Drain(max)
-	if len(samples) > 0 {
+	shards := d.drv.DrainShards(max)
+	total := 0
+	for _, shard := range shards {
+		total += len(shard)
+	}
+	if total > 0 {
 		// Daemon-side logging cost: read the buffer via the module,
 		// then per-sample accounting in user space at oprofiled's
 		// (unmodelled) text — charged as kernel read + user aggregate.
-		m.Kern.ExecKernel("op_read_buffer", 40+len(samples)*d.perSampleOps/4, 1)
-		for _, s := range samples {
-			k := KeyOf(s)
-			d.counts[k]++
-			d.dirty[k]++
-			d.samplesLogged++
-		}
+		m.Kern.ExecKernel("op_read_buffer", 40+total*d.perSampleOps/4, 1)
+		d.aggregateShards(shards)
 	}
 	if len(d.dirty) > 0 {
 		d.flush(m)
 	}
 }
 
-// flush writes the dirty delta map as one framed record. On success the
-// dirty map resets; on failure it is kept whole for retry (the framed
-// torn prefix on disk fails its checksum, so the retry cannot
-// double-count) and bounded by spillExcess.
+// shardAgg is one drain worker's private accumulation: a shard-local
+// count map plus the shard's epoch horizon. Workers share nothing; the
+// merge below is the only point their results meet.
+type shardAgg struct {
+	counts  map[Key]uint64
+	n       uint64
+	horizon map[string]int // proc -> max epoch seen in this shard
+}
+
+func aggregateShard(shard []Sample) *shardAgg {
+	a := &shardAgg{counts: make(map[Key]uint64), horizon: make(map[string]int)}
+	for _, s := range shard {
+		a.counts[KeyOf(s)]++
+		a.n++
+		if s.JIT {
+			if ep, ok := a.horizon[s.Proc]; !ok || s.Epoch > ep {
+				a.horizon[s.Proc] = s.Epoch
+			}
+		}
+	}
+	return a
+}
+
+// aggregateShards folds drained per-CPU shards into the daemon's
+// aggregate maps. With more than one non-empty shard the per-shard
+// aggregation runs on one goroutine per shard — the profiler's first
+// genuinely parallel hot path under GOMAXPROCS>1. Determinism holds
+// because each worker touches only its own shard and its own local
+// maps, and the merge always walks shards in ascending CPU order.
+func (d *Daemon) aggregateShards(shards [][]Sample) {
+	aggs := make([]*shardAgg, len(shards))
+	nonEmpty := 0
+	for _, shard := range shards {
+		if len(shard) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty > 1 {
+		var wg sync.WaitGroup
+		for ci, shard := range shards {
+			if len(shard) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(ci int, shard []Sample) {
+				defer wg.Done()
+				aggs[ci] = aggregateShard(shard)
+			}(ci, shard)
+		}
+		wg.Wait()
+	} else {
+		for ci, shard := range shards {
+			if len(shard) > 0 {
+				aggs[ci] = aggregateShard(shard)
+			}
+		}
+	}
+	for ci, a := range aggs {
+		if a == nil {
+			continue
+		}
+		for k, c := range a.counts {
+			d.counts[k] += c
+			d.dirty[k] += c
+		}
+		d.samplesLogged += a.n
+		for len(d.samplesLoggedCPU) <= ci {
+			d.samplesLoggedCPU = append(d.samplesLoggedCPU, 0)
+		}
+		d.samplesLoggedCPU[ci] += a.n
+		for proc, ep := range a.horizon {
+			hm := d.horizons[proc]
+			if hm == nil {
+				hm = make(map[int]int)
+				d.horizons[proc] = hm
+			}
+			if cur, ok := hm[ci]; !ok || ep > cur {
+				hm[ci] = ep
+			}
+		}
+	}
+}
+
+// flush writes the dirty delta map as one framed record per CPU, in
+// ascending CPU order. Each record commits (or tears) independently:
+// its keys leave the dirty map the moment its write succeeds, so a
+// committed group is never retried (no double-count), and a crash
+// mid-flush leaves exactly a prefix of the CPUs persisted — the
+// partial state the chaos harness's subset-shard scenario exercises.
+// On failure the remaining groups stay dirty for retry (the torn
+// record on disk fails its checksum) and are bounded by spillExcess.
 func (d *Daemon) flush(m *kernel.Machine) {
 	order := make([]Key, 0, len(d.dirty))
 	for k := range d.dirty {
 		order = append(order, k)
 	}
 	sort.Slice(order, func(i, j int) bool { return keyLess(order[i], order[j]) })
-	var buf bytes.Buffer
-	if err := WriteCounts(&buf, d.dirty, order); err != nil {
-		// Serialization into memory cannot fail; treat it as a flush
-		// error anyway so a future bug is loud rather than silent.
-		d.flushErrors++
-		return
-	}
-	err := m.Kern.SysWrite(d.proc, SampleFile, record.Frame(buf.Bytes()))
-	switch {
-	case err == nil:
-		d.dirty = make(map[Key]uint64)
-		d.flushes++
-		d.backoff = 0
-	case errors.Is(err, kernel.ErrCrashed):
-		// Killed mid-write. The torn record on disk fails its checksum;
-		// whatever was still dirty is lost with the process. The missing
-		// stats file is the durable evidence.
-		d.crashed = true
-		d.stopped = true
-	default:
-		d.flushErrors++
-		if d.backoff < 6 {
-			d.backoff++
+	var cpus []int
+	groups := make(map[int][]Key)
+	for _, k := range order {
+		if _, ok := groups[k.CPU]; !ok {
+			cpus = append(cpus, k.CPU)
 		}
-		d.spillExcess(m, order)
+		groups[k.CPU] = append(groups[k.CPU], k)
 	}
+	sort.Ints(cpus)
+	for _, ci := range cpus {
+		g := groups[ci]
+		var buf bytes.Buffer
+		if err := WriteCounts(&buf, d.dirty, g); err != nil {
+			// Serialization into memory cannot fail; treat it as a flush
+			// error anyway so a future bug is loud rather than silent.
+			d.flushErrors++
+			return
+		}
+		err := m.Kern.SysWrite(d.proc, SampleFile, record.Frame(buf.Bytes()))
+		switch {
+		case err == nil:
+			for _, k := range g {
+				delete(d.dirty, k)
+			}
+		case errors.Is(err, kernel.ErrCrashed):
+			// Killed mid-write. The torn record on disk fails its
+			// checksum; whatever was still dirty — this CPU's group and
+			// every later one — is lost with the process. The missing
+			// stats file is the durable evidence.
+			d.crashed = true
+			d.stopped = true
+			return
+		default:
+			d.flushErrors++
+			if d.backoff < 6 {
+				d.backoff++
+			}
+			// Earlier groups already committed and left the dirty map;
+			// re-derive the surviving sorted order for the spill bound.
+			rest := make([]Key, 0, len(d.dirty))
+			for _, k := range order {
+				if _, ok := d.dirty[k]; ok {
+					rest = append(rest, k)
+				}
+			}
+			d.spillExcess(m, rest)
+			return
+		}
+	}
+	d.flushes++
+	d.backoff = 0
 }
 
 // spillExcess bounds the dirty map after failed flushes by parking the
@@ -312,6 +434,20 @@ func (d *Daemon) writeStats(m *kernel.Machine) {
 	for _, ev := range events {
 		fmt.Fprintf(&buf, "spilled_lost.%s=%d\n", ev, d.spilledLostByEvent[ev])
 	}
+	// Per-CPU breakdown on SMP machines, following the prefix.<key>
+	// pattern; single-core stats files stay byte-identical to pre-SMP.
+	if d.drv.NumCPU() > 1 {
+		for ci := 0; ci < d.drv.NumCPU(); ci++ {
+			cs := d.drv.StatsCPU(ci)
+			fmt.Fprintf(&buf, "nmis.cpu%d=%d\nlogged.cpu%d=%d\ndropped.cpu%d=%d\n",
+				ci, cs.NMIs, ci, cs.Logged, ci, cs.Dropped)
+			var sl uint64
+			if ci < len(d.samplesLoggedCPU) {
+				sl = d.samplesLoggedCPU[ci]
+			}
+			fmt.Fprintf(&buf, "samples_logged.cpu%d=%d\n", ci, sl)
+		}
+	}
 	fmt.Fprintf(&buf, "clean=1\n")
 	// Deliberately discarded: oprofiled.stats is the crash-signal-by-
 	// absence protocol — the reader treats a missing or torn stats file
@@ -333,6 +469,38 @@ func (d *Daemon) Counts() map[Key]uint64 {
 
 // SamplesLogged returns the number of samples aggregated.
 func (d *Daemon) SamplesLogged() uint64 { return d.samplesLogged }
+
+// SamplesLoggedCPU returns the per-CPU split of SamplesLogged, indexed
+// by CPU id. The slice may be shorter than the machine's core count if
+// higher CPUs never produced a sample.
+func (d *Daemon) SamplesLoggedCPU() []uint64 {
+	out := make([]uint64, len(d.samplesLoggedCPU))
+	copy(out, d.samplesLoggedCPU)
+	return out
+}
+
+// EpochHorizons returns, per process, the closed epoch horizon: the
+// highest GC epoch that every CPU which has observed that process's
+// JIT samples has reached. Attribution for epochs at or below the
+// horizon is final — no core can still deliver samples tagged with an
+// older epoch mapping — while epochs above it may still be in flight
+// on some core. This is the cross-core generalization of the
+// single-core rule "the current epoch is still open".
+func (d *Daemon) EpochHorizons() map[string]int {
+	out := make(map[string]int, len(d.horizons))
+	for proc, hm := range d.horizons {
+		first := true
+		min := 0
+		for _, ep := range hm {
+			if first || ep < min {
+				min = ep
+				first = false
+			}
+		}
+		out[proc] = min
+	}
+	return out
+}
 
 // Flushes returns the number of successful disk flushes.
 func (d *Daemon) Flushes() uint64 { return d.flushes }
@@ -372,6 +540,16 @@ func (d *Daemon) Unflushed() uint64 {
 	return n
 }
 
+// UnflushedCPU splits Unflushed by the CPU of each dirty key — the
+// per-CPU conservation checks close their equations with it.
+func (d *Daemon) UnflushedCPU() map[int]uint64 {
+	out := make(map[int]uint64)
+	for k, c := range d.dirty {
+		out[k.CPU] += c
+	}
+	return out
+}
+
 func keyLess(a, b Key) bool {
 	if a.Event != b.Event {
 		return a.Event < b.Event
@@ -382,5 +560,8 @@ func keyLess(a, b Key) bool {
 	if a.Epoch != b.Epoch {
 		return a.Epoch < b.Epoch
 	}
-	return a.Off < b.Off
+	if a.Off != b.Off {
+		return a.Off < b.Off
+	}
+	return a.CPU < b.CPU
 }

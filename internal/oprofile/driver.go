@@ -59,10 +59,15 @@ type Driver struct {
 	module *kernel.LoadedModule
 	reg    Registry
 
-	buf       []Sample
+	// bufs holds one sample ring per CPU (the real driver keeps per-CPU
+	// buffers so the NMI path never contends). capacity bounds each
+	// shard; a 1-core machine behaves exactly like the pre-SMP single
+	// buffer. wmLatched and percpu are indexed the same way.
+	bufs      [][]Sample
 	capacity  int
-	wmLatched bool // watermark fired; reset when Drain brings buf below half
+	wmLatched []bool // watermark fired; reset when a drain brings the shard below half
 	stats     DriverStats
+	percpu    []DriverStats
 
 	// CallGraphDepth, when > 0, records up to that many caller PCs per
 	// sample (VIProf's cross-layer call-graph extension).
@@ -135,11 +140,18 @@ func NewDriver(m *kernel.Machine, events []EventConfig, bufCap int, reg Registry
 	if err != nil {
 		return nil, err
 	}
+	ncpu := len(m.Cores)
+	if ncpu == 0 {
+		ncpu = 1
+	}
 	d := &Driver{
 		m:          m,
 		module:     lm,
 		reg:        reg,
+		bufs:       make([][]Sample, ncpu),
 		capacity:   bufCap,
+		wmLatched:  make([]bool, ncpu),
+		percpu:     make([]DriverStats, ncpu),
 		handlerOps: 2700,
 		anonOps:    1300,
 		jitOps:     200,
@@ -149,29 +161,75 @@ func NewDriver(m *kernel.Machine, events []EventConfig, bufCap int, reg Registry
 			return nil, fmt.Errorf("oprofile: period %d for %s below minimum %d",
 				ec.Period, ec.Event, MinPeriod)
 		}
-		if _, err := m.Core.Bank.Program(ec.Event, ec.Period); err != nil {
-			return nil, fmt.Errorf("oprofile: arming %s: %v", ec.Event, err)
+		// Every core has its own counter bank; arm them all so overflow
+		// NMIs fire on whichever core the work lands on.
+		for _, c := range d.cores() {
+			if _, err := c.Bank.Program(ec.Event, ec.Period); err != nil {
+				return nil, fmt.Errorf("oprofile: arming %s: %v", ec.Event, err)
+			}
 		}
 	}
 	m.Kern.SetNMIHandler(d.handleNMI)
 	return d, nil
 }
 
-// Stats returns a copy of the driver's counters.
+// cores returns the machine's core set (boot core only for machines
+// built before the SMP field existed).
+func (d *Driver) cores() []*cpu.Core {
+	if len(d.m.Cores) > 0 {
+		return d.m.Cores
+	}
+	return []*cpu.Core{d.m.Core}
+}
+
+// NumCPU returns the number of per-CPU sample shards.
+func (d *Driver) NumCPU() int { return len(d.bufs) }
+
+// Stats returns a copy of the driver's aggregate counters.
 func (d *Driver) Stats() DriverStats { return d.stats }
 
-// BufferLen returns the number of samples waiting for the daemon.
-func (d *Driver) BufferLen() int { return len(d.buf) }
+// StatsCPU returns a copy of one CPU shard's counters. The per-CPU
+// stats sum exactly to Stats() — the conservation checks assert both.
+func (d *Driver) StatsCPU(ci int) DriverStats {
+	if ci < 0 || ci >= len(d.percpu) {
+		return DriverStats{}
+	}
+	return d.percpu[ci]
+}
+
+// BufferLen returns the number of samples waiting for the daemon
+// across all shards.
+func (d *Driver) BufferLen() int {
+	n := 0
+	for _, b := range d.bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// ShardLen returns the number of buffered samples in one CPU shard.
+func (d *Driver) ShardLen(ci int) int {
+	if ci < 0 || ci >= len(d.bufs) {
+		return 0
+	}
+	return len(d.bufs[ci])
+}
 
 // handleNMI is the overflow service routine. It runs in NMI context:
 // every op it executes is itself profiled work (the simulated cost is
 // endogenous).
 func (d *Driver) handleNMI(m *kernel.Machine, s cpu.Snapshot, ev hpc.Event) {
+	ci := s.CPU
+	if ci < 0 || ci >= len(d.bufs) {
+		ci = 0
+	}
+	st := &d.percpu[ci]
 	d.stats.NMIs++
+	st.NMIs++
 	k := m.Kern
 	k.ExecKernel("op_nmi_handler", d.handlerOps/3, 1)
 
-	sample := Sample{Event: ev, PID: s.Ctx.PID, Kernel: s.Ctx.Kernel, PC: s.PC}
+	sample := Sample{Event: ev, PID: s.Ctx.PID, Kernel: s.Ctx.Kernel, PC: s.PC, CPU: ci}
 	if p, ok := k.Process(s.Ctx.PID); ok {
 		sample.Proc = p.Name
 	}
@@ -186,6 +244,7 @@ func (d *Driver) handleNMI(m *kernel.Machine, s cpu.Snapshot, ev hpc.Event) {
 			sample.Offset = v.ImageOffset(s.PC)
 		}
 		d.stats.KernSamples++
+		st.KernSamples++
 	default:
 		var vma addr.VMA
 		var mapped bool
@@ -205,33 +264,39 @@ func (d *Driver) handleNMI(m *kernel.Machine, s cpu.Snapshot, ev hpc.Event) {
 					sample.JIT = true
 					sample.Epoch = epoch
 					d.stats.JITSamples++
+					st.JITSamples++
 					break
 				}
 			}
 			k.ExecKernel("op_anon_bookkeep", d.anonOps, 1)
 			sample.AnonStart, sample.AnonEnd = vma.Start, vma.End
 			d.stats.AnonSamples++
+			st.AnonSamples++
 		default:
 			// PC in unmapped memory (e.g. between regions): attribute
 			// to the process as a zero-length anon range.
 			sample.AnonStart, sample.AnonEnd = s.PC, s.PC
 			d.stats.AnonSamples++
+			st.AnonSamples++
 		}
 	}
 
 	k.ExecKernel("op_buffer_add", d.handlerOps/3, 1)
-	if len(d.buf) >= d.capacity {
+	if len(d.bufs[ci]) >= d.capacity {
 		d.stats.Dropped++
+		st.Dropped++
 		return
 	}
-	d.buf = append(d.buf, sample)
+	d.bufs[ci] = append(d.bufs[ci], sample)
 	d.stats.Logged++
+	st.Logged++
 	// Level-triggered with a latch: `== capacity/2` would never fire for
 	// capacity < 2 and is skipped whenever a partial drain leaves the
 	// buffer above half. The latch keeps one crossing from waking the
-	// daemon on every subsequent sample; Drain re-arms it.
-	if d.OnWatermark != nil && !d.wmLatched && len(d.buf) >= (d.capacity+1)/2 {
-		d.wmLatched = true
+	// daemon on every subsequent sample; Drain re-arms it. Each CPU
+	// shard latches independently.
+	if d.OnWatermark != nil && !d.wmLatched[ci] && len(d.bufs[ci]) >= (d.capacity+1)/2 {
+		d.wmLatched[ci] = true
 		d.OnWatermark()
 	}
 
@@ -251,20 +316,63 @@ func (d *Driver) handleNMI(m *kernel.Machine, s cpu.Snapshot, ev hpc.Event) {
 	}
 }
 
-// Drain hands at most max buffered samples to the daemon (FIFO) and
-// removes them from the buffer.
+// Drain hands at most max buffered samples to the daemon and removes
+// them from the buffers, walking shards in CPU order (FIFO within a
+// shard). On a 1-core machine this is exactly the pre-SMP FIFO drain.
 func (d *Driver) Drain(max int) []Sample {
-	if max <= 0 || max > len(d.buf) {
-		max = len(d.buf)
+	total := d.BufferLen()
+	if max <= 0 || max > total {
+		max = total
 	}
-	out := make([]Sample, max)
-	copy(out, d.buf[:max])
-	n := copy(d.buf, d.buf[max:])
-	d.buf = d.buf[:n]
-	if len(d.buf) < (d.capacity+1)/2 {
-		d.wmLatched = false
+	out := make([]Sample, 0, max)
+	for ci := range d.bufs {
+		if len(out) == max {
+			break
+		}
+		take := max - len(out)
+		if take > len(d.bufs[ci]) {
+			take = len(d.bufs[ci])
+		}
+		out = append(out, d.bufs[ci][:take]...)
+		d.shrinkShard(ci, take)
 	}
 	return out
+}
+
+// DrainShards removes and returns up to maxPerShard samples from every
+// CPU shard (FIFO within each). The result is indexed by CPU id; empty
+// shards yield nil slices. This is the entry point the daemon's
+// concurrent drain uses — each returned shard can be aggregated by a
+// separate goroutine because the slices share no backing store.
+func (d *Driver) DrainShards(maxPerShard int) [][]Sample {
+	out := make([][]Sample, len(d.bufs))
+	for ci := range d.bufs {
+		take := len(d.bufs[ci])
+		if maxPerShard > 0 && take > maxPerShard {
+			take = maxPerShard
+		}
+		if take == 0 {
+			continue
+		}
+		shard := make([]Sample, take)
+		copy(shard, d.bufs[ci][:take])
+		out[ci] = shard
+		d.shrinkShard(ci, take)
+	}
+	return out
+}
+
+// shrinkShard drops the first take samples from a shard and re-arms
+// its watermark latch if the drain brought it below half capacity.
+func (d *Driver) shrinkShard(ci, take int) {
+	if take == 0 {
+		return
+	}
+	n := copy(d.bufs[ci], d.bufs[ci][take:])
+	d.bufs[ci] = d.bufs[ci][:n]
+	if len(d.bufs[ci]) < (d.capacity+1)/2 {
+		d.wmLatched[ci] = false
+	}
 }
 
 // DrainStacks removes and returns all buffered call-graph records.
@@ -274,10 +382,13 @@ func (d *Driver) DrainStacks() []StackSample {
 	return out
 }
 
-// Disarm stops sampling (counters removed, NMI handler detached).
+// Disarm stops sampling (counters removed on every core, NMI handler
+// detached).
 func (d *Driver) Disarm() {
-	for ev := hpc.Event(0); int(ev) < hpc.NumEvents; ev++ {
-		d.m.Core.Bank.Remove(ev)
+	for _, c := range d.cores() {
+		for ev := hpc.Event(0); int(ev) < hpc.NumEvents; ev++ {
+			c.Bank.Remove(ev)
+		}
 	}
 	d.m.Kern.SetNMIHandler(nil)
 }

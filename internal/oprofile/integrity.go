@@ -32,7 +32,12 @@ type PersistedStats struct {
 	// SpillBatches / SpillErrors / JournalErrors are the spill
 	// protocol's own self-counters.
 	SpillBatches, SpillErrors, JournalErrors uint64
-	Clean                                    bool
+	// PerCPU maps a base counter name ("nmis", "logged", "dropped",
+	// "samples_logged") to its per-CPU values, parsed from
+	// `<name>.cpu<N>` lines. Nil for single-core runs, whose stats
+	// files carry no per-CPU section.
+	PerCPU map[string]map[int]uint64
+	Clean  bool
 }
 
 // ReadDaemonStats parses the framed stats record; nil if the file is
@@ -58,6 +63,18 @@ func ReadDaemonStats(data []byte) *PersistedStats {
 		if ev, found := strings.CutPrefix(k, "spilled_lost."); found {
 			ps.SpilledLostByEvent[ev] = n
 			continue
+		}
+		if base, rest, found := strings.Cut(k, ".cpu"); found && base != "" {
+			if ci, cerr := strconv.Atoi(rest); cerr == nil {
+				if ps.PerCPU == nil {
+					ps.PerCPU = make(map[string]map[int]uint64)
+				}
+				if ps.PerCPU[base] == nil {
+					ps.PerCPU[base] = make(map[int]uint64)
+				}
+				ps.PerCPU[base][ci] = n
+				continue
+			}
 		}
 		switch k {
 		case "nmis":

@@ -22,11 +22,23 @@ type Row struct {
 	Counts [hpc.NumEvents]uint64
 }
 
+// CPUTotals is one CPU's per-event sample totals — the report's
+// per-CPU breakdown on SMP machines.
+type CPUTotals struct {
+	CPU    int
+	Counts [hpc.NumEvents]uint64
+}
+
 // Report is an opreport-style symbol report.
 type Report struct {
 	Events []hpc.Event // column order
 	Totals [hpc.NumEvents]uint64
 	Rows   []Row // sorted descending by the first event's count
+
+	// PerCPU splits Totals by the CPU each sample was taken on,
+	// ascending by CPU id. The per-CPU entries always sum to Totals;
+	// single-core runs have exactly one entry.
+	PerCPU []CPUTotals
 
 	// Integrity, when set, summarizes what was lost or damaged on the
 	// way to this report (nil for purely in-memory reports).
@@ -188,6 +200,7 @@ func (r *ELFResolver) Resolve(k Key) (string, string) {
 func BuildReport(counts map[Key]uint64, res Resolver, events []hpc.Event) *Report {
 	type rowKey struct{ img, sym string }
 	agg := make(map[rowKey]*Row)
+	cpuAgg := make(map[int]*CPUTotals)
 	rep := &Report{Events: events}
 	for k, c := range counts {
 		img, sym := res.Resolve(k)
@@ -199,7 +212,17 @@ func BuildReport(counts map[Key]uint64, res Resolver, events []hpc.Event) *Repor
 		}
 		row.Counts[k.Event] += c
 		rep.Totals[k.Event] += c
+		ct, ok := cpuAgg[k.CPU]
+		if !ok {
+			ct = &CPUTotals{CPU: k.CPU}
+			cpuAgg[k.CPU] = ct
+		}
+		ct.Counts[k.Event] += c
 	}
+	for _, ct := range cpuAgg {
+		rep.PerCPU = append(rep.PerCPU, *ct)
+	}
+	sort.Slice(rep.PerCPU, func(i, j int) bool { return rep.PerCPU[i].CPU < rep.PerCPU[j].CPU })
 	rep.Rows = make([]Row, 0, len(agg))
 	for _, row := range agg {
 		rep.Rows = append(rep.Rows, *row)
@@ -272,6 +295,30 @@ func Format(w io.Writer, r *Report, maxRows int) error {
 		}
 		if _, err := fmt.Fprintf(w, "%-28s %s\n", row.Image, row.Symbol); err != nil {
 			return err
+		}
+	}
+	// Per-CPU breakdown, SMP runs only: single-core reports stay
+	// byte-identical to pre-SMP output.
+	if len(r.PerCPU) > 1 {
+		if _, err := fmt.Fprintf(w, "\nSamples by CPU:\n"); err != nil {
+			return err
+		}
+		for _, ct := range r.PerCPU {
+			if _, err := fmt.Fprintf(w, "  cpu%-3d", ct.CPU); err != nil {
+				return err
+			}
+			for _, ev := range r.Events {
+				pct := 0.0
+				if r.Totals[ev] > 0 {
+					pct = 100 * float64(ct.Counts[ev]) / float64(r.Totals[ev])
+				}
+				if _, err := fmt.Fprintf(w, " %s=%d (%.1f%%)", ev, ct.Counts[ev], pct); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -44,6 +44,10 @@ type Sample struct {
 	// pipeline sets these (plain OProfile has no JIT registry).
 	JIT   bool
 	Epoch int
+
+	// CPU is the core the overflow fired on. The driver shards its ring
+	// buffer by this id so the daemon can drain shards concurrently.
+	CPU int
 }
 
 // Anonymous reports whether the sample fell in anonymous memory that no
@@ -68,6 +72,9 @@ type Key struct {
 	Proc  string
 	JIT   bool
 	Epoch int
+	// CPU is the core the sample was taken on; the report path folds it
+	// away for aggregate views and keeps it for per-CPU breakdowns.
+	CPU int
 	// Off is the image offset for file-backed samples and the absolute
 	// PC for anonymous/JIT samples (JIT code maps use absolute
 	// addresses).
@@ -79,11 +86,11 @@ func KeyOf(s Sample) Key {
 	switch {
 	case s.JIT:
 		return Key{Event: s.Event, Image: JITImageName, Proc: s.Proc, JIT: true,
-			Epoch: s.Epoch, Off: s.PC}
+			Epoch: s.Epoch, CPU: s.CPU, Off: s.PC}
 	case s.Image != "":
-		return Key{Event: s.Event, Image: s.Image, Proc: s.Proc, Off: s.Offset}
+		return Key{Event: s.Event, Image: s.Image, Proc: s.Proc, CPU: s.CPU, Off: s.Offset}
 	default:
-		return Key{Event: s.Event, Image: s.AnonName(), Proc: s.Proc, Off: s.PC}
+		return Key{Event: s.Event, Image: s.AnonName(), Proc: s.Proc, CPU: s.CPU, Off: s.PC}
 	}
 }
 
@@ -92,9 +99,11 @@ const SampleFile = "var/lib/oprofile/samples.log"
 
 // WriteCounts serializes aggregated counts as sample-file lines:
 //
-//	event<TAB>jit<TAB>epoch<TAB>offset<TAB>count<TAB>proc<TAB>image
+//	event<TAB>jit<TAB>epoch<TAB>offset<TAB>count<TAB>cpu<TAB>proc<TAB>image
 //
-// Image goes last because it may contain spaces and commas.
+// Image goes last because it may contain spaces and commas. The cpu
+// field was appended for SMP machines; readers accept the older
+// 7-field layout and treat those lines as CPU 0.
 func WriteCounts(w io.Writer, counts map[Key]uint64, order []Key) error {
 	bw := bufio.NewWriter(w)
 	for _, k := range order {
@@ -106,8 +115,8 @@ func WriteCounts(w io.Writer, counts map[Key]uint64, order []Key) error {
 		if k.JIT {
 			jit = 1
 		}
-		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
-			k.Event, jit, k.Epoch, uint64(k.Off), c, k.Proc, k.Image); err != nil {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			k.Event, jit, k.Epoch, uint64(k.Off), c, k.CPU, k.Proc, k.Image); err != nil {
 			return err
 		}
 	}
@@ -187,8 +196,17 @@ func readCountsText(data []byte, counts map[Key]uint64) error {
 		if text == "" {
 			continue
 		}
-		parts := strings.SplitN(text, "\t", 7)
-		if len(parts) != 7 {
+		parts := strings.SplitN(text, "\t", 8)
+		// 7-field lines predate the per-CPU pipeline: no cpu column,
+		// proc/image shifted left. Parse them as CPU 0.
+		cpu := 0
+		procIdx := 6
+		switch len(parts) {
+		case 8:
+			procIdx = 6
+		case 7:
+			procIdx = 5
+		default:
 			return fmt.Errorf("oprofile: sample line %d: %d fields", line, len(parts))
 		}
 		ev, err1 := strconv.Atoi(parts[0])
@@ -196,17 +214,24 @@ func readCountsText(data []byte, counts map[Key]uint64) error {
 		epoch, err3 := strconv.Atoi(parts[2])
 		off, err4 := strconv.ParseUint(parts[3], 10, 64)
 		cnt, err5 := strconv.ParseUint(parts[4], 10, 64)
-		for _, err := range []error{err1, err2, err3, err4, err5} {
+		errs := []error{err1, err2, err3, err4, err5}
+		if len(parts) == 8 {
+			var err6 error
+			cpu, err6 = strconv.Atoi(parts[5])
+			errs = append(errs, err6)
+		}
+		for _, err := range errs {
 			if err != nil {
 				return fmt.Errorf("oprofile: sample line %d: %v", line, err)
 			}
 		}
 		k := Key{
 			Event: hpc.Event(ev),
-			Image: parts[6],
-			Proc:  parts[5],
+			Image: parts[procIdx+1],
+			Proc:  parts[procIdx],
 			JIT:   jit != 0,
 			Epoch: epoch,
+			CPU:   cpu,
 			Off:   addr.Address(off),
 		}
 		counts[k] += cnt

@@ -1,0 +1,173 @@
+package viprof
+
+// The SMP scaling workload behind `vipbench -fig smp`: the same
+// dispatch-heavy program as the trace bench, run as several concurrent
+// VM processes under one VIProf session on machines with 1, 2, 4 and 8
+// cores. The simulated work is fixed, so the figure of merit is
+// aggregate profiling throughput per *simulated* second — samples/s
+// and retired work cycles/s — which should scale with the core count
+// until the VM count caps it. Every run verifies the per-CPU
+// conservation invariants end to end: per-CPU driver stats must sum to
+// the aggregate, and each CPU's daemon-aggregated count plus its shard
+// residue must equal what the driver logged on that CPU.
+
+import (
+	"fmt"
+
+	"viprof/internal/core"
+	"viprof/internal/cpu"
+	"viprof/internal/harness"
+	"viprof/internal/hpc"
+	"viprof/internal/jvm"
+	"viprof/internal/kernel"
+	"viprof/internal/oprofile"
+)
+
+// SMPBenchVMs is the concurrent VM-process count: enough runnable
+// processes that 4 cores can all stay busy (the headline scaling cell),
+// while the 8-core cell exposes the steal path running out of work.
+const SMPBenchVMs = 4
+
+// SMPBenchOuter and SMPBenchInner size each VM's run: outer worker
+// calls of inner loop iterations each, ~2.5M bytecodes per VM — long
+// enough that steady-state sampling dominates startup, short enough
+// that the 8-core cell times three repetitions stay quick.
+const (
+	SMPBenchOuter = 60
+	SMPBenchInner = 1200
+)
+
+// SMPBenchResult carries one SMP bench cell's verified outcome.
+type SMPBenchResult struct {
+	Cores int
+	VMs   int
+	// Samples is the aggregate driver-logged sample count across all
+	// per-CPU shards.
+	Samples uint64
+	// WallCycles is the simulated wall clock: the furthest-ahead core.
+	WallCycles uint64
+	// WorkCycles is the total CPU time the VM processes consumed across
+	// all cores (the fixed amount of simulated work).
+	WorkCycles uint64
+	// SimSeconds is WallCycles on the simulated clock.
+	SimSeconds float64
+	// Migrations counts pull-based steals the scheduler performed.
+	Migrations uint64
+	// CohTransfers counts cross-core cache-line transfers billed by the
+	// coherency directory.
+	CohTransfers uint64
+}
+
+// SamplesPerSimSec is the headline metric: aggregate profiling
+// throughput per simulated second.
+func (r SMPBenchResult) SamplesPerSimSec() float64 {
+	if r.SimSeconds == 0 {
+		return 0
+	}
+	return float64(r.Samples) / r.SimSeconds
+}
+
+// WorkCyclesPerSimSec measures machine utilization: retired work per
+// simulated second, which approaches Cores x ClockHz under perfect
+// scaling.
+func (r SMPBenchResult) WorkCyclesPerSimSec() float64 {
+	if r.SimSeconds == 0 {
+		return 0
+	}
+	return float64(r.WorkCycles) / r.SimSeconds
+}
+
+// SMPBenchRun executes the fixed SMP workload on a machine with the
+// given core count, with both paper events armed, and returns the
+// verified outcome.
+func SMPBenchRun(cores int) (SMPBenchResult, error) {
+	var res SMPBenchResult
+	if cores < 1 {
+		cores = 1
+	}
+	m := harness.BuildMachine(cores, int64(cores)*271+9)
+	// Count coherency traffic without sampling it: a huge period never
+	// overflows, so the counter is a pure event meter.
+	for _, c := range m.Cores {
+		if _, err := c.Bank.Program(hpc.CoherencyTransfers, 1<<62); err != nil {
+			return res, err
+		}
+	}
+	session, err := core.Start(m, core.Config{Events: []oprofile.EventConfig{
+		{Event: hpc.GlobalPowerEvents, Period: 45_000},
+		{Event: hpc.BSQCacheReference, Period: 90_000},
+	}})
+	if err != nil {
+		return res, err
+	}
+	vms := make([]*jvm.VM, SMPBenchVMs)
+	procs := make([]*kernel.Process, SMPBenchVMs)
+	for i := range vms {
+		prog := dispatchProgram(fmt.Sprintf("smpbench%d", i), SMPBenchOuter, SMPBenchInner)
+		vm, proc, err := session.LaunchJVM(prog, jvm.Config{HeapBytes: 256 << 10, AOSThreshold: 120})
+		if err != nil {
+			return res, err
+		}
+		vms[i] = vm
+		procs[i] = proc
+	}
+	if err := m.Kern.Run(200_000_000_000); err != nil {
+		return res, err
+	}
+	for i, vm := range vms {
+		if !vm.Finished() {
+			return res, fmt.Errorf("smpbench: vm %d: %v", i, vm.Err())
+		}
+	}
+	session.Shutdown()
+
+	res.Cores = len(m.Cores)
+	res.VMs = SMPBenchVMs
+	res.Samples = session.Prof.Driver.Stats().Logged
+	for _, c := range m.Cores {
+		if c.Cycles() > res.WallCycles {
+			res.WallCycles = c.Cycles()
+		}
+		if ctr, ok := c.Bank.Counter(hpc.CoherencyTransfers); ok {
+			res.CohTransfers += ctr.Total()
+		}
+	}
+	res.SimSeconds = cpu.Seconds(res.WallCycles)
+	res.Migrations = m.Kern.Migrations()
+	for _, p := range procs {
+		res.WorkCycles += p.CPUTime()
+	}
+
+	// Per-CPU conservation: the sharded pipeline must account for every
+	// sample on the core it fired on.
+	drv := session.Prof.Driver
+	loggedCPU := session.Prof.Daemon.SamplesLoggedCPU()
+	var sumNMI, sumLogged, sumDropped uint64
+	for ci := 0; ci < drv.NumCPU(); ci++ {
+		cs := drv.StatsCPU(ci)
+		sumNMI += cs.NMIs
+		sumLogged += cs.Logged
+		sumDropped += cs.Dropped
+		if cs.Logged+cs.Dropped != cs.NMIs {
+			return res, fmt.Errorf("smpbench: cpu%d driver unbalanced: logged %d + dropped %d != NMIs %d",
+				ci, cs.Logged, cs.Dropped, cs.NMIs)
+		}
+		var agg uint64
+		if ci < len(loggedCPU) {
+			agg = loggedCPU[ci]
+		}
+		if agg+uint64(drv.ShardLen(ci)) != cs.Logged {
+			return res, fmt.Errorf("smpbench: cpu%d daemon unbalanced: aggregated %d + buffered %d != logged %d",
+				ci, agg, drv.ShardLen(ci), cs.Logged)
+		}
+	}
+	ds := drv.Stats()
+	if sumNMI != ds.NMIs || sumLogged != ds.Logged || sumDropped != ds.Dropped {
+		return res, fmt.Errorf("smpbench: per-CPU stats (%d/%d/%d) do not sum to aggregate (%d/%d/%d)",
+			sumNMI, sumLogged, sumDropped, ds.NMIs, ds.Logged, ds.Dropped)
+	}
+	if res.Samples == 0 {
+		return res, fmt.Errorf("smpbench: %d cores sampled nothing", cores)
+	}
+	return res, nil
+}

@@ -1,0 +1,50 @@
+package viprof
+
+import "testing"
+
+// The SMP bench must show real scaling, not just run: 4 cores on the
+// 4-VM workload has to clear the 2x aggregate samples-per-simulated-
+// second floor (the acceptance criterion BENCH_smp.json commits).
+// SMPBenchRun itself re-proves the per-CPU conservation invariants on
+// every run, so this doubles as an end-to-end sharded-pipeline check.
+func TestSMPBenchScaling(t *testing.T) {
+	one, err := SMPBenchRun(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := SMPBenchRun(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Cores != 1 || four.Cores != 4 {
+		t.Fatalf("core counts %d/%d", one.Cores, four.Cores)
+	}
+	speedup := four.SamplesPerSimSec() / one.SamplesPerSimSec()
+	if speedup < 2.0 {
+		t.Errorf("4-core samples/s speedup %.2fx below the 2x floor (1 core %.0f/s, 4 cores %.0f/s)",
+			speedup, one.SamplesPerSimSec(), four.SamplesPerSimSec())
+	}
+	// The work is fixed: the sample population may shift a little with
+	// scheduling but not wholesale.
+	lo, hi := one.Samples*8/10, one.Samples*12/10
+	if four.Samples < lo || four.Samples > hi {
+		t.Errorf("4-core sample count %d far from single-core %d: the cells are not measuring the same work",
+			four.Samples, one.Samples)
+	}
+}
+
+// BenchmarkSMPScaling is the bench-smoke entry: one full 4-core run of
+// the 4-VM workload per iteration, conservation-checked, exercising
+// the concurrent shard drain under whatever detector the sweep runs
+// with.
+func BenchmarkSMPScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := SMPBenchRun(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Samples == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}

@@ -35,12 +35,19 @@ const (
 )
 
 // TraceBenchProgram builds the benchmark workload.
+func TraceBenchProgram() *classes.Program {
+	return dispatchProgram("tracebench", TraceBenchOuter, TraceBenchInner)
+}
+
+// dispatchProgram builds the dispatch-heavy loop workload shared by the
+// trace-batch and SMP benches: outer worker calls of inner iterations
+// each, over the hash-mix/array/field/static body described above.
 //
 // Worker locals: 0=iterations 1=i 2=arr 3=obj 4=acc 5=tmp.
 // Statics: 0,1 allocation rings (refs), 2=acc 3=arr probe 4=field
 // probe 5=static accumulator.
-func TraceBenchProgram() *classes.Program {
-	p := classes.NewProgram("tracebench", 8)
+func dispatchProgram(name string, outer, inner int) *classes.Program {
+	p := classes.NewProgram(name, 8)
 	const arrLen = 48
 
 	w := bytecode.NewAsm()
@@ -116,20 +123,20 @@ func TraceBenchProgram() *classes.Program {
 	w.Load(3).Emit(bytecode.GetField, 1).Emit(bytecode.PutStatic, 4)
 	w.Emit(bytecode.RetVoid)
 	worker := p.Add(&classes.Method{
-		Class: "tracebench.Worker", Name: "run", NArgs: 1, MaxLocals: 6,
+		Class: name + ".Worker", Name: "run", NArgs: 1, MaxLocals: 6,
 		Code: w.MustFinish(),
 	})
 
 	mn := bytecode.NewAsm()
 	mn.Const(0).Store(0)
 	mn.Label("loop")
-	mn.Const(TraceBenchInner).Call(int32(worker.Index))
+	mn.Const(int32(inner)).Call(int32(worker.Index))
 	mn.Load(0).Const(1).Emit(bytecode.Add).Store(0)
-	mn.Load(0).Const(TraceBenchOuter).Emit(bytecode.CmpLT)
+	mn.Load(0).Const(int32(outer)).Emit(bytecode.CmpLT)
 	mn.Branch(bytecode.JmpNZ, "loop")
 	mn.Emit(bytecode.RetVoid)
 	main := p.Add(&classes.Method{
-		Class: "tracebench.Main", Name: "main", MaxLocals: 1,
+		Class: name + ".Main", Name: "main", MaxLocals: 1,
 		Code: mn.MustFinish(),
 	})
 	p.SetMain(main)

@@ -200,6 +200,11 @@ type Options struct {
 	// The default (false) matches the deployed daemon, which always
 	// salvages whatever a previous run left in var/ before arming.
 	NoRecovery bool
+	// Cores sets the simulated machine's core count (0 or 1 = the
+	// classic single-core machine). Multi-core runs shard the
+	// profiling pipeline per CPU and the report gains a per-CPU
+	// breakdown (DESIGN §16).
+	Cores int
 }
 
 func (o *Options) fill() {
@@ -261,7 +266,7 @@ func ProfileBenchmark(name string, opt Options) (*Outcome, error) {
 	}
 	res, err := harness.RunOnce(spec, rc, harness.Options{
 		Scale: opt.Scale, Seed: opt.Seed, KeepSession: true,
-		NoRecovery: opt.NoRecovery,
+		NoRecovery: opt.NoRecovery, Cores: opt.Cores,
 	})
 	if err != nil {
 		return nil, err
