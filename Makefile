@@ -50,15 +50,22 @@ chaos-smoke:
 	$(GO) test -race -run 'TestChaos' -count=1 ./internal/core/
 
 # Bounded seed sweep of the fleet chaos harness (internal/harness):
-# 25+ seeds of 8-10 hosts each — the first thirteen run each network or
-# disk scenario in isolation (drop, dup, reorder, latency, partition,
-# collector crash, ENOSPC, torn journal, torn spill, sender kill,
-# snapshot rename, dir damage, read fault), the rest draw composed
-# schedules. Every seed asserts fleet-level conservation (per-host
-# oracles vs live and replayed aggregates, key by key), zero
-# misattribution, and destructive-faults <=> degraded-verdict.
+# 25+ seeds of 8-10 hosts each on 1/2/4-core collector machines — the
+# early seeds run each network or disk scenario in isolation (drop,
+# dup, reorder, latency, partition, collector crash, ENOSPC, torn
+# journal, torn spill, sender kill, snapshot rename, dir damage, read
+# fault, shard kill, kill-mid-compaction, partition-mid-map-replication),
+# the rest draw composed schedules. Every seed asserts fleet-level
+# conservation (per-host oracles vs live and replayed aggregates, key
+# by key), zero misattribution, complete code-map replication on clean
+# runs, windowed-query partition, and destructive-faults <=>
+# degraded-verdict. The second leg is the compaction-crash gate: the
+# fault-point sweep kills a compaction pass at every single mutation
+# and proves the store rereads identically, plus the windowed-query
+# oracle over compacted generations.
 fleet-smoke:
 	$(GO) test -race -run 'TestFleetChaos$$' -count=1 ./internal/harness/
+	$(GO) test -race -run 'TestCompactionFaultPointSweep|TestWindowedQueryOracle|TestFleetMapReplication' -count=1 ./internal/fleet/
 
 # Wide composed-schedule sweep (hundreds of seeds, minutes). Out of
 # `make check` by design: run it nightly or before cutting a release.

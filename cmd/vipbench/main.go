@@ -159,18 +159,22 @@ func runSMP(path string) (string, error) {
 }
 
 // runFleet measures fleet ingestion and crash recovery against host
-// count: for each fleet size it times the clean ingest run and the
-// crash cell (scripted collector crashes forcing supervisor restarts
-// and under-fire journal replays). Each cell runs three times and the
-// fastest repetition is kept — the simulated work is identical across
+// count and collector core count: for each (hosts, cores) cell it
+// times the clean ingest run and the crash cell (scripted collector
+// crashes forcing shard failover, supervisor restarts and under-fire
+// store replays). Each cell runs three times and the fastest
+// repetition is kept — the simulated work is identical across
 // repetitions, so the minimum is the measurement least polluted by
 // host scheduling noise. Every repetition is conservation-checked by
-// the workload itself (FleetBenchRun errors on any imbalance).
+// the workload itself (FleetBenchRun errors on any imbalance or
+// missing map replication).
 func runFleet(path string) (string, error) {
 	const reps = 3
 	hostCounts := []int{4, 8, 16}
+	coreCounts := []int{1, 4}
 	type cell struct {
 		Hosts         int     `json:"hosts"`
+		Cores         int     `json:"cores"`
 		Deltas        int     `json:"deltas_per_host"`
 		Samples       uint64  `json:"samples"`
 		JournalFrames int     `json:"journal_frames"`
@@ -179,12 +183,12 @@ func runFleet(path string) (string, error) {
 		CrashMs       float64 `json:"crash_recovery_ms"`
 		Restarts      uint64  `json:"restarts"`
 	}
-	run := func(hosts int, crash bool) (time.Duration, viprof.FleetBenchResult, error) {
+	run := func(hosts, cores int, crash bool) (time.Duration, viprof.FleetBenchResult, error) {
 		var best time.Duration
 		var keep viprof.FleetBenchResult
 		for i := 0; i < reps; i++ {
 			start := time.Now()
-			r, err := viprof.FleetBenchRun(hosts, crash)
+			r, err := viprof.FleetBenchRun(hosts, cores, crash)
 			d := time.Since(start)
 			if err != nil {
 				return 0, r, err
@@ -196,25 +200,28 @@ func runFleet(path string) (string, error) {
 		return best, keep, nil
 	}
 	var cells []cell
-	for _, hosts := range hostCounts {
-		cleanD, clean, err := run(hosts, false)
-		if err != nil {
-			return "", fmt.Errorf("fleet %d hosts clean: %w", hosts, err)
+	for _, cores := range coreCounts {
+		for _, hosts := range hostCounts {
+			cleanD, clean, err := run(hosts, cores, false)
+			if err != nil {
+				return "", fmt.Errorf("fleet %d hosts %d cores clean: %w", hosts, cores, err)
+			}
+			crashD, crashed, err := run(hosts, cores, true)
+			if err != nil {
+				return "", fmt.Errorf("fleet %d hosts %d cores crash: %w", hosts, cores, err)
+			}
+			cells = append(cells, cell{
+				Hosts:         hosts,
+				Cores:         cores,
+				Deltas:        clean.Deltas,
+				Samples:       clean.Samples,
+				JournalFrames: clean.JournalFrames,
+				IngestMs:      float64(cleanD.Nanoseconds()) / 1e6,
+				KSamplesPerS:  float64(clean.Samples) / cleanD.Seconds() / 1e3,
+				CrashMs:       float64(crashD.Nanoseconds()) / 1e6,
+				Restarts:      crashed.Restarts,
+			})
 		}
-		crashD, crashed, err := run(hosts, true)
-		if err != nil {
-			return "", fmt.Errorf("fleet %d hosts crash: %w", hosts, err)
-		}
-		cells = append(cells, cell{
-			Hosts:         hosts,
-			Deltas:        clean.Deltas,
-			Samples:       clean.Samples,
-			JournalFrames: clean.JournalFrames,
-			IngestMs:      float64(cleanD.Nanoseconds()) / 1e6,
-			KSamplesPerS:  float64(clean.Samples) / cleanD.Seconds() / 1e3,
-			CrashMs:       float64(crashD.Nanoseconds()) / 1e6,
-			Restarts:      crashed.Restarts,
-		})
 	}
 	res := struct {
 		Benchmark string `json:"benchmark"`
@@ -229,8 +236,8 @@ func runFleet(path string) (string, error) {
 		return "", err
 	}
 	last := cells[len(cells)-1]
-	return fmt.Sprintf("fleet: %d hosts %.1f ms ingest (%.0f ksamples/s), %.1f ms with crash recovery, %d restarts (%s)",
-		last.Hosts, last.IngestMs, last.KSamplesPerS, last.CrashMs, last.Restarts, path), nil
+	return fmt.Sprintf("fleet: %d hosts on %d cores %.1f ms ingest (%.0f ksamples/s), %.1f ms with crash recovery, %d restarts (%s)",
+		last.Hosts, last.Cores, last.IngestMs, last.KSamplesPerS, last.CrashMs, last.Restarts, path), nil
 }
 
 // runMemBatch times the batched memory-operand engine against its

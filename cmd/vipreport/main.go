@@ -10,10 +10,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"viprof"
 	"viprof/internal/oprofile"
 )
+
+// parseWindow parses a -window "from:to" argument into cycle bounds.
+// Either side may be empty ("":to = from the beginning, from:"" = to
+// the end), matching the half-open [from, to) the store query uses.
+func parseWindow(s string) (from, to uint64, err error) {
+	to = ^uint64(0)
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("vipreport: -window wants from:to, got %q", s)
+	}
+	if lo != "" {
+		if from, err = strconv.ParseUint(lo, 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("vipreport: -window from: %v", err)
+		}
+	}
+	if hi != "" {
+		if to, err = strconv.ParseUint(hi, 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("vipreport: -window to: %v", err)
+		}
+	}
+	if to <= from {
+		return 0, 0, fmt.Errorf("vipreport: -window %q is empty (to <= from)", s)
+	}
+	return from, to, nil
+}
 
 func main() {
 	dir := flag.String("dir", "", "profile archive directory (from viprof-run -out)")
@@ -21,9 +48,10 @@ func main() {
 	summary := flag.Bool("summary", false, "per-image summary instead of per-symbol rows")
 	phases := flag.Bool("phases", false, "per-epoch phase timeline for the VM process")
 	fleetView := flag.Bool("fleet", false, "treat the archive as a fleet collector dump (from viprof-fleet -out)")
+	window := flag.String("window", "", "with -fleet: restrict to deltas generated in [from:to) cycles (either side may be empty)")
 	flag.Parse()
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: vipreport -dir <archive> [-fleet] [-summary] [-rows N]")
+		fmt.Fprintln(os.Stderr, "usage: vipreport -dir <archive> [-fleet [-window from:to]] [-summary] [-rows N]")
 		os.Exit(2)
 	}
 	if *fleetView {
@@ -32,8 +60,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Print(v.Render(*rows))
+		from, to := uint64(0), ^uint64(0)
+		if *window != "" {
+			if from, to, err = parseWindow(*window); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		fmt.Print(v.RenderWindow(*rows, from, to))
 		return
+	}
+	if *window != "" {
+		fmt.Fprintln(os.Stderr, "vipreport: -window only applies to -fleet archives")
+		os.Exit(2)
 	}
 	if *phases {
 		out, err := viprof.LoadArchivedPhases(*dir)

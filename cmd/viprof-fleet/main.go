@@ -12,17 +12,17 @@ import (
 	"fmt"
 	"os"
 
-	"viprof/internal/cache"
-	"viprof/internal/cpu"
 	"viprof/internal/fleet"
-	"viprof/internal/hpc"
-	"viprof/internal/kernel"
+	"viprof/internal/harness"
 )
 
 func main() {
 	var (
 		hosts     = flag.Int("hosts", 8, "number of profiled hosts")
 		deltas    = flag.Int("deltas", 12, "delta records per host")
+		cores     = flag.Int("cores", 1, "collector machine core count (shards pin across cores)")
+		procs     = flag.Int("procs", 0, "collector shard processes (0 = one per core, capped)")
+		compact   = flag.Uint64("compact", 0, "run the LSM compactor every N cycles (0 = no compactor)")
 		seed      = flag.Int64("seed", 1, "fleet seed (senders, network, workloads)")
 		drop      = flag.Float64("drop", 0, "per-message drop probability")
 		dup       = flag.Float64("dup", 0, "per-message duplication probability")
@@ -33,8 +33,7 @@ func main() {
 	)
 	flag.Parse()
 
-	core := cpu.New(hpc.NewBank(), cache.DefaultHierarchy())
-	m := kernel.NewMachine(core, *seed)
+	m := harness.BuildMachine(*cores, *seed)
 	cfg := fleet.FleetConfig{
 		Hosts:         *hosts,
 		DeltasPerHost: *deltas,
@@ -47,6 +46,8 @@ func main() {
 			PLatency: *latency,
 		},
 	}
+	cfg.Collector.Procs = *procs
+	cfg.Collector.CompactEveryCycles = *compact
 	if *partition > 0 {
 		cfg.Net.Partitions = []fleet.Partition{
 			{Host: fleet.PartitionAll, Start: 50_000, End: 50_000 + *partition},

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"viprof/internal/core"
 	"viprof/internal/fleet"
 	"viprof/internal/kernel"
 	"viprof/internal/oprofile"
@@ -27,41 +28,67 @@ type FleetView struct {
 	Integrity *fleet.FleetIntegrity
 }
 
-// LoadFleetArchive replays the collector journal from an archive
-// directory and assembles the fleet integrity block. Network counters
-// are not persisted (they die with the run), so the offline integrity
-// judges only the durable evidence.
+// LoadFleetArchive replays the durable fleet store (the compacted
+// generation plus every shard journal) from an archive directory and
+// assembles the fleet integrity block. Network counters are not
+// persisted (they die with the run), so the offline integrity judges
+// only the durable evidence.
 func LoadFleetArchive(dir string) (*FleetView, error) {
 	disk, err := kernel.LoadDiskFrom(dir)
 	if err != nil {
 		return nil, err
 	}
-	agg, rep, err := fleet.ReplayJournal(disk, 0)
+	agg, rep, err := fleet.LoadStore(disk, 0)
 	if err != nil {
-		return nil, fmt.Errorf("viprof: replaying fleet journal: %v", err)
+		return nil, fmt.Errorf("viprof: replaying fleet store: %v", err)
 	}
 	fi := fleet.AssembleIntegrity(disk, agg, rep, agg.Hosts(), fleet.NetFaultStats{})
 	return &FleetView{Aggregate: agg, Replay: rep, Integrity: fi}, nil
 }
 
-// fleetRow is one (event, image) cell of the fleet aggregate.
+// fleetRow is one (event, image-or-method) cell of the fleet aggregate.
 type fleetRow struct {
 	event, image string
 	samples      uint64
 }
 
-// fleetRows folds the aggregate per (event, image), JIT keys under the
-// JIT image name, sorted by descending sample count.
-func fleetRows(agg *fleet.Aggregate) []fleetRow {
+// fleetRows folds the aggregate per (event, label) over the sample
+// deltas generated in [from, to) on the sender cycle clock
+// (0, ^uint64(0) = everything). JIT keys are symbolized through the
+// host's replicated epoch code-map chain — the whole point of shipping
+// maps over the wire: a fleet report names the compiled method, not an
+// anonymous JIT bucket. Keys no chain resolves fold under the JIT
+// image name and are counted in unresolved.
+func fleetRows(agg *fleet.Aggregate, from, to uint64) (rows []fleetRow, unresolved uint64) {
 	cells := make(map[[2]string]uint64)
-	for k, c := range agg.Counts() {
-		img := k.Image
-		if k.JIT {
-			img = oprofile.JITImageName
+	for _, host := range agg.Hosts() {
+		var chain *core.MapChain
+		if maps := agg.Maps(host); maps != nil {
+			chain = core.NewMapChain(maps)
 		}
-		cells[[2]string{k.Event.String(), img}] += c
+		for _, rec := range agg.Records(host) {
+			if rec.Kind != fleet.KindDelta || rec.At < from || rec.At >= to {
+				continue
+			}
+			for k, c := range rec.Counts {
+				label := k.Image
+				if k.JIT {
+					label = oprofile.JITImageName
+					if chain != nil {
+						if entry, _, ok := chain.Resolve(k.Epoch, k.Off); ok {
+							label = entry.Sig
+						} else {
+							unresolved += c
+						}
+					} else {
+						unresolved += c
+					}
+				}
+				cells[[2]string{k.Event.String(), label}] += c
+			}
+		}
 	}
-	rows := make([]fleetRow, 0, len(cells))
+	rows = make([]fleetRow, 0, len(cells))
 	for cell, c := range cells {
 		rows = append(rows, fleetRow{event: cell[0], image: cell[1], samples: c})
 	}
@@ -74,19 +101,39 @@ func fleetRows(agg *fleet.Aggregate) []fleetRow {
 		}
 		return rows[i].image < rows[j].image
 	})
-	return rows
+	return rows, unresolved
 }
 
-// Render prints the fleet aggregate the way vipreport -fleet shows it:
-// per-image totals with fleet-wide shares, per-host totals, and the
-// integrity block.
+// Render prints the whole fleet aggregate (see RenderWindow).
 func (v *FleetView) Render(maxRows int) string {
+	return v.RenderWindow(maxRows, 0, ^uint64(0))
+}
+
+// RenderWindow prints the fleet aggregate the way vipreport -fleet
+// shows it — per-image (and per-JIT-method, via the replicated code
+// maps) totals with shares, per-host totals, the integrity block —
+// restricted to sample deltas generated in [from, to) cycles.
+func (v *FleetView) RenderWindow(maxRows int, from, to uint64) string {
 	var sb strings.Builder
-	total := v.Aggregate.Total()
-	fmt.Fprintf(&sb, "fleet aggregate: %d samples from %d host(s), %d journal frame(s)\n\n",
-		total, len(v.Aggregate.Hosts()), v.Replay.Deltas+v.Replay.Duplicates)
-	fmt.Fprintf(&sb, "%-10s %7s  %-24s %s\n", "samples", "%", "image", "event")
-	rows := fleetRows(v.Aggregate)
+	windowed := from != 0 || to != ^uint64(0)
+	rows, unresolved := fleetRows(v.Aggregate, from, to)
+	var total uint64
+	for _, r := range rows {
+		total += r.samples
+	}
+	fmt.Fprintf(&sb, "fleet aggregate: %d samples from %d host(s), %d store frame(s)",
+		total, len(v.Aggregate.Hosts()), v.Replay.Deltas+v.Replay.Maps+v.Replay.Duplicates)
+	if v.Replay.ManifestGen > 0 {
+		fmt.Fprintf(&sb, ", generation %d", v.Replay.ManifestGen)
+	}
+	if windowed {
+		fmt.Fprintf(&sb, "\nwindow: [%d, %d) cycles", from, to)
+		if min, max, ok := v.Aggregate.TimeBounds(); ok {
+			fmt.Fprintf(&sb, " of [%d, %d]", min, max)
+		}
+	}
+	sb.WriteString("\n\n")
+	fmt.Fprintf(&sb, "%-10s %7s  %-24s %s\n", "samples", "%", "image/method", "event")
 	for i, r := range rows {
 		if maxRows > 0 && i >= maxRows {
 			fmt.Fprintf(&sb, "  ... %d more row(s)\n", len(rows)-i)
@@ -98,9 +145,13 @@ func (v *FleetView) Render(maxRows int) string {
 		}
 		fmt.Fprintf(&sb, "%-10d %6.2f%%  %-24s %s\n", r.samples, share, r.image, r.event)
 	}
+	if unresolved > 0 {
+		fmt.Fprintf(&sb, "  (%d JIT samples unresolved by the replicated maps)\n", unresolved)
+	}
 	sb.WriteString("\nper-host:\n")
 	for _, h := range v.Aggregate.Hosts() {
-		fmt.Fprintf(&sb, "  host%02d  %8d samples  (max seq %d)\n", h, v.Aggregate.HostTotal(h), v.Aggregate.MaxSeq(h))
+		fmt.Fprintf(&sb, "  host%02d  %8d samples  (max seq %d, %d map epoch(s))\n",
+			h, v.Aggregate.HostTotal(h), v.Aggregate.MaxSeq(h), v.Aggregate.MapEpochs(h))
 	}
 	sb.WriteString("\n")
 	sb.WriteString(fleet.FormatFleetIntegrity(v.Integrity))
@@ -125,7 +176,8 @@ func DiffFleetArchives(beforeDir, afterDir string, maxRows int) (string, error) 
 		if total == 0 {
 			return out
 		}
-		for _, r := range fleetRows(v.Aggregate) {
+		rows, _ := fleetRows(v.Aggregate, 0, ^uint64(0))
+		for _, r := range rows {
 			out[[2]string{r.event, r.image}] = 100 * float64(r.samples) / float64(total)
 		}
 		return out

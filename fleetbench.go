@@ -2,55 +2,57 @@ package viprof
 
 // The deterministic fleet-ingestion workload behind
 // BenchmarkFleetIngest and `vipbench -fig fleet`: N hosts ship their
-// full delta runs through the simulated network into the collector's
-// write-ahead journal, and the journal is then replayed offline — the
-// recovery path a supervisor restart takes. Every configuration must
-// come out conserved: the in-memory per-host oracles, the live
-// aggregate, and the replayed aggregate all agree key by key. The
-// benchmark reports two costs per host count: the ingest run itself
-// (host wall time for the whole simulated fleet) and the offline
-// journal replay (the dominant term in collector crash recovery).
+// full runs (epoch code maps first, then sample deltas) through the
+// simulated network into the collector shards' write-ahead journals,
+// and the store is then replayed offline — the recovery path a
+// supervisor restart takes. Every configuration must come out
+// conserved: the in-memory per-host oracles, the live aggregate, and
+// the replayed aggregate all agree key by key. The benchmark reports
+// the ingest run itself (host wall time for the whole simulated fleet)
+// per (hosts, cores) cell: with one core every shard serializes on one
+// clock and host-scaling looks super-linear; with shards pinned across
+// real cores the per-shard pipelines overlap and the curve flattens.
 
 import (
 	"fmt"
 
-	"viprof/internal/cache"
-	"viprof/internal/cpu"
 	"viprof/internal/fleet"
-	"viprof/internal/hpc"
+	"viprof/internal/harness"
 	"viprof/internal/kernel"
 )
 
 // FleetBenchDeltas is each host's delta count in the benchmark
-// workload: large enough that journal replay is measurably more than
+// workload: large enough that store replay is measurably more than
 // constant overhead, small enough that the 16-host cell stays quick.
 const FleetBenchDeltas = 40
 
 // FleetBenchResult carries one fleet bench cell's verified outcome.
 type FleetBenchResult struct {
 	Hosts   int
+	Cores   int
 	Deltas  int // per host
 	Samples uint64
 	// JournalFrames is what the offline replay walked (== successful
-	// journal writes; the recovery cost scales with it).
+	// journal writes plus compacted frames; the recovery cost scales
+	// with it).
 	JournalFrames int
-	// Restarts counts injected collector crashes survived (crash cell
+	// Restarts counts injected shard crashes survived (crash cell
 	// only).
 	Restarts uint64
 }
 
-// FleetBenchRun runs one fleet ingestion at the given host count and
-// verifies conservation end to end. With crash set, a scripted fault
-// plan kills the collector mid-run so the measured path includes a
-// supervisor restart and an under-fire journal replay.
-func FleetBenchRun(hosts int, crash bool) (FleetBenchResult, error) {
+// FleetBenchRun runs one fleet ingestion at the given host and core
+// count and verifies conservation end to end. With crash set, a
+// scripted fault plan kills collector shards mid-append so the
+// measured path includes failover, supervisor restarts, and an
+// under-fire store replay.
+func FleetBenchRun(hosts, cores int, crash bool) (FleetBenchResult, error) {
 	var res FleetBenchResult
-	core := cpu.New(hpc.NewBank(), cache.DefaultHierarchy())
-	m := kernel.NewMachine(core, int64(hosts)*1000+7)
+	m := harness.BuildMachine(cores, int64(hosts)*1000+int64(cores)*17+7)
 	if crash {
 		m.Kern.SetFaultInjectors(kernel.FaultPlan{
 			Seed:       int64(hosts),
-			PathPrefix: fleet.JournalFile,
+			PathPrefix: fleet.JournalPrefix,
 			Script: []kernel.FaultPoint{
 				{Write: 5, Kind: kernel.FaultCrash},
 				{Write: 5 + 4*hosts, Kind: kernel.FaultCrash},
@@ -78,15 +80,19 @@ func FleetBenchRun(hosts int, crash bool) (FleetBenchResult, error) {
 		if !rcons.Balanced() {
 			return res, fmt.Errorf("fleetbench: replayed aggregate unbalanced: %v", rcons.Mismatches)
 		}
+		if bad := fleet.CheckMapReplication(r.Senders, r.Replayed); len(bad) > 0 {
+			return res, fmt.Errorf("fleetbench: map replication violated: %v", bad)
+		}
 	}
 	if !crash && r.Integrity.Degraded() {
 		return res, fmt.Errorf("fleetbench: fault-free run degraded")
 	}
 	res = FleetBenchResult{
 		Hosts:         hosts,
+		Cores:         cores,
 		Deltas:        FleetBenchDeltas,
 		Samples:       r.Collector.Aggregate().Total(),
-		JournalFrames: r.Replay.Deltas + r.Replay.Duplicates,
+		JournalFrames: r.Replay.Deltas + r.Replay.Maps + r.Replay.Duplicates,
 		Restarts:      r.Collector.Stats().Restarts,
 	}
 	if crash && res.Restarts == 0 {

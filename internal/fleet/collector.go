@@ -1,31 +1,50 @@
 package fleet
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
+	"sync"
 
+	"viprof/internal/core"
 	"viprof/internal/kernel"
 	"viprof/internal/oprofile"
 	"viprof/internal/record"
 )
 
-// On-disk layout of the fleet collector.
+// On-disk layout of the fleet collector service.
 const (
 	// FleetDir is the root of every fleet artifact.
 	FleetDir = "var/fleet"
-	// JournalFile is the collector's write-ahead journal: received
-	// delta frames appended verbatim before apply+ack, plus restart
-	// markers. It is the durable truth the supervisor replays.
-	JournalFile = "var/fleet/collector.journal"
-	// CollectorStatsFile is the collector's framed self-counter record;
+	// JournalPrefix is the shared prefix of every shard's write-ahead
+	// journal (the disk fault plans target it to strike all shards).
+	JournalPrefix = "var/fleet/shard"
+	// CollectorStatsFile is the service's framed self-counter record;
 	// absence means the collector never shut down cleanly.
 	CollectorStatsFile = "var/fleet/collector.stats"
-	// AggregateFile is the sharded aggregate's committed snapshot, a
+	// AggregateFile is the merged aggregate's committed snapshot, a
 	// framed WriteCounts body committed temp-then-rename so vipreport
 	// and vipdiff can query it like any sample file.
 	AggregateFile = "var/fleet/aggregate.samples"
+	// GenDir holds the compacted generations; ManifestPath is the
+	// atomically-committed index naming the current generation's files.
+	GenDir       = "var/fleet/gen"
+	ManifestPath = "var/fleet/gen/MANIFEST"
 )
+
+// maxShardSlots bounds offline shard-journal discovery: readers probe
+// ShardJournalPath(0..maxShardSlots-1) by direct path, so a damaged
+// directory listing can never hide a journal.
+const maxShardSlots = 64
+
+// ShardJournalPath names shard i's write-ahead journal.
+func ShardJournalPath(i int) string {
+	return fmt.Sprintf("%s%02d.journal", JournalPrefix, i)
+}
+
+// GenFilePath names one data file of a compacted generation.
+func GenFilePath(gen, idx int) string {
+	return fmt.Sprintf("%s/g%04d-%02d.samples", GenDir, gen, idx)
+}
 
 // SpillPath is the host's framed salvageable overflow file: deltas the
 // sender parked after exhausting its retry budget.
@@ -40,13 +59,30 @@ func SenderStatsPath(host int) string {
 	return fmt.Sprintf("%s/stats/host%02d.stats", FleetDir, host)
 }
 
-// Aggregate is the collector's pure in-memory state: sharded counts
-// plus the per-host burned-seq sets that make ingestion idempotent and
-// order-insensitive. It has no I/O and no clock, so the quickcheck
+// DeltaRec is one applied wire record retained by the aggregate: the
+// unit the LSM store compacts, the windowed queries filter, and the
+// shard merge dedups on (Host, Seq).
+type DeltaRec struct {
+	Host int
+	Seq  uint64
+	At   uint64
+	Kind string
+	// Counts/Total are the sample body (deltas).
+	Counts map[oprofile.Key]uint64
+	Total  uint64
+	// Epoch/Entries are the replicated code map (maps).
+	Epoch   int
+	Entries []core.MapEntry
+}
+
+// Aggregate is a collector shard's pure in-memory state: hash-sharded
+// counts for cheap queries, plus the per-(host, seq) record set that
+// makes ingestion idempotent, merging duplicate-suppressed, and
+// windowed queries exact. It has no I/O and no clock, so the quickcheck
 // property tests drive it directly against an oracle.
 type Aggregate struct {
-	shards  []map[oprofile.Key]uint64
-	applied map[int]map[uint64]bool
+	shards []map[oprofile.Key]uint64
+	byHost map[int]map[uint64]*DeltaRec
 	// hostTotals is samples applied per host; maxSeq the highest seq
 	// applied per host (gaps below it are loud).
 	hostTotals map[int]uint64
@@ -55,18 +91,20 @@ type Aggregate struct {
 
 	// Ingested counts fresh applies; Duplicates seq-burned absorptions;
 	// OutOfOrder arrivals below the host's high-water mark (absorbed,
-	// counted as evidence the network reordered).
-	Ingested, Duplicates, OutOfOrder uint64
+	// counted as evidence the network reordered); MapsApplied fresh
+	// code-map applies (a subset of Ingested).
+	Ingested, Duplicates, OutOfOrder, MapsApplied uint64
 }
 
-// NewAggregate builds an empty aggregate with the given shard count.
+// NewAggregate builds an empty aggregate with the given hash-shard
+// count.
 func NewAggregate(shards int) *Aggregate {
 	if shards <= 0 {
 		shards = 8
 	}
 	a := &Aggregate{
 		shards:     make([]map[oprofile.Key]uint64, shards),
-		applied:    make(map[int]map[uint64]bool),
+		byHost:     make(map[int]map[uint64]*DeltaRec),
 		hostTotals: make(map[int]uint64),
 		maxSeq:     make(map[int]uint64),
 		lastSeq:    make(map[int]uint64),
@@ -77,7 +115,7 @@ func NewAggregate(shards int) *Aggregate {
 	return a
 }
 
-// shardOf picks the shard for a key (FNV-1a over the identifying
+// shardOf picks the hash shard for a key (FNV-1a over the identifying
 // fields; any stable hash works, determinism is what matters).
 func (a *Aggregate) shardOf(k oprofile.Key) int {
 	h := uint64(14695981039346656037)
@@ -96,42 +134,93 @@ func (a *Aggregate) shardOf(k oprofile.Key) int {
 
 // Applied reports whether (host, seq) has been applied.
 func (a *Aggregate) Applied(host int, seq uint64) bool {
-	return a.applied[host][seq]
+	return a.byHost[host][seq] != nil
 }
 
-// Apply ingests one decoded delta. It is idempotent: a seq already
-// burned for the host is absorbed without touching the shards, so
-// duplicated or replayed deltas can never double-count.
+// Apply ingests one decoded delta or replicated map. It is idempotent:
+// a seq already burned for the host is absorbed without touching the
+// counts, so duplicated or replayed records can never double-count.
 func (a *Aggregate) Apply(msg *WireMsg) (fresh bool) {
-	if msg.Kind != KindDelta {
+	if msg.Kind != KindDelta && msg.Kind != KindMap {
 		return false
 	}
-	set, ok := a.applied[msg.Host]
+	return a.applyRec(&DeltaRec{
+		Host: msg.Host, Seq: msg.Seq, At: msg.At, Kind: msg.Kind,
+		Counts: msg.Counts, Total: msg.Total(),
+		Epoch: msg.Epoch, Entries: msg.Entries,
+	})
+}
+
+// applyRec burns the seq and folds the record in (shared by Apply and
+// MergeAggregates; the rec is retained by reference).
+func (a *Aggregate) applyRec(rec *DeltaRec) bool {
+	set, ok := a.byHost[rec.Host]
 	if !ok {
-		set = make(map[uint64]bool)
-		a.applied[msg.Host] = set
+		set = make(map[uint64]*DeltaRec)
+		a.byHost[rec.Host] = set
 	}
-	if set[msg.Seq] {
+	if set[rec.Seq] != nil {
 		a.Duplicates++
 		return false
 	}
-	if msg.Seq < a.lastSeq[msg.Host] {
+	if rec.Seq < a.lastSeq[rec.Host] {
 		a.OutOfOrder++
 	}
-	a.lastSeq[msg.Host] = msg.Seq
-	set[msg.Seq] = true
-	if msg.Seq > a.maxSeq[msg.Host] {
-		a.maxSeq[msg.Host] = msg.Seq
+	a.lastSeq[rec.Host] = rec.Seq
+	set[rec.Seq] = rec
+	if rec.Seq > a.maxSeq[rec.Host] {
+		a.maxSeq[rec.Host] = rec.Seq
 	}
-	for k, c := range msg.Counts {
+	for k, c := range rec.Counts {
 		a.shards[a.shardOf(k)][k] += c
-		a.hostTotals[msg.Host] += c
+		a.hostTotals[rec.Host] += c
+	}
+	if rec.Kind == KindMap {
+		a.MapsApplied++
 	}
 	a.Ingested++
 	return true
 }
 
-// Counts merges the shards into one map (the queryable aggregate view).
+// MergeAggregates builds the duplicate-suppressed union of the parts:
+// each (host, seq) record is taken from the first part that holds it,
+// in argument order. This is how the live multi-shard aggregate is
+// assembled — a record a crashed shard applied and a failover peer (or
+// a restart replay) re-applied counts exactly once, no matter how many
+// shards saw it.
+func MergeAggregates(shards int, parts ...*Aggregate) *Aggregate {
+	out := NewAggregate(shards)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		hosts := make([]int, 0, len(p.byHost))
+		for h := range p.byHost {
+			hosts = append(hosts, h)
+		}
+		sort.Ints(hosts)
+		for _, h := range hosts {
+			seqs := make([]uint64, 0, len(p.byHost[h]))
+			for s := range p.byHost[h] {
+				seqs = append(seqs, s)
+			}
+			sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+			for _, s := range seqs {
+				if out.byHost[h][s] != nil {
+					continue
+				}
+				out.applyRec(p.byHost[h][s])
+			}
+		}
+	}
+	// The merge's own dedup absorptions are not protocol duplicates;
+	// reset the counter so the union reads like one clean aggregate.
+	out.Duplicates = 0
+	out.OutOfOrder = 0
+	return out
+}
+
+// Counts merges the hash shards into one map (the queryable view).
 func (a *Aggregate) Counts() map[oprofile.Key]uint64 {
 	out := make(map[oprofile.Key]uint64)
 	for _, sh := range a.shards {
@@ -140,6 +229,87 @@ func (a *Aggregate) Counts() map[oprofile.Key]uint64 {
 		}
 	}
 	return out
+}
+
+// QueryWindow folds only the sample deltas generated in [from, to) on
+// the sender-side cycle clock — the time-windowed query over the
+// compacted store. QueryWindow(0, ^0) == Counts() by construction, and
+// any boundary t partitions: Window(0,t) + Window(t,^0) == Counts().
+func (a *Aggregate) QueryWindow(from, to uint64) map[oprofile.Key]uint64 {
+	out := make(map[oprofile.Key]uint64)
+	for _, recs := range a.byHost {
+		for _, rec := range recs {
+			if rec.At < from || rec.At >= to {
+				continue
+			}
+			for k, c := range rec.Counts {
+				out[k] += c
+			}
+		}
+	}
+	return out
+}
+
+// TimeBounds returns the [min, max] At over applied records (ok=false
+// when empty) — the axis vipreport's -window flag cuts on.
+func (a *Aggregate) TimeBounds() (min, max uint64, ok bool) {
+	for _, recs := range a.byHost {
+		for _, rec := range recs {
+			if !ok || rec.At < min {
+				min = rec.At
+			}
+			if !ok || rec.At > max {
+				max = rec.At
+			}
+			ok = true
+		}
+	}
+	return min, max, ok
+}
+
+// Maps returns the host's replicated code maps as a per-epoch entry
+// slice (index = epoch), ready for core.NewMapChain — nil if the host
+// replicated none.
+func (a *Aggregate) Maps(host int) [][]core.MapEntry {
+	maxEpoch := 0
+	for _, rec := range a.byHost[host] {
+		if rec.Kind == KindMap && rec.Epoch > maxEpoch {
+			maxEpoch = rec.Epoch
+		}
+	}
+	if maxEpoch == 0 {
+		return nil
+	}
+	perEpoch := make([][]core.MapEntry, maxEpoch+1)
+	for _, rec := range a.byHost[host] {
+		if rec.Kind == KindMap {
+			perEpoch[rec.Epoch] = append(perEpoch[rec.Epoch], rec.Entries...)
+		}
+	}
+	return perEpoch
+}
+
+// MapEpochs returns how many distinct epochs the host replicated maps
+// for.
+func (a *Aggregate) MapEpochs(host int) int {
+	n := 0
+	for _, rec := range a.byHost[host] {
+		if rec.Kind == KindMap {
+			n++
+		}
+	}
+	return n
+}
+
+// Records returns the host's applied records sorted by seq (shared
+// slices; callers must not mutate).
+func (a *Aggregate) Records(host int) []*DeltaRec {
+	recs := make([]*DeltaRec, 0, len(a.byHost[host]))
+	for _, rec := range a.byHost[host] {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	return recs
 }
 
 // Total is the aggregate sample total.
@@ -154,10 +324,10 @@ func (a *Aggregate) Total() uint64 {
 // HostTotal is the samples applied for one host.
 func (a *Aggregate) HostTotal(host int) uint64 { return a.hostTotals[host] }
 
-// Hosts returns the hosts with applied deltas, sorted.
+// Hosts returns the hosts with applied records, sorted.
 func (a *Aggregate) Hosts() []int {
-	out := make([]int, 0, len(a.applied))
-	for h := range a.applied {
+	out := make([]int, 0, len(a.byHost))
+	for h := range a.byHost {
 		out = append(out, h)
 	}
 	sort.Ints(out)
@@ -172,225 +342,330 @@ func (a *Aggregate) MaxSeq(host int) uint64 { return a.maxSeq[host] }
 // from host-side artifacts (spilled or lost) or poison loudly.
 func (a *Aggregate) Gaps(host int) []uint64 {
 	var out []uint64
-	set := a.applied[host]
+	set := a.byHost[host]
 	for s := uint64(1); s <= a.maxSeq[host]; s++ {
-		if !set[s] {
+		if set[s] == nil {
 			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// CollectorConfig tunes the collector process.
+// CollectorConfig tunes the collector service.
 type CollectorConfig struct {
-	// WakeCycles is the ingest poll period (default 8_000).
+	// WakeCycles is each shard's ingest poll period (default 8_000).
 	WakeCycles uint64
-	// Shards is the aggregation shard count (default 8).
+	// Shards is the per-aggregate hash-shard count (default 8).
 	Shards int
+	// Procs is the number of collector shard processes, each pinned to
+	// a core (default: one per machine core, capped at 8).
+	Procs int
+	// CompactEveryCycles is the compactor daemon's pass period; 0
+	// disables online compaction (the store still compacts offline via
+	// CompactDisk).
+	CompactEveryCycles uint64
+	// RestartBackoffCycles is the base of the supervisor's jittered
+	// exponential backoff between restart attempts of one shard
+	// (default 100_000).
+	RestartBackoffCycles uint64
+	// MaxRestarts bounds supervisor restart attempts per shard (and for
+	// the compactor), default 8 — the core.RunRecovery shape: bounded
+	// attempts, then give up loudly.
+	MaxRestarts int
+	// Seed drives the supervisor's backoff jitter.
+	Seed int64
 }
 
-func (c *CollectorConfig) fill() {
+func (c *CollectorConfig) fill(cores int) {
 	if c.WakeCycles == 0 {
 		c.WakeCycles = 8_000
 	}
 	if c.Shards <= 0 {
 		c.Shards = 8
 	}
+	if c.Procs <= 0 {
+		c.Procs = cores
+		if c.Procs > 8 {
+			c.Procs = 8
+		}
+	}
+	if c.Procs > maxShardSlots {
+		c.Procs = maxShardSlots
+	}
+	if c.RestartBackoffCycles == 0 {
+		c.RestartBackoffCycles = 100_000
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 8
+	}
 }
 
-// CollectorStats is the collector's in-memory self-accounting, persisted
-// framed at shutdown (see CollectorPersisted in integrity.go).
+// CollectorStats is the service's self-accounting, persisted framed at
+// shutdown (see CollectorPersisted in integrity.go).
 type CollectorStats struct {
-	// Ingested / Duplicates / OutOfOrder snapshot the aggregate's
-	// counters at persist time.
-	Ingested, Duplicates, OutOfOrder uint64
+	// Shards is the configured shard-process count.
+	Shards uint64
+	// Ingested / Duplicates / OutOfOrder / MapsApplied sum the shards'
+	// cumulative ingest counters.
+	Ingested, Duplicates, OutOfOrder, MapsApplied uint64
 	// WireDamaged counts received frames that failed their checksum or
 	// would not parse (dropped without ack — the sender retries).
 	WireDamaged uint64
-	// JournalErrors counts failed write-ahead appends (the delta was
+	// JournalErrors counts failed write-ahead appends (the record was
 	// not applied and not acked).
 	JournalErrors uint64
 	// AcksSent counts acknowledgements (including re-acks of absorbed
-	// duplicates).
+	// duplicates and handoff-burned seqs).
 	AcksSent uint64
-	// Restarts counts supervisor restarts after a crash; ReplayErrors
-	// failed journal replays during restart; ReplayedFrames the frames
-	// rebuilt into memory across all restarts; MarkerErrors failed
-	// restart-marker appends; DeadLetters datagrams flushed from the
-	// dead collector's queue at restart (or left undeliverable at
-	// shutdown).
+	// Restarts counts supervisor shard restarts after a crash;
+	// ReplayErrors failed store replays during restart; ReplayedFrames
+	// the frames rebuilt into memory across all restarts; MarkerErrors
+	// failed restart-marker appends; DeadLetters datagrams flushed from
+	// dead shard queues at restart (or left undeliverable at shutdown).
 	Restarts, ReplayErrors, ReplayedFrames, MarkerErrors, DeadLetters uint64
+	// Failovers counts serving-set shrinks (a dead shard's hosts
+	// rehashed onto its peers); Handoffs the peer-applied seqs burned
+	// into handoff sets during failover and restart (each one a
+	// suppressed duplicate apply); HandoffErrors handoff burns aborted
+	// by an unreadable peer journal (the failover is retried, never
+	// completed blind); Misrouted records that arrived at a shard the
+	// rendezvous hash no longer routes their host to (dropped unacked —
+	// the sender retries against the current route).
+	Failovers, Handoffs, HandoffErrors, Misrouted uint64
+	// Compactions counts committed compaction passes; CompactErrors
+	// passes aborted by a write/rename fault (the old generation stays
+	// live — an abort never destroys).
+	Compactions, CompactErrors uint64
 	// SnapshotErrors counts failed aggregate-snapshot commits.
 	SnapshotErrors uint64
-	// Clean reports an orderly shutdown reached the stats write.
+	// Clean reports an orderly shutdown with every shard alive reached
+	// the stats write.
 	Clean bool
 }
 
-// Collector is the fleet collector process: it drains the network,
-// journals each fresh delta before applying and acking it, and is
-// restarted by the supervisor (journal replay) after a crash.
-type Collector struct {
-	cfg   CollectorConfig
-	net   *Network
-	agg   *Aggregate
-	proc  *kernel.Process
-	stats CollectorStats
-}
-
-// NewCollector builds the collector and registers its daemon process.
-func NewCollector(m *kernel.Machine, net *Network, cfg CollectorConfig) (*Collector, error) {
-	cfg.fill()
-	c := &Collector{cfg: cfg, net: net, agg: NewAggregate(cfg.Shards)}
-	proc, err := m.Kern.NewProcess("collectord", c)
-	if err != nil {
-		return nil, err
-	}
-	proc.Daemon = true
-	c.proc = proc
-	return c, nil
-}
-
-// Proc returns the collector's current kernel process.
-func (c *Collector) Proc() *kernel.Process { return c.proc }
-
-// Aggregate returns the live in-memory aggregate.
-func (c *Collector) Aggregate() *Aggregate { return c.agg }
-
-// Stats snapshots the self-counters (aggregate counters folded in).
-func (c *Collector) Stats() CollectorStats {
-	s := c.stats
-	s.Ingested = c.agg.Ingested
-	s.Duplicates = c.agg.Duplicates
-	s.OutOfOrder = c.agg.OutOfOrder
-	return s
-}
-
-// Alive reports whether the collector process is running (not crashed,
-// not exited).
-func (c *Collector) Alive() bool {
-	return c.proc != nil && !c.proc.Killed() && !c.proc.Done()
-}
-
-// Step implements kernel.Executor: drain, ingest, sleep.
-func (c *Collector) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
-	for _, data := range c.net.Deliver(0) {
-		c.ingest(m, p, data)
-		if p.Killed() {
-			// An injected crash struck the journal append; stop
-			// touching state, the supervisor takes over.
-			return kernel.StepBlocked
-		}
-	}
-	m.Kern.Sleep(p, c.cfg.WakeCycles)
-	return kernel.StepBlocked
-}
-
-// ingest processes one received datagram: decode, dedup, journal,
-// apply, ack — in exactly that order, so every applied delta is durable
-// before its ack can release the sender's copy.
-func (c *Collector) ingest(m *kernel.Machine, p *kernel.Process, data []byte) {
-	// Ingestion is kernel work: checksum + parse, roughly linear in
-	// the payload.
-	m.Kern.ExecKernel("sys_read", 20+len(data)/32, 1)
-	msg, err := DecodeWire(data)
-	if err != nil {
-		c.stats.WireDamaged++
-		return
-	}
-	if msg.Kind != KindDelta {
-		return
-	}
-	if c.agg.Applied(msg.Host, msg.Seq) {
-		// Seq already burned: absorb the duplicate but re-ack it — the
-		// retry usually means the previous ack was lost.
-		c.agg.Duplicates++
-		c.ack(msg)
-		return
-	}
-	// Write-ahead: the received frame is appended verbatim. The payload
-	// is the sender's framed wire record (CRC-checked by DecodeWire
-	// above and re-verified by record.Scan on every replay), so the
-	// journal stays a salvageable concatenation of frames.
-	//viplint:allow record-frame payload is the sender's framed wire record, checksum-verified by DecodeWire and salvage-scanned on replay
-	if err := m.Kern.SysWrite(p, JournalFile, data); err != nil {
-		c.stats.JournalErrors++
-		return // no apply, no ack: the sender retries
-	}
-	c.agg.Apply(msg)
-	c.ack(msg)
-}
-
-func (c *Collector) ack(msg *WireMsg) {
-	c.net.Send(0, msg.Host, AckFrame(msg.Host, msg.Seq))
-	c.stats.AcksSent++
-}
-
-// JournalReplay is the outcome of one journal read-back.
+// JournalReplay is the outcome of one offline store load: the manifest
+// generation plus every shard journal, read through the salvage layer.
 type JournalReplay struct {
+	// Salvage sums record-level damage across every file read.
 	Salvage record.Salvage
-	// Deltas / Duplicates / Markers / ParseErrors classify the intact
-	// records. ParseErrors are checksum-valid records that would not
-	// parse — a writer bug, not disk damage, and loud.
-	Deltas, Duplicates, Markers, ParseErrors int
+	// Deltas / Maps / Duplicates / Markers / ParseErrors classify the
+	// intact records. ParseErrors are checksum-valid records that would
+	// not parse — a writer bug, not disk damage, and loud.
+	Deltas, Maps, Duplicates, Markers, ParseErrors int
+	// Journals is how many shard journals were found; GenFiles and
+	// GenFrames the compacted generation's footprint; ManifestGen its
+	// generation number (0 = never compacted).
+	Journals, GenFiles, GenFrames int
+	ManifestGen                   int
+	// ManifestDamaged marks a manifest that existed but was torn or
+	// unparseable — the generation index is gone, which is loud
+	// degradation even though the journals still replay.
+	ManifestDamaged bool
 }
 
-// ReplayJournal rebuilds an aggregate from the write-ahead journal via
-// the salvage layer: torn tails (a crash mid-append) fail their
-// checksum and are dropped — safely, because an unjournaled delta was
-// never acked and the sender still holds it. Returns an error only if
-// the journal exists but cannot be read (injected EIO) — the caller
-// retries or degrades loudly.
-func ReplayJournal(disk *kernel.Disk, shards int) (*Aggregate, JournalReplay, error) {
+// replayInto classifies one store payload into the aggregate.
+func (rep *JournalReplay) replayInto(agg *Aggregate, payload []byte) {
+	msg, err := DecodePayload(payload)
+	if err != nil {
+		rep.ParseErrors++
+		return
+	}
+	rep.applyDecoded(agg, msg)
+}
+
+// applyDecoded classifies one already-decoded payload (nil = parse
+// failure) into the aggregate.
+func (rep *JournalReplay) applyDecoded(agg *Aggregate, msg *WireMsg) {
+	if msg == nil {
+		rep.ParseErrors++
+		return
+	}
+	switch msg.Kind {
+	case KindDelta:
+		if agg.Apply(msg) {
+			rep.Deltas++
+		} else {
+			rep.Duplicates++
+		}
+	case KindMap:
+		if agg.Apply(msg) {
+			rep.Maps++
+		} else {
+			rep.Duplicates++
+		}
+	case KindRestart:
+		rep.Markers++
+	}
+}
+
+// LoadStore rebuilds an aggregate from the durable store: the current
+// compacted generation (via the manifest) first, then every shard
+// journal, all through the salvage layer. Torn tails (a crash
+// mid-append) fail their checksum and are dropped — safely, because an
+// unjournaled record was never acked and the sender still holds it;
+// journal frames not yet pruned by compaction dedup against the
+// generation via seq burning. Returns an error only if a store file
+// exists but cannot be read (injected EIO) — the caller retries or
+// degrades loudly.
+func LoadStore(disk *kernel.Disk, shards int) (*Aggregate, JournalReplay, error) {
 	agg := NewAggregate(shards)
 	var rep JournalReplay
-	if !disk.Exists(JournalFile) {
-		return agg, rep, nil
-	}
-	data, err := disk.Read(JournalFile)
-	if err != nil {
+	if err := loadManifestInto(disk, agg, &rep); err != nil {
 		return nil, rep, err
 	}
-	recs, sal := record.Scan(data)
-	rep.Salvage = sal
-	for _, payload := range recs {
-		msg, err := DecodePayload(payload)
-		if err != nil {
-			rep.ParseErrors++
+
+	// Shard journal reads go through the (stateful, fault-injected)
+	// disk sequentially; the pure salvage scan + decode of each journal
+	// then runs concurrently, share-nothing, and the results are applied
+	// in shard order — deterministic output, and the scan parallelism is
+	// real multi-shard work for the race detector.
+	var datas [][]byte
+	for i := 0; i < maxShardSlots; i++ {
+		path := ShardJournalPath(i)
+		if !disk.Exists(path) {
 			continue
 		}
-		switch msg.Kind {
-		case KindDelta:
-			if agg.Apply(msg) {
-				rep.Deltas++
-			} else {
-				rep.Duplicates++
+		//viplint:allow record-frame bytes reach record.Scan in the concurrent scan goroutines below
+		data, err := disk.Read(path)
+		if err != nil {
+			return nil, rep, err
+		}
+		datas = append(datas, data)
+	}
+	type decoded struct {
+		msg *WireMsg // nil on parse failure
+	}
+	type scanned struct {
+		recs []decoded
+		sal  record.Salvage
+	}
+	results := make([]scanned, len(datas))
+	var wg sync.WaitGroup
+	for idx, data := range datas {
+		wg.Add(1)
+		go func(idx int, data []byte) {
+			defer wg.Done()
+			recs, sal := record.Scan(data)
+			out := make([]decoded, len(recs))
+			for i, payload := range recs {
+				msg, err := DecodePayload(payload)
+				if err == nil {
+					out[i].msg = msg
+				}
 			}
-		case KindRestart:
-			rep.Markers++
+			results[idx] = scanned{recs: out, sal: sal}
+		}(idx, data)
+	}
+	wg.Wait()
+	for _, r := range results {
+		rep.Journals++
+		rep.Salvage.DroppedRecords += r.sal.DroppedRecords
+		rep.Salvage.DroppedBytes += r.sal.DroppedBytes
+		for _, d := range r.recs {
+			rep.applyDecoded(agg, d.msg)
 		}
 	}
 	return agg, rep, nil
+}
+
+// loadManifestInto replays the current compacted generation (if any)
+// into the aggregate: manifest first, then every file it names, each
+// through the salvage scan. A torn or unparseable manifest is marked
+// damaged (and its generation skipped — the journals still replay); an
+// EIO on the manifest or a generation file is an error.
+func loadManifestInto(disk *kernel.Disk, agg *Aggregate, rep *JournalReplay) error {
+	if !disk.Exists(ManifestPath) {
+		return nil
+	}
+	data, err := disk.Read(ManifestPath)
+	if err != nil {
+		return err
+	}
+	man, merr := parseManifest(data)
+	if merr != nil {
+		rep.ManifestDamaged = true
+		return nil
+	}
+	rep.ManifestGen = man.Gen
+	// Damage absorbed by past compactions is carried forward in the
+	// manifest, so pruned torn journals still count as loss here.
+	rep.Salvage.DroppedRecords += man.LostRecs
+	rep.Salvage.DroppedBytes += man.LostBytes
+	for _, mf := range man.Files {
+		data, err := disk.Read(mf.Path)
+		if err != nil {
+			return err
+		}
+		recs, sal := record.Scan(data)
+		rep.Salvage.DroppedRecords += sal.DroppedRecords
+		rep.Salvage.DroppedBytes += sal.DroppedBytes
+		rep.GenFiles++
+		rep.GenFrames += len(recs)
+		for _, payload := range recs {
+			rep.replayInto(agg, payload)
+		}
+	}
+	return nil
+}
+
+// loadJournalInto replays one shard journal into the aggregate.
+func loadJournalInto(disk *kernel.Disk, path string, agg *Aggregate, rep *JournalReplay) error {
+	if !disk.Exists(path) {
+		return nil
+	}
+	data, err := disk.Read(path)
+	if err != nil {
+		return err
+	}
+	rep.Journals++
+	recs, sal := record.Scan(data)
+	rep.Salvage.DroppedRecords += sal.DroppedRecords
+	rep.Salvage.DroppedBytes += sal.DroppedBytes
+	for _, payload := range recs {
+		rep.replayInto(agg, payload)
+	}
+	return nil
+}
+
+// loadBurnSet scans the durable store into a (host → seq) set without
+// building counts — the duplicate-suppression set a shard burns before
+// absorbing a dead peer's hosts or rejoining the serving set.
+func loadBurnSet(disk *kernel.Disk) (map[int]map[uint64]bool, error) {
+	agg, _, err := LoadStore(disk, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]map[uint64]bool, len(agg.byHost))
+	for h, recs := range agg.byHost {
+		set := make(map[uint64]bool, len(recs))
+		for s := range recs {
+			set[s] = true
+		}
+		out[h] = set
+	}
+	return out, nil
 }
 
 // SpillReingest is the outcome of merging one host's parked spill file
 // back into an aggregate.
 type SpillReingest struct {
 	Host int
-	// Applied are the parked deltas merged fresh; Absorbed the ones the
-	// aggregate had already applied (a spill whose ack arrived late);
-	// ParseErrors checksum-valid records that would not parse.
+	// Applied are the parked records merged fresh; Absorbed the ones
+	// the aggregate had already applied (a spill whose ack arrived
+	// late); ParseErrors checksum-valid records that would not parse.
 	Applied, Absorbed, ParseErrors int
 	Salvage                        record.Salvage
 	// ReadError marks an injected EIO on the spill read.
 	ReadError bool
 }
 
-// ReingestSpills merges every host's parked spill deltas into the
+// ReingestSpills merges every host's parked spill records into the
 // aggregate — the fleet-level analogue of the startup spill merge:
-// because ingestion is seq-burned idempotent, re-offering a delta whose
-// ack was lost is safe, and a genuinely parked one is recovered rather
-// than held forever. Pure disk+memory; run it offline after a chaos
-// run to reclaim spilled samples.
+// because ingestion is seq-burned idempotent, re-offering a record
+// whose ack was lost is safe, and a genuinely parked one (sample delta
+// and replicated code map alike) is recovered rather than held forever.
+// Pure disk+memory; run it offline after a chaos run to reclaim spilled
+// samples.
 func ReingestSpills(disk *kernel.Disk, agg *Aggregate, hosts []int) []SpillReingest {
 	var out []SpillReingest
 	for _, host := range hosts {
@@ -409,7 +684,7 @@ func ReingestSpills(disk *kernel.Disk, agg *Aggregate, hosts []int) []SpillReing
 		ri.Salvage = sal
 		for _, payload := range recs {
 			msg, derr := DecodePayload(payload)
-			if derr != nil || msg.Kind != KindDelta || msg.Host != host {
+			if derr != nil || (msg.Kind != KindDelta && msg.Kind != KindMap) || msg.Host != host {
 				ri.ParseErrors++
 				continue
 			}
@@ -422,85 +697,4 @@ func ReingestSpills(disk *kernel.Disk, agg *Aggregate, hosts []int) []SpillReing
 		out = append(out, ri)
 	}
 	return out
-}
-
-// Restart is the supervisor's recovery pass (the core.RunRecovery shape
-// scaled to the collector): flush dead letters, replay the journal into
-// a fresh aggregate, spawn a replacement process, and append a durable
-// restart marker. An error (journal EIO) leaves the collector down for
-// the supervisor to retry.
-func (c *Collector) Restart(m *kernel.Machine) error {
-	c.stats.Restarts++
-	c.stats.DeadLetters += uint64(c.net.Flush(0))
-	agg, rep, err := ReplayJournal(m.Kern.Disk(), c.cfg.Shards)
-	if err != nil {
-		c.stats.ReplayErrors++
-		return err
-	}
-	c.stats.ReplayedFrames += uint64(rep.Deltas)
-	// Replay rebuilt counters from scratch; fold the pre-crash absorbed
-	// counts forward so the self-accounting stays cumulative.
-	agg.Duplicates += c.agg.Duplicates
-	agg.OutOfOrder += c.agg.OutOfOrder
-	c.agg = agg
-	proc, err := m.Kern.NewProcess("collectord", c)
-	if err != nil {
-		return err
-	}
-	proc.Daemon = true
-	c.proc = proc
-	if werr := m.Kern.SysWrite(proc, JournalFile, RestartJournalFrame(int(c.stats.Restarts))); werr != nil {
-		// The marker is evidence, not state: a failed append is counted
-		// (and may itself have crashed the fresh process — the
-		// supervisor will see that and come around again).
-		c.stats.MarkerErrors++
-	}
-	return nil
-}
-
-// DrainRemaining ingests everything still queued for the collector
-// (the runner advances the clock past the network's maximum delay
-// first). Used at shutdown so in-flight datagrams land before the
-// final snapshot.
-func (c *Collector) DrainRemaining(m *kernel.Machine) {
-	for {
-		msgs := c.net.Deliver(0)
-		if len(msgs) == 0 {
-			break
-		}
-		for _, data := range msgs {
-			c.ingest(m, c.proc, data)
-			if c.proc.Killed() {
-				return
-			}
-		}
-	}
-}
-
-// Finalize commits the aggregate snapshot (temp-then-rename, the same
-// atomic protocol as epoch maps) and persists the collector's framed
-// stats record. Called once at orderly shutdown; a crashed collector
-// never reaches it, which is exactly the signal integrity reads.
-func (c *Collector) Finalize(m *kernel.Machine) {
-	counts := c.agg.Counts()
-	var buf bytes.Buffer
-	if err := oprofile.WriteCounts(&buf, counts, sortedKeys(counts)); err == nil {
-		frame := record.Frame(buf.Bytes())
-		tmp := AggregateFile + ".tmp"
-		if err := m.Kern.SysWriteSync(c.proc, tmp, frame); err != nil {
-			c.stats.SnapshotErrors++
-		} else if err := m.Kern.SysRename(c.proc, tmp, AggregateFile); err != nil {
-			c.stats.SnapshotErrors++
-		}
-	} else {
-		c.stats.SnapshotErrors++
-	}
-	if c.proc.Killed() {
-		return // the snapshot commit crashed us; no clean stats record
-	}
-	c.stats.DeadLetters += uint64(c.net.Flush(0))
-	stats := c.Stats()
-	stats.Clean = true
-	//viplint:allow syswrite-err the stats record is the clean-shutdown signal itself: if this write fails the file is absent or torn and integrity reports the crash
-	m.Kern.SysWriteSync(c.proc, CollectorStatsFile, record.Frame(collectorStatsPayload(&stats)))
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"viprof/internal/kernel"
@@ -25,8 +26,9 @@ type FleetConfig struct {
 	Sender    SenderConfig
 	// MaxCycles bounds the run (default 2_000_000_000).
 	MaxCycles uint64
-	// MaxCollectorRestarts bounds the supervisor (default 8, the
-	// core.RunRecovery shape: bounded attempts, then give up loudly).
+	// MaxCollectorRestarts bounds the supervisor's per-shard restart
+	// budget (default 8, the core.RunRecovery shape: bounded attempts,
+	// then give up loudly). Copied into Collector.MaxRestarts.
 	MaxCollectorRestarts int
 	// SupervisorPeriodCycles is the crash-check period (default 50_000).
 	SupervisorPeriodCycles uint64
@@ -74,13 +76,22 @@ type FleetResult struct {
 
 // RunFleet executes one fleet run on the given machine. Disk fault
 // injectors should already be armed by the caller (the chaos harness
-// arms them between construction and run, like RunChaosSchedule).
+// arms them between construction and run, like RunChaosSchedule). On
+// an SMP machine the collector shards pin to separate cores and the
+// per-shard ingest pipelines run concurrently on the simulated clock.
 func RunFleet(m *kernel.Machine, cfg FleetConfig) (*FleetResult, error) {
 	cfg.fill()
-	now := func() uint64 { return m.Core.Cycles() }
+	now := func() uint64 { return m.CPU().Cycles() }
 	net := NewNetwork(now, cfg.Net)
 
-	collector, err := NewCollector(m, net, cfg.Collector)
+	ccfg := cfg.Collector
+	if ccfg.Seed == 0 {
+		ccfg.Seed = cfg.Seed
+	}
+	if ccfg.MaxRestarts == 0 {
+		ccfg.MaxRestarts = cfg.MaxCollectorRestarts
+	}
+	collector, err := NewCollector(m, net, ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -91,60 +102,61 @@ func RunFleet(m *kernel.Machine, cfg FleetConfig) (*FleetResult, error) {
 		scfg.Host = h
 		scfg.Deltas = cfg.DeltasPerHost
 		scfg.Seed = cfg.Seed*0x9E3779B9 + int64(h)
-		s, err := NewSender(m, net, now, scfg)
+		s, err := NewSender(m, net, now, collector.RouteEndpoint, scfg)
 		if err != nil {
 			return nil, err
 		}
 		res.Senders = append(res.Senders, s)
 	}
 
-	// The supervisor: a periodic crash check that restarts the collector
-	// through journal replay, bounded like core.RunRecovery's attempt
-	// budget. A failed restart (journal EIO, immediate re-crash) is
-	// retried on the next tick until the budget runs out.
-	restartAttempts := 0
+	// The supervisor: a periodic crash check that fails dead shards
+	// over to their peers and restarts them through store replay,
+	// bounded per shard like core.RunRecovery's attempt budget.
 	m.Kern.AddTicker(cfg.SupervisorPeriodCycles, func() {
-		if collector.Alive() || restartAttempts >= cfg.MaxCollectorRestarts {
-			return
-		}
-		restartAttempts++
-		//viplint:allow errflow Restart failure is already counted in collector stats and retried on the next supervisor tick
-		_ = collector.Restart(m)
+		collector.Supervise(m)
 	})
 
 	res.RunErr = m.Kern.Run(cfg.MaxCycles)
 
-	// Shutdown drain: advance past the worst in-flight delay so every
-	// queued datagram is due, then ingest the stragglers — restarting
-	// through the journal if a fault kills the collector mid-drain.
-	for attempt := 0; attempt <= cfg.MaxCollectorRestarts; attempt++ {
-		if !collector.Alive() {
-			if restartAttempts >= cfg.MaxCollectorRestarts {
-				res.SupervisorGaveUp = true
-				break
-			}
-			restartAttempts++
-			if err := collector.Restart(m); err != nil {
-				continue
-			}
+	// Shutdown drain: keep supervising (dead shards restart under
+	// backoff), advance every core past the worst in-flight delay so
+	// queued datagrams and backoff gates come due, and ingest the
+	// stragglers — until the service is whole with nothing pending, or
+	// some shard's restart budget is exhausted.
+	fcfg := collector.Config()
+	step := net.MaxDelayCycles() + 1
+	if b := 2 * fcfg.RestartBackoffCycles; b > step {
+		step = b
+	}
+	maxDrains := fcfg.MaxRestarts*fcfg.Procs*10 + 10
+	for attempt := 0; attempt < maxDrains; attempt++ {
+		collector.Supervise(m)
+		for _, cc := range m.Cores {
+			cc.AdvanceIdle(step)
 		}
-		m.Core.AdvanceIdle(net.MaxDelayCycles() + 1)
 		collector.DrainRemaining(m)
-		if collector.Alive() && net.Pending(0) == 0 {
+		if collector.Alive() && collector.PendingTotal() == 0 {
+			break
+		}
+		if collector.GaveUp() {
 			break
 		}
 	}
+	res.SupervisorGaveUp = collector.GaveUp()
 
 	// Finalize: commit the aggregate snapshot and the collector's stats
 	// record, restarting if the commit itself is struck.
 	for attempt := 0; attempt <= 2; attempt++ {
 		if !collector.Alive() {
-			if restartAttempts >= cfg.MaxCollectorRestarts {
-				res.SupervisorGaveUp = true
-				break
+			collector.Supervise(m)
+			for _, cc := range m.Cores {
+				cc.AdvanceIdle(step)
 			}
-			restartAttempts++
-			if err := collector.Restart(m); err != nil {
+			if !collector.Alive() {
+				if collector.GaveUp() {
+					res.SupervisorGaveUp = true
+					break
+				}
 				continue
 			}
 		}
@@ -158,17 +170,18 @@ func RunFleet(m *kernel.Machine, cfg FleetConfig) (*FleetResult, error) {
 		s.MarkShutdownHolds()
 	}
 
-	// Offline truth: replay the journal fresh, then assemble integrity
+	// Offline truth: replay the durable store fresh (compacted
+	// generation plus every shard journal), then assemble integrity
 	// from the disk artifacts plus the network counters.
 	res.Net = net.Stats()
 	hosts := make([]int, cfg.Hosts)
 	for i := range hosts {
 		hosts[i] = i + 1
 	}
-	replayed, rep, rerr := ReplayJournal(m.Kern.Disk(), cfg.Collector.Shards)
+	replayed, rep, rerr := LoadStore(m.Kern.Disk(), ccfg.Shards)
 	res.Replay = rep
 	if rerr != nil {
-		// Journal unreadable offline: fall back to the live aggregate
+		// Store unreadable offline: fall back to the live aggregate
 		// for gap analysis and mark the damage.
 		res.Integrity = AssembleIntegrity(m.Kern.Disk(), collector.Aggregate(), rep, hosts, res.Net)
 		res.Integrity.JournalUnreadable = true
@@ -263,4 +276,48 @@ func CheckConservation(senders []*Sender, agg *Aggregate) *Conservation {
 		}
 	}
 	return c
+}
+
+// CheckMapReplication verifies code-map replication against the
+// in-memory per-host oracles: every acked map record must be in the
+// aggregate, and every applied one must match the sender's entries
+// exactly — same epoch, same methods, same bytes of meaning. Returns
+// the violations (empty == replicated faithfully).
+func CheckMapReplication(senders []*Sender, agg *Aggregate) []string {
+	var bad []string
+	for _, s := range senders {
+		host := s.cfg.Host
+		maps := agg.Maps(host)
+		for _, d := range s.Deltas {
+			if d.Kind != KindMap {
+				continue
+			}
+			applied := agg.Applied(host, d.Seq)
+			if d.Acked && !applied {
+				bad = append(bad, fmt.Sprintf(
+					"host %d: acked map epoch %d (seq %d) missing from aggregate",
+					host, d.Epoch, d.Seq))
+				continue
+			}
+			if !applied {
+				continue
+			}
+			if d.Epoch >= len(maps) || len(maps[d.Epoch]) != len(d.Entries) {
+				got := 0
+				if d.Epoch < len(maps) {
+					got = len(maps[d.Epoch])
+				}
+				bad = append(bad, fmt.Sprintf(
+					"host %d epoch %d: replicated %d entries, sender wrote %d",
+					host, d.Epoch, got, len(d.Entries)))
+				continue
+			}
+			if !slices.Equal(maps[d.Epoch], d.Entries) {
+				bad = append(bad, fmt.Sprintf(
+					"host %d epoch %d: replicated entries differ from what the sender wrote",
+					host, d.Epoch))
+			}
+		}
+	}
+	return bad
 }

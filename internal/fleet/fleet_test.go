@@ -41,7 +41,7 @@ func randomCounts(rng *rand.Rand, host, n int) map[oprofile.Key]uint64 {
 func TestWireRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	counts := randomCounts(rng, 3, 6)
-	frame, err := DeltaFrame(3, 41, counts)
+	frame, err := DeltaFrame(3, 41, 7500, counts)
 	if err != nil {
 		t.Fatalf("DeltaFrame: %v", err)
 	}
@@ -49,7 +49,7 @@ func TestWireRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodeWire: %v", err)
 	}
-	if msg.Kind != KindDelta || msg.Host != 3 || msg.Seq != 41 {
+	if msg.Kind != KindDelta || msg.Host != 3 || msg.Seq != 41 || msg.At != 7500 {
 		t.Fatalf("header mismatch: %+v", msg)
 	}
 	if len(msg.Counts) != len(counts) {
@@ -65,20 +65,20 @@ func TestWireRoundTrip(t *testing.T) {
 	if err != nil || ack.Kind != KindAck || ack.Host != 3 || ack.Seq != 41 {
 		t.Fatalf("ack round trip: %+v, %v", ack, err)
 	}
-	rm, err := DecodeWire(RestartJournalFrame(2))
-	if err != nil || rm.Kind != KindRestart || rm.Attempt != 2 {
+	rm, err := DecodeWire(RestartJournalFrame(1, 2))
+	if err != nil || rm.Kind != KindRestart || rm.Shard != 1 || rm.Attempt != 2 {
 		t.Fatalf("restart round trip: %+v, %v", rm, err)
 	}
 
 	// Determinism: the same delta must serialize to identical bytes.
-	again, err := DeltaFrame(3, 41, counts)
+	again, err := DeltaFrame(3, 41, 7500, counts)
 	if err != nil || !bytes.Equal(frame, again) {
 		t.Fatalf("DeltaFrame not deterministic")
 	}
 }
 
 func TestWireRejectsDamage(t *testing.T) {
-	frame, err := DeltaFrame(1, 1, map[oprofile.Key]uint64{{Proc: "host01", Image: "x"}: 3})
+	frame, err := DeltaFrame(1, 1, 0, map[oprofile.Key]uint64{{Proc: "host01", Image: "x"}: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestFleetCollectorCrashRecovery(t *testing.T) {
 	m := newTestMachine(47)
 	m.Kern.SetFaultInjectors(kernel.FaultPlan{
 		Seed:       47,
-		PathPrefix: JournalFile,
+		PathPrefix: JournalPrefix,
 		Script:     []kernel.FaultPoint{{Write: 3, Kind: kernel.FaultCrash}},
 	})
 	res, err := RunFleet(m, FleetConfig{Hosts: 4, DeltasPerHost: 6, Seed: 47})
@@ -382,9 +382,12 @@ func TestFleetCollectorCrashRecovery(t *testing.T) {
 // must agree field for field.
 func TestStatsRoundTrip(t *testing.T) {
 	cs := &CollectorStats{
-		Ingested: 9, Duplicates: 2, OutOfOrder: 1, WireDamaged: 3,
+		Shards:   4,
+		Ingested: 9, Duplicates: 2, OutOfOrder: 1, MapsApplied: 5, WireDamaged: 3,
 		JournalErrors: 1, AcksSent: 11, Restarts: 2, ReplayErrors: 1,
-		ReplayedFrames: 7, MarkerErrors: 1, DeadLetters: 4, SnapshotErrors: 1,
+		ReplayedFrames: 7, MarkerErrors: 1, DeadLetters: 4,
+		Failovers: 2, Handoffs: 6, HandoffErrors: 1, Misrouted: 3,
+		Compactions: 2, CompactErrors: 1, SnapshotErrors: 1,
 		Clean: true,
 	}
 	got := ReadCollectorStats(record.Frame(collectorStatsPayload(cs)))
@@ -393,6 +396,7 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 	ss := &SenderStats{
 		Generated: 12, Sent: 20, Retries: 8, Timeouts: 8, Acked: 10,
+		MapsGenerated: 3, MapsAcked: 3,
 		Spilled: 1, Deferred: 8, Lost: 1, SpillErrors: 1, StatsErrors: 0,
 		SpilledSamples: 6, LostSamples: 4,
 		SpilledByEvent: map[string]uint64{"CYCLES": 6},
@@ -401,6 +405,7 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 	got2 := ReadSenderStats(record.Frame(senderStatsPayload(ss)))
 	if got2 == nil || got2.Generated != 12 || got2.Spilled != 1 ||
+		got2.MapsGenerated != 3 || got2.MapsAcked != 3 ||
 		got2.SpilledByEvent["CYCLES"] != 6 || got2.LostByEvent["INSTR"] != 4 || !got2.Clean {
 		t.Fatalf("sender stats round trip: %+v", got2)
 	}

@@ -20,12 +20,15 @@ import (
 // collectorStatsPayload serializes CollectorStats as key=value lines.
 func collectorStatsPayload(s *CollectorStats) []byte {
 	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "ingested=%d\nduplicates=%d\nout_of_order=%d\nwire_damaged=%d\n",
-		s.Ingested, s.Duplicates, s.OutOfOrder, s.WireDamaged)
+	fmt.Fprintf(&buf, "shards=%d\ningested=%d\nduplicates=%d\nout_of_order=%d\nmaps_applied=%d\nwire_damaged=%d\n",
+		s.Shards, s.Ingested, s.Duplicates, s.OutOfOrder, s.MapsApplied, s.WireDamaged)
 	fmt.Fprintf(&buf, "journal_errors=%d\nacks_sent=%d\nrestarts=%d\nreplay_errors=%d\n",
 		s.JournalErrors, s.AcksSent, s.Restarts, s.ReplayErrors)
 	fmt.Fprintf(&buf, "replayed_frames=%d\nmarker_errors=%d\ndead_letters=%d\nsnapshot_errors=%d\n",
 		s.ReplayedFrames, s.MarkerErrors, s.DeadLetters, s.SnapshotErrors)
+	fmt.Fprintf(&buf, "failovers=%d\nhandoffs=%d\nhandoff_errors=%d\nmisrouted=%d\n",
+		s.Failovers, s.Handoffs, s.HandoffErrors, s.Misrouted)
+	fmt.Fprintf(&buf, "compactions=%d\ncompact_errors=%d\n", s.Compactions, s.CompactErrors)
 	fmt.Fprintf(&buf, "clean=%d\n", b2i(s.Clean))
 	return buf.Bytes()
 }
@@ -41,14 +44,30 @@ func ReadCollectorStats(data []byte) *CollectorStats {
 	s := &CollectorStats{}
 	for k, n := range kv {
 		switch k {
+		case "shards":
+			s.Shards = n
 		case "ingested":
 			s.Ingested = n
 		case "duplicates":
 			s.Duplicates = n
 		case "out_of_order":
 			s.OutOfOrder = n
+		case "maps_applied":
+			s.MapsApplied = n
 		case "wire_damaged":
 			s.WireDamaged = n
+		case "failovers":
+			s.Failovers = n
+		case "handoffs":
+			s.Handoffs = n
+		case "handoff_errors":
+			s.HandoffErrors = n
+		case "misrouted":
+			s.Misrouted = n
+		case "compactions":
+			s.Compactions = n
+		case "compact_errors":
+			s.CompactErrors = n
 		case "journal_errors":
 			s.JournalErrors = n
 		case "acks_sent":
@@ -80,6 +99,7 @@ func senderStatsPayload(s *SenderStats) []byte {
 	fmt.Fprintf(&buf, "spilled=%d\ndeferred=%d\nlost=%d\nspill_errors=%d\nstats_errors=%d\n",
 		s.Spilled, s.Deferred, s.Lost, s.SpillErrors, s.StatsErrors)
 	fmt.Fprintf(&buf, "spilled_samples=%d\nlost_samples=%d\n", s.SpilledSamples, s.LostSamples)
+	fmt.Fprintf(&buf, "maps_generated=%d\nmaps_acked=%d\n", s.MapsGenerated, s.MapsAcked)
 	for _, pair := range []struct {
 		prefix string
 		m      map[string]uint64
@@ -145,6 +165,10 @@ func ReadSenderStats(data []byte) *SenderStats {
 			s.SpilledSamples = n
 		case "lost_samples":
 			s.LostSamples = n
+		case "maps_generated":
+			s.MapsGenerated = n
+		case "maps_acked":
+			s.MapsAcked = n
 		case "clean":
 			s.Clean = n != 0
 		}
@@ -227,6 +251,11 @@ type FleetIntegrity struct {
 	// StraySpillEntries counts phantom or vanished spill-dir listings
 	// (list-fault damage surfaced during discovery).
 	StraySpillEntries int
+	// StrayGenFiles counts files under the generation directory the
+	// current manifest does not name — leftovers of an aborted
+	// compaction pass (or listing damage). Replay ignores them; their
+	// existence is loud evidence of an interrupted pass.
+	StrayGenFiles int
 	// Net is the network injector accounting.
 	Net NetFaultStats
 }
@@ -244,13 +273,21 @@ func (fi *FleetIntegrity) Degraded() bool {
 		c.MarkerErrors+c.DeadLetters+c.SnapshotErrors > 0 {
 		return true
 	}
+	// Failovers, handoff aborts, misroutes, and compaction aborts are
+	// all crash-path evidence; committed compactions alone are routine.
+	if c.Failovers+c.HandoffErrors+c.Misrouted+c.CompactErrors > 0 {
+		return true
+	}
 	if fi.CollectorUnreadable || fi.JournalUnreadable || !fi.AggregateSnapshot || fi.SnapshotDamaged {
 		return true
 	}
 	if fi.Journal.Salvage.Lossy() || fi.Journal.ParseErrors > 0 || fi.Journal.Markers > 0 {
 		return true
 	}
-	if fi.StraySpillEntries > 0 {
+	if fi.Journal.ManifestDamaged {
+		return true
+	}
+	if fi.StraySpillEntries > 0 || fi.StrayGenFiles > 0 {
 		return true
 	}
 	for _, h := range fi.Hosts {
@@ -320,7 +357,7 @@ func AssembleIntegrity(disk *kernel.Disk, agg *Aggregate, rep JournalReplay, hos
 				hr.SpillSalvage = sal
 				for _, payload := range recs {
 					msg, derr := DecodePayload(payload)
-					if derr != nil || msg.Kind != KindDelta || msg.Host != host {
+					if derr != nil || (msg.Kind != KindDelta && msg.Kind != KindMap) || msg.Host != host {
 						hr.SpillParse++
 						continue
 					}
@@ -377,6 +414,29 @@ func AssembleIntegrity(disk *kernel.Disk, agg *Aggregate, rep JournalReplay, hos
 			fi.StraySpillEntries++
 		}
 	}
+
+	// Generation-directory audit: any file the current manifest does not
+	// name is a leftover of an aborted compaction pass (a .tmp that was
+	// never renamed, a data file whose manifest commit never landed) —
+	// harmless to replay, loud as evidence.
+	named := map[string]bool{ManifestPath: true}
+	if disk.Exists(ManifestPath) {
+		if data, err := disk.Read(ManifestPath); err == nil {
+			if man, merr := parseManifest(data); merr == nil {
+				for _, mf := range man.Files {
+					named[mf.Path] = true
+				}
+			}
+		}
+	}
+	for _, path := range disk.List() {
+		if !strings.HasPrefix(path, GenDir+"/") {
+			continue
+		}
+		if !named[path] {
+			fi.StrayGenFiles++
+		}
+	}
 	return fi
 }
 
@@ -391,18 +451,26 @@ func FormatFleetIntegrity(fi *FleetIntegrity) string {
 		b.WriteString("  collector: CRASHED (no clean stats record)\n")
 	default:
 		c := fi.Collector
-		fmt.Fprintf(&b, "  collector: ingested=%d duplicates=%d out-of-order=%d restarts=%d dead-letters=%d\n",
-			c.Ingested, c.Duplicates, c.OutOfOrder, c.Restarts, c.DeadLetters)
-		if c.WireDamaged+c.JournalErrors+c.ReplayErrors+c.MarkerErrors+c.SnapshotErrors > 0 {
-			fmt.Fprintf(&b, "  collector errors: wire-damaged=%d journal=%d replay=%d marker=%d snapshot=%d\n",
-				c.WireDamaged, c.JournalErrors, c.ReplayErrors, c.MarkerErrors, c.SnapshotErrors)
+		fmt.Fprintf(&b, "  collector: shards=%d ingested=%d duplicates=%d out-of-order=%d maps=%d restarts=%d dead-letters=%d\n",
+			c.Shards, c.Ingested, c.Duplicates, c.OutOfOrder, c.MapsApplied, c.Restarts, c.DeadLetters)
+		if c.Failovers+c.Handoffs+c.Misrouted > 0 {
+			fmt.Fprintf(&b, "  collector failover: failovers=%d handoffs=%d misrouted=%d\n",
+				c.Failovers, c.Handoffs, c.Misrouted)
+		}
+		if c.Compactions+c.CompactErrors > 0 {
+			fmt.Fprintf(&b, "  collector compaction: committed=%d aborted=%d\n",
+				c.Compactions, c.CompactErrors)
+		}
+		if c.WireDamaged+c.JournalErrors+c.ReplayErrors+c.MarkerErrors+c.SnapshotErrors+c.HandoffErrors > 0 {
+			fmt.Fprintf(&b, "  collector errors: wire-damaged=%d journal=%d replay=%d marker=%d snapshot=%d handoff=%d\n",
+				c.WireDamaged, c.JournalErrors, c.ReplayErrors, c.MarkerErrors, c.SnapshotErrors, c.HandoffErrors)
 		}
 	}
 	if fi.JournalUnreadable {
-		b.WriteString("  journal: UNREADABLE (I/O error)\n")
+		b.WriteString("  store: UNREADABLE (I/O error)\n")
 	} else {
-		fmt.Fprintf(&b, "  journal: %d deltas, %d replay-duplicates, %d restart markers",
-			fi.Journal.Deltas, fi.Journal.Duplicates, fi.Journal.Markers)
+		fmt.Fprintf(&b, "  store: %d deltas, %d maps, %d replay-duplicates, %d restart markers",
+			fi.Journal.Deltas, fi.Journal.Maps, fi.Journal.Duplicates, fi.Journal.Markers)
 		if fi.Journal.Salvage.Lossy() {
 			fmt.Fprintf(&b, ", %d records dropped (%d bytes)",
 				fi.Journal.Salvage.DroppedRecords, fi.Journal.Salvage.DroppedBytes)
@@ -411,6 +479,17 @@ func FormatFleetIntegrity(fi *FleetIntegrity) string {
 			fmt.Fprintf(&b, ", %d unparseable", fi.Journal.ParseErrors)
 		}
 		b.WriteString("\n")
+		if fi.Journal.ManifestGen > 0 || fi.Journal.ManifestDamaged {
+			fmt.Fprintf(&b, "  store: generation %d (%d files, %d frames), %d journals",
+				fi.Journal.ManifestGen, fi.Journal.GenFiles, fi.Journal.GenFrames, fi.Journal.Journals)
+			if fi.Journal.ManifestDamaged {
+				b.WriteString(", MANIFEST DAMAGED")
+			}
+			b.WriteString("\n")
+		}
+	}
+	if fi.StrayGenFiles > 0 {
+		fmt.Fprintf(&b, "  compaction: %d stray generation files (aborted pass)\n", fi.StrayGenFiles)
 	}
 	if !fi.AggregateSnapshot {
 		b.WriteString("  aggregate snapshot: MISSING\n")
@@ -432,8 +511,8 @@ func FormatFleetIntegrity(fi *FleetIntegrity) string {
 			fmt.Fprintf(&b, "%s CRASHED (no clean stats record)\n", label)
 		default:
 			s := h.Stats
-			fmt.Fprintf(&b, "%s generated=%d acked=%d retries=%d deferred=%d spilled=%d lost=%d\n",
-				label, s.Generated, s.Acked, s.Retries, s.Deferred, s.Spilled, s.Lost)
+			fmt.Fprintf(&b, "%s generated=%d acked=%d maps=%d/%d retries=%d deferred=%d spilled=%d lost=%d\n",
+				label, s.Generated, s.Acked, s.MapsAcked, s.MapsGenerated, s.Retries, s.Deferred, s.Spilled, s.Lost)
 			for _, pair := range []struct {
 				name string
 				m    map[string]uint64

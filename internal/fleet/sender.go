@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"viprof/internal/addr"
+	"viprof/internal/core"
 	"viprof/internal/hpc"
 	"viprof/internal/kernel"
 	"viprof/internal/oprofile"
@@ -13,11 +14,17 @@ import (
 
 // SenderConfig tunes one host's delta sender.
 type SenderConfig struct {
-	// Host is the network endpoint id (1..N; 0 is the collector).
+	// Host is the network endpoint id (1..N; shard endpoints are
+	// negative).
 	Host int
-	// Deltas is how many deltas the host generates; KeysPerDelta the
-	// keys per delta (defaults 12 and 4).
+	// Deltas is how many sample deltas the host generates; KeysPerDelta
+	// the keys per delta (defaults 12 and 4).
 	Deltas, KeysPerDelta int
+	// MapEpochs is how many epoch code maps the host replicates before
+	// its sample deltas (default 3, matching the JIT epoch range the
+	// workload tags; negative disables). Maps ride the same seq space
+	// and retry protocol as deltas.
+	MapEpochs int
 	// GenEveryCycles is the generation period (default 30_000).
 	GenEveryCycles uint64
 	// TimeoutCycles is the ack timeout per attempt (default 600_000 —
@@ -42,6 +49,12 @@ func (c *SenderConfig) fill() {
 	}
 	if c.KeysPerDelta == 0 {
 		c.KeysPerDelta = 4
+	}
+	if c.MapEpochs == 0 {
+		c.MapEpochs = 3
+	}
+	if c.MapEpochs < 0 {
+		c.MapEpochs = 0
 	}
 	if c.GenEveryCycles == 0 {
 		c.GenEveryCycles = 30_000
@@ -88,6 +101,13 @@ type Delta struct {
 	Seq    uint64
 	Counts map[oprofile.Key]uint64
 	Total  uint64
+	// Kind is KindDelta or KindMap; At the generation timestamp in
+	// machine cycles (the windowed-query axis); Epoch/Entries the
+	// replicated code map for KindMap.
+	Kind    string
+	At      uint64
+	Epoch   int
+	Entries []core.MapEntry
 
 	frame    []byte
 	attempts int
@@ -105,6 +125,9 @@ type Delta struct {
 // SenderStats is one host's self-accounting, persisted framed at exit.
 type SenderStats struct {
 	Generated, Sent, Retries, Timeouts, Acked uint64
+	// MapsGenerated/MapsAcked track the code-map subset of the above —
+	// the replication-completeness check (clean run: equal).
+	MapsGenerated, MapsAcked uint64
 	// Spilled/Deferred/Lost deltas: spilled are parked durably, deferred
 	// counts backoff waits taken (transient degradation that resolved or
 	// ended in spill), lost had their spill write fail too.
@@ -131,6 +154,7 @@ type Sender struct {
 	rng   *rand.Rand
 	proc  *kernel.Process
 	now   func() uint64
+	route func(host int) int // host → collector endpoint, queried per send
 	stats SenderStats
 
 	Deltas    []*Delta
@@ -141,13 +165,16 @@ type Sender struct {
 
 // NewSender builds a host sender and registers its process (a regular
 // process: the machine runs until every sender resolves or crashes).
-func NewSender(m *kernel.Machine, net *Network, now func() uint64, cfg SenderConfig) (*Sender, error) {
+// route maps this host to its collector shard endpoint; it is queried
+// on every send, so a failover re-aims retries with no coordination.
+func NewSender(m *kernel.Machine, net *Network, now func() uint64, route func(host int) int, cfg SenderConfig) (*Sender, error) {
 	cfg.fill()
 	s := &Sender{
-		cfg: cfg,
-		net: net,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		now: now,
+		cfg:   cfg,
+		net:   net,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		now:   now,
+		route: route,
 		stats: SenderStats{
 			SpilledByEvent: make(map[string]uint64),
 			LostByEvent:    make(map[string]uint64),
@@ -170,11 +197,41 @@ func (s *Sender) Stats() SenderStats { return s.stats }
 // Finished reports whether the sender resolved every delta and exited.
 func (s *Sender) Finished() bool { return s.finished }
 
-// generate builds the next delta. The workload is synthetic but shaped
-// like real daemon flushes: a few images, this host's proc name on
-// every key, an occasional JIT key with an epoch tag.
-func (s *Sender) generate() *Delta {
+// totalMsgs is how many wire records the host generates in all: the
+// epoch code maps first, then the sample deltas, one shared seq space.
+func (s *Sender) totalMsgs() int { return s.cfg.MapEpochs + s.cfg.Deltas }
+
+// mapEntries builds the synthetic epoch-e code map: 16 compiled
+// methods tiling the JIT offset range the workload samples
+// ([0x1000, 0x2000)), with host-independent signatures so the same
+// method aggregates across hosts in fleet reports.
+func mapEntries(epoch int) []core.MapEntry {
+	entries := make([]core.MapEntry, 0, 16)
+	for i := 0; i < 16; i++ {
+		entries = append(entries, core.MapEntry{
+			Start: addr.Address(0x1000 + 256*i),
+			Size:  256,
+			Epoch: epoch,
+			Level: "opt",
+			Sig:   fmt.Sprintf("LFleet;m%02d_e%d()V", i, epoch),
+		})
+	}
+	return entries
+}
+
+// generate builds the next record. The first MapEpochs seqs replicate
+// the host's epoch code maps; the rest are sample deltas — synthetic
+// but shaped like real daemon flushes: a few images, this host's proc
+// name on every key, an occasional JIT key with an epoch tag.
+func (s *Sender) generate(at uint64) *Delta {
 	seq := uint64(s.generated + 1)
+	if int(seq) <= s.cfg.MapEpochs {
+		epoch := int(seq)
+		return &Delta{
+			Seq: seq, Kind: KindMap, At: at,
+			Epoch: epoch, Entries: mapEntries(epoch),
+		}
+	}
 	images := []string{"fleet.app", "libfleet.so", "vmlinux"}
 	counts := make(map[oprofile.Key]uint64, s.cfg.KeysPerDelta)
 	var total uint64
@@ -194,7 +251,7 @@ func (s *Sender) generate() *Delta {
 		counts[k] += c
 		total += c
 	}
-	return &Delta{Seq: seq, Counts: counts, Total: total}
+	return &Delta{Seq: seq, Kind: KindDelta, At: at, Counts: counts, Total: total}
 }
 
 // backoff sizes the wait before attempt n (1-based): capped exponential
@@ -218,6 +275,9 @@ func (s *Sender) drainAcks() {
 			if d.Seq == msg.Seq && !d.Acked {
 				d.Acked = true
 				d.inflight = false
+				if d.Kind == KindMap {
+					s.stats.MapsAcked++
+				}
 				// A late ack rescues a delta we had already given up on:
 				// the collector applied it, so the host no longer holds
 				// it. The spill-file copy becomes an absorbable
@@ -283,13 +343,19 @@ func (s *Sender) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
 	now := s.now()
 	s.drainAcks()
 
-	// Generate due deltas.
-	for s.generated < s.cfg.Deltas && now >= s.nextGen {
-		d := s.generate()
-		frame, err := DeltaFrame(s.cfg.Host, d.Seq, d.Counts)
+	// Generate due records (maps first, then sample deltas).
+	for s.generated < s.totalMsgs() && now >= s.nextGen {
+		d := s.generate(now)
+		var frame []byte
+		var err error
+		if d.Kind == KindMap {
+			frame, err = MapFrame(s.cfg.Host, d.Seq, d.Epoch, d.At, d.Entries)
+		} else {
+			frame, err = DeltaFrame(s.cfg.Host, d.Seq, d.At, d.Counts)
+		}
 		if err != nil {
-			// Serialization of our own map cannot fail; treat it as lost
-			// rather than crash the fleet.
+			// Serialization of our own record cannot fail; treat it as
+			// lost rather than crash the fleet.
 			d.Hold = HoldLost
 			s.stats.Lost++
 			s.stats.LostSamples += d.Total
@@ -301,6 +367,9 @@ func (s *Sender) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
 		s.Deltas = append(s.Deltas, d)
 		s.generated++
 		s.stats.Generated++
+		if d.Kind == KindMap {
+			s.stats.MapsGenerated++
+		}
 		m.Kern.ExecKernel("sys_write", 15+len(frame)/32, 1)
 		s.nextGen = now + s.cfg.GenEveryCycles
 	}
@@ -318,7 +387,7 @@ func (s *Sender) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
 			wake = at
 		}
 	}
-	if s.generated < s.cfg.Deltas {
+	if s.generated < s.totalMsgs() {
 		sooner(s.nextGen)
 	}
 	unresolved := 0
@@ -357,7 +426,9 @@ func (s *Sender) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
 		d.deadline = now + s.cfg.TimeoutCycles
 		d.inflight = true
 		inflight++
-		s.net.Send(s.cfg.Host, 0, d.frame)
+		// Route queried per attempt: after a failover the rendezvous
+		// hash aims this host's retries at the absorbing shard.
+		s.net.Send(s.cfg.Host, s.route(s.cfg.Host), d.frame)
 		s.stats.Sent++
 		if d.attempts > 1 {
 			s.stats.Retries++
@@ -366,7 +437,7 @@ func (s *Sender) Step(m *kernel.Machine, p *kernel.Process) kernel.StepResult {
 		sooner(d.deadline)
 	}
 
-	if s.generated == s.cfg.Deltas && unresolved == 0 {
+	if s.generated == s.totalMsgs() && unresolved == 0 {
 		s.finish(m, p)
 		if p.Killed() {
 			return kernel.StepBlocked

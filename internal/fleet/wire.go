@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"viprof/internal/core"
 	"viprof/internal/oprofile"
 	"viprof/internal/record"
 )
@@ -14,22 +15,32 @@ import (
 // Wire format. Every datagram is one framed+CRC record (record.Frame —
 // the same format every durable artifact uses, DESIGN §10), so a
 // mangled or torn payload fails its checksum at the receiver instead of
-// misparsing, and the collector can append the received frame verbatim
-// to its write-ahead journal. The payload is a '#'-header line followed
-// by a WriteCounts sample-file body:
+// misparsing, and a collector shard can append the received frame
+// verbatim to its write-ahead journal. The payload is a '#'-header line
+// followed by a kind-specific body:
 //
-//	#delta host=<id> seq=<n>
+//	#delta host=<id> seq=<n> at=<cycles>
 //	event<TAB>jit<TAB>epoch<TAB>offset<TAB>count<TAB>proc<TAB>image
 //	...
 //
+//	#map host=<id> seq=<n> epoch=<e> at=<cycles>
+//	<core.WriteMapFile body: framed entries + framed #end trailer>
+//
+// Code maps ride the same seq space, retry protocol, and journal as
+// sample deltas — replication is just delivery plus the WAL. The map
+// body reuses the VM agent's map-file framing verbatim, so a replicated
+// map is parsed (and salvaged) by exactly the reader the per-host
+// chain loader uses.
+//
 // Acks are header-only: "#ack host=<id> seq=<n>". Restart markers
-// ("#restart attempt=<n>") appear only in the collector journal, as
-// durable evidence of supervisor restarts.
+// ("#restart shard=<i> attempt=<n>") appear only in shard journals (and
+// compacted generations), as durable evidence of supervisor restarts.
 
 // Wire message kinds.
 const (
 	KindDelta   = "delta"
 	KindAck     = "ack"
+	KindMap     = "map"
 	KindRestart = "restart"
 )
 
@@ -38,10 +49,18 @@ type WireMsg struct {
 	Kind string
 	Host int
 	Seq  uint64
-	// Attempt is the restart ordinal (restart markers only).
+	// At is the sender-side generation timestamp in machine cycles
+	// (deltas and maps) — the time axis windowed queries cut on.
+	At uint64
+	// Attempt is the restart ordinal and Shard the restarting shard
+	// (restart markers only).
 	Attempt int
+	Shard   int
 	// Counts is the delta body (deltas only).
 	Counts map[oprofile.Key]uint64
+	// Epoch and Entries are the map body (maps only).
+	Epoch   int
+	Entries []core.MapEntry
 }
 
 // Total returns the message's sample total.
@@ -83,11 +102,25 @@ func sortedKeys(counts map[oprofile.Key]uint64) []oprofile.Key {
 	return order
 }
 
-// DeltaFrame builds the framed wire record for one delta.
-func DeltaFrame(host int, seq uint64, counts map[oprofile.Key]uint64) ([]byte, error) {
+// DeltaFrame builds the framed wire record for one sample delta.
+func DeltaFrame(host int, seq, at uint64, counts map[oprofile.Key]uint64) ([]byte, error) {
 	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "#%s host=%d seq=%d\n", KindDelta, host, seq)
+	fmt.Fprintf(&buf, "#%s host=%d seq=%d at=%d\n", KindDelta, host, seq, at)
 	if err := oprofile.WriteCounts(&buf, counts, sortedKeys(counts)); err != nil {
+		return nil, err
+	}
+	return record.Frame(buf.Bytes()), nil
+}
+
+// MapFrame builds the framed wire record replicating one epoch code
+// map. The body is a verbatim core.WriteMapFile stream (per-entry
+// frames plus the #end trailer), so the receiver parses it with the
+// same strict reader — and the same salvage discipline — the VM agent's
+// own map files get.
+func MapFrame(host int, seq uint64, epoch int, at uint64, entries []core.MapEntry) ([]byte, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "#%s host=%d seq=%d epoch=%d at=%d\n", KindMap, host, seq, epoch, at)
+	if err := core.WriteMapFile(&buf, entries); err != nil {
 		return nil, err
 	}
 	return record.Frame(buf.Bytes()), nil
@@ -99,9 +132,12 @@ func AckFrame(host int, seq uint64) []byte {
 }
 
 // RestartJournalFrame builds the framed restart marker the supervisor
-// appends to the collector journal as durable evidence of a restart.
-func RestartJournalFrame(attempt int) []byte {
-	return record.Frame([]byte(fmt.Sprintf("#%s attempt=%d\n", KindRestart, attempt)))
+// appends to the restarting shard's journal as durable evidence.
+// Markers survive compaction: the compactor copies them into the new
+// generation, so "restarts happened" stays visible to offline replay
+// no matter how many generations later it runs.
+func RestartJournalFrame(shard, attempt int) []byte {
+	return record.Frame([]byte(fmt.Sprintf("#%s shard=%d attempt=%d\n", KindRestart, shard, attempt)))
 }
 
 // DecodeWire decodes one framed wire record. A torn, mangled, or
@@ -139,8 +175,14 @@ func DecodePayload(payload []byte) (*WireMsg, error) {
 			msg.Host = int(n)
 		case "seq":
 			msg.Seq = n
+		case "at":
+			msg.At = n
+		case "epoch":
+			msg.Epoch = int(n)
 		case "attempt":
 			msg.Attempt = int(n)
+		case "shard":
+			msg.Shard = int(n)
 		}
 	}
 	switch msg.Kind {
@@ -151,6 +193,20 @@ func DecodePayload(payload []byte) (*WireMsg, error) {
 		}
 		if msg.Seq == 0 {
 			return nil, fmt.Errorf("fleet: delta with seq 0")
+		}
+	case KindMap:
+		// The outer CRC already passed, so a body that will not parse is
+		// a writer bug, not wire damage — strict read, loud error.
+		entries, err := core.ReadMapFile(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: map body: %v", err)
+		}
+		msg.Entries = entries
+		if msg.Seq == 0 {
+			return nil, fmt.Errorf("fleet: map with seq 0")
+		}
+		if msg.Epoch <= 0 {
+			return nil, fmt.Errorf("fleet: map with epoch %d", msg.Epoch)
 		}
 	case KindAck:
 		if msg.Seq == 0 {

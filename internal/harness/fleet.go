@@ -5,10 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
-	"viprof/internal/cache"
-	"viprof/internal/cpu"
 	"viprof/internal/fleet"
-	"viprof/internal/hpc"
 	"viprof/internal/kernel"
 )
 
@@ -59,6 +56,17 @@ const (
 	// FleetReadFault delivers seeded EIO on reads under var/fleet —
 	// journal replay at restart, and every integrity read-back.
 	FleetReadFault
+	// FleetShardKill crashes collector shard processes during journal
+	// appends — failover handoff plus supervisor restart under test.
+	FleetShardKill
+	// FleetCompactKill enables online compaction and crashes the
+	// compactord daemon mid-pass (tmp writes, renames, the manifest
+	// commit itself) — the LSM crash-safety discipline under test.
+	FleetCompactKill
+	// FleetMapPartition opens a partition window over the map
+	// replication phase (the first seqs every host sends), forcing
+	// code-map retries through failover routing.
+	FleetMapPartition
 	numFleetScenarios
 )
 
@@ -91,6 +99,12 @@ func (s FleetScenario) String() string {
 		return "fleet-dir-damage"
 	case FleetReadFault:
 		return "fleet-read-fault"
+	case FleetShardKill:
+		return "shard-kill"
+	case FleetCompactKill:
+		return "compact-kill"
+	case FleetMapPartition:
+		return "map-partition"
 	default:
 		return fmt.Sprintf("fleet-scenario-%d", int(s))
 	}
@@ -121,6 +135,16 @@ func fleetNetPlan(plan *fleet.NetFaultPlan, sc FleetScenario, seed int64) {
 			})
 			at += width + uint64(500_000+rng.Intn(2_000_000))
 		}
+	case FleetMapPartition:
+		// A window opening almost immediately, while the hosts are still
+		// replicating their epoch code maps (the first seqs, generated in
+		// the first ~100k cycles) — map frames retry through it and land
+		// after it heals, exercising replication under partition.
+		start := uint64(20_000 + rng.Intn(60_000))
+		width := uint64(400_000 + rng.Intn(1_600_000))
+		plan.Partitions = append(plan.Partitions, fleet.Partition{
+			Host: fleet.PartitionAll, Start: start, End: start + width,
+		})
 	}
 }
 
@@ -134,8 +158,17 @@ func fleetDiskPlan(sc FleetScenario, seed int64) kernel.FaultPlan {
 	plan := kernel.FaultPlan{Seed: seed}
 	switch sc {
 	case FleetCollectorCrash:
-		plan.PathPrefix = fleet.JournalFile
+		plan.PathPrefix = fleet.JournalPrefix
 		plan.PCrash = 0.02 + 0.08*rng.Float64()
+		plan.MaxFaults = 1 + rng.Intn(2)
+	case FleetShardKill:
+		plan.PathPrefix = fleet.JournalPrefix
+		plan.PCrash = 0.05 + 0.15*rng.Float64()
+		plan.MaxFaults = 2 + rng.Intn(3)
+	case FleetCompactKill:
+		plan.PathPrefix = fleet.GenDir + "/"
+		plan.PCrash = 0.1 + 0.3*rng.Float64()
+		plan.PRenameCrash = 0.1 + 0.2*rng.Float64()
 		plan.MaxFaults = 1 + rng.Intn(2)
 	case FleetENOSPC:
 		plan.PathPrefix = fleet.FleetDir + "/"
@@ -143,7 +176,7 @@ func fleetDiskPlan(sc FleetScenario, seed int64) kernel.FaultPlan {
 		plan.PEIO = 0.05 * rng.Float64()
 		plan.MaxFaults = 2 + rng.Intn(6)
 	case FleetTornJournal:
-		plan.PathPrefix = fleet.JournalFile
+		plan.PathPrefix = fleet.JournalPrefix
 		plan.PTorn = 0.1 + 0.4*rng.Float64()
 		plan.MaxFaults = 2 + rng.Intn(5)
 	case FleetTornSpill:
@@ -199,6 +232,11 @@ type FleetSchedule struct {
 	Plans     []kernel.FaultPlan
 	ListPlan  *kernel.ListFaultPlan
 	ReadPlan  *kernel.ReadFaultPlan
+	// Cores sizes the simulated machine (0 = 1); shard processes pin
+	// across them.
+	Cores int
+	// CompactEveryCycles enables the online compactor daemon (0 = off).
+	CompactEveryCycles uint64
 }
 
 // String names the composition, e.g. "net-drop+torn-journal".
@@ -222,19 +260,26 @@ func (fs FleetSchedule) String() string {
 func FleetScheduleOf(seed int64) FleetSchedule {
 	sched := FleetSchedule{Seed: seed, Net: fleet.NetFaultPlan{Seed: seed*0x6C078965 + 13}}
 	var scens []FleetScenario
+	rng := rand.New(rand.NewSource(seed*0x6C078965 + 7))
 	if seed >= 0 && seed < int64(numFleetScenarios) {
 		scens = []FleetScenario{FleetScenario(seed)}
 	} else {
-		rng := rand.New(rand.NewSource(seed*0x6C078965 + 7))
 		n := 1 + rng.Intn(3)
 		for _, p := range rng.Perm(int(numFleetScenarios))[:n] {
 			scens = append(scens, FleetScenario(p))
 		}
 	}
+	// Machine shape: isolated sweeps and composed draws alike cover
+	// single-core and SMP, and roughly half of all runs compact online
+	// while under attack.
+	sched.Cores = []int{1, 2, 4}[rng.Intn(3)]
+	if rng.Intn(2) == 0 {
+		sched.CompactEveryCycles = uint64(200_000 + rng.Intn(600_000))
+	}
 	for i, sc := range scens {
 		pseed := seed*31 + int64(i) + 1
 		switch {
-		case sc <= FleetNetPartition:
+		case sc <= FleetNetPartition || sc == FleetMapPartition:
 			fleetNetPlan(&sched.Net, sc, pseed)
 		case sc == FleetDirDamage:
 			lp := fleetListPlan(pseed)
@@ -243,6 +288,10 @@ func FleetScheduleOf(seed int64) FleetSchedule {
 			rp := fleetReadPlan(pseed)
 			sched.ReadPlan = &rp
 		default:
+			if sc == FleetCompactKill && sched.CompactEveryCycles == 0 {
+				// The attack needs a compactor to strike.
+				sched.CompactEveryCycles = uint64(200_000 + rng.Intn(600_000))
+			}
 			sched.Plans = append(sched.Plans, fleetDiskPlan(sc, pseed))
 		}
 	}
@@ -291,7 +340,12 @@ func RunFleetChaosSchedule(seed int64, sched FleetSchedule) (*FleetChaosResult, 
 		Seed:          seed,
 		Net:           sched.Net,
 	}
-	machine := kernel.NewMachine(cpu.New(hpc.NewBank(), cache.DefaultHierarchy()), seed)
+	cfg.Collector.CompactEveryCycles = sched.CompactEveryCycles
+	cores := sched.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	machine := BuildMachine(cores, seed)
 	machine.Kern.SetFaultInjectors(sched.Plans...)
 	disk := machine.Kern.Disk()
 	if sched.ListPlan != nil {

@@ -45,7 +45,8 @@ func checkFleetInvariants(t *testing.T, r *FleetChaosResult) {
 	degraded := res.Integrity.Degraded()
 
 	// A bit-perfect run must be bit-perfect everywhere: no degradation,
-	// nothing held, every sample aggregated.
+	// nothing held, every sample aggregated, and every code map
+	// replicated byte-for-byte into every view of the store.
 	if destructive == 0 {
 		if degraded {
 			t.Errorf("zero destructive faults but integrity degraded:\n%s",
@@ -57,6 +58,42 @@ func checkFleetInvariants(t *testing.T, r *FleetChaosResult) {
 		}
 		if res.SupervisorGaveUp {
 			t.Error("zero destructive faults but supervisor gave up")
+		}
+		var mapsGen, mapsAcked uint64
+		for _, s := range res.Senders {
+			st := s.Stats()
+			mapsGen += st.MapsGenerated
+			mapsAcked += st.MapsAcked
+		}
+		if mapsGen == 0 {
+			t.Error("run generated no code maps")
+		}
+		if mapsAcked != mapsGen {
+			t.Errorf("zero destructive faults but only %d/%d maps acked", mapsAcked, mapsGen)
+		}
+		for name, agg := range aggs {
+			if bad := fleet.CheckMapReplication(res.Senders, agg); len(bad) > 0 {
+				t.Errorf("%s map replication violated:\n%v", name, bad)
+			}
+		}
+	}
+
+	// Windowed queries must partition the aggregate at any cut, in every
+	// run — compacted or not, degraded or not.
+	sumWindow := func(agg *fleet.Aggregate, from, to uint64) (n uint64) {
+		for _, c := range agg.QueryWindow(from, to) {
+			n += c
+		}
+		return n
+	}
+	for name, agg := range aggs {
+		if min, max, ok := agg.TimeBounds(); ok && agg.Total() > 0 {
+			cut := min + (max-min)/2
+			lo, hi := sumWindow(agg, 0, cut), sumWindow(agg, cut, ^uint64(0))
+			if lo+hi != agg.Total() {
+				t.Errorf("%s window partition broken at %d: %d + %d != %d",
+					name, cut, lo, hi, agg.Total())
+			}
 		}
 	}
 

@@ -95,6 +95,7 @@ type Process struct {
 	wakeAt  uint64 // cycle at which a sleeping process becomes runnable
 	cpuTime uint64 // cycles consumed (user+kernel on its behalf)
 	cpu     int    // run-queue (core) this process is assigned to
+	pinned  bool   // affinity-pinned: the stealer must never migrate it
 
 	heapAlloc *addr.Allocator
 	libAlloc  *addr.Allocator
@@ -106,6 +107,9 @@ func (p *Process) CPUTime() uint64 { return p.cpuTime }
 
 // CPU returns the core whose run queue currently holds this process.
 func (p *Process) CPU() int { return p.cpu }
+
+// Pinned reports whether the process is affinity-pinned to its core.
+func (p *Process) Pinned() bool { return p.pinned }
 
 // Done reports whether the process has exited.
 func (p *Process) Done() bool { return p.state == stateDone }

@@ -502,12 +502,23 @@ func (k *Kernel) pickNextLegacy() *Process {
 	return nil
 }
 
+// Pin fixes the process to core ci's run queue (sched_setaffinity with
+// a single-CPU mask): placement moves immediately and the work stealer
+// will never migrate it. The core index wraps, so callers can pin
+// shard i of a service to core i without knowing the core count.
+func (k *Kernel) Pin(p *Process, ci int) {
+	n := len(k.cores)
+	p.cpu = ((ci % n) + n) % n
+	p.pinned = true
+}
+
 // stealFor implements pull-based migration: core ci's queue is empty,
 // so scan the other queues in deterministic order (ci+1, ci+2, ...)
 // for one holding at least two runnable processes, and pull the last
-// runnable that is not the victim core's warm-cache owner. Requiring
-// two keeps a lone runnable process from ping-ponging between idle
-// cores; sparing the owner keeps its warm L1 worth something.
+// runnable that is not the victim core's warm-cache owner and is not
+// affinity-pinned. Requiring two keeps a lone runnable process from
+// ping-ponging between idle cores; sparing the owner keeps its warm L1
+// worth something; sparing pinned processes is the affinity contract.
 func (k *Kernel) stealFor(ci int) *Process {
 	n := len(k.cores)
 	for d := 1; d < n; d++ {
@@ -517,7 +528,7 @@ func (k *Kernel) stealFor(ci int) *Process {
 		for _, p := range k.procs {
 			if p.cpu == vi && p.state == stateRunnable {
 				runnable++
-				if p != k.currents[vi] {
+				if p != k.currents[vi] && !p.pinned {
 					cand = p
 				}
 			}

@@ -183,6 +183,25 @@ func TestEpochResolve(t *testing.T) {
 	t.Run("ok", func(t *testing.T) { checkFixture(t, "epochresolve_ok", EpochResolve) })
 }
 
+// The compaction commit fixtures: a write or rename fault dropped
+// between building a generation and pruning the journals must be
+// flagged (an aborted pass mistaken for a committed one destroys the
+// only copy); the abort-before-prune and counted-fault shapes must
+// stay silent.
+func TestErrFlowCompact(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "errflow_compact_bad", ErrFlow) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "errflow_compact_ok", ErrFlow) })
+}
+
+// The map-wire fixtures: a code-map record's body is itself a framed
+// stream, so journaling or compacting it without the outer frame (or
+// reading the store without the salvage scanner) must be flagged; the
+// outer-framed write and scanned read must stay silent.
+func TestRecordFrameMapWire(t *testing.T) {
+	t.Run("bad", func(t *testing.T) { checkFixture(t, "recordframe_mapwire_bad", RecordFrame) })
+	t.Run("ok", func(t *testing.T) { checkFixture(t, "recordframe_mapwire_ok", RecordFrame) })
+}
+
 // TestSuppressionDropsWaivedDiagnostic proves the waiver machinery does
 // real work: the raw detrand pass DOES flag the rand.Int call under the
 // //viplint:allow directive in detrand_bad, and applySuppressions is

@@ -1,0 +1,50 @@
+// Package errflow_compact_bad is a viplint fixture for the compaction
+// commit shapes the crash-safety argument depends on: a write or
+// rename fault dropped between building a generation and pruning the
+// journals turns an aborted pass into silent data destruction — the
+// pass believes it committed, prunes the journals, and the renamed
+// file that never landed was the only other copy.
+package errflow_compact_bad
+
+import (
+	"viprof/internal/kernel"
+)
+
+// writeChunk persists one temp generation file; its error result
+// carries the write fault to callers.
+func writeChunk(k *kernel.Kernel, p *kernel.Process, path string, data []byte) error {
+	return k.SysWriteSync(p, path, data)
+}
+
+// commitFile renames a temp file into its final generation name: the
+// rename fault is the only signal the commit did not happen.
+func commitFile(k *kernel.Kernel, p *kernel.Process, tmp, final string) error {
+	return k.SysRename(p, tmp, final)
+}
+
+// A pass that discards every chunk's fault and prunes anyway.
+func compactAndPruneBlind(k *kernel.Kernel, p *kernel.Process, d *kernel.Disk, chunks []string) {
+	for _, path := range chunks {
+		writeChunk(k, p, path+".tmp", nil) // want `fault-injected error from writeChunk is discarded`
+		commitFile(k, p, path+".tmp", path) // want `fault-injected error from commitFile is discarded`
+	}
+	d.Remove("var/fleet/shard00.journal")
+}
+
+// A manifest commit that keeps only the rename fault: the payload
+// write's fault is overwritten before anyone reads it.
+func commitManifestLastWins(k *kernel.Kernel, p *kernel.Process, data []byte) error {
+	err := writeChunk(k, p, "var/fleet/gen/MANIFEST.tmp", data) // want `fault-injected error from writeChunk is overwritten before it is checked`
+	err = commitFile(k, p, "var/fleet/gen/MANIFEST.tmp", "var/fleet/gen/MANIFEST")
+	return err
+}
+
+// A commit helper that binds the rename fault and reports success.
+func commitUnread(k *kernel.Kernel, p *kernel.Process) error {
+	var err error
+	if err != nil {
+		return err
+	}
+	err = commitFile(k, p, "var/fleet/gen/g0001-00.samples.tmp", "var/fleet/gen/g0001-00.samples") // want `fault-injected error from commitFile is bound to err but never checked`
+	return nil
+}

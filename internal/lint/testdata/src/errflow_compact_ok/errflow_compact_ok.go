@@ -1,0 +1,45 @@
+// Package errflow_compact_ok: the commit discipline the compaction
+// pass actually follows — every write and rename fault is read before
+// the next step, an abort returns before any prune, and a fault
+// charged into an error counter still counts as read.
+package errflow_compact_ok
+
+import (
+	"viprof/internal/kernel"
+)
+
+func writeChunk(k *kernel.Kernel, p *kernel.Process, path string, data []byte) error {
+	return k.SysWriteSync(p, path, data)
+}
+
+func commitFile(k *kernel.Kernel, p *kernel.Process, tmp, final string) error {
+	return k.SysRename(p, tmp, final)
+}
+
+// Prune only runs after every chunk and the manifest committed; any
+// fault aborts with the old generation and journals untouched.
+func compactThenPrune(k *kernel.Kernel, p *kernel.Process, d *kernel.Disk, chunks []string) error {
+	for _, path := range chunks {
+		if err := writeChunk(k, p, path+".tmp", nil); err != nil {
+			return err
+		}
+		if err := commitFile(k, p, path+".tmp", path); err != nil {
+			return err
+		}
+	}
+	if err := commitFile(k, p, "var/fleet/gen/MANIFEST.tmp", "var/fleet/gen/MANIFEST"); err != nil {
+		return err
+	}
+	d.Remove("var/fleet/shard00.journal")
+	return nil
+}
+
+// A supervising caller that accounts the fault instead of returning
+// it: charging an error counter is reading it.
+func commitCounted(k *kernel.Kernel, p *kernel.Process, compactErrors *uint64) bool {
+	if err := commitFile(k, p, "var/fleet/gen/MANIFEST.tmp", "var/fleet/gen/MANIFEST"); err != nil {
+		*compactErrors++
+		return false
+	}
+	return true
+}

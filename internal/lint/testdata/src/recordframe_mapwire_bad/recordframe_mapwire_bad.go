@@ -1,0 +1,40 @@
+// Package recordframe_mapwire_bad: code-map records journaled or read
+// without the outer frame the store's salvage discipline depends on.
+// A map record's body is itself a framed stream (the epoch map file
+// bytes), so persisting it without an outer frame means a torn write
+// sheds its inner entry records as intact-looking top-level records —
+// misparse instead of loud degradation.
+package recordframe_mapwire_bad
+
+import (
+	"fmt"
+
+	"viprof/internal/kernel"
+)
+
+// journalMapRaw journals a map record as header + body with no outer
+// frame: unscannable damage.
+func journalMapRaw(k *kernel.Kernel, p *kernel.Process, host, epoch int, body []byte) error {
+	hdr := fmt.Sprintf("#map host=%d epoch=%d\n", host, epoch)
+	return k.SysWrite(p, "var/fleet/shard00.journal", append([]byte(hdr), body...)) // want `unframed SysWrite payload`
+}
+
+// compactMapRaw rewrites a generation chunk from raw bodies.
+func compactMapRaw(k *kernel.Kernel, p *kernel.Process, bodies [][]byte) error {
+	var out []byte
+	for _, b := range bodies {
+		out = append(out, b...)
+	}
+	return k.SysWriteSync(p, "var/fleet/gen/g0001-00.samples.tmp", out) // want `unframed SysWriteSync payload`
+}
+
+// readGenRaw hands generation bytes straight to a parser: a torn map
+// frame's fragments would parse as records instead of counting as
+// salvage loss.
+func readGenRaw(d *kernel.Disk) int {
+	data, err := d.Read("var/fleet/gen/g0001-00.samples") // want `never reach a salvage-aware reader`
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
